@@ -1,0 +1,68 @@
+//! Ext-B: minimal-set algorithm ablation — equivalence modes (the literal
+//! Definition-3 reading vs the execution-aware semantics the paper's own
+//! Figure 9 requires vs pure reachability) × removal orders.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dscweaver_core::{minimize, EdgeOrder, EquivalenceMode, ExecConditions, merge, translate_services};
+use dscweaver_workloads::{layered, purchasing_dependencies, LayeredParams};
+use std::hint::black_box;
+
+fn prepared(ds: &dscweaver_core::DependencySet) -> (dscweaver_dscl::ConstraintSet, ExecConditions) {
+    let sc = merge(ds);
+    let exec = ExecConditions::derive(&sc);
+    let (asc, _) = translate_services(&sc);
+    (asc, exec)
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_b/mode");
+    group.sample_size(30);
+    let (asc, exec) = prepared(&purchasing_dependencies());
+    for mode in [
+        EquivalenceMode::Strict,
+        EquivalenceMode::ExecutionAware,
+        EquivalenceMode::Reachability,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    black_box(minimize(&asc, &exec, mode, &EdgeOrder::default()).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_b/order");
+    group.sample_size(30);
+    let ds = layered(&LayeredParams {
+        width: 5,
+        depth: 8,
+        density: 0.35,
+        redundant: 20,
+        guards: 3,
+        seed: 11,
+    });
+    let (asc, exec) = prepared(&ds);
+    for (name, order) in [
+        ("given", EdgeOrder::Given),
+        ("reverse", EdgeOrder::ReverseGiven),
+        ("coop_first", EdgeOrder::default()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &order, |b, order| {
+            b.iter(|| {
+                black_box(
+                    minimize(&asc, &exec, EquivalenceMode::ExecutionAware, order).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_orders);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ext-C: Petri-net validation cost — lowering, per-assignment
+//! simulation, and (small nets) full interleaving exploration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dscweaver_core::Weaver;
+use dscweaver_petri::{explore, lower, validate, ValidateOptions};
+use dscweaver_workloads::{layered, purchasing_dependencies, LayeredParams};
+use std::hint::black_box;
+
+fn bench_lowering(c: &mut Criterion) {
+    let out = Weaver::new().run(&purchasing_dependencies()).unwrap();
+    c.bench_function("ext_c/lower_purchasing", |b| {
+        b.iter(|| black_box(lower(&out.minimal, &out.exec)))
+    });
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_c/validate");
+    group.sample_size(20);
+    let mut cases = vec![("purchasing".to_string(), purchasing_dependencies())];
+    for guards in [2usize, 6] {
+        cases.push((
+            format!("layered_g{guards}"),
+            layered(&LayeredParams {
+                width: 4,
+                depth: 6,
+                density: 0.3,
+                redundant: 8,
+                guards,
+                seed: 3,
+            }),
+        ));
+    }
+    for (name, ds) in cases {
+        let out = Weaver::new().run(&ds).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(out.minimal.clone(), out.exec.clone()),
+            |b, (cs, exec)| {
+                b.iter(|| black_box(validate(cs, exec, &ValidateOptions::default())))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    // Bounded interleaving exploration on a small diamond-shaped set.
+    let ds = layered(&LayeredParams {
+        width: 2,
+        depth: 3,
+        density: 0.6,
+        redundant: 0,
+        guards: 0,
+        seed: 1,
+    });
+    let out = Weaver::new().run(&ds).unwrap();
+    let lowered = lower(&out.minimal, &out.exec);
+    c.bench_function("ext_c/explore_interleavings", |b| {
+        b.iter(|| black_box(explore(&lowered.net, 200_000)))
+    });
+}
+
+criterion_group!(benches, bench_lowering, bench_validation, bench_exploration);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Ext-A: optimization cost vs process size (the scaling evaluation the
+//! paper's single worked example lacks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dscweaver_core::Weaver;
+use dscweaver_workloads::{layered, service_mesh, LayeredParams};
+use std::hint::black_box;
+
+fn bench_layered_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_a/layered");
+    group.sample_size(10);
+    for (width, depth) in [(4usize, 5usize), (6, 10), (8, 15), (10, 25)] {
+        let ds = layered(&LayeredParams {
+            width,
+            depth,
+            density: 0.25,
+            redundant: width * depth / 2,
+            guards: 2,
+            seed: 7,
+        });
+        let n = ds.activities.len();
+        group.throughput(Throughput::Elements(ds.deps.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ds, |b, ds| {
+            b.iter(|| black_box(Weaver::new().run(ds).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mesh_translation_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_a/service_mesh");
+    group.sample_size(10);
+    for n in [10usize, 40, 100] {
+        let ds = service_mesh(n, 5);
+        group.throughput(Throughput::Elements(ds.deps.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ds, |b, ds| {
+            b.iter(|| black_box(Weaver::new().run(ds).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layered_scaling, bench_mesh_translation_scaling);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! `repro` — regenerates every table and figure of the paper, plus the
+//! extended experiments, as text.
+//!
+//! ```sh
+//! cargo run -p dscweaver-bench --bin repro            # everything
+//! cargo run -p dscweaver-bench --bin repro table2     # one experiment
+//! ```
+
+use dscweaver_bench as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = [
+        ("fig1", exp::fig1 as fn() -> String),
+        ("fig2", exp::fig2),
+        ("fig3_4", exp::fig3_4),
+        ("fig5", exp::fig5),
+        ("fig6", exp::fig6),
+        ("table1", exp::table1),
+        ("fig7", exp::fig7),
+        ("fig8", exp::fig8),
+        ("fig9", exp::fig9),
+        ("table2", exp::table2),
+        ("ext_a", exp::ext_a),
+        ("ext_b", exp::ext_b),
+        ("ext_c", exp::ext_c),
+        ("ext_d", exp::ext_d),
+    ];
+    let selected: Vec<&str> = if args.is_empty() {
+        all.iter().map(|(n, _)| *n).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for name in selected {
+        match all.iter().find(|(n, _)| *n == name) {
+            Some((_, f)) => {
+                println!("────────────────────────────────────────────────────────────");
+                println!("{}", f());
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment '{name}'; available: {}",
+                    all.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! # dscweaver-bench
+//!
+//! Experiment harness: structured regeneration of every table and figure
+//! in the paper plus the extended (Ext-A..D) evaluations, shared between
+//! the `repro` binary and the Criterion benches.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,207 @@
+//! BPEL 1.0-style code generation — the execution end of the DSCWeaver
+//! vertical (§1: "finally generates BPEL code for real process deployment
+//! and execution", ref \[22\]).
+//!
+//! The minimal constraint set maps naturally onto BPEL's `flow` + `links`:
+//! every activity becomes a basic activity inside one top-level `flow`,
+//! and every HappenBefore constraint becomes a named `link` with the
+//! producer as `source` and the consumer as `target`; conditional
+//! constraints carry a `transitionCondition`. This is the dependency-
+//! first style made executable: *only* the constraints that survived
+//! optimization appear as links.
+
+use dscweaver_dscl::{ActivityState, ConstraintSet, Relation};
+use dscweaver_model::{ActivityKind, Process};
+use dscweaver_xml::Element;
+
+/// The BPEL 1.0 namespace we stamp on generated processes.
+pub const BPEL_NS: &str = "http://schemas.xmlsoap.org/ws/2003/03/business-process/";
+
+/// Generates a BPEL-style document for `cs`, taking activity kinds
+/// (receive/invoke/reply/assign) from `process` where available;
+/// activities unknown to the process (e.g. desugaring coordinators) are
+/// emitted as `<empty>`.
+pub fn emit(process: &Process, cs: &ConstraintSet) -> Element {
+    let mut links = Element::new("links");
+    // Stable link naming: l0, l1, ... in relation order.
+    let mut link_of_relation: Vec<Option<String>> = vec![None; cs.relations.len()];
+    let mut n = 0;
+    for (i, r) in cs.relations.iter().enumerate() {
+        if r.is_happen_before() {
+            let name = format!("l{n}");
+            n += 1;
+            links = links.child(Element::new("link").attr("name", name.clone()));
+            link_of_relation[i] = Some(name);
+        }
+    }
+
+    let mut flow = Element::new("flow").child(links);
+    for a in &cs.activities {
+        let kind = process
+            .activity(a)
+            .map(|act| act.kind.clone())
+            .unwrap_or(ActivityKind::Empty);
+        let mut el = match &kind {
+            ActivityKind::Receive { from } => Element::new("receive")
+                .attr("name", a.clone())
+                .attr("partnerLink", from.clone()),
+            ActivityKind::Invoke { service, port } => Element::new("invoke")
+                .attr("name", a.clone())
+                .attr("partnerLink", service.clone())
+                .attr("operation", format!("port{port}")),
+            ActivityKind::Reply { to } => Element::new("reply")
+                .attr("name", a.clone())
+                .attr("partnerLink", to.clone()),
+            ActivityKind::Assign => Element::new("assign").attr("name", a.clone()),
+            ActivityKind::Branch => Element::new("assign")
+                .attr("name", a.clone())
+                .attr("dsc:branch", "true"),
+            ActivityKind::Empty => Element::new("empty").attr("name", a.clone()),
+        };
+        // Sources and targets.
+        for (i, r) in cs.relations.iter().enumerate() {
+            let Relation::HappenBefore { from, to, cond, .. } = r else {
+                continue;
+            };
+            let Some(link) = &link_of_relation[i] else {
+                continue;
+            };
+            if from.activity == *a {
+                let mut src = Element::new("source").attr("linkName", link.clone());
+                if from.state != ActivityState::Finish {
+                    src = src.attr("dsc:sourceState", from.state.to_string());
+                }
+                if let Some(c) = cond {
+                    src = src.attr(
+                        "transitionCondition",
+                        format!("bpws:getVariableData('{}') = '{}'", c.on, c.value),
+                    );
+                }
+                el = el.child(src);
+            }
+            if to.activity == *a {
+                let mut tgt = Element::new("target").attr("linkName", link.clone());
+                if to.state != ActivityState::Start {
+                    tgt = tgt.attr("dsc:targetState", to.state.to_string());
+                }
+                el = el.child(tgt);
+            }
+        }
+        flow = flow.child(el);
+    }
+
+    Element::new("process")
+        .attr("name", cs.name.clone())
+        .attr("xmlns", BPEL_NS)
+        .attr("xmlns:dsc", "urn:dscweaver")
+        .child(flow)
+}
+
+/// Renders the generated document as pretty XML.
+pub fn emit_string(process: &Process, cs: &ConstraintSet) -> String {
+    format!(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n{}",
+        dscweaver_xml::to_string_pretty(&emit(process, cs))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dscweaver_dscl::{Condition, Origin, StateRef};
+    use dscweaver_model::parse_process;
+
+    fn sample() -> (Process, ConstraintSet) {
+        let p = parse_process(
+            "process Demo { var po, au; service Credit { ports 1 async }
+              sequence {
+                receive recClient_po from Client writes po;
+                invoke invCredit_po on Credit port 1 reads po;
+                switch if_au reads au { case T { assign ok writes au; } case F { assign bad writes au; } }
+              } }",
+        )
+        .unwrap();
+        let mut cs = ConstraintSet::new("Demo");
+        for a in ["recClient_po", "invCredit_po", "if_au", "ok", "bad"] {
+            cs.add_activity(a);
+        }
+        cs.add_domain("if_au", vec!["T".into(), "F".into()]);
+        cs.push(Relation::before(
+            StateRef::finish("recClient_po"),
+            StateRef::start("invCredit_po"),
+            Origin::Data,
+        ));
+        cs.push(Relation::before_if(
+            StateRef::finish("if_au"),
+            StateRef::start("ok"),
+            Condition::new("if_au", "T"),
+            Origin::Control,
+        ));
+        cs.push(Relation::before(
+            StateRef::start("recClient_po"),
+            StateRef::finish("bad"),
+            Origin::Cooperation,
+        ));
+        (p, cs)
+    }
+
+    #[test]
+    fn emits_flow_links_and_kinds() {
+        let (p, cs) = sample();
+        let doc = emit(&p, &cs);
+        assert_eq!(doc.name, "process");
+        let flow = doc.first_named("flow").unwrap();
+        let links = flow.first_named("links").unwrap();
+        assert_eq!(links.elements_named("link").count(), 3);
+        assert!(flow.elements_named("receive").count() == 1);
+        assert!(flow.elements_named("invoke").count() == 1);
+        assert_eq!(flow.elements_named("assign").count(), 3); // ok, bad, if_au
+    }
+
+    #[test]
+    fn conditional_link_gets_transition_condition() {
+        let (p, cs) = sample();
+        let s = emit_string(&p, &cs);
+        assert!(s.contains("transitionCondition=\"bpws:getVariableData('if_au') = 'T'\""));
+    }
+
+    #[test]
+    fn state_granular_endpoints_annotated() {
+        let (p, cs) = sample();
+        let s = emit_string(&p, &cs);
+        assert!(s.contains("dsc:sourceState=\"S\""), "{s}");
+        assert!(s.contains("dsc:targetState=\"F\""));
+    }
+
+    #[test]
+    fn unknown_activity_becomes_empty() {
+        let (p, mut cs) = sample();
+        cs.add_activity("__sync1_a_b");
+        let s = emit_string(&p, &cs);
+        assert!(s.contains("<empty name=\"__sync1_a_b\"/>"));
+    }
+
+    #[test]
+    fn sources_and_targets_reference_declared_links() {
+        let (p, cs) = sample();
+        let doc = emit(&p, &cs);
+        let flow = doc.first_named("flow").unwrap();
+        let declared: Vec<&str> = flow
+            .first_named("links")
+            .unwrap()
+            .elements_named("link")
+            .map(|l| l.get_attr("name").unwrap())
+            .collect();
+        for act in flow.elements() {
+            if act.name == "links" {
+                continue;
+            }
+            for st in act.elements() {
+                if st.name == "source" || st.name == "target" {
+                    let l = st.get_attr("linkName").unwrap();
+                    assert!(declared.contains(&l), "undeclared link {l}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Structured BPEL emission: instead of one flat `flow` with a link per
+//! constraint, recover the series-parallel skeleton
+//! ([`crate::structure`]) and emit nested `sequence`/`flow` elements, with
+//! only the irreducible constraints left as links — the shape a human
+//! BPEL author would have written.
+
+use crate::structure::recover_structure;
+use dscweaver_dscl::ConstraintSet;
+use dscweaver_model::{ActivityKind, Construct, Process};
+use dscweaver_xml::Element;
+
+fn activity_element(process: Option<&Process>, name: &str) -> Element {
+    let kind = process
+        .and_then(|p| p.activity(name))
+        .map(|a| a.kind.clone())
+        .unwrap_or(ActivityKind::Empty);
+    match kind {
+        ActivityKind::Receive { from } => Element::new("receive")
+            .attr("name", name)
+            .attr("partnerLink", from),
+        ActivityKind::Invoke { service, port } => Element::new("invoke")
+            .attr("name", name)
+            .attr("partnerLink", service)
+            .attr("operation", format!("port{port}")),
+        ActivityKind::Reply { to } => Element::new("reply")
+            .attr("name", name)
+            .attr("partnerLink", to),
+        ActivityKind::Assign | ActivityKind::Branch => {
+            Element::new("assign").attr("name", name)
+        }
+        ActivityKind::Empty => Element::new("empty").attr("name", name),
+    }
+}
+
+fn construct_element(
+    c: &Construct,
+    process: Option<&Process>,
+    sources: &std::collections::HashMap<&str, Vec<(String, Option<String>)>>,
+    targets: &std::collections::HashMap<&str, Vec<String>>,
+) -> Element {
+    match c {
+        Construct::Act(a) => {
+            let mut el = activity_element(process, &a.name);
+            for (link, cond) in sources.get(a.name.as_str()).into_iter().flatten() {
+                let mut src = Element::new("source").attr("linkName", link.clone());
+                if let Some(v) = cond {
+                    src = src.attr("transitionCondition", v.clone());
+                }
+                el = el.child(src);
+            }
+            for link in targets.get(a.name.as_str()).into_iter().flatten() {
+                el = el.child(Element::new("target").attr("linkName", link.clone()));
+            }
+            el
+        }
+        Construct::Sequence(items) => {
+            let mut el = Element::new("sequence");
+            for i in items {
+                el = el.child(construct_element(i, process, sources, targets));
+            }
+            el
+        }
+        Construct::Flow { branches, .. } => {
+            let mut el = Element::new("flow");
+            for b in branches {
+                el = el.child(construct_element(b, process, sources, targets));
+            }
+            el
+        }
+        // Structure recovery never produces Switch/While; render their
+        // activities flat if they ever appear.
+        Construct::Switch { branch, cases } => {
+            let mut el = Element::new("flow");
+            el = el.child(activity_element(process, &branch.name));
+            for case in cases {
+                el = el.child(construct_element(&case.body, process, sources, targets));
+            }
+            el
+        }
+        Construct::While { cond, body } => {
+            let mut el = Element::new("while");
+            el = el.child(activity_element(process, &cond.name));
+            el = el.child(construct_element(body, process, sources, targets));
+            el
+        }
+    }
+}
+
+/// Emits structured BPEL for a (desugared, service-free) constraint set:
+/// nested `sequence`/`flow` where the minimal DAG is series-parallel,
+/// residual constraints as `flow` links.
+pub fn emit_structured(process: &Process, cs: &ConstraintSet) -> Element {
+    let recovered = recover_structure(cs, Some(process));
+    // Index the residual links by endpoint.
+    let mut sources: std::collections::HashMap<&str, Vec<(String, Option<String>)>> =
+        std::collections::HashMap::new();
+    let mut targets: std::collections::HashMap<&str, Vec<String>> =
+        std::collections::HashMap::new();
+    let mut links_el = Element::new("links");
+    for l in &recovered.links {
+        links_el = links_el.child(Element::new("link").attr("name", l.name.clone()));
+        sources.entry(l.from.as_str()).or_default().push((
+            l.name.clone(),
+            l.condition
+                .as_ref()
+                .map(|v| format!("bpws:getVariableData('{}') = '{}'", l.from, v)),
+        ));
+        targets
+            .entry(l.to.as_str())
+            .or_default()
+            .push(l.name.clone());
+    }
+
+    let body = construct_element(&recovered.root, Some(process), &sources, &targets);
+    let inner = if recovered.links.is_empty() {
+        body
+    } else if body.name == "flow" {
+        // Attach links to the existing top-level flow.
+        let mut flow = Element::new("flow").child(links_el);
+        for c in body.children {
+            flow.children.push(c);
+        }
+        flow
+    } else {
+        Element::new("flow").child(links_el).child(body)
+    };
+
+    Element::new("process")
+        .attr("name", cs.name.clone())
+        .attr("xmlns", crate::emit::BPEL_NS)
+        .child(inner)
+}
+
+/// Renders the structured document as pretty XML.
+pub fn emit_structured_string(process: &Process, cs: &ConstraintSet) -> String {
+    format!(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n{}",
+        dscweaver_xml::to_string_pretty(&emit_structured(process, cs))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dscweaver_dscl::{Origin, Relation, StateRef};
+    use dscweaver_model::parse_process;
+
+    fn chain_cs() -> ConstraintSet {
+        let mut cs = ConstraintSet::new("Chain");
+        for a in ["a", "b", "c"] {
+            cs.add_activity(a);
+        }
+        cs.push(Relation::before(
+            StateRef::finish("a"),
+            StateRef::start("b"),
+            Origin::Data,
+        ));
+        cs.push(Relation::before(
+            StateRef::finish("b"),
+            StateRef::start("c"),
+            Origin::Data,
+        ));
+        cs
+    }
+
+    #[test]
+    fn pure_chain_emits_nested_sequence() {
+        let p = parse_process(
+            "process Chain { var x; sequence { assign a writes x; assign b writes x; assign c writes x; } }",
+        )
+        .unwrap();
+        let doc = emit_structured(&p, &chain_cs());
+        let seq = doc.first_named("sequence").expect("nested sequence");
+        assert_eq!(seq.elements_named("assign").count(), 3);
+        // No links at all.
+        assert!(doc.first_named("flow").is_none());
+    }
+
+    #[test]
+    fn n_shape_keeps_links() {
+        let mut cs = ConstraintSet::new("N");
+        for a in ["a", "b", "c", "d"] {
+            cs.add_activity(a);
+        }
+        for (f, t) in [("a", "c"), ("a", "d"), ("b", "d")] {
+            cs.push(Relation::before(
+                StateRef::finish(f),
+                StateRef::start(t),
+                Origin::Data,
+            ));
+        }
+        let p = parse_process(
+            "process N { var x; flow { assign a writes x; assign b writes x; assign c writes x; assign d writes x; } }",
+        )
+        .unwrap();
+        let s = emit_structured_string(&p, &cs);
+        assert!(s.contains("<links>"));
+        assert!(s.contains("linkName="));
+        // The emitted subset still parses with the flat parser when the
+        // top level is a flow with links.
+        let back = crate::parse::parse_bpel(&s);
+        assert!(back.is_ok(), "{s}");
+    }
+
+    #[test]
+    fn diamond_emits_seq_flow_seq() {
+        let mut cs = ConstraintSet::new("D");
+        for a in ["a", "b", "c", "d"] {
+            cs.add_activity(a);
+        }
+        for (f, t) in [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")] {
+            cs.push(Relation::before(
+                StateRef::finish(f),
+                StateRef::start(t),
+                Origin::Data,
+            ));
+        }
+        let p = parse_process(
+            "process D { var x; sequence { assign a writes x; flow { assign b writes x; assign c writes x; } assign d writes x; } }",
+        )
+        .unwrap();
+        let doc = emit_structured(&p, &cs);
+        let seq = doc.first_named("sequence").expect("outer sequence");
+        assert!(seq.first_named("flow").is_some(), "inner flow");
+    }
+}

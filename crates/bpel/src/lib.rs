@@ -1,0 +1,18 @@
+//! # dscweaver-bpel
+//!
+//! BPEL 1.0-style code generation from optimized constraint sets
+//! (`flow` + `links` with transition conditions), a parser for the emitted
+//! subset (round-trip verified), and series-parallel structure recovery
+//! back into nested `sequence`/`flow` constructs.
+
+#![warn(missing_docs)]
+
+pub mod emit;
+pub mod emit_structured;
+pub mod parse;
+pub mod structure;
+
+pub use emit::{emit, emit_string, BPEL_NS};
+pub use emit_structured::{emit_structured, emit_structured_string};
+pub use parse::{parse_bpel, BpelError};
+pub use structure::{recover_structure, Recovered};

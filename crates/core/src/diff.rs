@@ -1,0 +1,166 @@
+//! Diffing constraint sets and pipeline outputs — the tooling face of the
+//! paper's adaptability claim (§1: with dependencies as first-class
+//! citizens, adding or deleting a constraint is a set edit, and its global
+//! effect on the synchronization scheme is *computable*).
+
+use crate::pipeline::WeaverOutput;
+use dscweaver_dscl::{ConstraintSet, Relation};
+use std::collections::BTreeSet;
+
+/// The difference between two constraint sets (HappenBefore relations,
+/// compared structurally — endpoints, condition; provenance ignored).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConstraintDiff {
+    /// Relations only in the new set (rendered).
+    pub added: Vec<String>,
+    /// Relations only in the old set (rendered).
+    pub removed: Vec<String>,
+    /// Activities only in the new set.
+    pub added_activities: Vec<String>,
+    /// Activities only in the old set.
+    pub removed_activities: Vec<String>,
+}
+
+impl ConstraintDiff {
+    /// True if the sets coincide.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty()
+            && self.removed.is_empty()
+            && self.added_activities.is_empty()
+            && self.removed_activities.is_empty()
+    }
+}
+
+impl std::fmt::Display for ConstraintDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for a in &self.added_activities {
+            writeln!(f, "+ activity {a}")?;
+        }
+        for a in &self.removed_activities {
+            writeln!(f, "- activity {a}")?;
+        }
+        for r in &self.added {
+            writeln!(f, "+ {r}")?;
+        }
+        for r in &self.removed {
+            writeln!(f, "- {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Structural key of a relation, ignoring provenance.
+fn key(r: &Relation) -> Option<String> {
+    match r {
+        Relation::HappenBefore { from, to, cond, .. } => Some(match cond {
+            Some(c) => format!("{from} ->[{c}] {to}"),
+            None => format!("{from} -> {to}"),
+        }),
+        _ => None,
+    }
+}
+
+/// Computes the diff `old → new`.
+pub fn diff_constraint_sets(old: &ConstraintSet, new: &ConstraintSet) -> ConstraintDiff {
+    let old_keys: BTreeSet<String> = old.relations.iter().filter_map(key).collect();
+    let new_keys: BTreeSet<String> = new.relations.iter().filter_map(key).collect();
+    ConstraintDiff {
+        added: new_keys.difference(&old_keys).cloned().collect(),
+        removed: old_keys.difference(&new_keys).cloned().collect(),
+        added_activities: new
+            .activities
+            .difference(&old.activities)
+            .cloned()
+            .collect(),
+        removed_activities: old
+            .activities
+            .difference(&new.activities)
+            .cloned()
+            .collect(),
+    }
+}
+
+/// Diffs two pipeline runs at the minimal-set level: the scheme-level
+/// impact of a specification edit.
+pub fn diff_outputs(old: &WeaverOutput, new: &WeaverOutput) -> ConstraintDiff {
+    diff_constraint_sets(&old.minimal, &new.minimal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dependency::{Dependency, DependencySet};
+    use crate::pipeline::Weaver;
+
+    fn base() -> DependencySet {
+        let mut ds = DependencySet::new("d");
+        for a in ["a", "b", "c"] {
+            ds.add_activity(a);
+        }
+        ds.push(Dependency::data("a", "b"));
+        ds.push(Dependency::data("b", "c"));
+        ds
+    }
+
+    #[test]
+    fn identical_sets_empty_diff() {
+        let out = Weaver::new().run(&base()).unwrap();
+        let d = diff_outputs(&out, &out);
+        assert!(d.is_empty());
+        assert_eq!(d.to_string(), "");
+    }
+
+    #[test]
+    fn added_constraint_shows_up() {
+        let out1 = Weaver::new().run(&base()).unwrap();
+        let mut ds2 = base();
+        ds2.add_activity("d");
+        ds2.push(Dependency::cooperation("c", "d"));
+        let out2 = Weaver::new().run(&ds2).unwrap();
+        let d = diff_outputs(&out1, &out2);
+        assert_eq!(d.added, vec!["F(c) -> S(d)"]);
+        assert_eq!(d.added_activities, vec!["d"]);
+        assert!(d.removed.is_empty());
+        assert!(d.to_string().contains("+ F(c) -> S(d)"));
+    }
+
+    #[test]
+    fn edit_with_ripple_effects() {
+        // Adding a shortcut-making constraint can *remove* another from the
+        // minimal scheme: a→b→c plus new direct path pieces.
+        let mut ds1 = base();
+        ds1.push(Dependency::cooperation("a", "c")); // redundant, optimized away
+        let out1 = Weaver::new().run(&ds1).unwrap();
+        // Drop b entirely: a→c becomes load-bearing.
+        let mut ds2 = DependencySet::new("d");
+        for a in ["a", "c"] {
+            ds2.add_activity(a);
+        }
+        ds2.push(Dependency::cooperation("a", "c"));
+        let out2 = Weaver::new().run(&ds2).unwrap();
+        let d = diff_outputs(&out1, &out2);
+        assert!(d.added.contains(&"F(a) -> S(c)".to_string()));
+        assert!(d.removed.contains(&"F(a) -> S(b)".to_string()));
+        assert_eq!(d.removed_activities, vec!["b"]);
+    }
+
+    #[test]
+    fn provenance_is_ignored() {
+        use dscweaver_dscl::{Origin, Relation, StateRef};
+        let mut a = ConstraintSet::new("a");
+        a.add_activity("x");
+        a.add_activity("y");
+        a.push(Relation::before(
+            StateRef::finish("x"),
+            StateRef::start("y"),
+            Origin::Data,
+        ));
+        let mut b = a.clone();
+        b.relations[0] = Relation::before(
+            StateRef::finish("x"),
+            StateRef::start("y"),
+            Origin::Cooperation,
+        );
+        assert!(diff_constraint_sets(&a, &b).is_empty());
+    }
+}

@@ -1,0 +1,408 @@
+//! Execution conditions and semantic implication of guard DNFs.
+//!
+//! The paper's Definition 4 compares condition-annotated closures, and its
+//! Figure 9 / Table 2 results rely on two pieces of reasoning the text
+//! leaves implicit:
+//!
+//! 1. **Execution-awareness** — `recClient_po → invPurchase_po` is removed
+//!    although the remaining path runs through `if_au = T`: that is sound
+//!    precisely because `invPurchase_po` *executes only when* `if_au = T`
+//!    (its control dependency), so the conditional path covers every
+//!    execution in which the constraint matters.
+//! 2. **Branch completeness** — `if_au → replyClient_oi` is removed because
+//!    a `T` path and an `F` path both exist and `{T, F}` exhausts `if_au`'s
+//!    domain.
+//!
+//! This module makes both precise. [`ExecConditions`] derives, for every
+//! activity, the DNF of branch conditions under which it executes at all
+//! (from the control-dependency relations, transitively). [`implies_under`]
+//! decides `exec ∧ old ⟹ new` by enumerating assignments of the involved
+//! guards over their declared domains — which subsumes absorption *and*
+//! resolution/branch-completeness without any ad-hoc rewriting.
+
+use dscweaver_dscl::{Condition, ConstraintSet, Origin, Relation};
+use dscweaver_graph::annotated::Dnf;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Per-activity execution conditions, derived from control dependencies.
+///
+/// Derived **before** optimization and carried alongside the constraint set
+/// from then on: the optimizer may remove control *constraints* (monitoring
+/// obligations) without changing the fact of when an activity executes.
+#[derive(Clone, Debug, Default)]
+pub struct ExecConditions {
+    map: HashMap<String, Dnf<Condition>>,
+}
+
+impl ExecConditions {
+    /// Derives execution conditions from `cs`'s Control-origin relations:
+    /// `exec(b) = ⋁ over control parents (g, v) of (exec(g) ⊗ {g=v})`,
+    /// activities without control parents executing unconditionally.
+    /// Cycles through control dependencies (loop bodies) conservatively
+    /// yield *always* — using a weaker assumption can only make the
+    /// optimizer keep more constraints, never remove a needed one.
+    pub fn derive(cs: &ConstraintSet) -> ExecConditions {
+        // Direct control parents: target activity → [(guard, Some(value))].
+        let mut parents: HashMap<&str, Vec<(&str, Option<&Condition>)>> = HashMap::new();
+        for r in &cs.relations {
+            if let Relation::HappenBefore {
+                from,
+                to,
+                cond,
+                origin: Origin::Control,
+            } = r
+            {
+                parents
+                    .entry(to.activity.as_str())
+                    .or_default()
+                    .push((from.activity.as_str(), cond.as_ref()));
+            }
+        }
+
+        fn compute<'a>(
+            act: &'a str,
+            parents: &HashMap<&'a str, Vec<(&'a str, Option<&'a Condition>)>>,
+            memo: &mut HashMap<&'a str, Dnf<Condition>>,
+            visiting: &mut BTreeSet<&'a str>,
+        ) -> Dnf<Condition> {
+            if let Some(d) = memo.get(act) {
+                return d.clone();
+            }
+            if !visiting.insert(act) {
+                return Dnf::always(); // cycle: conservative
+            }
+            let result = match parents.get(act) {
+                None => Dnf::always(),
+                Some(ps) => {
+                    let mut acc: Dnf<Condition> = Dnf::empty();
+                    for (g, cond) in ps {
+                        let parent_exec = compute(g, parents, memo, visiting);
+                        parent_exec.compose_into(*cond, &mut acc);
+                    }
+                    if acc.is_empty() {
+                        Dnf::always()
+                    } else {
+                        acc
+                    }
+                }
+            };
+            visiting.remove(act);
+            memo.insert(act, result.clone());
+            result
+        }
+
+        let mut memo: HashMap<&str, Dnf<Condition>> = HashMap::new();
+        let mut visiting = BTreeSet::new();
+        for a in &cs.activities {
+            compute(a.as_str(), &parents, &mut memo, &mut visiting);
+        }
+        ExecConditions {
+            map: memo
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+
+    /// The execution condition of `activity` (*always* if unknown).
+    pub fn of(&self, activity: &str) -> Dnf<Condition> {
+        self.map
+            .get(activity)
+            .cloned()
+            .unwrap_or_else(Dnf::always)
+    }
+
+    /// True if `activity` executes unconditionally.
+    pub fn is_unconditional(&self, activity: &str) -> bool {
+        self.of(activity).is_always()
+    }
+}
+
+/// Conjunction of two DNFs (cross product of terms, minimized).
+pub fn dnf_and(a: &Dnf<Condition>, b: &Dnf<Condition>) -> Dnf<Condition> {
+    let mut out = Dnf::empty();
+    for ta in a.terms() {
+        for tb in b.terms() {
+            let mut t = ta.clone();
+            t.extend(tb.iter().cloned());
+            out.insert(t);
+        }
+    }
+    out
+}
+
+/// Evaluates a DNF under a guard assignment.
+fn eval(d: &Dnf<Condition>, assignment: &BTreeMap<&str, &str>) -> bool {
+    d.terms().iter().any(|term| {
+        term.iter()
+            .all(|c| assignment.get(c.on.as_str()) == Some(&c.value.as_str()))
+    })
+}
+
+/// Decides `context ∧ old ⟹ new` semantically, enumerating assignments of
+/// every guard mentioned in the three DNFs over its domain.
+///
+/// Guards missing from `domains` get a synthetic domain: the values seen in
+/// the formulas plus one fresh "anything else" value — sound, because all
+/// conditions on that guard are false under the fresh value.
+///
+/// Returns `false` (conservative: not implied) if the assignment space
+/// exceeds `2^16` — never observed on realistic processes, where at most a
+/// handful of guards interact.
+pub fn implies_under(
+    context: &Dnf<Condition>,
+    old: &Dnf<Condition>,
+    new: &Dnf<Condition>,
+    domains: &BTreeMap<String, Vec<String>>,
+) -> bool {
+    // Collect involved guards.
+    let mut guards: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for d in [context, old, new] {
+        for term in d.terms() {
+            for c in term {
+                guards.entry(&c.on).or_default().insert(&c.value);
+            }
+        }
+    }
+    if guards.is_empty() {
+        // Propositional: truth independent of assignment.
+        let c = context.terms().iter().any(|t| t.is_empty());
+        let o = old.terms().iter().any(|t| t.is_empty());
+        let n = new.terms().iter().any(|t| t.is_empty());
+        return !(c && o) || n;
+    }
+
+    const OTHER: &str = "\u{1}other";
+    let guard_values: Vec<(&str, Vec<&str>)> = guards
+        .iter()
+        .map(|(&g, seen)| {
+            let vals: Vec<&str> = match domains.get(g) {
+                Some(dom) => dom.iter().map(String::as_str).collect(),
+                None => {
+                    let mut v: Vec<&str> = seen.iter().copied().collect();
+                    v.push(OTHER);
+                    v
+                }
+            };
+            (g, vals)
+        })
+        .collect();
+
+    let space: usize = guard_values
+        .iter()
+        .map(|(_, v)| v.len().max(1))
+        .try_fold(1usize, |acc, n| acc.checked_mul(n))
+        .unwrap_or(usize::MAX);
+    if space > 1 << 16 {
+        return false;
+    }
+
+    // Odometer enumeration.
+    let mut idx = vec![0usize; guard_values.len()];
+    loop {
+        let assignment: BTreeMap<&str, &str> = guard_values
+            .iter()
+            .zip(&idx)
+            .map(|((g, vals), &i)| (*g, vals[i]))
+            .collect();
+        if eval(context, &assignment) && eval(old, &assignment) && !eval(new, &assignment) {
+            return false;
+        }
+        // Increment.
+        let mut pos = 0;
+        loop {
+            if pos == idx.len() {
+                return true;
+            }
+            idx[pos] += 1;
+            if idx[pos] < guard_values[pos].1.len() {
+                break;
+            }
+            idx[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dscweaver_dscl::{Origin, Relation, StateRef};
+
+    fn cond(g: &str, v: &str) -> Condition {
+        Condition::new(g, v)
+    }
+
+    fn purchasing_like() -> ConstraintSet {
+        let mut cs = ConstraintSet::new("t");
+        for a in ["if_au", "invPurchase_po", "set_oi", "reply", "nested_if", "deep"] {
+            cs.add_activity(a);
+        }
+        cs.add_domain("if_au", vec!["T".into(), "F".into()]);
+        cs.add_domain("nested_if", vec!["T".into(), "F".into()]);
+        cs.push(Relation::before_if(
+            StateRef::finish("if_au"),
+            StateRef::start("invPurchase_po"),
+            cond("if_au", "T"),
+            Origin::Control,
+        ));
+        cs.push(Relation::before_if(
+            StateRef::finish("if_au"),
+            StateRef::start("set_oi"),
+            cond("if_au", "F"),
+            Origin::Control,
+        ));
+        cs.push(Relation::before(
+            StateRef::finish("if_au"),
+            StateRef::start("reply"),
+            Origin::Control,
+        ));
+        cs.push(Relation::before_if(
+            StateRef::finish("if_au"),
+            StateRef::start("nested_if"),
+            cond("if_au", "T"),
+            Origin::Control,
+        ));
+        cs.push(Relation::before_if(
+            StateRef::finish("nested_if"),
+            StateRef::start("deep"),
+            cond("nested_if", "F"),
+            Origin::Control,
+        ));
+        cs
+    }
+
+    #[test]
+    fn exec_conditions_derived() {
+        let cs = purchasing_like();
+        let exec = ExecConditions::derive(&cs);
+        assert!(exec.is_unconditional("if_au"));
+        assert!(exec.is_unconditional("reply"), "unconditional control dep");
+        assert_eq!(
+            exec.of("invPurchase_po").terms(),
+            &[vec![cond("if_au", "T")]]
+        );
+        assert_eq!(exec.of("set_oi").terms(), &[vec![cond("if_au", "F")]]);
+        // Nested: deep executes iff if_au=T ∧ nested_if=F.
+        assert_eq!(
+            exec.of("deep").terms(),
+            &[vec![cond("if_au", "T"), cond("nested_if", "F")]]
+        );
+        // Unknown activity defaults to always.
+        assert!(exec.is_unconditional("ghost"));
+    }
+
+    #[test]
+    fn exec_cycle_is_conservative() {
+        let mut cs = ConstraintSet::new("c");
+        cs.add_activity("a");
+        cs.add_activity("b");
+        cs.add_domain("a", vec!["T".into(), "F".into()]);
+        cs.add_domain("b", vec!["T".into(), "F".into()]);
+        cs.push(Relation::before_if(
+            StateRef::finish("a"),
+            StateRef::start("b"),
+            cond("a", "T"),
+            Origin::Control,
+        ));
+        cs.push(Relation::before_if(
+            StateRef::finish("b"),
+            StateRef::start("a"),
+            cond("b", "T"),
+            Origin::Control,
+        ));
+        let exec = ExecConditions::derive(&cs);
+        // The cycle collapses to `always` somewhere; derivation terminates
+        // and stays sound (weaker assumptions only).
+        let _ = exec.of("a");
+        let _ = exec.of("b");
+    }
+
+    #[test]
+    fn implies_execution_awareness() {
+        // old = always, new = {if_au=T}, context = exec(invPurchase_po) =
+        // {if_au=T}: implied — the paper's recClient_po → invPurchase_po
+        // removal.
+        let domains: BTreeMap<String, Vec<String>> =
+            [("if_au".to_string(), vec!["T".into(), "F".into()])].into();
+        let ctx = Dnf::term(vec![cond("if_au", "T")]);
+        let old = Dnf::always();
+        let new = Dnf::term(vec![cond("if_au", "T")]);
+        assert!(implies_under(&ctx, &old, &new, &domains));
+        // Without the execution context it is NOT implied.
+        assert!(!implies_under(&Dnf::always(), &old, &new, &domains));
+    }
+
+    #[test]
+    fn implies_branch_completeness() {
+        // old = always; new = {if_au=T} ∨ {if_au=F} with domain {T,F}:
+        // implied — the paper's if_au → replyClient_oi removal.
+        let domains: BTreeMap<String, Vec<String>> =
+            [("if_au".to_string(), vec!["T".into(), "F".into()])].into();
+        let mut new = Dnf::term(vec![cond("if_au", "T")]);
+        new.insert(vec![cond("if_au", "F")]);
+        assert!(implies_under(&Dnf::always(), &Dnf::always(), &new, &domains));
+        // With a three-valued domain {T, F, E} it is not.
+        let domains3: BTreeMap<String, Vec<String>> = [(
+            "if_au".to_string(),
+            vec!["T".into(), "F".into(), "E".into()],
+        )]
+        .into();
+        assert!(!implies_under(&Dnf::always(), &Dnf::always(), &new, &domains3));
+    }
+
+    #[test]
+    fn implies_undeclared_guard_gets_other_value() {
+        // Guard without a domain: {g=T} ∨ {g=F} must NOT cover always,
+        // because g could take a third, unseen value.
+        let domains = BTreeMap::new();
+        let mut new = Dnf::term(vec![cond("g", "T")]);
+        new.insert(vec![cond("g", "F")]);
+        assert!(!implies_under(&Dnf::always(), &Dnf::always(), &new, &domains));
+        // But {g=T} still covers {g=T}.
+        let t = Dnf::term(vec![cond("g", "T")]);
+        assert!(implies_under(&Dnf::always(), &t, &t, &domains));
+    }
+
+    #[test]
+    fn implies_propositional_base_cases() {
+        let domains = BTreeMap::new();
+        let always: Dnf<Condition> = Dnf::always();
+        let never: Dnf<Condition> = Dnf::empty();
+        assert!(implies_under(&always, &never, &never, &domains));
+        assert!(implies_under(&always, &always, &always, &domains));
+        assert!(!implies_under(&always, &always, &never, &domains));
+        assert!(implies_under(&never, &always, &never, &domains), "false context");
+    }
+
+    #[test]
+    fn dnf_and_distributes() {
+        let a = {
+            let mut d = Dnf::term(vec![cond("x", "T")]);
+            d.insert(vec![cond("y", "T")]);
+            d
+        };
+        let b = Dnf::term(vec![cond("z", "F")]);
+        let both = dnf_and(&a, &b);
+        assert_eq!(both.terms().len(), 2);
+        assert!(both
+            .terms()
+            .iter()
+            .all(|t| t.contains(&cond("z", "F"))));
+    }
+
+    #[test]
+    fn multi_guard_interaction() {
+        // context: {a=T}; old: {b=T}; new: {a=T, b=T} — implied.
+        let domains: BTreeMap<String, Vec<String>> = [
+            ("a".to_string(), vec!["T".into(), "F".into()]),
+            ("b".to_string(), vec!["T".into(), "F".into()]),
+        ]
+        .into();
+        let ctx = Dnf::term(vec![cond("a", "T")]);
+        let old = Dnf::term(vec![cond("b", "T")]);
+        let new = Dnf::term(vec![cond("a", "T"), cond("b", "T")]);
+        assert!(implies_under(&ctx, &old, &new, &domains));
+        assert!(!implies_under(&Dnf::always(), &old, &new, &domains));
+    }
+}

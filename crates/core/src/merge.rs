@@ -1,0 +1,110 @@
+//! §4.2 — DSCL representation of dependencies: merging the four dependency
+//! dimensions into one synchronization constraint set.
+//!
+//! `P = {A → B | A →_d B ∨ A →_o B ∨ A →_s B} ∪ {→_1}`: data, cooperation
+//! and service dependencies lower to unconditional HappenBefore relations,
+//! control dependencies to conditional ones (the condition names the guard
+//! activity — the dependency's source — and its branch value).
+//!
+//! State defaulting: a dependency endpoint with no explicit state
+//! synchronizes on *Finish* when it is the source and *Start* when it is
+//! the target (`F_i → S_j` for a data dependency, §4.1). Explicit states
+//! (fine-granularity cooperation dependencies) pass through unchanged.
+
+use crate::dependency::{Dependency, DependencyKind, DependencySet};
+use dscweaver_dscl::{ActivityState, Condition, ConstraintSet, Origin, Relation};
+
+/// Lowers one dependency to its DSCL relation.
+pub fn lower(dep: &Dependency) -> Relation {
+    let from = dep.from.resolve(ActivityState::Finish);
+    let to = dep.to.resolve(ActivityState::Start);
+    match &dep.kind {
+        DependencyKind::Data => Relation::before(from, to, Origin::Data),
+        DependencyKind::Cooperation => Relation::before(from, to, Origin::Cooperation),
+        DependencyKind::Service => Relation::before(from, to, Origin::Service),
+        DependencyKind::Control { value: Some(v) } => Relation::before_if(
+            from,
+            to,
+            Condition::new(dep.from.name.clone(), v.clone()),
+            Origin::Control,
+        ),
+        DependencyKind::Control { value: None } => Relation::before(from, to, Origin::Control),
+    }
+}
+
+/// Merges a full dependency set into the synchronization constraint set
+/// `SC = {A, S, P}` of Definition 1. Node declarations and guard domains
+/// carry over; the relation list preserves the dependency order so Table-1
+/// and Figure-7 reports line up.
+pub fn merge(ds: &DependencySet) -> ConstraintSet {
+    let mut cs = ConstraintSet::new(ds.name.clone());
+    for a in &ds.activities {
+        cs.add_activity(a.clone());
+    }
+    for s in &ds.services {
+        cs.add_service(s.clone());
+    }
+    for (g, dom) in &ds.domains {
+        cs.add_domain(g.clone(), dom.clone());
+    }
+    for dep in &ds.deps {
+        cs.push(lower(dep));
+    }
+    cs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dscweaver_dscl::StateRef;
+
+    #[test]
+    fn data_lowers_to_finish_start() {
+        let r = lower(&Dependency::data("a", "b"));
+        assert_eq!(r.to_string(), "F(a) -> S(b)");
+        assert_eq!(r.origin(), Origin::Data);
+    }
+
+    #[test]
+    fn control_carries_condition() {
+        let r = lower(&Dependency::control("if_au", "x", "T"));
+        assert_eq!(r.to_string(), "F(if_au) ->[if_au=T] S(x)");
+        assert_eq!(r.origin(), Origin::Control);
+    }
+
+    #[test]
+    fn unconditional_control() {
+        let r = lower(&Dependency::control_unconditional("if_au", "reply"));
+        assert_eq!(r.to_string(), "F(if_au) -> S(reply)");
+        assert_eq!(r.origin(), Origin::Control);
+    }
+
+    #[test]
+    fn explicit_states_pass_through() {
+        let r = lower(&Dependency::cooperation_states(
+            StateRef::start("collectSurvey"),
+            StateRef::finish("closeOrder"),
+        ));
+        assert_eq!(r.to_string(), "S(collectSurvey) -> F(closeOrder)");
+    }
+
+    #[test]
+    fn merge_preserves_declarations_and_order() {
+        let mut ds = DependencySet::new("m");
+        ds.add_activity("a");
+        ds.add_activity("b");
+        ds.add_activity("if_x");
+        ds.add_service("Svc");
+        ds.add_domain("if_x", vec!["T".into(), "F".into()]);
+        ds.push(Dependency::data("a", "b"));
+        ds.push(Dependency::service("a", "Svc"));
+        ds.push(Dependency::control("if_x", "b", "T"));
+        let cs = merge(&ds);
+        assert!(cs.validate().is_empty(), "{:?}", cs.validate());
+        assert_eq!(cs.constraint_count(), 3);
+        assert_eq!(cs.relations[0].origin(), Origin::Data);
+        assert_eq!(cs.relations[1].origin(), Origin::Service);
+        assert_eq!(cs.relations[2].origin(), Origin::Control);
+        assert_eq!(cs.domains["if_x"], vec!["T", "F"]);
+    }
+}

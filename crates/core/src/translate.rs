@@ -1,0 +1,451 @@
+//! §4.3 — service dependency translation.
+//!
+//! Service dependencies mention external service nodes (`Purchase_1`,
+//! `Ship_d`, ...), but activity scheduling only orders *internal*
+//! activities. Two rules realize the paper's Figure 8:
+//!
+//! 1. **Chain exit** — for every transitive path `a → e_1 → ... → e_k → b`
+//!    whose interior consists of external nodes only, add `a → b`
+//!    (`invCredit_po → recCredit_au` through `Credit → Credit_d`).
+//! 2. **Invoker pull-back** — a constraint *into* a service port `s_j`
+//!    that is invoked by an internal activity `a_j` can only be guaranteed
+//!    by the process ordering the *send*: for every constraint `w → s_j`
+//!    (with `w` not itself the invoker), bridge every closest internal
+//!    ancestor of `w` to `S(a_j)`. This is how the paper's
+//!    `Purchase_1 →_s Purchase_2` becomes
+//!    `invPurchase_po → invPurchase_si` — the state-aware *Purchase*
+//!    service requires sequential arrival at its two ports, and with
+//!    ordered message delivery, sequencing the invocations enforces it.
+//!
+//! External chains with no internal offspring and no invoked ports (the
+//! paper's `Production_1`/`Production_2`) are simply dropped — they cannot
+//! affect scheduling inside the process. The result is the *activity
+//! synchronization constraint set* `ASC = {A, P}`.
+
+use dscweaver_dscl::sync_graph::{SyncGraph, SyncNode};
+use dscweaver_dscl::{Condition, ConstraintSet, Origin, Relation, StateRef};
+use dscweaver_graph::NodeId;
+use std::collections::BTreeSet;
+
+/// What the translation did, for reporting.
+#[derive(Clone, Debug, Default)]
+pub struct TranslationReport {
+    /// The bridging constraints added (Figure 8's bold edges).
+    pub bridges: Vec<Relation>,
+    /// How many service-node-touching relations were dropped.
+    pub dropped: usize,
+    /// Service nodes whose chains had no internal offspring and were
+    /// removed without a bridge.
+    pub dead_ends: Vec<String>,
+    /// Non-fatal oddities (e.g. two different conditions met on one
+    /// external path; the entering condition wins).
+    pub warnings: Vec<String>,
+}
+
+/// Translates `cs` into an ASC: external nodes spliced out, bridging
+/// constraints added. HappenTogether sugar must be desugared first.
+pub fn translate_services(cs: &ConstraintSet) -> (ConstraintSet, TranslationReport) {
+    let sg = SyncGraph::build(cs);
+    let mut report = TranslationReport::default();
+
+    let is_external =
+        |n: NodeId| -> bool { matches!(sg.graph.weight(n), SyncNode::Service(_)) };
+
+    // For each internal → external edge, walk the external-only chain
+    // forward and bridge to every internal node the chain exits into.
+    let mut bridges: BTreeSet<(StateRef, StateRef, Option<Condition>)> = BTreeSet::new();
+    for e in sg.graph.edge_ids() {
+        let (u, first_ext) = sg.graph.endpoints(e);
+        if is_external(u) || !is_external(first_ext) {
+            continue;
+        }
+        let w = sg.graph.edge_weight(e);
+        let cond_in = w.cond.clone();
+        let from_ref = match sg.graph.weight(u) {
+            SyncNode::State(s) => s.clone(),
+            SyncNode::Service(_) => unreachable!("u checked internal"),
+        };
+        // Forward BFS over external nodes only.
+        let mut frontier = vec![first_ext];
+        let mut seen: BTreeSet<NodeId> = frontier.iter().copied().collect();
+        while let Some(x) = frontier.pop() {
+            for oe in sg.graph.out_edges(x) {
+                let (_, t) = sg.graph.endpoints(oe);
+                let ow = sg.graph.edge_weight(oe);
+                if is_external(t) {
+                    if seen.insert(t) {
+                        frontier.push(t);
+                    }
+                    if let Some(c) = &ow.cond {
+                        report.warnings.push(format!(
+                            "condition '{c}' on external edge inside a service chain is ignored"
+                        ));
+                    }
+                } else {
+                    // Exits the chain into an internal node: bridge.
+                    let to_ref = match sg.graph.weight(t) {
+                        SyncNode::State(s) => s.clone(),
+                        SyncNode::Service(_) => unreachable!("t checked internal"),
+                    };
+                    let cond = match (&cond_in, &ow.cond) {
+                        (None, c) => c.clone(),
+                        (Some(c), None) => Some(c.clone()),
+                        (Some(c1), Some(c2)) => {
+                            if c1 != c2 {
+                                report.warnings.push(format!(
+                                    "conflicting conditions '{c1}' and '{c2}' on a service \
+                                     chain from {from_ref}; keeping '{c1}'"
+                                ));
+                            }
+                            Some(c1.clone())
+                        }
+                    };
+                    bridges.insert((from_ref.clone(), to_ref, cond));
+                }
+            }
+        }
+    }
+
+    // Rule 2: invoker pull-back. For each service node s_j with internal
+    // invokers, every *other* constraint into s_j transfers to the
+    // invokers: closest internal ancestors of the constraint's source must
+    // precede the invoking activity's Start.
+    for (_, sj) in sg.service_nodes() {
+        // Internal invokers of s_j: internal nodes with a direct edge to it.
+        let invokers: Vec<(NodeId, String)> = sg
+            .graph
+            .predecessors(sj)
+            .filter_map(|p| match sg.graph.weight(p) {
+                SyncNode::State(s) => Some((p, s.activity.clone())),
+                SyncNode::Service(_) => None,
+            })
+            .collect();
+        if invokers.is_empty() {
+            continue;
+        }
+        let invoker_acts: BTreeSet<&str> =
+            invokers.iter().map(|(_, a)| a.as_str()).collect();
+        for e in sg.graph.in_edges(sj).collect::<Vec<_>>() {
+            let (w, _) = sg.graph.endpoints(e);
+            let entering_cond = sg.graph.edge_weight(e).cond.clone();
+            // Skip the invoker edges themselves.
+            if let SyncNode::State(s) = sg.graph.weight(w) {
+                if invoker_acts.contains(s.activity.as_str()) {
+                    continue;
+                }
+            }
+            // Closest internal ancestors of w (w itself if internal;
+            // otherwise backward through external nodes).
+            let mut ancestors: Vec<(StateRef, Option<Condition>)> = Vec::new();
+            match sg.graph.weight(w) {
+                SyncNode::State(s) => ancestors.push((s.clone(), entering_cond.clone())),
+                SyncNode::Service(_) => {
+                    let mut frontier = vec![w];
+                    let mut seen: BTreeSet<NodeId> = frontier.iter().copied().collect();
+                    while let Some(x) = frontier.pop() {
+                        for ie in sg.graph.in_edges(x) {
+                            let (p, _) = sg.graph.endpoints(ie);
+                            match sg.graph.weight(p) {
+                                SyncNode::State(s) => ancestors.push((
+                                    s.clone(),
+                                    sg.graph.edge_weight(ie).cond.clone(),
+                                )),
+                                SyncNode::Service(_) => {
+                                    if seen.insert(p) {
+                                        frontier.push(p);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for (anc, cond) in ancestors {
+                for (_, inv_act) in &invokers {
+                    if *inv_act == anc.activity {
+                        continue; // no self-ordering
+                    }
+                    bridges.insert((anc.clone(), StateRef::start(inv_act.clone()), cond.clone()));
+                }
+            }
+        }
+    }
+
+    // External nodes whose chains never reach an internal node.
+    for (name, n) in sg.service_nodes() {
+        let exits_internally = {
+            let mut frontier = vec![n];
+            let mut seen: BTreeSet<NodeId> = frontier.iter().copied().collect();
+            let mut found = false;
+            while let Some(x) = frontier.pop() {
+                for t in sg.graph.successors(x) {
+                    if is_external(t) {
+                        if seen.insert(t) {
+                            frontier.push(t);
+                        }
+                    } else {
+                        found = true;
+                    }
+                }
+            }
+            found
+        };
+        if !exits_internally {
+            report.dead_ends.push(name.to_string());
+        }
+    }
+    report.dead_ends.sort();
+
+    // Assemble the ASC: keep relations not touching service nodes, add the
+    // bridges (skipping bridges that duplicate an existing identical
+    // relation — the minimizer would drop them anyway, but Figure 8 draws
+    // each edge once).
+    let mut out = ConstraintSet::new(cs.name.clone());
+    out.activities = cs.activities.clone();
+    out.domains = cs.domains.clone();
+    let mut existing: BTreeSet<(StateRef, StateRef, Option<Condition>)> = BTreeSet::new();
+    for r in &cs.relations {
+        let touches_external = r.activities().iter().any(|a| cs.is_external(a));
+        if touches_external {
+            report.dropped += 1;
+            continue;
+        }
+        if let Relation::HappenBefore { from, to, cond, .. } = r {
+            existing.insert((from.clone(), to.clone(), cond.clone()));
+        }
+        out.push(r.clone());
+    }
+    for (from, to, cond) in bridges {
+        if existing.contains(&(from.clone(), to.clone(), cond.clone())) {
+            continue;
+        }
+        let rel = Relation::HappenBefore {
+            from,
+            to,
+            cond,
+            origin: Origin::Translated,
+        };
+        report.bridges.push(rel.clone());
+        out.push(rel);
+    }
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dscweaver_dscl::StateRef;
+
+    /// The paper's §4.3 example: a1 → a2 → ws1_1 → ws1_d → a3 → a4
+    /// translates to a1 → a2 → a3 → a4.
+    #[test]
+    fn paper_section43_example() {
+        let mut cs = ConstraintSet::new("t");
+        for a in ["a1", "a2", "a3", "a4"] {
+            cs.add_activity(a);
+        }
+        cs.add_service("ws1_1");
+        cs.add_service("ws1_d");
+        cs.push(Relation::before(
+            StateRef::finish("a1"),
+            StateRef::start("a2"),
+            Origin::Data,
+        ));
+        cs.push(Relation::before(
+            StateRef::finish("a2"),
+            StateRef::start("ws1_1"),
+            Origin::Service,
+        ));
+        cs.push(Relation::before(
+            StateRef::start("ws1_1"),
+            StateRef::start("ws1_d"),
+            Origin::Service,
+        ));
+        cs.push(Relation::before(
+            StateRef::start("ws1_d"),
+            StateRef::start("a3"),
+            Origin::Service,
+        ));
+        cs.push(Relation::before(
+            StateRef::finish("a3"),
+            StateRef::start("a4"),
+            Origin::Data,
+        ));
+        let (asc, report) = translate_services(&cs);
+        assert!(asc.services.is_empty());
+        assert_eq!(report.dropped, 3);
+        assert_eq!(report.bridges.len(), 1);
+        assert_eq!(report.bridges[0].to_string(), "F(a2) -> S(a3)");
+        assert_eq!(asc.constraint_count(), 3); // a1→a2, a3→a4, bridge
+        assert!(asc.validate().is_empty());
+    }
+
+    /// Purchase_1 →s Purchase_2 becomes invPurchase_po → invPurchase_si
+    /// (Figure 8's highlighted translation).
+    #[test]
+    fn port_ordering_translates_to_invocations() {
+        let mut cs = ConstraintSet::new("t");
+        cs.add_activity("invPurchase_po");
+        cs.add_activity("invPurchase_si");
+        cs.add_service("Purchase_1");
+        cs.add_service("Purchase_2");
+        cs.push(Relation::before(
+            StateRef::finish("invPurchase_po"),
+            StateRef::start("Purchase_1"),
+            Origin::Service,
+        ));
+        cs.push(Relation::before(
+            StateRef::finish("invPurchase_si"),
+            StateRef::start("Purchase_2"),
+            Origin::Service,
+        ));
+        cs.push(Relation::before(
+            StateRef::start("Purchase_1"),
+            StateRef::start("Purchase_2"),
+            Origin::Service,
+        ));
+        let (asc, report) = translate_services(&cs);
+        // Rule 2 (invoker pull-back): Purchase_1 →_s Purchase_2 with
+        // invokers invPurchase_po / invPurchase_si yields
+        // invPurchase_po → invPurchase_si — the paper's Figure 8 bold edge.
+        assert_eq!(report.bridges.len(), 1);
+        assert_eq!(
+            report.bridges[0].to_string(),
+            "F(invPurchase_po) -> S(invPurchase_si)"
+        );
+        assert_eq!(report.dead_ends, vec!["Purchase_1", "Purchase_2"]);
+        assert_eq!(asc.constraint_count(), 1);
+    }
+
+    /// With the callback port present, each invocation bridges to the
+    /// callback receive (rule 1), alongside the rule-2 port ordering.
+    #[test]
+    fn callback_bridges() {
+        let mut cs = ConstraintSet::new("t");
+        for a in ["invPurchase_po", "invPurchase_si", "recPurchase_oi"] {
+            cs.add_activity(a);
+        }
+        for s in ["Purchase_1", "Purchase_2", "Purchase_d"] {
+            cs.add_service(s);
+        }
+        for (f, t) in [
+            ("invPurchase_po", "Purchase_1"),
+            ("invPurchase_si", "Purchase_2"),
+            ("Purchase_1", "Purchase_d"),
+            ("Purchase_2", "Purchase_d"),
+            ("Purchase_1", "Purchase_2"),
+        ] {
+            cs.push(Relation::before(
+                StateRef::finish(f),
+                StateRef::start(t),
+                Origin::Service,
+            ));
+        }
+        cs.push(Relation::before(
+            StateRef::start("Purchase_d"),
+            StateRef::start("recPurchase_oi"),
+            Origin::Service,
+        ));
+        let (asc, report) = translate_services(&cs);
+        let bridge_strs: Vec<String> =
+            report.bridges.iter().map(|r| r.to_string()).collect();
+        assert!(bridge_strs.contains(&"F(invPurchase_po) -> S(recPurchase_oi)".to_string()));
+        assert!(bridge_strs.contains(&"F(invPurchase_si) -> S(recPurchase_oi)".to_string()));
+        assert!(bridge_strs.contains(&"F(invPurchase_po) -> S(invPurchase_si)".to_string()));
+        assert_eq!(asc.constraint_count(), 3);
+        assert!(report.dead_ends.is_empty());
+    }
+
+    #[test]
+    fn conditions_propagate_from_entering_edge() {
+        let mut cs = ConstraintSet::new("t");
+        cs.add_activity("g");
+        cs.add_activity("a");
+        cs.add_activity("b");
+        cs.add_service("Svc");
+        cs.add_domain("g", vec!["T".into(), "F".into()]);
+        cs.push(Relation::before_if(
+            StateRef::finish("a"),
+            StateRef::start("Svc"),
+            Condition::new("g", "T"),
+            Origin::Service,
+        ));
+        cs.push(Relation::before(
+            StateRef::start("Svc"),
+            StateRef::start("b"),
+            Origin::Service,
+        ));
+        let (asc, report) = translate_services(&cs);
+        assert_eq!(report.bridges.len(), 1);
+        assert_eq!(report.bridges[0].to_string(), "F(a) ->[g=T] S(b)");
+        assert!(asc.validate().is_empty());
+    }
+
+    #[test]
+    fn duplicate_bridges_not_added_twice() {
+        // Two parallel chains a → Svc1 → b and a → Svc2 → b produce one
+        // bridge.
+        let mut cs = ConstraintSet::new("t");
+        cs.add_activity("a");
+        cs.add_activity("b");
+        cs.add_service("Svc1");
+        cs.add_service("Svc2");
+        for s in ["Svc1", "Svc2"] {
+            cs.push(Relation::before(
+                StateRef::finish("a"),
+                StateRef::start(s),
+                Origin::Service,
+            ));
+            cs.push(Relation::before(
+                StateRef::start(s),
+                StateRef::start("b"),
+                Origin::Service,
+            ));
+        }
+        let (asc, report) = translate_services(&cs);
+        assert_eq!(report.bridges.len(), 1);
+        assert_eq!(asc.constraint_count(), 1);
+    }
+
+    #[test]
+    fn bridge_matching_existing_relation_skipped() {
+        let mut cs = ConstraintSet::new("t");
+        cs.add_activity("a");
+        cs.add_activity("b");
+        cs.add_service("Svc");
+        cs.push(Relation::before(
+            StateRef::finish("a"),
+            StateRef::start("b"),
+            Origin::Data,
+        ));
+        cs.push(Relation::before(
+            StateRef::finish("a"),
+            StateRef::start("Svc"),
+            Origin::Service,
+        ));
+        cs.push(Relation::before(
+            StateRef::start("Svc"),
+            StateRef::start("b"),
+            Origin::Service,
+        ));
+        let (asc, report) = translate_services(&cs);
+        assert!(report.bridges.is_empty(), "identical data dep already present");
+        assert_eq!(asc.constraint_count(), 1);
+    }
+
+    #[test]
+    fn internal_only_relations_untouched() {
+        let mut cs = ConstraintSet::new("t");
+        cs.add_activity("a");
+        cs.add_activity("b");
+        cs.push(Relation::before(
+            StateRef::finish("a"),
+            StateRef::start("b"),
+            Origin::Cooperation,
+        ));
+        let (asc, report) = translate_services(&cs);
+        assert_eq!(asc.constraint_count(), 1);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(asc.relations[0].origin(), Origin::Cooperation);
+    }
+}

@@ -1,0 +1,212 @@
+//! The three DSCL synchronization relations (§4.1).
+
+use crate::state::{Condition, StateRef};
+
+/// Where a constraint came from — the paper's four dependency dimensions
+/// plus bookkeeping origins introduced by the pipeline itself. Carried on
+/// every relation so Table-1-style reports and the optimizer's provenance
+/// output can name the source of each constraint (§1: sequencing constructs
+/// "obfuscate the sources of dependencies"; we never do).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Origin {
+    /// Data dependency (`→_d`, §3.1).
+    Data,
+    /// Control dependency (`→_1`, §3.1).
+    Control,
+    /// Service dependency (`→_s`, §3.2).
+    Service,
+    /// Cooperation dependency (`→_o`, §3.2).
+    Cooperation,
+    /// Produced by service-dependency translation (§4.3, the bold edges of
+    /// Figure 8).
+    Translated,
+    /// Introduced by HappenTogether desugaring.
+    Coordinator,
+    /// Hand-written DSCL or unknown.
+    Other,
+}
+
+impl Origin {
+    /// The paper's arrow subscript for this dimension.
+    pub fn subscript(self) -> &'static str {
+        match self {
+            Origin::Data => "d",
+            Origin::Control => "1",
+            Origin::Service => "s",
+            Origin::Cooperation => "o",
+            Origin::Translated => "t",
+            Origin::Coordinator => "k",
+            Origin::Other => "",
+        }
+    }
+}
+
+impl std::fmt::Display for Origin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Origin::Data => "data",
+            Origin::Control => "control",
+            Origin::Service => "service",
+            Origin::Cooperation => "cooperation",
+            Origin::Translated => "translated",
+            Origin::Coordinator => "coordinator",
+            Origin::Other => "other",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A DSCL relation.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Relation {
+    /// `from →_c to`: the state `from` must happen before the state `to`
+    /// (under condition `cond`, if present).
+    HappenBefore {
+        /// The earlier state.
+        from: StateRef,
+        /// The later state.
+        to: StateRef,
+        /// Optional branch condition (the `c` subscript).
+        cond: Option<Condition>,
+        /// Which dependency dimension induced this constraint.
+        origin: Origin,
+    },
+    /// `a ↔_c b`: the two states must be reached together. Syntactic sugar
+    /// (§4.2) — desugared into HappenBefore relations through a coordinator
+    /// activity before optimization.
+    HappenTogether {
+        /// One state.
+        a: StateRef,
+        /// The other state.
+        b: StateRef,
+        /// Optional branch condition.
+        cond: Option<Condition>,
+        /// Provenance.
+        origin: Origin,
+    },
+    /// `a ⊘ b`: the states must never be concurrent. Checked dynamically by
+    /// the scheduling engine (§4.2), not used for static scheme
+    /// construction.
+    Exclusive {
+        /// One state.
+        a: StateRef,
+        /// The other state.
+        b: StateRef,
+        /// Provenance.
+        origin: Origin,
+    },
+}
+
+impl Relation {
+    /// An unconditional HappenBefore.
+    pub fn before(from: StateRef, to: StateRef, origin: Origin) -> Relation {
+        Relation::HappenBefore {
+            from,
+            to,
+            cond: None,
+            origin,
+        }
+    }
+
+    /// A conditional HappenBefore.
+    pub fn before_if(from: StateRef, to: StateRef, cond: Condition, origin: Origin) -> Relation {
+        Relation::HappenBefore {
+            from,
+            to,
+            cond: Some(cond),
+            origin,
+        }
+    }
+
+    /// The provenance tag.
+    pub fn origin(&self) -> Origin {
+        match self {
+            Relation::HappenBefore { origin, .. }
+            | Relation::HappenTogether { origin, .. }
+            | Relation::Exclusive { origin, .. } => *origin,
+        }
+    }
+
+    /// The activities this relation mentions.
+    pub fn activities(&self) -> [&str; 2] {
+        match self {
+            Relation::HappenBefore { from, to, .. } => [&from.activity, &to.activity],
+            Relation::HappenTogether { a, b, .. } | Relation::Exclusive { a, b, .. } => {
+                [&a.activity, &b.activity]
+            }
+        }
+    }
+
+    /// True for HappenBefore.
+    pub fn is_happen_before(&self) -> bool {
+        matches!(self, Relation::HappenBefore { .. })
+    }
+}
+
+impl std::fmt::Display for Relation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Relation::HappenBefore {
+                from,
+                to,
+                cond: None,
+                ..
+            } => write!(f, "{from} -> {to}"),
+            Relation::HappenBefore {
+                from,
+                to,
+                cond: Some(c),
+                ..
+            } => write!(f, "{from} ->[{c}] {to}"),
+            Relation::HappenTogether { a, b, cond: None, .. } => write!(f, "{a} <-> {b}"),
+            Relation::HappenTogether {
+                a,
+                b,
+                cond: Some(c),
+                ..
+            } => write!(f, "{a} <->[{c}] {b}"),
+            Relation::Exclusive { a, b, .. } => write!(f, "{a} >< {b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateRef;
+
+    #[test]
+    fn display_matches_dscl_syntax() {
+        let r = Relation::before(StateRef::finish("a"), StateRef::start("b"), Origin::Data);
+        assert_eq!(r.to_string(), "F(a) -> S(b)");
+        let r = Relation::before_if(
+            StateRef::finish("if_au"),
+            StateRef::start("x"),
+            Condition::new("if_au", "T"),
+            Origin::Control,
+        );
+        assert_eq!(r.to_string(), "F(if_au) ->[if_au=T] S(x)");
+        let r = Relation::Exclusive {
+            a: StateRef::run("p"),
+            b: StateRef::run("q"),
+            origin: Origin::Cooperation,
+        };
+        assert_eq!(r.to_string(), "R(p) >< R(q)");
+    }
+
+    #[test]
+    fn accessors() {
+        let r = Relation::before(StateRef::finish("a"), StateRef::start("b"), Origin::Data);
+        assert_eq!(r.origin(), Origin::Data);
+        assert_eq!(r.activities(), ["a", "b"]);
+        assert!(r.is_happen_before());
+    }
+
+    #[test]
+    fn origin_subscripts_match_paper() {
+        assert_eq!(Origin::Data.subscript(), "d");
+        assert_eq!(Origin::Control.subscript(), "1");
+        assert_eq!(Origin::Service.subscript(), "s");
+        assert_eq!(Origin::Cooperation.subscript(), "o");
+    }
+}

@@ -1,0 +1,259 @@
+//! Dominator analysis (Cooper–Harvey–Kennedy "A Simple, Fast Dominance
+//! Algorithm").
+//!
+//! The PDG crate derives **control dependence** from post-dominators exactly
+//! as Ferrante–Ottenstein–Warren do: activity `b` is control dependent on
+//! branch `a` iff `a` has a successor from which `b` is (post-)dominated by
+//! `b`... see `dscweaver-pdg::control`. This module supplies the dominator
+//! tree over an arbitrary rooted flow graph; post-dominators are obtained by
+//! running it on the reversed graph.
+
+use crate::digraph::{DiGraph, NodeId};
+use crate::visit::dfs_postorder;
+
+/// The immediate-dominator relation for nodes reachable from `root`.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    root: NodeId,
+    /// `idom[n.index()]` is the immediate dominator of `n`; the root maps to
+    /// itself; unreachable nodes map to `None`.
+    idom: Vec<Option<NodeId>>,
+}
+
+impl Dominators {
+    /// The root the analysis was run from.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Immediate dominator of `n` (the root returns itself); `None` if `n`
+    /// is unreachable from the root.
+    pub fn idom(&self, n: NodeId) -> Option<NodeId> {
+        self.idom.get(n.index()).copied().flatten()
+    }
+
+    /// True if `a` dominates `b` (reflexive: every node dominates itself).
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(p) if p != cur => cur = p,
+                _ => return false,
+            }
+        }
+    }
+
+    /// True if `a` *strictly* dominates `b`.
+    pub fn strictly_dominates(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// The dominator-tree path from `n` up to the root (inclusive).
+    pub fn ancestors(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = vec![n];
+        let mut cur = n;
+        while let Some(p) = self.idom(cur) {
+            if p == cur {
+                break;
+            }
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+}
+
+/// Computes dominators of nodes reachable from `root` following edges
+/// forward. For post-dominators, call with `reverse = true` and `root` set
+/// to the unique exit node.
+pub fn dominators<N, E>(g: &DiGraph<N, E>, root: NodeId, reverse: bool) -> Dominators {
+    // Work on a forward view: neighbor functions swap under `reverse`.
+    let succ = |n: NodeId| -> Vec<NodeId> {
+        if reverse {
+            g.predecessors(n).collect()
+        } else {
+            g.successors(n).collect()
+        }
+    };
+    let pred = |n: NodeId| -> Vec<NodeId> {
+        if reverse {
+            g.successors(n).collect()
+        } else {
+            g.predecessors(n).collect()
+        }
+    };
+
+    // Postorder over the (possibly reversed) graph.
+    let postorder: Vec<NodeId> = if reverse {
+        // dfs_postorder walks forward edges; emulate by local DFS on preds.
+        reverse_postorder_on(g, root)
+    } else {
+        dfs_postorder(g, root)
+    };
+    let mut order_of: Vec<usize> = vec![usize::MAX; g.node_bound()];
+    for (i, &n) in postorder.iter().enumerate() {
+        order_of[n.index()] = i;
+    }
+
+    let mut idom: Vec<Option<NodeId>> = vec![None; g.node_bound()];
+    idom[root.index()] = Some(root);
+
+    let intersect = |idom: &[Option<NodeId>], mut a: NodeId, mut b: NodeId| -> NodeId {
+        while a != b {
+            while order_of[a.index()] < order_of[b.index()] {
+                a = idom[a.index()].expect("processed node lacks idom");
+            }
+            while order_of[b.index()] < order_of[a.index()] {
+                b = idom[b.index()].expect("processed node lacks idom");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Reverse postorder, skipping the root.
+        for &n in postorder.iter().rev() {
+            if n == root {
+                continue;
+            }
+            let mut new_idom: Option<NodeId> = None;
+            for p in pred(n) {
+                if order_of[p.index()] == usize::MAX || idom[p.index()].is_none() {
+                    continue; // unreachable or not yet processed
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, cur, p),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[n.index()] != Some(ni) {
+                    idom[n.index()] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    let _ = succ; // succ retained for symmetry/documentation
+    Dominators { root, idom }
+}
+
+/// Postorder of nodes reachable from `root` along **reversed** edges.
+fn reverse_postorder_on<N, E>(g: &DiGraph<N, E>, root: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_bound()];
+    let mut order = Vec::new();
+    let mut stack = vec![(root, false)];
+    while let Some((n, expanded)) = stack.pop() {
+        if expanded {
+            order.push(n);
+            continue;
+        }
+        if seen[n.index()] {
+            continue;
+        }
+        seen[n.index()] = true;
+        stack.push((n, true));
+        let preds: Vec<NodeId> = g.predecessors(n).collect();
+        for m in preds.into_iter().rev() {
+            if !seen[m.index()] {
+                stack.push((m, false));
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic CFG:
+    /// entry → a → b → d → exit
+    ///          ↘ c ↗
+    fn diamond_cfg() -> (DiGraph<&'static str, ()>, [NodeId; 6]) {
+        let mut g = DiGraph::new();
+        let entry = g.add_node("entry");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        let exit = g.add_node("exit");
+        g.add_edge(entry, a, ());
+        g.add_edge(a, b, ());
+        g.add_edge(a, c, ());
+        g.add_edge(b, d, ());
+        g.add_edge(c, d, ());
+        g.add_edge(d, exit, ());
+        (g, [entry, a, b, c, d, exit])
+    }
+
+    #[test]
+    fn idoms_on_diamond() {
+        let (g, [entry, a, b, c, d, exit]) = diamond_cfg();
+        let dom = dominators(&g, entry, false);
+        assert_eq!(dom.idom(a), Some(entry));
+        assert_eq!(dom.idom(b), Some(a));
+        assert_eq!(dom.idom(c), Some(a));
+        assert_eq!(dom.idom(d), Some(a), "joins are dominated by the branch");
+        assert_eq!(dom.idom(exit), Some(d));
+        assert!(dom.dominates(a, exit));
+        assert!(!dom.dominates(b, d));
+        assert!(dom.strictly_dominates(entry, exit));
+        assert!(!dom.strictly_dominates(d, d));
+    }
+
+    #[test]
+    fn postdominators_on_diamond() {
+        let (g, [entry, a, b, c, d, exit]) = diamond_cfg();
+        let pdom = dominators(&g, exit, true);
+        assert_eq!(pdom.idom(d), Some(exit));
+        assert_eq!(pdom.idom(b), Some(d));
+        assert_eq!(pdom.idom(c), Some(d));
+        assert_eq!(pdom.idom(a), Some(d), "the join post-dominates the branch");
+        assert_eq!(pdom.idom(entry), Some(a));
+        assert!(pdom.dominates(d, entry));
+        assert!(!pdom.dominates(b, a));
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_idom() {
+        let (mut g, [entry, ..]) = diamond_cfg();
+        let island = g.add_node("island");
+        let dom = dominators(&g, entry, false);
+        assert_eq!(dom.idom(island), None);
+        assert!(!dom.dominates(entry, island));
+    }
+
+    #[test]
+    fn loop_cfg() {
+        // entry → h → body → h (back edge), h → exit.
+        let mut g = DiGraph::new();
+        let entry = g.add_node("entry");
+        let h = g.add_node("h");
+        let body = g.add_node("body");
+        let exit = g.add_node("exit");
+        g.add_edge(entry, h, ());
+        g.add_edge(h, body, ());
+        g.add_edge(body, h, ());
+        g.add_edge(h, exit, ());
+        let dom = dominators(&g, entry, false);
+        assert_eq!(dom.idom(body), Some(h));
+        assert_eq!(dom.idom(exit), Some(h));
+        let pdom = dominators(&g, exit, true);
+        assert_eq!(pdom.idom(body), Some(h), "body must come back through h");
+        assert_eq!(pdom.idom(entry), Some(h));
+    }
+
+    #[test]
+    fn ancestors_chain() {
+        let (g, [entry, a, b, _, d, exit]) = diamond_cfg();
+        let dom = dominators(&g, entry, false);
+        assert_eq!(dom.ancestors(exit), vec![exit, d, a, entry]);
+        let _ = b;
+    }
+}

@@ -1,0 +1,140 @@
+//! Graphviz DOT export for any [`DiGraph`] — dependency graphs, constraint
+//! sets and Petri-net skeletons all render through this one entry point
+//! (`dot -Tsvg` the output to get the paper's figures as actual pictures).
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+
+/// Styling for one node.
+#[derive(Clone, Debug, Default)]
+pub struct NodeStyle {
+    /// The displayed label.
+    pub label: String,
+    /// Graphviz `shape` (empty = default ellipse).
+    pub shape: String,
+    /// Graphviz `style` (e.g. "dashed", "filled").
+    pub style: String,
+    /// Fill color when `style` includes "filled".
+    pub fillcolor: String,
+}
+
+impl NodeStyle {
+    /// A plain labeled node.
+    pub fn label(l: impl Into<String>) -> NodeStyle {
+        NodeStyle {
+            label: l.into(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Styling for one edge.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeStyle {
+    /// Edge label (e.g. the branch condition).
+    pub label: String,
+    /// Graphviz `style` ("dashed" for data deps, "bold" for translated...).
+    pub style: String,
+    /// Edge color.
+    pub color: String,
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the graph in DOT syntax. Node and edge appearance come from the
+/// two style callbacks.
+pub fn to_dot<N, E>(
+    g: &DiGraph<N, E>,
+    name: &str,
+    mut node_style: impl FnMut(NodeId, &N) -> NodeStyle,
+    mut edge_style: impl FnMut(EdgeId, &E) -> EdgeStyle,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", escape(name)));
+    out.push_str("  rankdir=TB;\n  node [fontsize=10];\n  edge [fontsize=9];\n");
+    for n in g.node_ids() {
+        let s = node_style(n, g.weight(n));
+        let mut attrs = vec![format!("label=\"{}\"", escape(&s.label))];
+        if !s.shape.is_empty() {
+            attrs.push(format!("shape={}", s.shape));
+        }
+        if !s.style.is_empty() {
+            attrs.push(format!("style=\"{}\"", s.style));
+        }
+        if !s.fillcolor.is_empty() {
+            attrs.push(format!("fillcolor=\"{}\"", s.fillcolor));
+        }
+        out.push_str(&format!("  n{} [{}];\n", n.index(), attrs.join(", ")));
+    }
+    for (e, a, b, w) in g.edges() {
+        let s = edge_style(e, w);
+        let mut attrs = Vec::new();
+        if !s.label.is_empty() {
+            attrs.push(format!("label=\"{}\"", escape(&s.label)));
+        }
+        if !s.style.is_empty() {
+            attrs.push(format!("style=\"{}\"", s.style));
+        }
+        if !s.color.is_empty() {
+            attrs.push(format!("color=\"{}\"", s.color));
+        }
+        let attr_str = if attrs.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", attrs.join(", "))
+        };
+        out.push_str(&format!("  n{} -> n{}{};\n", a.index(), b.index(), attr_str));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g: DiGraph<&str, &str> = DiGraph::new();
+        let a = g.add_node("alpha");
+        let b = g.add_node("beta");
+        g.add_edge(a, b, "data");
+        let dot = to_dot(
+            &g,
+            "test",
+            |_, w| NodeStyle::label(*w),
+            |_, w| EdgeStyle {
+                label: w.to_string(),
+                style: "dashed".into(),
+                ..Default::default()
+            },
+        );
+        assert!(dot.starts_with("digraph \"test\" {"));
+        assert!(dot.contains("n0 [label=\"alpha\"];"));
+        assert!(dot.contains("n0 -> n1 [label=\"data\", style=\"dashed\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        let mut g: DiGraph<&str, ()> = DiGraph::new();
+        g.add_node("say \"hi\"");
+        let dot = to_dot(&g, "q\"q", |_, w| NodeStyle::label(*w), |_, _| EdgeStyle::default());
+        assert!(dot.contains("digraph \"q\\\"q\""));
+        assert!(dot.contains("label=\"say \\\"hi\\\"\""));
+    }
+
+    #[test]
+    fn tombstones_skipped() {
+        let mut g: DiGraph<u32, ()> = DiGraph::new();
+        let a = g.add_node(1);
+        let b = g.add_node(2);
+        g.add_edge(a, b, ());
+        g.remove_node(a);
+        let dot = to_dot(&g, "t", |_, w| NodeStyle::label(w.to_string()), |_, _| EdgeStyle::default());
+        assert!(!dot.contains("label=\"1\""));
+        assert!(dot.contains("label=\"2\""));
+        assert!(!dot.contains("->"));
+    }
+}

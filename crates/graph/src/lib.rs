@@ -1,0 +1,51 @@
+//! # dscweaver-graph
+//!
+//! Graph substrate for the DSCWeaver workspace — the reproduction of
+//! *"Categorization and Optimization of Synchronization Dependencies in
+//! Business Processes"* (Wu, Pu, Sahai, Barga — ICDE 2007).
+//!
+//! Every dependency structure in the paper is ultimately a directed graph:
+//! program-dependence graphs (§3.1), synchronization constraint sets
+//! (Definition 1), Petri-net skeletons (§4.1) and the scheduler's ready
+//! tracking. This crate provides those structures and the algorithms the
+//! paper's optimization rests on, implemented from scratch:
+//!
+//! * [`DiGraph`] — a directed multigraph with stable indices and tombstone
+//!   removal (service-dependency translation removes external nodes in
+//!   place).
+//! * [`closure`] — plain transitive closure (bitset rows).
+//! * [`annotated`] — the paper's Definition 3: **condition-annotated**
+//!   transitive closure, where activities reached through conditional
+//!   constraints carry their guard annotations.
+//! * [`reduction`] — transitive reduction, the fast path for minimal
+//!   constraint sets on unconditional DAGs (Definition 6).
+//! * [`scc`] / [`topo`] — conflict (cycle) detection and DAG orderings.
+//! * [`dom`] — dominators/post-dominators for control-dependence extraction.
+//! * [`matching`] — Hopcroft–Karp and exact maximum antichains (peak
+//!   concurrency of a schedule).
+
+#![warn(missing_docs)]
+
+pub mod annotated;
+pub mod bitset;
+pub mod closure;
+pub mod digraph;
+pub mod dom;
+pub mod dot;
+pub mod matching;
+pub mod reduction;
+pub mod scc;
+pub mod topo;
+pub mod visit;
+
+pub use annotated::{annotated_closure, AnnotatedClosure, Dnf, GuardSet, Row};
+pub use bitset::BitSet;
+pub use closure::{transitive_closure, Closure};
+pub use digraph::{DiGraph, EdgeId, NodeId};
+pub use dom::{dominators, Dominators};
+pub use dot::{to_dot, EdgeStyle, NodeStyle};
+pub use matching::{hopcroft_karp, max_antichain};
+pub use reduction::{redundant_edges, transitive_reduction};
+pub use scc::{condensation, find_cycle, has_cycle, tarjan_scc};
+pub use topo::{critical_path, layers, max_layer_width, topo_sort, CycleError};
+pub use visit::{bfs_order, dfs_postorder, reachable_from, reaching_to, shortest_path};

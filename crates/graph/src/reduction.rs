@@ -1,0 +1,181 @@
+//! Transitive reduction of DAGs.
+//!
+//! For an **unconditional** constraint set on a DAG, the paper's minimal
+//! synchronization constraint set (Definition 6) is exactly the transitive
+//! reduction, which is unique for DAGs (Aho–Garey–Ullman). The optimizer
+//! uses this as a fast path and the property tests check it against the
+//! paper's greedy algorithm.
+
+use crate::closure::transitive_closure;
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+use crate::topo::CycleError;
+use crate::topo::topo_sort;
+
+/// Returns the edge ids that are **redundant**: `u → v` is redundant iff
+/// some other successor of `u` already reaches `v` (so the edge adds nothing
+/// to the closure). Exactly one edge of each parallel bundle is kept.
+///
+/// Fails on cyclic graphs — reduction of cyclic graphs is not unique and the
+/// optimizer treats cycles as specification conflicts.
+pub fn redundant_edges<N, E>(g: &DiGraph<N, E>) -> Result<Vec<EdgeId>, CycleError> {
+    topo_sort(g)?; // cycle check only
+    let closure = transitive_closure(g);
+    let mut redundant = Vec::new();
+    for u in g.node_ids() {
+        let out: Vec<EdgeId> = g.out_edges(u).collect();
+        // Direct targets with their edge ids; first occurrence of each
+        // target is the candidate keeper for parallel bundles.
+        let mut seen_target: std::collections::HashMap<NodeId, EdgeId> =
+            std::collections::HashMap::new();
+        for &e in &out {
+            let (_, v) = g.endpoints(e);
+            if let std::collections::hash_map::Entry::Vacant(slot) = seen_target.entry(v) {
+                slot.insert(e);
+            } else {
+                redundant.push(e); // parallel duplicate
+            }
+        }
+        for (&v, &e) in &seen_target {
+            // Is v reachable from u through some other direct successor?
+            let through_other = seen_target.keys().any(|&w| {
+                w != v && closure.reaches(w, v)
+            });
+            if through_other {
+                redundant.push(e);
+            }
+        }
+    }
+    redundant.sort();
+    Ok(redundant)
+}
+
+/// Removes all redundant edges in place, returning how many were removed.
+pub fn transitive_reduction<N, E>(g: &mut DiGraph<N, E>) -> Result<usize, CycleError> {
+    let redundant = redundant_edges(g)?;
+    let n = redundant.len();
+    for e in redundant {
+        g.remove_edge(e);
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::transitive_closure;
+
+    #[test]
+    fn removes_shortcut_edge() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        let shortcut = g.add_edge(a, c, ());
+        assert_eq!(redundant_edges(&g).unwrap(), vec![shortcut]);
+        assert_eq!(transitive_reduction(&mut g).unwrap(), 1);
+        assert!(g.has_edge(a, b) && g.has_edge(b, c) && !g.has_edge(a, c));
+    }
+
+    #[test]
+    fn diamond_is_already_reduced() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, c, ());
+        g.add_edge(b, d, ());
+        g.add_edge(c, d, ());
+        assert!(redundant_edges(&g).unwrap().is_empty());
+    }
+
+    #[test]
+    fn long_shortcut_chain() {
+        // a→b→c→d plus a→c, a→d, b→d: all three shortcuts go.
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let ids: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        g.add_edge(ids[0], ids[2], ());
+        g.add_edge(ids[0], ids[3], ());
+        g.add_edge(ids[1], ids[3], ());
+        assert_eq!(transitive_reduction(&mut g).unwrap(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn parallel_edges_deduplicated() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, b, ());
+        g.add_edge(a, b, ());
+        assert_eq!(transitive_reduction(&mut g).unwrap(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn reduction_preserves_closure() {
+        // Random-ish layered DAG, deterministic.
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let ids: Vec<_> = (0..12).map(|_| g.add_node(())).collect();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        let mut rnd = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for i in 0..12usize {
+            for j in (i + 1)..12 {
+                if rnd() % 3 == 0 {
+                    g.add_edge(ids[i], ids[j], ());
+                }
+            }
+        }
+        let before = transitive_closure(&g);
+        let mut h = g.clone();
+        transitive_reduction(&mut h).unwrap();
+        let after = transitive_closure(&h);
+        for n in g.node_ids() {
+            assert_eq!(before.row(n), after.row(n), "closure changed at {n:?}");
+        }
+    }
+
+    #[test]
+    fn cyclic_input_rejected() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        assert!(transitive_reduction(&mut g).is_err());
+    }
+
+    #[test]
+    fn reduced_graph_is_minimal() {
+        // After reduction, removing any edge must change the closure.
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let ids: Vec<_> = (0..6).map(|_| g.add_node(())).collect();
+        for i in 0..6usize {
+            for j in (i + 1)..6 {
+                g.add_edge(ids[i], ids[j], ());
+            }
+        }
+        transitive_reduction(&mut g).unwrap();
+        let base = transitive_closure(&g);
+        let edges: Vec<EdgeId> = g.edge_ids().collect();
+        for e in edges {
+            let mut h = g.clone();
+            h.remove_edge(e);
+            let c = transitive_closure(&h);
+            let differs = g.node_ids().any(|n| c.row(n) != base.row(n));
+            assert!(differs, "edge {e:?} was removable after reduction");
+        }
+    }
+}

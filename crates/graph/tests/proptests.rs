@@ -1,0 +1,165 @@
+//! Property-based tests over the graph substrate's core invariants.
+
+use dscweaver_graph::annotated::Dnf;
+use dscweaver_graph::{
+    annotated_closure, max_antichain, max_layer_width, topo_sort, transitive_closure,
+    transitive_reduction, DiGraph, NodeId,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random DAG over `n` nodes given as an upper-triangular edge
+/// selection (edges always go from lower to higher index, so acyclicity is
+/// by construction).
+fn dag_strategy(max_n: usize) -> impl Strategy<Value = DiGraph<(), ()>> {
+    (2..max_n).prop_flat_map(|n| {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
+        let len = pairs.len();
+        (Just(n), Just(pairs), proptest::collection::vec(any::<bool>(), len))
+    })
+    .prop_map(|(n, pairs, mask)| {
+        let mut g = DiGraph::new();
+        let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        for ((i, j), keep) in pairs.into_iter().zip(mask) {
+            if keep {
+                g.add_edge(ids[i], ids[j], ());
+            }
+        }
+        g
+    })
+}
+
+/// Strategy: a random directed graph that may contain cycles.
+fn digraph_strategy(max_n: usize) -> impl Strategy<Value = DiGraph<(), ()>> {
+    (2..max_n).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n), 0..(n * 3)),
+        )
+    })
+    .prop_map(|(n, edges)| {
+        let mut g = DiGraph::new();
+        let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        for (i, j) in edges {
+            g.add_edge(ids[i], ids[j], ());
+        }
+        g
+    })
+}
+
+proptest! {
+    /// Transitive reduction never changes the closure.
+    #[test]
+    fn reduction_preserves_closure(g in dag_strategy(14)) {
+        let before = transitive_closure(&g);
+        let mut h = g.clone();
+        transitive_reduction(&mut h).unwrap();
+        let after = transitive_closure(&h);
+        for n in g.node_ids() {
+            prop_assert_eq!(before.row(n), after.row(n));
+        }
+    }
+
+    /// After reduction, every remaining edge is load-bearing.
+    #[test]
+    fn reduction_is_minimal(g in dag_strategy(10)) {
+        let mut h = g.clone();
+        transitive_reduction(&mut h).unwrap();
+        let base = transitive_closure(&h);
+        for e in h.edge_ids().collect::<Vec<_>>() {
+            let mut h2 = h.clone();
+            h2.remove_edge(e);
+            let c2 = transitive_closure(&h2);
+            let same = h.node_ids().all(|n| c2.row(n) == base.row(n));
+            prop_assert!(!same, "edge {:?} still removable", e);
+        }
+    }
+
+    /// Topological order respects every edge.
+    #[test]
+    fn topo_respects_edges(g in dag_strategy(16)) {
+        let order = topo_sort(&g).unwrap();
+        let mut pos = vec![usize::MAX; g.node_bound()];
+        for (i, &n) in order.iter().enumerate() {
+            pos[n.index()] = i;
+        }
+        for (_, a, b, _) in g.edges() {
+            prop_assert!(pos[a.index()] < pos[b.index()]);
+        }
+    }
+
+    /// Closure is identical whether computed by the DAG pass or the cyclic
+    /// fixpoint (exercised by inserting then deleting a cycle-free edge set).
+    #[test]
+    fn closure_transitivity(g in digraph_strategy(10)) {
+        let c = transitive_closure(&g);
+        let n: Vec<NodeId> = g.node_ids().collect();
+        for &a in &n {
+            for &b in &n {
+                for &d in &n {
+                    if c.reaches(a, b) && c.reaches(b, d) {
+                        prop_assert!(c.reaches(a, d), "{:?}->{:?}->{:?}", a, b, d);
+                    }
+                }
+            }
+        }
+        // And every edge is in the closure.
+        for (_, a, b, _) in g.edges() {
+            prop_assert!(c.reaches(a, b));
+        }
+    }
+
+    /// Max antichain is at least the layer width and at most n.
+    #[test]
+    fn antichain_bounds(g in dag_strategy(10)) {
+        let (w, ac) = max_antichain(&g).unwrap();
+        let lw = max_layer_width(&g).unwrap();
+        prop_assert!(w >= lw, "antichain {} < layer width {}", w, lw);
+        prop_assert!(w <= g.node_count());
+        prop_assert_eq!(ac.len(), w);
+        let c = transitive_closure(&g);
+        for &a in &ac {
+            for &b in &ac {
+                if a != b {
+                    prop_assert!(!c.reaches(a, b));
+                }
+            }
+        }
+    }
+
+    /// The unconditional annotated closure agrees with the plain closure.
+    #[test]
+    fn annotated_matches_plain_when_unconditional(g in dag_strategy(12)) {
+        let plain = transitive_closure(&g);
+        let ann = annotated_closure::<_, _, u32>(&g, &|_, _: &()| None).unwrap();
+        for n in g.node_ids() {
+            let plain_targets: Vec<usize> = plain.row(n).iter().collect();
+            let ann_targets: Vec<usize> =
+                ann.row(n).iter().map(|(t, _)| t.index()).collect();
+            prop_assert_eq!(&plain_targets, &ann_targets);
+            for (_, dnf) in ann.row(n).iter() {
+                prop_assert!(dnf.is_always());
+            }
+        }
+    }
+
+    /// DNF insert keeps a minimal antichain: no term is a subset of another.
+    #[test]
+    fn dnf_antichain_invariant(termsets in proptest::collection::vec(
+        proptest::collection::vec(0u8..6, 0..4), 0..12)) {
+        let mut d: Dnf<u8> = Dnf::empty();
+        for t in termsets {
+            d.insert(t);
+        }
+        let terms = d.terms();
+        for (i, a) in terms.iter().enumerate() {
+            for (j, b) in terms.iter().enumerate() {
+                if i != j {
+                    let subset = a.iter().all(|x| b.contains(x));
+                    prop_assert!(!subset, "{:?} ⊆ {:?}", a, b);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Activities — the unit of scheduling in a business process.
+//!
+//! The paper writes activities as `actionService_param` for remote
+//! interactions (`invCredit_po` invokes the *Credit* service with parameter
+//! `po`) or `action_param` for local computation (`set_oi`). An activity
+//! declares which variables it reads and writes; the PDG crate derives data
+//! dependencies (def-use chains, §3.1) from exactly this information.
+
+/// A process variable name (e.g. `po`, `si`, `oi`).
+pub type VarName = String;
+
+/// What an activity does — mirrors the BPEL 1.0 basic activities the paper
+/// builds on, plus an explicit branch evaluator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ActivityKind {
+    /// Waits for an inbound message (from the client or a service callback).
+    Receive {
+        /// The partner the message comes from (`Client`, `Credit`, ...).
+        from: String,
+    },
+    /// Sends an asynchronous invocation to a remote service port.
+    Invoke {
+        /// The remote service name.
+        service: String,
+        /// 1-based port number at that service (the paper names multi-port
+        /// services' ports `s_1, s_2, ...`).
+        port: u32,
+    },
+    /// Sends the final reply back to a partner.
+    Reply {
+        /// The partner receiving the reply.
+        to: String,
+    },
+    /// Local computation / variable assignment (e.g. `set_oi`).
+    Assign,
+    /// Evaluates a branch condition and steers control flow (e.g. `if_au`).
+    /// The produced value is one of the case labels of its `Switch`.
+    Branch,
+    /// A placeholder with no observable behaviour (BPEL `empty`).
+    Empty,
+}
+
+impl ActivityKind {
+    /// The remote partner this activity talks to, if any.
+    pub fn partner(&self) -> Option<&str> {
+        match self {
+            ActivityKind::Receive { from } => Some(from),
+            ActivityKind::Invoke { service, .. } => Some(service),
+            ActivityKind::Reply { to } => Some(to),
+            _ => None,
+        }
+    }
+
+    /// Short keyword used by the textual DSL and displays.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            ActivityKind::Receive { .. } => "receive",
+            ActivityKind::Invoke { .. } => "invoke",
+            ActivityKind::Reply { .. } => "reply",
+            ActivityKind::Assign => "assign",
+            ActivityKind::Branch => "switch",
+            ActivityKind::Empty => "empty",
+        }
+    }
+}
+
+/// A named activity with its variable footprint.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Activity {
+    /// Unique name within the process (paper style: `invCredit_po`).
+    pub name: String,
+    /// What it does.
+    pub kind: ActivityKind,
+    /// Variables read (used) by this activity.
+    pub reads: Vec<VarName>,
+    /// Variables written (defined) by this activity.
+    pub writes: Vec<VarName>,
+}
+
+impl Activity {
+    /// Creates an activity with an empty variable footprint.
+    pub fn new(name: impl Into<String>, kind: ActivityKind) -> Self {
+        Activity {
+            name: name.into(),
+            kind,
+            reads: Vec::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    /// Builder: adds read variables.
+    pub fn reads(mut self, vars: &[&str]) -> Self {
+        self.reads.extend(vars.iter().map(|s| s.to_string()));
+        self
+    }
+
+    /// Builder: adds written variables.
+    pub fn writes(mut self, vars: &[&str]) -> Self {
+        self.writes.extend(vars.iter().map(|s| s.to_string()));
+        self
+    }
+
+    /// Convenience constructor for a receive.
+    pub fn receive(name: &str, from: &str) -> Self {
+        Activity::new(name, ActivityKind::Receive { from: from.into() })
+    }
+
+    /// Convenience constructor for an invoke.
+    pub fn invoke(name: &str, service: &str, port: u32) -> Self {
+        Activity::new(
+            name,
+            ActivityKind::Invoke {
+                service: service.into(),
+                port,
+            },
+        )
+    }
+
+    /// Convenience constructor for a reply.
+    pub fn reply(name: &str, to: &str) -> Self {
+        Activity::new(name, ActivityKind::Reply { to: to.into() })
+    }
+
+    /// Convenience constructor for an assign.
+    pub fn assign(name: &str) -> Self {
+        Activity::new(name, ActivityKind::Assign)
+    }
+
+    /// Convenience constructor for a branch evaluator.
+    pub fn branch(name: &str) -> Self {
+        Activity::new(name, ActivityKind::Branch)
+    }
+
+    /// True if this activity interacts with a remote partner.
+    pub fn is_interaction(&self) -> bool {
+        self.kind.partner().is_some()
+    }
+}
+
+impl std::fmt::Display for Activity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.kind.keyword(), self.name)?;
+        match &self.kind {
+            ActivityKind::Receive { from } => write!(f, " from {from}")?,
+            ActivityKind::Invoke { service, port } => write!(f, " on {service} port {port}")?,
+            ActivityKind::Reply { to } => write!(f, " to {to}")?,
+            _ => {}
+        }
+        if !self.reads.is_empty() {
+            write!(f, " reads {}", self.reads.join(","))?;
+        }
+        if !self.writes.is_empty() {
+            write!(f, " writes {}", self.writes.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_partner() {
+        let a = Activity::invoke("invCredit_po", "Credit", 1).reads(&["po"]);
+        assert_eq!(a.kind.partner(), Some("Credit"));
+        assert!(a.is_interaction());
+        assert_eq!(a.reads, vec!["po"]);
+        assert!(a.writes.is_empty());
+
+        let b = Activity::assign("set_oi").writes(&["oi"]);
+        assert_eq!(b.kind.partner(), None);
+        assert!(!b.is_interaction());
+    }
+
+    #[test]
+    fn display_round_trips_dsl_shape() {
+        let a = Activity::receive("recClient_po", "Client").writes(&["po"]);
+        assert_eq!(a.to_string(), "receive recClient_po from Client writes po");
+        let b = Activity::invoke("invPurchase_si", "Purchase", 2).reads(&["si"]);
+        assert_eq!(
+            b.to_string(),
+            "invoke invPurchase_si on Purchase port 2 reads si"
+        );
+    }
+
+    #[test]
+    fn keywords() {
+        assert_eq!(Activity::branch("if_au").kind.keyword(), "switch");
+        assert_eq!(Activity::assign("x").kind.keyword(), "assign");
+    }
+}

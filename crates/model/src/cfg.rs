@@ -1,0 +1,323 @@
+//! Control-flow graph construction from the construct AST.
+//!
+//! The PDG crate runs classic compiler analyses over this CFG (reaching
+//! definitions for data dependencies, post-dominator control dependence per
+//! Ferrante–Ottenstein–Warren). Construction rules:
+//!
+//! * `Sequence` chains its members.
+//! * `Flow` becomes a fork node, one subgraph per branch, and a join node.
+//!   Fork/join are **not predicates** — parallel branches never induce
+//!   control dependence. Cross-branch `link`s become extra CFG edges (they
+//!   are real orderings the reaching-definitions pass must see).
+//! * `Switch` becomes the branch activity with one labeled edge per case,
+//!   all cases meeting at a join; a missing `F`-style default is modeled by
+//!   a labeled edge straight to the join.
+//! * `While` becomes the condition activity with a `T` edge into the body
+//!   (which loops back) and an `F` edge onward.
+
+use crate::activity::Activity;
+use crate::process::{Construct, Process};
+use dscweaver_graph::{DiGraph, NodeId};
+use std::collections::HashMap;
+
+/// A CFG node.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CfgNode {
+    /// Unique entry.
+    Entry,
+    /// Unique exit.
+    Exit,
+    /// An activity, named. Branch/loop condition evaluators appear here too
+    /// and are the only *predicate* nodes.
+    Act(String),
+    /// Parallel fork (from a `Flow`).
+    Fork,
+    /// Join of parallel branches or switch cases.
+    Join,
+}
+
+impl CfgNode {
+    /// The activity name, if this is an activity node.
+    pub fn activity(&self) -> Option<&str> {
+        match self {
+            CfgNode::Act(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+/// An edge label: `Some(label)` on predicate out-edges (case label), `None`
+/// otherwise.
+pub type CfgEdge = Option<String>;
+
+/// The control-flow graph of a process.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Underlying graph.
+    pub graph: DiGraph<CfgNode, CfgEdge>,
+    /// The unique entry node.
+    pub entry: NodeId,
+    /// The unique exit node.
+    pub exit: NodeId,
+    /// Activity name → CFG node.
+    pub node_of: HashMap<String, NodeId>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `process`. The process should validate cleanly;
+    /// dangling links are skipped (validation reports them separately).
+    pub fn build(process: &Process) -> Cfg {
+        let mut graph: DiGraph<CfgNode, CfgEdge> = DiGraph::new();
+        let entry = graph.add_node(CfgNode::Entry);
+        let exit = graph.add_node(CfgNode::Exit);
+        let mut node_of = HashMap::new();
+
+        let (first, last) = Self::lower(&process.root, &mut graph, &mut node_of);
+        match (first, last) {
+            (Some(f), Some(l)) => {
+                graph.add_edge(entry, f, None);
+                graph.add_edge(l, exit, None);
+            }
+            _ => {
+                graph.add_edge(entry, exit, None);
+            }
+        }
+
+        // Cross-branch links as extra ordering edges.
+        for link in process.root.links() {
+            if let (Some(&f), Some(&t)) = (node_of.get(&link.from), node_of.get(&link.to)) {
+                graph.add_edge(f, t, link.condition.clone());
+            }
+        }
+
+        Cfg {
+            graph,
+            entry,
+            exit,
+            node_of,
+        }
+    }
+
+    /// Lowers a construct; returns `(first, last)` node of its subgraph, or
+    /// `None` for an empty construct.
+    fn lower(
+        c: &Construct,
+        g: &mut DiGraph<CfgNode, CfgEdge>,
+        node_of: &mut HashMap<String, NodeId>,
+    ) -> (Option<NodeId>, Option<NodeId>) {
+        match c {
+            Construct::Act(a) => {
+                let n = Self::act_node(a, g, node_of);
+                (Some(n), Some(n))
+            }
+            Construct::Sequence(items) => {
+                let mut first = None;
+                let mut prev: Option<NodeId> = None;
+                for item in items {
+                    let (f, l) = Self::lower(item, g, node_of);
+                    if let (Some(f), Some(l)) = (f, l) {
+                        if let Some(p) = prev {
+                            g.add_edge(p, f, None);
+                        }
+                        if first.is_none() {
+                            first = Some(f);
+                        }
+                        prev = Some(l);
+                    }
+                }
+                (first, prev)
+            }
+            Construct::Flow { branches, .. } => {
+                if branches.is_empty() {
+                    return (None, None);
+                }
+                let fork = g.add_node(CfgNode::Fork);
+                let join = g.add_node(CfgNode::Join);
+                for b in branches {
+                    let (f, l) = Self::lower(b, g, node_of);
+                    match (f, l) {
+                        (Some(f), Some(l)) => {
+                            g.add_edge(fork, f, None);
+                            g.add_edge(l, join, None);
+                        }
+                        _ => {
+                            g.add_edge(fork, join, None);
+                        }
+                    }
+                }
+                (Some(fork), Some(join))
+            }
+            Construct::Switch { branch, cases } => {
+                let b = Self::act_node(branch, g, node_of);
+                let join = g.add_node(CfgNode::Join);
+                if cases.is_empty() {
+                    g.add_edge(b, join, None);
+                }
+                for case in cases {
+                    let (f, l) = Self::lower(&case.body, g, node_of);
+                    match (f, l) {
+                        (Some(f), Some(l)) => {
+                            g.add_edge(b, f, Some(case.label.clone()));
+                            g.add_edge(l, join, None);
+                        }
+                        _ => {
+                            g.add_edge(b, join, Some(case.label.clone()));
+                        }
+                    }
+                }
+                (Some(b), Some(join))
+            }
+            Construct::While { cond, body } => {
+                let c_node = Self::act_node(cond, g, node_of);
+                let after = g.add_node(CfgNode::Join);
+                let (f, l) = Self::lower(body, g, node_of);
+                match (f, l) {
+                    (Some(f), Some(l)) => {
+                        g.add_edge(c_node, f, Some("T".to_string()));
+                        g.add_edge(l, c_node, None);
+                    }
+                    _ => {
+                        // Empty body: the loop degenerates to the condition.
+                    }
+                }
+                g.add_edge(c_node, after, Some("F".to_string()));
+                (Some(c_node), Some(after))
+            }
+        }
+    }
+
+    fn act_node(
+        a: &Activity,
+        g: &mut DiGraph<CfgNode, CfgEdge>,
+        node_of: &mut HashMap<String, NodeId>,
+    ) -> NodeId {
+        let n = g.add_node(CfgNode::Act(a.name.clone()));
+        node_of.insert(a.name.clone(), n);
+        n
+    }
+
+    /// The CFG node of a named activity.
+    pub fn node(&self, activity: &str) -> Option<NodeId> {
+        self.node_of.get(activity).copied()
+    }
+
+    /// Names of the activities that are predicates (branch/loop
+    /// conditions), i.e. have labeled out-edges.
+    pub fn predicates(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for n in self.graph.node_ids() {
+            if let CfgNode::Act(name) = self.graph.weight(n) {
+                let labeled = self
+                    .graph
+                    .out_edges(n)
+                    .any(|e| self.graph.edge_weight(e).is_some());
+                if labeled {
+                    out.push(name.as_str());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_process;
+    use dscweaver_graph::shortest_path;
+
+    #[test]
+    fn sequence_chains() {
+        let p = parse_process("process P { var x; sequence { assign a writes x; assign b reads x; } }")
+            .unwrap();
+        let cfg = Cfg::build(&p);
+        let a = cfg.node("a").unwrap();
+        let b = cfg.node("b").unwrap();
+        assert!(cfg.graph.has_edge(cfg.entry, a));
+        assert!(cfg.graph.has_edge(a, b));
+        assert!(cfg.graph.has_edge(b, cfg.exit));
+    }
+
+    #[test]
+    fn flow_forks_and_joins() {
+        let p = parse_process("process P { var x; flow { assign a writes x; assign b writes x; } }")
+            .unwrap();
+        let cfg = Cfg::build(&p);
+        let a = cfg.node("a").unwrap();
+        let b = cfg.node("b").unwrap();
+        // a and b share a fork predecessor and a join successor.
+        let pa: Vec<_> = cfg.graph.predecessors(a).collect();
+        let pb: Vec<_> = cfg.graph.predecessors(b).collect();
+        assert_eq!(pa, pb);
+        assert!(matches!(cfg.graph.weight(pa[0]), CfgNode::Fork));
+        let sa: Vec<_> = cfg.graph.successors(a).collect();
+        assert!(matches!(cfg.graph.weight(sa[0]), CfgNode::Join));
+        assert!(cfg.predicates().is_empty(), "fork is not a predicate");
+    }
+
+    #[test]
+    fn switch_labels_edges() {
+        let p = parse_process(
+            "process P { var x; switch c reads x { case T { assign a writes x; } case F { assign b writes x; } } }",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&p);
+        let c = cfg.node("c").unwrap();
+        let labels: Vec<Option<String>> = cfg
+            .graph
+            .out_edges(c)
+            .map(|e| cfg.graph.edge_weight(e).clone())
+            .collect();
+        assert!(labels.contains(&Some("T".into())));
+        assert!(labels.contains(&Some("F".into())));
+        assert_eq!(cfg.predicates(), vec!["c"]);
+    }
+
+    #[test]
+    fn while_loops_back() {
+        let p = parse_process("process P { var n; while c reads n { assign d reads n writes n; } }")
+            .unwrap();
+        let cfg = Cfg::build(&p);
+        let c = cfg.node("c").unwrap();
+        let d = cfg.node("d").unwrap();
+        assert!(cfg.graph.has_edge(c, d));
+        assert!(cfg.graph.has_edge(d, c), "back edge");
+        // Exit reachable via the F edge.
+        assert!(shortest_path(&cfg.graph, c, cfg.exit).is_some());
+    }
+
+    #[test]
+    fn links_add_cross_edges() {
+        let p = parse_process(
+            "process P { var x; flow { assign a writes x; assign b reads x; link l from a to b; } }",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&p);
+        assert!(cfg
+            .graph
+            .has_edge(cfg.node("a").unwrap(), cfg.node("b").unwrap()));
+    }
+
+    #[test]
+    fn empty_process_connects_entry_to_exit() {
+        let p = parse_process("process P { sequence { } }").unwrap();
+        let cfg = Cfg::build(&p);
+        assert!(cfg.graph.has_edge(cfg.entry, cfg.exit));
+    }
+
+    #[test]
+    fn every_node_reaches_exit() {
+        let p = parse_process(
+            "process P { var x; sequence { switch c reads x { case T { flow { assign a writes x; assign b writes x; } } case F { assign e writes x; } } assign f reads x; } }",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&p);
+        for n in cfg.graph.node_ids() {
+            assert!(
+                shortest_path(&cfg.graph, n, cfg.exit).is_some(),
+                "{:?} cannot reach exit",
+                cfg.graph.weight(n)
+            );
+        }
+    }
+}

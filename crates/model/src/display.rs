@@ -1,0 +1,176 @@
+//! Textual renderings of a process: the Figure-2-style nested construct
+//! listing and a Figure-1-style flowchart outline. Used by the `repro`
+//! harness to print the paper's figures.
+
+use crate::activity::Activity;
+use crate::process::{Construct, Process};
+
+/// Renders the process as a nested sequencing-construct listing — the shape
+/// of the paper's Figure 2.
+pub fn render_constructs(p: &Process) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("process {} {{\n", p.name));
+    if !p.vars.is_empty() {
+        out.push_str(&format!("  var {};\n", p.vars.join(", ")));
+    }
+    for s in &p.services {
+        out.push_str(&format!(
+            "  service {} {{ ports {}{} }}\n",
+            s.name,
+            s.ports,
+            if s.asynchronous { " async" } else { "" }
+        ));
+    }
+    render_construct(&p.root, 1, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+fn act_line(a: &Activity) -> String {
+    format!("{a};")
+}
+
+fn render_construct(c: &Construct, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match c {
+        Construct::Act(a) => {
+            out.push_str(&pad);
+            out.push_str(&act_line(a));
+            out.push('\n');
+        }
+        Construct::Sequence(items) => {
+            out.push_str(&format!("{pad}sequence {{\n"));
+            for i in items {
+                render_construct(i, depth + 1, out);
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        }
+        Construct::Flow { branches, links } => {
+            out.push_str(&format!("{pad}flow {{\n"));
+            for b in branches {
+                render_construct(b, depth + 1, out);
+            }
+            for l in links {
+                let cond = l
+                    .condition
+                    .as_deref()
+                    .map(|c| format!(" when {c}"))
+                    .unwrap_or_default();
+                out.push_str(&format!(
+                    "{pad}  link {} from {} to {}{cond};\n",
+                    l.name, l.from, l.to
+                ));
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        }
+        Construct::Switch { branch, cases } => {
+            let reads = if branch.reads.is_empty() {
+                String::new()
+            } else {
+                format!(" reads {}", branch.reads.join(","))
+            };
+            out.push_str(&format!("{pad}switch {}{} {{\n", branch.name, reads));
+            for case in cases {
+                out.push_str(&format!("{pad}  case {} {{\n", case.label));
+                render_construct(&case.body, depth + 2, out);
+                out.push_str(&format!("{pad}  }}\n"));
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        }
+        Construct::While { cond, body } => {
+            let reads = if cond.reads.is_empty() {
+                String::new()
+            } else {
+                format!(" reads {}", cond.reads.join(","))
+            };
+            out.push_str(&format!("{pad}while {}{} {{\n", cond.name, reads));
+            render_construct(body, depth + 1, out);
+            out.push_str(&format!("{pad}}}\n"));
+        }
+    }
+}
+
+/// Renders a flowchart outline — activities with branch (`◇`) and parallel
+/// (`∥`) markers, the shape of the paper's Figure 1.
+pub fn render_flowchart(p: &Process) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("[start] {}\n", p.name));
+    flowchart(&p.root, 0, &mut out);
+    out.push_str("[end]\n");
+    out
+}
+
+fn flowchart(c: &Construct, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match c {
+        Construct::Act(a) => out.push_str(&format!("{pad}• {}\n", a.name)),
+        Construct::Sequence(items) => {
+            for i in items {
+                flowchart(i, depth, out);
+            }
+        }
+        Construct::Flow { branches, links } => {
+            out.push_str(&format!("{pad}∥ parallel\n"));
+            for (i, b) in branches.iter().enumerate() {
+                out.push_str(&format!("{pad}├─ branch {}\n", i + 1));
+                flowchart(b, depth + 1, out);
+            }
+            for l in links {
+                out.push_str(&format!("{pad}~ sync {} ⇒ {}\n", l.from, l.to));
+            }
+            out.push_str(&format!("{pad}∥ join\n"));
+        }
+        Construct::Switch { branch, cases } => {
+            out.push_str(&format!("{pad}◇ {}\n", branch.name));
+            for case in cases {
+                out.push_str(&format!("{pad}├─ [{}]\n", case.label));
+                flowchart(&case.body, depth + 1, out);
+            }
+            out.push_str(&format!("{pad}◇ join\n"));
+        }
+        Construct::While { cond, body } => {
+            out.push_str(&format!("{pad}↻ while {}\n", cond.name));
+            flowchart(body, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_process;
+
+    const SRC: &str = r#"
+process Demo {
+  var po, au, oi;
+  service Credit { ports 1 async }
+  sequence {
+    receive recClient_po from Client writes po;
+    switch if_au reads au {
+      case T { flow { assign a writes oi; assign b reads oi; link l from a to b; } }
+      case F { assign set_oi writes oi; }
+    }
+  }
+}
+"#;
+
+    #[test]
+    fn constructs_render_round_trips_through_parser() {
+        let p = parse_process(SRC).unwrap();
+        let rendered = render_constructs(&p);
+        let reparsed = parse_process(&rendered).expect("rendered DSL must reparse");
+        assert_eq!(reparsed, p, "render → parse is identity");
+    }
+
+    #[test]
+    fn flowchart_mentions_all_activities() {
+        let p = parse_process(SRC).unwrap();
+        let chart = render_flowchart(&p);
+        for a in p.activities() {
+            assert!(chart.contains(&a.name), "missing {}", a.name);
+        }
+        assert!(chart.contains("◇ if_au"));
+        assert!(chart.contains("∥ parallel"));
+        assert!(chart.contains("~ sync a ⇒ b"));
+    }
+}

@@ -1,0 +1,537 @@
+//! A textual DSL for process definitions, so examples and tests can state
+//! processes the way the paper's figures do.
+//!
+//! ```text
+//! process Purchasing {
+//!   var po, au, si, ss, oi;
+//!   service Credit   { ports 1 async }
+//!   service Purchase { ports 2 async }
+//!
+//!   sequence {
+//!     receive recClient_po from Client writes po;
+//!     invoke invCredit_po on Credit port 1 reads po;
+//!     receive recCredit_au from Credit writes au;
+//!     switch if_au reads au {
+//!       case T {
+//!         flow {
+//!           sequence { invoke invShip_po on Ship port 1 reads po; }
+//!           assign set_x writes oi;
+//!         }
+//!       }
+//!       case F { assign set_oi writes oi; }
+//!     }
+//!     reply replyClient_oi to Client reads oi;
+//!   }
+//! }
+//! ```
+//!
+//! `//` and `#` start line comments. Inside `flow { ... }`, each construct
+//! is one parallel branch, and `link NAME from A to B [when LABEL];`
+//! declares a cross-branch link.
+
+use crate::activity::Activity;
+use crate::process::{Case, Construct, Link, Process, ServiceDecl};
+
+/// Parse error with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    /// Description of what went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl std::fmt::Display for DslError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "process DSL error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(u32),
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+}
+
+struct Lexer;
+
+impl Lexer {
+    fn lex(src: &str) -> Result<Vec<(Tok, usize)>, DslError> {
+        let mut out = Vec::new();
+        for (lineno, line) in src.lines().enumerate() {
+            let line_no = lineno + 1;
+            let code = match (line.find("//"), line.find('#')) {
+                (Some(a), Some(b)) => &line[..a.min(b)],
+                (Some(a), None) => &line[..a],
+                (None, Some(b)) => &line[..b],
+                (None, None) => line,
+            };
+            let mut chars = code.char_indices().peekable();
+            while let Some(&(i, c)) = chars.peek() {
+                match c {
+                    ' ' | '\t' | '\r' => {
+                        chars.next();
+                    }
+                    '{' => {
+                        out.push((Tok::LBrace, line_no));
+                        chars.next();
+                    }
+                    '}' => {
+                        out.push((Tok::RBrace, line_no));
+                        chars.next();
+                    }
+                    ';' => {
+                        out.push((Tok::Semi, line_no));
+                        chars.next();
+                    }
+                    ',' => {
+                        out.push((Tok::Comma, line_no));
+                        chars.next();
+                    }
+                    c if c.is_ascii_digit() => {
+                        let mut end = i;
+                        while let Some(&(j, d)) = chars.peek() {
+                            if d.is_ascii_digit() {
+                                end = j + d.len_utf8();
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        let n: u32 = code[i..end].parse().map_err(|_| DslError {
+                            message: format!("bad number '{}'", &code[i..end]),
+                            line: line_no,
+                        })?;
+                        out.push((Tok::Num(n), line_no));
+                    }
+                    c if c.is_ascii_alphabetic() || c == '_' => {
+                        let mut end = i;
+                        while let Some(&(j, d)) = chars.peek() {
+                            if d.is_ascii_alphanumeric() || d == '_' {
+                                end = j + d.len_utf8();
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        out.push((Tok::Ident(code[i..end].to_string()), line_no));
+                    }
+                    other => {
+                        return Err(DslError {
+                            message: format!("unexpected character '{other}'"),
+                            line: line_no,
+                        })
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct P {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl P {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(0, |t| t.1)
+    }
+
+    fn err(&self, message: impl Into<String>) -> DslError {
+        DslError {
+            message: message.into(),
+            line: self.line(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.0.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_tok(&mut self, t: &Tok, what: &str) -> Result<(), DslError> {
+        match self.next() {
+            Some(got) if got == *t => Ok(()),
+            got => Err(self.err(format!("expected {what}, got {got:?}"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, DslError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            got => Err(self.err(format!("expected {what}, got {got:?}"))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), DslError> {
+        let got = self.ident(&format!("keyword '{kw}'"))?;
+        if got == kw {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword '{kw}', got '{got}'")))
+        }
+    }
+
+    fn peek_ident(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, DslError> {
+        let mut out = vec![self.ident("identifier")?];
+        while matches!(self.peek(), Some(Tok::Comma)) {
+            self.next();
+            out.push(self.ident("identifier")?);
+        }
+        Ok(out)
+    }
+
+    /// `reads a,b` / `writes c` suffixes in either order.
+    fn var_clauses(&mut self, a: &mut Activity) -> Result<(), DslError> {
+        loop {
+            if self.peek_ident("reads") {
+                self.next();
+                a.reads.extend(self.ident_list()?);
+            } else if self.peek_ident("writes") {
+                self.next();
+                a.writes.extend(self.ident_list()?);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn activity(&mut self) -> Result<Activity, DslError> {
+        let kw = self.ident("activity keyword")?;
+        let mut act = match kw.as_str() {
+            "receive" => {
+                let name = self.ident("activity name")?;
+                self.keyword("from")?;
+                let from = self.ident("partner name")?;
+                Activity::receive(&name, &from)
+            }
+            "invoke" => {
+                let name = self.ident("activity name")?;
+                self.keyword("on")?;
+                let service = self.ident("service name")?;
+                self.keyword("port")?;
+                let port = match self.next() {
+                    Some(Tok::Num(n)) => n,
+                    got => return Err(self.err(format!("expected port number, got {got:?}"))),
+                };
+                Activity::invoke(&name, &service, port)
+            }
+            "reply" => {
+                let name = self.ident("activity name")?;
+                self.keyword("to")?;
+                let to = self.ident("partner name")?;
+                Activity::reply(&name, &to)
+            }
+            "assign" => Activity::assign(&self.ident("activity name")?),
+            "empty" => Activity::new(
+                self.ident("activity name")?,
+                crate::activity::ActivityKind::Empty,
+            ),
+            other => return Err(self.err(format!("unknown activity keyword '{other}'"))),
+        };
+        self.var_clauses(&mut act)?;
+        self.expect_tok(&Tok::Semi, "';'")?;
+        Ok(act)
+    }
+
+    /// Parses a body `{ construct* }` into a single construct (implicit
+    /// sequence when more than one).
+    fn body(&mut self) -> Result<Construct, DslError> {
+        self.expect_tok(&Tok::LBrace, "'{'")?;
+        let mut items = Vec::new();
+        while !matches!(self.peek(), Some(Tok::RBrace)) {
+            if self.peek().is_none() {
+                return Err(self.err("unterminated body"));
+            }
+            items.push(self.construct()?);
+        }
+        self.expect_tok(&Tok::RBrace, "'}'")?;
+        Ok(match items.len() {
+            1 => items.pop().expect("len checked"),
+            _ => Construct::Sequence(items),
+        })
+    }
+
+    fn construct(&mut self) -> Result<Construct, DslError> {
+        match self.peek() {
+            Some(Tok::Ident(kw)) if kw == "sequence" => {
+                self.next();
+                self.expect_tok(&Tok::LBrace, "'{'")?;
+                let mut items = Vec::new();
+                while !matches!(self.peek(), Some(Tok::RBrace)) {
+                    if self.peek().is_none() {
+                        return Err(self.err("unterminated sequence"));
+                    }
+                    items.push(self.construct()?);
+                }
+                self.expect_tok(&Tok::RBrace, "'}'")?;
+                Ok(Construct::Sequence(items))
+            }
+            Some(Tok::Ident(kw)) if kw == "flow" => {
+                self.next();
+                self.expect_tok(&Tok::LBrace, "'{'")?;
+                let mut branches = Vec::new();
+                let mut links = Vec::new();
+                while !matches!(self.peek(), Some(Tok::RBrace)) {
+                    if self.peek().is_none() {
+                        return Err(self.err("unterminated flow"));
+                    }
+                    if self.peek_ident("link") {
+                        self.next();
+                        let name = self.ident("link name")?;
+                        self.keyword("from")?;
+                        let from = self.ident("source activity")?;
+                        self.keyword("to")?;
+                        let to = self.ident("target activity")?;
+                        let condition = if self.peek_ident("when") {
+                            self.next();
+                            Some(self.ident("condition label")?)
+                        } else {
+                            None
+                        };
+                        self.expect_tok(&Tok::Semi, "';'")?;
+                        links.push(Link {
+                            name,
+                            from,
+                            to,
+                            condition,
+                        });
+                    } else {
+                        branches.push(self.construct()?);
+                    }
+                }
+                self.expect_tok(&Tok::RBrace, "'}'")?;
+                Ok(Construct::Flow { branches, links })
+            }
+            Some(Tok::Ident(kw)) if kw == "switch" => {
+                self.next();
+                let name = self.ident("switch activity name")?;
+                let mut branch = Activity::branch(&name);
+                self.var_clauses(&mut branch)?;
+                self.expect_tok(&Tok::LBrace, "'{'")?;
+                let mut cases = Vec::new();
+                while self.peek_ident("case") {
+                    self.next();
+                    let label = self.ident("case label")?;
+                    let body = self.body()?;
+                    cases.push(Case { label, body });
+                }
+                self.expect_tok(&Tok::RBrace, "'}'")?;
+                Ok(Construct::Switch { branch, cases })
+            }
+            Some(Tok::Ident(kw)) if kw == "while" => {
+                self.next();
+                let name = self.ident("while condition activity name")?;
+                let mut cond = Activity::branch(&name);
+                self.var_clauses(&mut cond)?;
+                let body = self.body()?;
+                Ok(Construct::While {
+                    cond,
+                    body: Box::new(body),
+                })
+            }
+            _ => Ok(Construct::Act(self.activity()?)),
+        }
+    }
+}
+
+/// Parses a complete `process NAME { ... }` document.
+pub fn parse_process(src: &str) -> Result<Process, DslError> {
+    let toks = Lexer::lex(src)?;
+    let mut p = P { toks, pos: 0 };
+    p.keyword("process")?;
+    let name = p.ident("process name")?;
+    p.expect_tok(&Tok::LBrace, "'{'")?;
+
+    let mut vars = Vec::new();
+    let mut services = Vec::new();
+    loop {
+        if p.peek_ident("var") {
+            p.next();
+            vars.extend(p.ident_list()?);
+            p.expect_tok(&Tok::Semi, "';'")?;
+        } else if p.peek_ident("service") {
+            p.next();
+            let sname = p.ident("service name")?;
+            p.expect_tok(&Tok::LBrace, "'{'")?;
+            p.keyword("ports")?;
+            let ports = match p.next() {
+                Some(Tok::Num(n)) => n,
+                got => return Err(p.err(format!("expected port count, got {got:?}"))),
+            };
+            let asynchronous = if p.peek_ident("async") {
+                p.next();
+                true
+            } else {
+                false
+            };
+            p.expect_tok(&Tok::RBrace, "'}'")?;
+            services.push(ServiceDecl {
+                name: sname,
+                ports,
+                asynchronous,
+            });
+        } else {
+            break;
+        }
+    }
+
+    let root = p.construct()?;
+    p.expect_tok(&Tok::RBrace, "'}'")?;
+    if p.peek().is_some() {
+        return Err(p.err("trailing tokens after process definition"));
+    }
+    Ok(Process {
+        name,
+        vars,
+        services,
+        root,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::ActivityKind;
+
+    #[test]
+    fn minimal_process() {
+        let p = parse_process(
+            "process P {\n var x;\n sequence { assign a writes x; assign b reads x; }\n}",
+        )
+        .unwrap();
+        assert_eq!(p.name, "P");
+        assert_eq!(p.vars, vec!["x"]);
+        assert_eq!(p.activities().len(), 2);
+        assert!(p.validate().is_empty());
+    }
+
+    #[test]
+    fn full_grammar() {
+        let src = r#"
+process Demo {
+  var po, au, oi;            // declarations
+  service Credit { ports 1 async }
+  service Purchase { ports 2 async }
+
+  sequence {
+    receive recClient_po from Client writes po;
+    invoke invCredit_po on Credit port 1 reads po;
+    receive recCredit_au from Credit writes au;
+    switch if_au reads au {
+      case T {
+        flow {
+          invoke invPurchase_po on Purchase port 1 reads po;
+          invoke invPurchase_si on Purchase port 2 reads po;
+          link l1 from invPurchase_po to invPurchase_si;
+        }
+      }
+      case F { assign set_oi writes oi; }
+    }
+    reply replyClient_oi to Client reads oi;
+  }
+}
+"#;
+        let p = parse_process(src).unwrap();
+        assert!(p.validate().is_empty(), "{:?}", p.validate());
+        assert_eq!(p.services.len(), 2);
+        assert_eq!(p.activities().len(), 8);
+        let links = p.root.links();
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].from, "invPurchase_po");
+        let inv = p.activity("invPurchase_si").unwrap();
+        assert_eq!(
+            inv.kind,
+            ActivityKind::Invoke {
+                service: "Purchase".into(),
+                port: 2
+            }
+        );
+    }
+
+    #[test]
+    fn while_loop() {
+        let p = parse_process(
+            "process L { var n; while check_n reads n { assign dec_n reads n writes n; } }",
+        )
+        .unwrap();
+        assert!(matches!(p.root, Construct::While { .. }));
+        assert_eq!(p.activities().len(), 2);
+    }
+
+    #[test]
+    fn multi_statement_case_becomes_sequence() {
+        let p = parse_process(
+            "process S { var x; switch c reads x { case T { assign a writes x; assign b writes x; } } }",
+        )
+        .unwrap();
+        if let Construct::Switch { cases, .. } = &p.root {
+            assert!(matches!(cases[0].body, Construct::Sequence(ref v) if v.len() == 2));
+        } else {
+            panic!("expected switch");
+        }
+    }
+
+    #[test]
+    fn conditional_link() {
+        let p = parse_process(
+            "process F { var x; flow { assign a writes x; assign b reads x; link l from a to b when T; } }",
+        )
+        .unwrap();
+        assert_eq!(p.root.links()[0].condition.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_process("process P {\n var x;\n bogus a;\n}").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn missing_semicolon_rejected() {
+        assert!(parse_process("process P { var x; assign a writes x }").is_err());
+    }
+
+    #[test]
+    fn comments_both_styles() {
+        let p = parse_process(
+            "process P { # hash comment\n var x; // slash comment\n assign a writes x;\n}",
+        )
+        .unwrap();
+        assert_eq!(p.activities().len(), 1);
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse_process("process P { var x; assign a writes x; } extra").is_err());
+    }
+
+    #[test]
+    fn empty_activity_kind() {
+        let p = parse_process("process P { empty noop; }").unwrap();
+        assert_eq!(p.activities()[0].kind, ActivityKind::Empty);
+    }
+}

@@ -1,0 +1,265 @@
+//! Bounded `while` unrolling.
+//!
+//! The static synchronization scheme (like the paper's) does not iterate:
+//! a constraint set is a DAG over single-shot activities. Processes with
+//! loops can still go through the pipeline by unrolling each `while` to a
+//! bounded depth `k`: iteration `i` gets fresh activity copies
+//! (`name#i`), the condition re-evaluates before each body copy, and a
+//! `T`-guarded chain links successive iterations — taking the `F` branch
+//! at any depth skips the remaining copies via dead-path elimination.
+
+use crate::activity::Activity;
+use crate::process::{Case, Construct, Process};
+
+/// Result of unrolling: the loop-free process and how many `while`s were
+/// expanded.
+#[derive(Clone, Debug)]
+pub struct Unrolled {
+    /// The transformed process.
+    pub process: Process,
+    /// Number of `while` constructs expanded.
+    pub loops_expanded: usize,
+}
+
+/// Unrolls every `while` to at most `k` iterations. `k = 0` removes loop
+/// bodies entirely (only the condition evaluates, once).
+pub fn unroll_whiles(process: &Process, k: usize) -> Unrolled {
+    let mut count = 0;
+    let root = unroll_construct(&process.root, k, &mut count);
+    let mut p = process.clone();
+    p.root = root;
+    Unrolled {
+        process: p,
+        loops_expanded: count,
+    }
+}
+
+/// Renames an activity for iteration `i > 0` of loop `loop_id`. The loop
+/// id keeps copies from *different* (e.g. nested) loops distinct: outer
+/// iteration renames compose as `inner#2_1#1_1` rather than colliding
+/// with the inner loop's own `inner#1`-style copies.
+fn iter_name(name: &str, loop_id: usize, i: usize) -> String {
+    if i == 0 {
+        name.to_string()
+    } else {
+        format!("{name}#{loop_id}_{i}")
+    }
+}
+
+fn rename_activities(c: &Construct, loop_id: usize, i: usize) -> Construct {
+    let rn = |a: &Activity| -> Activity {
+        let mut a = a.clone();
+        a.name = iter_name(&a.name, loop_id, i);
+        a
+    };
+    match c {
+        Construct::Act(a) => Construct::Act(rn(a)),
+        Construct::Sequence(items) => Construct::Sequence(
+            items.iter().map(|x| rename_activities(x, loop_id, i)).collect(),
+        ),
+        Construct::Flow { branches, links } => Construct::Flow {
+            branches: branches
+                .iter()
+                .map(|x| rename_activities(x, loop_id, i))
+                .collect(),
+            links: links
+                .iter()
+                .map(|l| crate::process::Link {
+                    name: iter_name(&l.name, loop_id, i),
+                    from: iter_name(&l.from, loop_id, i),
+                    to: iter_name(&l.to, loop_id, i),
+                    condition: l.condition.clone(),
+                })
+                .collect(),
+        },
+        Construct::Switch { branch, cases } => Construct::Switch {
+            branch: rn(branch),
+            cases: cases
+                .iter()
+                .map(|case| Case {
+                    label: case.label.clone(),
+                    body: rename_activities(&case.body, loop_id, i),
+                })
+                .collect(),
+        },
+        Construct::While { cond, body } => Construct::While {
+            cond: rn(cond),
+            body: Box::new(rename_activities(body, loop_id, i)),
+        },
+    }
+}
+
+fn unroll_construct(c: &Construct, k: usize, count: &mut usize) -> Construct {
+    match c {
+        Construct::Act(a) => Construct::Act(a.clone()),
+        Construct::Sequence(items) => Construct::Sequence(
+            items
+                .iter()
+                .map(|x| unroll_construct(x, k, count))
+                .collect(),
+        ),
+        Construct::Flow { branches, links } => Construct::Flow {
+            branches: branches
+                .iter()
+                .map(|x| unroll_construct(x, k, count))
+                .collect(),
+            links: links.clone(),
+        },
+        Construct::Switch { branch, cases } => Construct::Switch {
+            branch: branch.clone(),
+            cases: cases
+                .iter()
+                .map(|case| Case {
+                    label: case.label.clone(),
+                    body: unroll_construct(&case.body, k, count),
+                })
+                .collect(),
+        },
+        Construct::While { cond, body } => {
+            *count += 1;
+            let loop_id = *count;
+            // Innermost-first: expand nested loops inside the body once,
+            // then replicate the loop-free body per iteration.
+            let body = unroll_construct(body, k, count);
+            // Build from the deepest iteration outward:
+            //   switch cond#i { case T { body#i ; <next> } case F {} }
+            // The deepest evaluation (iteration k) has two empty cases:
+            // hitting depth k with the condition still true simply stops
+            // (bounded semantics), and the explicit F case keeps the guard
+            // domain at {T, F}.
+            let cond_at = |i: usize| -> Activity {
+                let mut a = cond.clone();
+                a.name = iter_name(&a.name, loop_id, i);
+                a
+            };
+            let empty = || Construct::Sequence(vec![]);
+            let mut current = Construct::Switch {
+                branch: cond_at(k),
+                cases: vec![
+                    Case {
+                        label: "T".into(),
+                        body: empty(),
+                    },
+                    Case {
+                        label: "F".into(),
+                        body: empty(),
+                    },
+                ],
+            };
+            for i in (0..k).rev() {
+                let body_i = rename_activities(&body, loop_id, i);
+                current = Construct::Switch {
+                    branch: cond_at(i),
+                    cases: vec![
+                        Case {
+                            label: "T".into(),
+                            body: Construct::Sequence(vec![body_i, current]),
+                        },
+                        Case {
+                            label: "F".into(),
+                            body: empty(),
+                        },
+                    ],
+                };
+            }
+            current
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_process;
+
+    fn looped() -> Process {
+        parse_process(
+            "process L { var n; sequence { assign init writes n; while check reads n { assign step reads n writes n; } assign done reads n; } }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unroll_zero_keeps_only_final_condition() {
+        let u = unroll_whiles(&looped(), 0);
+        assert_eq!(u.loops_expanded, 1);
+        let names: Vec<String> = u
+            .process
+            .activities()
+            .iter()
+            .map(|a| a.name.clone())
+            .collect();
+        assert!(names.contains(&"check".to_string()), "{names:?}");
+        assert!(!names.iter().any(|n| n.starts_with("step")));
+        assert!(u.process.validate().is_empty(), "{:?}", u.process.validate());
+    }
+
+    #[test]
+    fn unroll_three_replicates_body() {
+        let u = unroll_whiles(&looped(), 3);
+        let names: Vec<String> = u
+            .process
+            .activities()
+            .iter()
+            .map(|a| a.name.clone())
+            .collect();
+        for expected in [
+            "check", "step", "check#1_1", "step#1_1", "check#1_2", "step#1_2", "check#1_3",
+        ] {
+            assert!(names.contains(&expected.to_string()), "missing {expected} in {names:?}");
+        }
+        assert!(!names.contains(&"step#1_3".to_string()), "bounded at k");
+        assert!(u.process.validate().is_empty());
+        // No While remains.
+        fn has_while(c: &Construct) -> bool {
+            match c {
+                Construct::While { .. } => true,
+                Construct::Act(_) => false,
+                Construct::Sequence(v) => v.iter().any(has_while),
+                Construct::Flow { branches, .. } => branches.iter().any(has_while),
+                Construct::Switch { cases, .. } => cases.iter().any(|c| has_while(&c.body)),
+            }
+        }
+        assert!(!has_while(&u.process.root));
+    }
+
+    #[test]
+    fn unrolled_process_schedules_through_the_pipeline() {
+        // The unrolled process converts to structural constraints (no
+        // While left) — the full-stack loop story.
+        let u = unroll_whiles(&looped(), 2);
+        let cfg = crate::cfg::Cfg::build(&u.process);
+        // CFG is loop-free now.
+        assert!(dscweaver_graph::topo_sort(&cfg.graph).is_ok());
+    }
+
+    #[test]
+    fn nested_loops_unroll() {
+        let p = parse_process(
+            "process N { var i, j; while outer reads i { while inner reads j { assign body reads j writes j; } } }",
+        )
+        .unwrap();
+        let u = unroll_whiles(&p, 2);
+        assert_eq!(u.loops_expanded, 2);
+        assert!(u.process.validate().is_empty(), "{:?}", u.process.validate());
+        let names: Vec<String> = u
+            .process
+            .activities()
+            .iter()
+            .map(|a| a.name.clone())
+            .collect();
+        // Outer iteration 1 contains renamed copies of the inner unrolling.
+        assert!(
+            names.iter().any(|n| n.starts_with("inner#") && n.contains('#')),
+            "{names:?}"
+        );
+    }
+
+    #[test]
+    fn loop_free_process_untouched() {
+        let p = parse_process("process P { var x; sequence { assign a writes x; } }").unwrap();
+        let u = unroll_whiles(&p, 5);
+        assert_eq!(u.loops_expanded, 0);
+        assert_eq!(u.process, p);
+    }
+}

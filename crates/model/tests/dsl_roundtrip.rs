@@ -1,0 +1,158 @@
+//! Property test: `parse(render(p)) == p` for arbitrary generated
+//! processes, and every generated process yields a usable CFG.
+
+use dscweaver_model::{
+    parse_process, render_constructs, Activity, Case, Cfg, Construct, Process,
+};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Ctx {
+    next_act: u32,
+    next_var: u32,
+}
+
+fn fresh_act(ctx: &mut Ctx) -> String {
+    ctx.next_act += 1;
+    format!("act_{}", ctx.next_act)
+}
+
+fn fresh_var(ctx: &mut Ctx) -> String {
+    ctx.next_var += 1;
+    format!("v{}", ctx.next_var)
+}
+
+/// Recursively materializes a construct from a shape seed. Names are
+/// handed out sequentially so uniqueness holds by construction.
+fn build(shape: &Shape, ctx: &mut Ctx, vars: &mut Vec<String>) -> Construct {
+    match shape {
+        Shape::Act { reads, writes } => {
+            let mut a = Activity::assign(&fresh_act(ctx));
+            for _ in 0..*reads {
+                if let Some(v) = vars.first() {
+                    if !a.reads.contains(v) {
+                        a.reads.push(v.clone());
+                    }
+                }
+            }
+            for _ in 0..*writes {
+                let v = fresh_var(ctx);
+                vars.push(v.clone());
+                a.writes.push(v);
+            }
+            Construct::Act(a)
+        }
+        Shape::Seq(items) => {
+            Construct::Sequence(items.iter().map(|s| build(s, ctx, vars)).collect())
+        }
+        Shape::Flow(items) => {
+            Construct::flow(items.iter().map(|s| build(s, ctx, vars)).collect())
+        }
+        Shape::Switch(cases) => {
+            let v = fresh_var(ctx);
+            vars.push(v.clone());
+            let mut branch = Activity::branch(&fresh_act(ctx));
+            branch.reads.push(v);
+            Construct::Switch {
+                branch,
+                cases: cases
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| Case {
+                        label: format!("C{i}"),
+                        body: build(s, ctx, vars),
+                    })
+                    .collect(),
+            }
+        }
+        Shape::While(body) => {
+            let v = fresh_var(ctx);
+            vars.push(v.clone());
+            let mut cond = Activity::branch(&fresh_act(ctx));
+            cond.reads.push(v);
+            Construct::While {
+                cond,
+                body: Box::new(build(body, ctx, vars)),
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Shape {
+    Act { reads: u8, writes: u8 },
+    Seq(Vec<Shape>),
+    Flow(Vec<Shape>),
+    Switch(Vec<Shape>),
+    While(Box<Shape>),
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    let leaf = (0u8..2, 1u8..3).prop_map(|(reads, writes)| Shape::Act { reads, writes });
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Shape::Seq),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Shape::Flow),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Shape::Switch),
+            inner.prop_map(|s| Shape::While(Box::new(s))),
+        ]
+    })
+}
+
+fn process_strategy() -> impl Strategy<Value = Process> {
+    shape_strategy().prop_map(|shape| {
+        let mut ctx = Ctx {
+            next_act: 0,
+            next_var: 0,
+        };
+        let mut vars = vec![];
+        let root = build(&shape, &mut ctx, &mut vars);
+        let mut p = Process::new("Gen", root);
+        vars.sort();
+        vars.dedup();
+        p.vars = vars;
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn render_parse_identity(p in process_strategy()) {
+        prop_assert!(p.validate().is_empty(), "{:?}", p.validate());
+        let text = render_constructs(&p);
+        let back = parse_process(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{text}")))?;
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn cfg_always_well_formed(p in process_strategy()) {
+        let cfg = Cfg::build(&p);
+        // Every activity appears exactly once in the CFG and can reach the
+        // exit.
+        for a in p.activities() {
+            let n = cfg.node(&a.name).expect("activity in CFG");
+            prop_assert!(
+                dscweaver_graph::shortest_path(&cfg.graph, n, cfg.exit).is_some(),
+                "{} cannot reach exit",
+                a.name
+            );
+        }
+        // Entry reaches everything.
+        let reach = dscweaver_graph::reachable_from(&cfg.graph, cfg.entry);
+        prop_assert_eq!(reach.count(), cfg.graph.node_count());
+    }
+
+    #[test]
+    fn extraction_never_panics_and_validates(p in process_strategy()) {
+        let ds = dscweaver_pdg::extract(&p, dscweaver_pdg::ExtractOptions::default());
+        prop_assert_eq!(ds.activities.len(), p.activities().len());
+        // All extracted dependencies reference declared activities.
+        for d in &ds.deps {
+            prop_assert!(ds.activities.contains(&d.from.name) || ds.services.contains(&d.from.name));
+            prop_assert!(ds.activities.contains(&d.to.name) || ds.services.contains(&d.to.name));
+        }
+    }
+}

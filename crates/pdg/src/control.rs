@@ -1,0 +1,265 @@
+//! Control-dependency extraction.
+//!
+//! Two derivations are provided:
+//!
+//! * [`control_dependencies`] — region-based, on the construct AST: every
+//!   activity is control dependent on its *nearest enclosing* predicate
+//!   (switch case / while body), with the case label as the branch value.
+//!   This is exact for business processes, **including parallel `flow`
+//!   branches inside a case** (both branches of a flow always execute, so
+//!   a fork is not a predicate — §3.1 / Figure 4).
+//! * [`control_dependencies_postdom`] — the classic
+//!   Ferrante–Ottenstein–Warren post-dominator walk over the CFG. Exact
+//!   for fork-free (purely sequential) processes and provided as the
+//!   compiler-theory baseline; on processes with parallel flows inside
+//!   branches it *under-reports* (an activity in a parallel branch does not
+//!   post-dominate the fork, so FOW misses it). The unit tests pin down
+//!   both the agreement on sequential processes and the divergence.
+//!
+//! Self-dependencies (a loop condition on itself) are dropped: as
+//! scheduling constraints they would form a one-node cycle; iteration is
+//! handled dynamically by the scheduler, not by the static scheme.
+
+use dscweaver_core::Dependency;
+use dscweaver_graph::dominators;
+use dscweaver_model::{Cfg, CfgNode, Construct, Process};
+use std::collections::BTreeSet;
+
+/// Region-based control dependencies: `(nearest enclosing predicate,
+/// case label) → activity`.
+pub fn control_dependencies(process: &Process) -> Vec<Dependency> {
+    let mut out = Vec::new();
+    walk(&process.root, None, &mut out);
+    out.sort_by(|a, b| (&a.from.name, &a.to.name).cmp(&(&b.from.name, &b.to.name)));
+    out
+}
+
+/// Recursively attributes activities to the nearest enclosing
+/// `(guard, label)` region.
+fn walk(c: &Construct, region: Option<(&str, &str)>, out: &mut Vec<Dependency>) {
+    let mut emit = |name: &str| {
+        if let Some((guard, label)) = region {
+            if guard != name {
+                out.push(Dependency::control(guard, name, label));
+            }
+        }
+    };
+    match c {
+        Construct::Act(a) => emit(&a.name),
+        Construct::Sequence(items) => items.iter().for_each(|i| walk(i, region, out)),
+        Construct::Flow { branches, .. } => {
+            branches.iter().for_each(|b| walk(b, region, out))
+        }
+        Construct::Switch { branch, cases } => {
+            emit(&branch.name);
+            for case in cases {
+                walk(&case.body, Some((&branch.name, &case.label)), out);
+            }
+        }
+        Construct::While { cond, body } => {
+            emit(&cond.name);
+            walk(body, Some((&cond.name, "T")), out);
+        }
+    }
+}
+
+/// Classic FOW control dependence over the CFG (post-dominator walk).
+/// Exact only for fork-free processes; see the module docs.
+pub fn control_dependencies_postdom(process: &Process) -> Vec<Dependency> {
+    let cfg = Cfg::build(process);
+    let pdom = dominators(&cfg.graph, cfg.exit, true);
+
+    let mut out: Vec<Dependency> = Vec::new();
+    let mut seen = BTreeSet::new();
+    for p in cfg.graph.node_ids() {
+        let CfgNode::Act(pname) = cfg.graph.weight(p) else {
+            continue;
+        };
+        for e in cfg.graph.out_edges(p) {
+            let Some(label) = cfg.graph.edge_weight(e).clone() else {
+                continue; // unlabeled edge: not a predicate branch
+            };
+            let (_, s) = cfg.graph.endpoints(e);
+            // Walk the post-dominator tree from s up to ipdom(p), exclusive.
+            let stop = pdom.idom(p);
+            let mut n = Some(s);
+            while let Some(cur) = n {
+                if Some(cur) == stop {
+                    break;
+                }
+                if let CfgNode::Act(tname) = cfg.graph.weight(cur) {
+                    if tname != pname {
+                        let key = (pname.clone(), tname.clone(), label.clone());
+                        if seen.insert(key) {
+                            out.push(Dependency::control(pname, tname, &label));
+                        }
+                    }
+                }
+                let next = pdom.idom(cur);
+                if next == Some(cur) {
+                    break; // root of the post-dominator tree
+                }
+                n = next;
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.from.name, &a.to.name).cmp(&(&b.from.name, &b.to.name)));
+    out
+}
+
+/// The guard domains implied by the process syntax: each switch/while
+/// condition activity maps to the sorted set of its case labels (`while`
+/// conditions always have `{F, T}`).
+pub fn guard_domains(process: &Process) -> Vec<(String, Vec<String>)> {
+    let cfg = Cfg::build(process);
+    let mut out = Vec::new();
+    for n in cfg.graph.node_ids() {
+        if let CfgNode::Act(name) = cfg.graph.weight(n) {
+            let mut labels: Vec<String> = cfg
+                .graph
+                .out_edges(n)
+                .filter_map(|e| cfg.graph.edge_weight(e).clone())
+                .collect();
+            if !labels.is_empty() {
+                labels.sort();
+                labels.dedup();
+                out.push((name.clone(), labels));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dscweaver_core::DependencyKind;
+    use dscweaver_model::parse_process;
+
+    fn triples(deps: Vec<Dependency>) -> Vec<(String, String, String)> {
+        deps.into_iter()
+            .map(|d| {
+                let v = match d.kind {
+                    DependencyKind::Control { value: Some(v) } => v,
+                    _ => panic!("expected conditional control dep"),
+                };
+                (d.from.name, d.to.name, v)
+            })
+            .collect()
+    }
+
+    fn deps_of(src: &str) -> Vec<(String, String, String)> {
+        triples(control_dependencies(&parse_process(src).unwrap()))
+    }
+
+    /// The paper's Figure 3/4 shape: a1 branches on flag; a2..a6 in the
+    /// branches are control dependent; a7 after the join is not.
+    #[test]
+    fn figure4_shape() {
+        let src = "process P { var flag, x, y, z; sequence {
+               assign a0 writes flag;
+               switch a1 reads flag {
+                 case T { sequence { assign a2 writes y; assign a3 reads y writes z; } }
+                 case F { sequence { assign a4 writes y; assign a5 reads y; assign a6 writes z; } }
+               }
+               assign a7 reads z;
+             } }";
+        let d = deps_of(src);
+        let expect = |f: &str, t: &str, v: &str| {
+            assert!(
+                d.contains(&(f.to_string(), t.to_string(), v.to_string())),
+                "missing {f} ->{v} {t} in {d:?}"
+            );
+        };
+        expect("a1", "a2", "T");
+        expect("a1", "a3", "T");
+        expect("a1", "a4", "F");
+        expect("a1", "a5", "F");
+        expect("a1", "a6", "F");
+        assert!(
+            !d.iter().any(|(_, t, _)| t == "a7"),
+            "a7 dominates the join; not control dependent (Figure 4)"
+        );
+        assert!(!d.iter().any(|(_, t, _)| t == "a0"));
+        assert_eq!(d.len(), 5);
+
+        // On this fork-free process the FOW baseline agrees exactly.
+        let fow = triples(control_dependencies_postdom(&parse_process(src).unwrap()));
+        assert_eq!(d, fow);
+    }
+
+    #[test]
+    fn flow_inside_branch_region_vs_fow() {
+        let src = "process P { var c, x; switch s reads c {
+               case T { flow { assign a writes x; assign b writes x; } }
+               case F { assign e writes x; }
+             } }";
+        let d = deps_of(src);
+        assert!(d.contains(&("s".into(), "a".into(), "T".into())));
+        assert!(d.contains(&("s".into(), "b".into(), "T".into())));
+        assert!(d.contains(&("s".into(), "e".into(), "F".into())));
+        assert_eq!(d.len(), 3);
+        // FOW under-reports here: neither a nor b post-dominates the fork.
+        let fow = triples(control_dependencies_postdom(&parse_process(src).unwrap()));
+        assert!(!fow.contains(&("s".into(), "a".into(), "T".into())));
+        assert!(fow.contains(&("s".into(), "e".into(), "F".into())));
+    }
+
+    #[test]
+    fn nested_switch_nearest_predicate_only() {
+        let d = deps_of(
+            "process P { var c, e, x; switch s1 reads c {
+               case T { switch s2 reads e {
+                 case T { assign a writes x; }
+                 case F { assign b writes x; }
+               } }
+             } }",
+        );
+        assert!(d.contains(&("s1".into(), "s2".into(), "T".into())));
+        assert!(d.contains(&("s2".into(), "a".into(), "T".into())));
+        assert!(d.contains(&("s2".into(), "b".into(), "F".into())));
+        assert!(!d.contains(&("s1".into(), "a".into(), "T".into())));
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn while_body_depends_on_condition_without_self_loop() {
+        let d = deps_of(
+            "process P { var n; while c reads n { assign body reads n writes n; } }",
+        );
+        assert_eq!(d, vec![("c".into(), "body".into(), "T".into())]);
+        let fow = triples(control_dependencies_postdom(
+            &parse_process(
+                "process P { var n; while c reads n { assign body reads n writes n; } }",
+            )
+            .unwrap(),
+        ));
+        assert_eq!(fow, d, "loops agree between derivations");
+    }
+
+    #[test]
+    fn top_level_activities_are_free() {
+        let d = deps_of("process P { var x; sequence { assign a writes x; assign b reads x; } }");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn domains_from_syntax() {
+        let p = parse_process(
+            "process P { var c, n; sequence {
+               switch s reads c { case A { assign x writes n; } case B { assign y writes n; } case C { assign z writes n; } }
+               while w reads n { assign body reads n writes n; }
+             } }",
+        )
+        .unwrap();
+        let doms = guard_domains(&p);
+        assert_eq!(
+            doms,
+            vec![
+                ("s".to_string(), vec!["A".into(), "B".into(), "C".into()]),
+                ("w".to_string(), vec!["F".into(), "T".into()]),
+            ]
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Data-dependency extraction: definition-use chains via reaching
+//! definitions over the process CFG (§3.1: "the definition-use type of data
+//! dependencies is dominant in activity scheduling" — parameters are
+//! call-by-value and remote execution has no side effect on process state,
+//! so classic reaching definitions suffice).
+
+use dscweaver_core::Dependency;
+use dscweaver_graph::BitSet;
+use dscweaver_model::{Cfg, CfgNode, Process};
+use std::collections::HashMap;
+
+/// One definition site: `(activity index, variable)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Def {
+    act: String,
+    var: String,
+}
+
+/// Extracts all definition-use data dependencies of `process`.
+///
+/// A dependency `d →_d u` is emitted when some definition of variable `v`
+/// at activity `d` reaches a read of `v` at activity `u` along CFG paths
+/// (including cross-branch `link` edges), without an intervening
+/// redefinition killing it on *all* paths.
+pub fn data_dependencies(process: &Process) -> Vec<Dependency> {
+    let cfg = Cfg::build(process);
+    let acts = process.activities();
+    let act_of_name: HashMap<&str, &dscweaver_model::Activity> =
+        acts.iter().map(|a| (a.name.as_str(), *a)).collect();
+
+    // Enumerate definitions.
+    let mut defs: Vec<Def> = Vec::new();
+    let mut defs_of_var: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut defs_of_act: HashMap<&str, Vec<usize>> = HashMap::new();
+    for a in &acts {
+        for v in &a.writes {
+            let idx = defs.len();
+            defs.push(Def {
+                act: a.name.clone(),
+                var: v.clone(),
+            });
+            defs_of_var.entry(v.as_str()).or_default().push(idx);
+            defs_of_act.entry(a.name.as_str()).or_default().push(idx);
+        }
+    }
+    let ndefs = defs.len();
+
+    // GEN/KILL per CFG node (only activity nodes generate/kill).
+    let bound = cfg.graph.node_bound();
+    let mut gen: Vec<BitSet> = (0..bound).map(|_| BitSet::new(ndefs)).collect();
+    let mut kill: Vec<BitSet> = (0..bound).map(|_| BitSet::new(ndefs)).collect();
+    for n in cfg.graph.node_ids() {
+        if let CfgNode::Act(name) = cfg.graph.weight(n) {
+            let Some(act) = act_of_name.get(name.as_str()) else {
+                continue;
+            };
+            for v in &act.writes {
+                for &d in defs_of_var.get(v.as_str()).into_iter().flatten() {
+                    if defs[d].act == *name {
+                        gen[n.index()].insert(d);
+                    } else {
+                        kill[n.index()].insert(d);
+                    }
+                }
+            }
+        }
+    }
+
+    // Classic forward may-analysis fixpoint:
+    //   IN(n)  = ⋃ OUT(pred)
+    //   OUT(n) = GEN(n) ∪ (IN(n) − KILL(n))
+    let mut out: Vec<BitSet> = (0..bound).map(|_| BitSet::new(ndefs)).collect();
+    let mut inn: Vec<BitSet> = (0..bound).map(|_| BitSet::new(ndefs)).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for n in cfg.graph.node_ids() {
+            let mut i = BitSet::new(ndefs);
+            for p in cfg.graph.predecessors(n) {
+                i.union_with(&out[p.index()]);
+            }
+            let mut o = i.clone();
+            o.difference_with(&kill[n.index()]);
+            o.union_with(&gen[n.index()]);
+            if o != out[n.index()] || i != inn[n.index()] {
+                out[n.index()] = o;
+                inn[n.index()] = i;
+                changed = true;
+            }
+        }
+    }
+
+    // Def-use pairs: at each reading activity, every reaching def of a read
+    // variable contributes a dependency.
+    let mut result = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for n in cfg.graph.node_ids() {
+        if let CfgNode::Act(name) = cfg.graph.weight(n) {
+            let Some(act) = act_of_name.get(name.as_str()) else {
+                continue;
+            };
+            for v in &act.reads {
+                for &d in defs_of_var.get(v.as_str()).into_iter().flatten() {
+                    if inn[n.index()].contains(d) && defs[d].act != *name {
+                        let key = (defs[d].act.clone(), name.clone());
+                        if seen.insert(key) {
+                            result.push(Dependency::data(&defs[d].act, name));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Deterministic order: by (from, to).
+    result.sort_by(|a, b| (&a.from.name, &a.to.name).cmp(&(&b.from.name, &b.to.name)));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dscweaver_model::parse_process;
+
+    fn deps_of(src: &str) -> Vec<(String, String)> {
+        let p = parse_process(src).unwrap();
+        assert!(p.validate().is_empty(), "{:?}", p.validate());
+        data_dependencies(&p)
+            .into_iter()
+            .map(|d| (d.from.name, d.to.name))
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_def_use() {
+        let d = deps_of(
+            "process P { var x, y; sequence { assign a writes x; assign b reads x writes y; assign c reads y; } }",
+        );
+        assert_eq!(
+            d,
+            vec![
+                ("a".to_string(), "b".to_string()),
+                ("b".to_string(), "c".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn redefinition_kills() {
+        let d = deps_of(
+            "process P { var x; sequence { assign a writes x; assign b writes x; assign c reads x; } }",
+        );
+        assert_eq!(d, vec![("b".to_string(), "c".to_string())]);
+    }
+
+    #[test]
+    fn both_branches_reach_join() {
+        let d = deps_of(
+            "process P { var c, x; sequence { assign g writes c; switch s reads c { case T { assign a writes x; } case F { assign b writes x; } } assign r reads x; } }",
+        );
+        assert!(d.contains(&("a".to_string(), "r".to_string())));
+        assert!(d.contains(&("b".to_string(), "r".to_string())));
+        assert!(d.contains(&("g".to_string(), "s".to_string())));
+    }
+
+    #[test]
+    fn parallel_branches_need_link_for_cross_flow() {
+        // Without a link, a def in one parallel branch does not reach a use
+        // in a sibling branch (no CFG path).
+        let without = deps_of(
+            "process P { var x; flow { assign a writes x; assign b reads x; } }",
+        );
+        assert!(without.is_empty());
+        let with = deps_of(
+            "process P { var x; flow { assign a writes x; assign b reads x; link l from a to b; } }",
+        );
+        assert_eq!(with, vec![("a".to_string(), "b".to_string())]);
+    }
+
+    #[test]
+    fn loop_carried_dependency() {
+        let d = deps_of(
+            "process P { var n; sequence { assign init writes n; while c reads n { assign dec reads n writes n; } } }",
+        );
+        assert!(d.contains(&("init".to_string(), "c".to_string())));
+        assert!(d.contains(&("dec".to_string(), "c".to_string())), "{d:?}");
+        assert!(d.contains(&("init".to_string(), "dec".to_string())));
+        assert!(
+            !d.contains(&("dec".to_string(), "dec".to_string())),
+            "self-dependencies are not emitted"
+        );
+    }
+
+    // The Purchasing-process extraction (Table 1 / Figure 5 equality) is
+    // covered by the cross-crate integration tests at the workspace root —
+    // the workloads crate depends on this one, so the canonical process
+    // cannot be imported here.
+}

@@ -1,0 +1,114 @@
+//! End-to-end dependency extraction: the paper's §3.1 promise that "data
+//! and control dependencies can be automatically extracted from document
+//! products" made concrete for our process model.
+
+use crate::control::{control_dependencies, guard_domains};
+use crate::data::data_dependencies;
+use crate::service::service_dependencies_from_decls;
+use dscweaver_core::DependencySet;
+use dscweaver_model::Process;
+
+/// What to extract.
+#[derive(Clone, Copy, Debug)]
+pub struct ExtractOptions {
+    /// Include definition-use data dependencies.
+    pub data: bool,
+    /// Include region-based control dependencies.
+    pub control: bool,
+    /// Include declaration-implied service dependencies (see
+    /// [`crate::service`]). Port-ordering constraints still require a WSCL
+    /// document on top.
+    pub services_from_decls: bool,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        ExtractOptions {
+            data: true,
+            control: true,
+            services_from_decls: true,
+        }
+    }
+}
+
+/// Extracts a [`DependencySet`] from a process definition. Cooperation
+/// dependencies are analyst-supplied (§3.2) — append them to the returned
+/// set.
+pub fn extract(process: &Process, opts: ExtractOptions) -> DependencySet {
+    let mut ds = DependencySet::new(process.name.clone());
+    for a in process.activities() {
+        ds.add_activity(a.name.clone());
+    }
+    for (guard, dom) in guard_domains(process) {
+        ds.add_domain(guard, dom);
+    }
+    if opts.data {
+        for d in data_dependencies(process) {
+            ds.push(d);
+        }
+    }
+    if opts.control {
+        for d in control_dependencies(process) {
+            ds.push(d);
+        }
+    }
+    if opts.services_from_decls {
+        let (deps, nodes) = service_dependencies_from_decls(process);
+        for n in nodes {
+            ds.add_service(n);
+        }
+        for d in deps {
+            ds.push(d);
+        }
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dscweaver_model::parse_process;
+
+    #[test]
+    fn extraction_combines_dimensions() {
+        let p = parse_process(
+            "process P { var po, au; service Credit { ports 1 async }
+              sequence {
+                receive recClient_po from Client writes po;
+                invoke invCredit_po on Credit port 1 reads po;
+                receive recCredit_au from Credit writes au;
+                switch if_au reads au {
+                  case T { assign ok writes po; }
+                  case F { assign bad writes po; }
+                }
+              } }",
+        )
+        .unwrap();
+        let ds = extract(&p, ExtractOptions::default());
+        let counts = ds.counts();
+        assert_eq!(counts["data"], 2); // recClient_po→invCredit_po, recCredit_au→if_au
+        assert_eq!(counts["control"], 2); // if_au→T ok, if_au→F bad
+        assert_eq!(counts["service"], 3); // inv→Credit, Credit→Credit_d, Credit_d→rec
+        assert_eq!(ds.domains["if_au"], vec!["F", "T"]);
+        assert_eq!(ds.activities.len(), 6);
+        assert_eq!(ds.services.len(), 2);
+    }
+
+    #[test]
+    fn options_disable_dimensions() {
+        let p = parse_process(
+            "process P { var x; sequence { assign a writes x; assign b reads x; } }",
+        )
+        .unwrap();
+        let ds = extract(
+            &p,
+            ExtractOptions {
+                data: false,
+                control: false,
+                services_from_decls: false,
+            },
+        );
+        assert!(ds.deps.is_empty());
+        assert_eq!(ds.activities.len(), 2);
+    }
+}

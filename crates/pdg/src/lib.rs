@@ -1,0 +1,22 @@
+//! # dscweaver-pdg
+//!
+//! Program-dependence-graph extraction for business processes: the §3.1
+//! path from an imperative (sequencing-construct) implementation to
+//! explicit dependencies. Data dependencies come from reaching-definitions
+//! def-use chains over the process CFG; control dependencies from
+//! nearest-enclosing-predicate regions (with the classic
+//! Ferrante–Ottenstein–Warren post-dominator derivation as a baseline);
+//! declaration-implied service dependencies from the process's partner
+//! declarations.
+
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod data;
+pub mod extract;
+pub mod service;
+
+pub use control::{control_dependencies, control_dependencies_postdom, guard_domains};
+pub use data::data_dependencies;
+pub use extract::{extract, ExtractOptions};
+pub use service::{dummy_node, port_node, service_dependencies_from_decls};

@@ -1,0 +1,172 @@
+//! Service-dependency derivation from process partner declarations.
+//!
+//! WSCL conversation documents are the authoritative source for service
+//! dependencies (§3.2; see the `dscweaver-wscl` crate). But a large part of
+//! the standard pattern is already implied by the process's own partner
+//! declarations and interaction activities, namely:
+//!
+//! * `inv → s_p` — every invoke feeds the port it calls (§3.3 naming:
+//!   single-port services use the bare service name, multi-port services
+//!   `s_1, s_2, ...`);
+//! * `s_p → s_d` — an asynchronous service that the process receives
+//!   callbacks from processes its inputs and then calls back through the
+//!   dummy port `s_d`;
+//! * `s_d → rec` — each receive from the service listens on the dummy
+//!   port.
+//!
+//! Port-*ordering* constraints within a service (the Purchase requirement,
+//! `Purchase_1 →_s Purchase_2`) are genuinely service-side knowledge and
+//! only come from a WSCL document.
+
+use dscweaver_core::Dependency;
+use dscweaver_model::{ActivityKind, Process};
+
+/// §3.3 port-node naming.
+pub fn port_node(service: &str, port: u32, total_ports: u32) -> String {
+    if total_ports <= 1 {
+        service.to_string()
+    } else {
+        format!("{service}_{port}")
+    }
+}
+
+/// The dummy callback port name.
+pub fn dummy_node(service: &str) -> String {
+    format!("{service}_d")
+}
+
+/// Derives the declaration-implied service dependencies and the set of
+/// external service nodes they mention.
+pub fn service_dependencies_from_decls(process: &Process) -> (Vec<Dependency>, Vec<String>) {
+    let mut deps = Vec::new();
+    let mut nodes = Vec::new();
+    for svc in &process.services {
+        let receives: Vec<&str> = process
+            .activities()
+            .iter()
+            .filter_map(|a| match &a.kind {
+                ActivityKind::Receive { from } if *from == svc.name => Some(a.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        let invokes: Vec<(&str, u32)> = process
+            .activities()
+            .iter()
+            .filter_map(|a| match &a.kind {
+                ActivityKind::Invoke { service, port } if *service == svc.name => {
+                    Some((a.name.as_str(), *port))
+                }
+                _ => None,
+            })
+            .collect();
+
+        let mut used_ports: Vec<u32> = invokes.iter().map(|&(_, p)| p).collect();
+        used_ports.sort();
+        used_ports.dedup();
+        for &p in &used_ports {
+            nodes.push(port_node(&svc.name, p, svc.ports));
+        }
+
+        for &(inv, port) in &invokes {
+            deps.push(Dependency::service(inv, &port_node(&svc.name, port, svc.ports)));
+        }
+
+        // Callback plumbing only when the process actually receives from
+        // the service (the paper's Production service gets none).
+        if svc.asynchronous && !receives.is_empty() {
+            let d = dummy_node(&svc.name);
+            nodes.push(d.clone());
+            for &p in &used_ports {
+                deps.push(Dependency::service(&port_node(&svc.name, p, svc.ports), &d));
+            }
+            for rec in receives {
+                deps.push(Dependency::service(&d, rec));
+            }
+        }
+    }
+    (deps, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dscweaver_model::parse_process;
+
+    #[test]
+    fn port_naming_matches_section33() {
+        assert_eq!(port_node("Credit", 1, 1), "Credit");
+        assert_eq!(port_node("Purchase", 1, 2), "Purchase_1");
+        assert_eq!(port_node("Purchase", 2, 2), "Purchase_2");
+        assert_eq!(dummy_node("Ship"), "Ship_d");
+    }
+
+    #[test]
+    fn single_port_async_service_with_callback() {
+        let p = parse_process(
+            "process P { var po, au; service Credit { ports 1 async }
+              sequence { invoke invCredit_po on Credit port 1 reads po;
+                         receive recCredit_au from Credit writes au; } }",
+        )
+        .unwrap();
+        let (deps, nodes) = service_dependencies_from_decls(&p);
+        let strs: Vec<String> = deps.iter().map(|d| d.to_string()).collect();
+        assert_eq!(
+            strs,
+            vec![
+                "invCredit_po ->s Credit",
+                "Credit ->s Credit_d",
+                "Credit_d ->s recCredit_au"
+            ]
+        );
+        assert_eq!(nodes, vec!["Credit", "Credit_d"]);
+    }
+
+    #[test]
+    fn multi_port_no_callback_has_no_dummy() {
+        let p = parse_process(
+            "process P { var po, ss; service Production { ports 2 async }
+              sequence { invoke invProduction_po on Production port 1 reads po;
+                         invoke invProduction_ss on Production port 2 reads ss; } }",
+        )
+        .unwrap();
+        let (deps, nodes) = service_dependencies_from_decls(&p);
+        let strs: Vec<String> = deps.iter().map(|d| d.to_string()).collect();
+        assert_eq!(
+            strs,
+            vec![
+                "invProduction_po ->s Production_1",
+                "invProduction_ss ->s Production_2"
+            ]
+        );
+        assert_eq!(nodes, vec!["Production_1", "Production_2"]);
+    }
+
+    #[test]
+    fn multi_port_with_callback_fans_into_dummy() {
+        let p = parse_process(
+            "process P { var po, si, oi; service Purchase { ports 2 async }
+              sequence { invoke invPurchase_po on Purchase port 1 reads po;
+                         invoke invPurchase_si on Purchase port 2 reads si;
+                         receive recPurchase_oi from Purchase writes oi; } }",
+        )
+        .unwrap();
+        let (deps, _) = service_dependencies_from_decls(&p);
+        let strs: Vec<String> = deps.iter().map(|d| d.to_string()).collect();
+        assert!(strs.contains(&"Purchase_1 ->s Purchase_d".to_string()));
+        assert!(strs.contains(&"Purchase_2 ->s Purchase_d".to_string()));
+        assert!(strs.contains(&"Purchase_d ->s recPurchase_oi".to_string()));
+        assert_eq!(deps.len(), 5);
+    }
+
+    #[test]
+    fn synchronous_service_gets_no_dummy() {
+        let p = parse_process(
+            "process P { var po; service Tax { ports 1 }
+              sequence { invoke invTax on Tax port 1 reads po; } }",
+        )
+        .unwrap();
+        let (deps, nodes) = service_dependencies_from_decls(&p);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(nodes, vec!["Tax"]);
+    }
+}

@@ -1,0 +1,346 @@
+//! Design-time validation of a synchronization scheme (§4.1: "conflict
+//! dependencies like infinite synchronization sequence can be detected
+//! during design stage").
+//!
+//! Validation layers, cheapest first:
+//!
+//! 1. **Structural conflict check** — a cycle in the constraint graph is
+//!    an unsatisfiable ("infinite") synchronization sequence; reported
+//!    with the activities on the cycle.
+//! 2. **Per-branch-assignment simulation** — for every assignment of
+//!    branch values, run the lowered net to quiescence and check the final
+//!    marking (every activity done-or-skipped, no stranded tokens). The
+//!    lowered nets are conflict-free once branch modes are fixed (each
+//!    place has one consumer), so a single maximal-step run per assignment
+//!    is complete for deadlock/termination — this is what makes validation
+//!    scale past the interleaving explosion.
+//! 3. **Bounded interleaving exploration** (optional, small nets) — full
+//!    reachability up to a state limit, checking safety (1-boundedness)
+//!    and that every terminal marking is final.
+
+use crate::lower::{lower, LoweredNet};
+use crate::reach::{assignment_chooser, explore, run_to_quiescence, Reachability};
+use dscweaver_core::ExecConditions;
+use dscweaver_dscl::{ConstraintSet, SyncGraph};
+use dscweaver_graph::find_cycle;
+use std::collections::HashMap;
+
+/// Validation options.
+#[derive(Clone, Debug)]
+pub struct ValidateOptions {
+    /// Cap on enumerated branch assignments (beyond it, validation samples
+    /// the first `max_assignments` lexicographically and reports
+    /// truncation).
+    pub max_assignments: usize,
+    /// Step budget per simulation run.
+    pub max_steps: usize,
+    /// Also run bounded interleaving exploration with this many states
+    /// (0 = skip).
+    pub explore_states: usize,
+}
+
+impl Default for ValidateOptions {
+    fn default() -> Self {
+        ValidateOptions {
+            max_assignments: 4096,
+            max_steps: 1_000_000,
+            explore_states: 0,
+        }
+    }
+}
+
+/// One failed branch assignment.
+#[derive(Clone, Debug)]
+pub struct AssignmentFailure {
+    /// guard → chosen value.
+    pub assignment: HashMap<String, String>,
+    /// Activities that never completed (nor skipped).
+    pub stuck: Vec<String>,
+    /// Rendered stuck marking.
+    pub marking: String,
+    /// True if the run exceeded the step budget (livelock) rather than
+    /// deadlocking.
+    pub diverged: bool,
+}
+
+/// The validation verdict.
+#[derive(Clone, Debug)]
+pub struct ValidationReport {
+    /// A structural conflict cycle, if any (validation stops there).
+    pub conflict_cycle: Option<Vec<String>>,
+    /// Branch assignments simulated.
+    pub assignments_checked: usize,
+    /// True if the assignment space was larger than the cap.
+    pub assignments_truncated: bool,
+    /// Failures found.
+    pub failures: Vec<AssignmentFailure>,
+    /// Interleaving exploration results, when requested.
+    pub exploration: Option<Reachability>,
+}
+
+impl ValidationReport {
+    /// Overall verdict.
+    pub fn ok(&self) -> bool {
+        self.conflict_cycle.is_none()
+            && self.failures.is_empty()
+            && self
+                .exploration
+                .as_ref()
+                .map(|r| !r.truncated)
+                .unwrap_or(true)
+    }
+}
+
+/// Validates a desugared, service-free constraint set.
+pub fn validate(
+    cs: &ConstraintSet,
+    exec: &ExecConditions,
+    opts: &ValidateOptions,
+) -> ValidationReport {
+    // Layer 1: structural conflicts.
+    let sg = SyncGraph::build(cs);
+    if let Some(cycle) = find_cycle(&sg.graph) {
+        return ValidationReport {
+            conflict_cycle: Some(
+                cycle
+                    .iter()
+                    .map(|&n| sg.graph.weight(n).label())
+                    .collect(),
+            ),
+            assignments_checked: 0,
+            assignments_truncated: false,
+            failures: Vec::new(),
+            exploration: None,
+        };
+    }
+
+    let lowered = lower(cs, exec);
+
+    // Layer 2: per-assignment simulation.
+    let guards: Vec<(&String, &Vec<String>)> = cs.domains.iter().collect();
+    let space: usize = guards
+        .iter()
+        .map(|(_, d)| d.len().max(1))
+        .try_fold(1usize, |a, n| a.checked_mul(n))
+        .unwrap_or(usize::MAX);
+    let truncated = space > opts.max_assignments;
+    let to_check = space.min(opts.max_assignments);
+
+    let mut failures = Vec::new();
+    let mut idx = vec![0usize; guards.len()];
+    for _ in 0..to_check {
+        let assignment: HashMap<String, String> = guards
+            .iter()
+            .zip(&idx)
+            .map(|((g, dom), &i)| (format!("finish({g})"), dom[i].clone()))
+            .collect();
+        let run = run_to_quiescence(&lowered.net, assignment_chooser(&assignment), opts.max_steps);
+        if run.diverged || !lowered.is_final(&run.final_marking) {
+            failures.push(AssignmentFailure {
+                assignment: guards
+                    .iter()
+                    .zip(&idx)
+                    .map(|((g, dom), &i)| ((*g).clone(), dom[i].clone()))
+                    .collect(),
+                stuck: lowered
+                    .unfinished(&run.final_marking)
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
+                marking: lowered.net.render_marking(&run.final_marking),
+                diverged: run.diverged,
+            });
+        }
+        // Odometer.
+        let mut pos = 0;
+        while pos < idx.len() {
+            idx[pos] += 1;
+            if idx[pos] < guards[pos].1.len() {
+                break;
+            }
+            idx[pos] = 0;
+            pos += 1;
+        }
+    }
+
+    // Layer 3: optional interleaving exploration.
+    let exploration = if opts.explore_states > 0 {
+        Some(explore(&lowered.net, opts.explore_states))
+    } else {
+        None
+    };
+
+    ValidationReport {
+        conflict_cycle: None,
+        assignments_checked: to_check,
+        assignments_truncated: truncated,
+        failures,
+        exploration,
+    }
+}
+
+/// Convenience: lower + validate with defaults.
+pub fn validate_default(cs: &ConstraintSet, exec: &ExecConditions) -> ValidationReport {
+    validate(cs, exec, &ValidateOptions::default())
+}
+
+/// Re-export of the lowered form for callers that want the net itself.
+pub fn lower_net(cs: &ConstraintSet, exec: &ExecConditions) -> LoweredNet {
+    lower(cs, exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dscweaver_dscl::{Condition, Origin, Relation, StateRef};
+
+    fn exec_of(cs: &ConstraintSet) -> ExecConditions {
+        ExecConditions::derive(cs)
+    }
+
+    #[test]
+    fn sound_branchy_set_validates() {
+        let mut cs = ConstraintSet::new("ok");
+        for a in ["g", "x", "y", "j"] {
+            cs.add_activity(a);
+        }
+        cs.add_domain("g", vec!["T".into(), "F".into()]);
+        cs.push(Relation::before_if(
+            StateRef::finish("g"),
+            StateRef::start("x"),
+            Condition::new("g", "T"),
+            Origin::Control,
+        ));
+        cs.push(Relation::before_if(
+            StateRef::finish("g"),
+            StateRef::start("y"),
+            Condition::new("g", "F"),
+            Origin::Control,
+        ));
+        cs.push(Relation::before(
+            StateRef::finish("x"),
+            StateRef::start("j"),
+            Origin::Data,
+        ));
+        cs.push(Relation::before(
+            StateRef::finish("y"),
+            StateRef::start("j"),
+            Origin::Data,
+        ));
+        let exec = exec_of(&cs);
+        let report = validate_default(&cs, &exec);
+        assert!(report.ok(), "{report:#?}");
+        assert_eq!(report.assignments_checked, 2);
+    }
+
+    #[test]
+    fn conflict_cycle_detected_structurally() {
+        let mut cs = ConstraintSet::new("cyc");
+        cs.add_activity("a");
+        cs.add_activity("b");
+        cs.push(Relation::before(
+            StateRef::finish("a"),
+            StateRef::start("b"),
+            Origin::Data,
+        ));
+        cs.push(Relation::before(
+            StateRef::finish("b"),
+            StateRef::start("a"),
+            Origin::Cooperation,
+        ));
+        let exec = exec_of(&cs);
+        let report = validate_default(&cs, &exec);
+        assert!(!report.ok());
+        assert!(report.conflict_cycle.is_some());
+    }
+
+    #[test]
+    fn missing_execution_knowledge_deadlocks() {
+        // x waits for a conditional token but has NO execution condition
+        // derivable (the conditional edge is Cooperation, not Control):
+        // when g=F the token is F-colored... consumption is Any so ordering
+        // holds; but exec(x)=always, so x runs on both branches — fine. A
+        // real deadlock: x additionally waits on a constraint from an
+        // activity that itself never resolves. Simulate by a constraint
+        // from an activity that is control dependent on g=T while x is
+        // unconditional AND the producer's skip cannot propagate... with
+        // DPE skip propagation this cannot deadlock — which is exactly
+        // what this test demonstrates: the DPE lowering is deadlock-free
+        // here, while a naive lowering would hang. So instead, produce a
+        // REAL failure: a conditional constraint whose guard has a
+        // three-value domain but only two handled branches is still fine
+        // (skip covers it)... The honest deadlock case is the structural
+        // cycle (above) or an exec condition referencing a guard that is
+        // never evaluated — which validation must catch:
+        let mut cs = ConstraintSet::new("dead");
+        cs.add_activity("x");
+        // exec(x) says "ghost=T" but ghost is not an activity: the control
+        // place never receives a token.
+        cs.add_domain("ghost", vec!["T".into(), "F".into()]);
+        cs.push(Relation::before_if(
+            StateRef::finish("x"),
+            StateRef::start("x"),
+            Condition::new("ghost", "T"),
+            Origin::Control,
+        ));
+        // ^ also a self-cycle; validation reports the structural conflict
+        // first.
+        let exec = exec_of(&cs);
+        let report = validate_default(&cs, &exec);
+        assert!(!report.ok());
+    }
+
+    #[test]
+    fn stuck_activity_reported_with_names() {
+        // b waits on a control token from guard g whose domain is declared
+        // but that never broadcasts to b because g is NOT an activity in
+        // the set — the exec condition derivation sees the control
+        // relation, the lowering creates the ctl place, and nothing feeds
+        // it: a genuine deadlock the per-assignment runs catch.
+        let mut cs = ConstraintSet::new("stuck");
+        cs.add_activity("b");
+        cs.add_domain("g", vec!["T".into(), "F".into()]);
+        // Control relation from an undeclared guard: validation of the
+        // ConstraintSet would flag it, but we force it through to show the
+        // net-level diagnosis.
+        cs.relations.push(Relation::before_if(
+            StateRef::finish("g"),
+            StateRef::start("b"),
+            Condition::new("g", "T"),
+            Origin::Control,
+        ));
+        let exec = exec_of(&cs);
+        let report = validate_default(&cs, &exec);
+        assert!(!report.ok());
+        assert!(report
+            .failures
+            .iter()
+            .all(|f| f.stuck.contains(&"b".to_string())));
+    }
+
+    #[test]
+    fn exploration_layer_runs_when_requested() {
+        let mut cs = ConstraintSet::new("tiny");
+        cs.add_activity("a");
+        cs.add_activity("b");
+        cs.push(Relation::before(
+            StateRef::finish("a"),
+            StateRef::start("b"),
+            Origin::Data,
+        ));
+        let exec = exec_of(&cs);
+        let report = validate(
+            &cs,
+            &exec,
+            &ValidateOptions {
+                explore_states: 10_000,
+                ..Default::default()
+            },
+        );
+        assert!(report.ok());
+        let r = report.exploration.unwrap();
+        assert!(!r.truncated);
+        assert_eq!(r.terminal.len(), 1);
+        assert_eq!(r.max_place_tokens, 1, "lowered nets are safe");
+    }
+}

@@ -1,0 +1,22 @@
+//! # dscweaver-petri
+//!
+//! Colored Petri nets and the DSCL → net lowering the paper uses for
+//! design-time validation (§4.1, refs \[13\] Murata, \[10\] Jensen's colored
+//! nets for multi-valued branch outcomes). Includes bounded reachability,
+//! a deterministic maximal-step simulator, dead-path-elimination lowering
+//! and the layered validation pipeline (structural conflicts →
+//! per-assignment simulation → optional interleaving exploration).
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod invariants;
+pub mod lower;
+pub mod net;
+pub mod reach;
+
+pub use analysis::{validate, validate_default, ValidateOptions, ValidationReport};
+pub use invariants::{check_invariants, place_invariants, PlaceInvariant};
+pub use lower::{lower, ActivityNodes, LoweredNet, SKIP};
+pub use net::{ArcIn, ArcOut, Color, ColorFilter, Marking, Mode, Net, PlaceId, TransitionId};
+pub use reach::{assignment_chooser, explore, run_to_quiescence, Reachability, Run};

@@ -1,0 +1,174 @@
+//! Conversation conformance: does an execution trace respect each partner
+//! service's WSCL conversation?
+//!
+//! This closes the loop on the §1 motivation — a state-aware service
+//! "can now submit [its invocation constraint] as a service dependency"
+//! — by checking, after the fact, that the schedule actually honored the
+//! submitted conversations: for every conversation transition `x → y`
+//! whose interactions both occurred, the process-side event bound to `x`
+//! happened before the one bound to `y` (assuming ordered message
+//! delivery, as the translation does).
+//!
+//! Event mapping: a `Receive` interaction (service input port) occurs when
+//! the bound *invoke* activity finishes (the request is on the wire); a
+//! `Send` interaction (callback) occurs when the bound *receive* activity
+//! starts (the process observes the reply).
+
+use crate::trace::{Trace, Violation};
+use dscweaver_dscl::StateRef;
+use dscweaver_wscl::{Conversation, InteractionKind, ServiceBinding};
+
+/// Checks one conversation against a trace. Interactions whose bound
+/// activity was skipped (dead path) or never bound are treated as
+/// not-occurred; transitions involving them are vacuous.
+pub fn check_conformance(
+    trace: &Trace,
+    conv: &Conversation,
+    binding: &ServiceBinding,
+) -> Vec<Violation> {
+    let occurrence = |interaction_id: &str| -> Option<(u64, u64)> {
+        let interaction = conv.interaction(interaction_id)?;
+        match interaction.kind {
+            InteractionKind::Receive => {
+                let act = binding.invokers.get(interaction_id)?;
+                if trace.skipped(act) {
+                    return None;
+                }
+                trace.occurrence(&StateRef::finish(act.clone()))
+            }
+            InteractionKind::Send => {
+                let act = binding.receivers.get(interaction_id)?;
+                if trace.skipped(act) {
+                    return None;
+                }
+                trace.occurrence(&StateRef::start(act.clone()))
+            }
+        }
+    };
+
+    let mut violations = Vec::new();
+    for (x, y) in &conv.transitions {
+        if let (Some(tx), Some(ty)) = (occurrence(x), occurrence(y)) {
+            if tx > ty {
+                violations.push(Violation {
+                    relation: format!("{}: {x} -> {y}", conv.name),
+                    reason: format!(
+                        "interaction '{x}' at t={},#{} but '{y}' at t={},#{}",
+                        tx.0, tx.1, ty.0, ty.1
+                    ),
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Checks a batch of conversations.
+pub fn check_all_conformance(
+    trace: &Trace,
+    conversations: &[(Conversation, ServiceBinding)],
+) -> Vec<Violation> {
+    conversations
+        .iter()
+        .flat_map(|(c, b)| check_conformance(trace, c, b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{EventKind, TraceEvent};
+
+    fn purchase_conv() -> (Conversation, ServiceBinding) {
+        (
+            Conversation::new("Purchase")
+                .receive("port1", "PurchaseOrder")
+                .receive("port2", "ShippingInvoice")
+                .send("callback", "OrderInvoice")
+                .transition("port1", "port2")
+                .transition("port2", "callback"),
+            ServiceBinding::new()
+                .invoke("port1", "invA")
+                .invoke("port2", "invB")
+                .receive("callback", "recC"),
+        )
+    }
+
+    fn ev(time: u64, seq: u64, activity: &str, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            time,
+            seq,
+            activity: activity.into(),
+            kind,
+            value: None,
+        }
+    }
+
+    #[test]
+    fn conformant_trace_passes() {
+        let t = Trace {
+            events: vec![
+                ev(0, 0, "invA", EventKind::Start),
+                ev(1, 1, "invA", EventKind::Finish),
+                ev(2, 2, "invB", EventKind::Start),
+                ev(3, 3, "invB", EventKind::Finish),
+                ev(9, 4, "recC", EventKind::Start),
+                ev(10, 5, "recC", EventKind::Finish),
+            ],
+        };
+        let (c, b) = purchase_conv();
+        assert!(check_conformance(&t, &c, &b).is_empty());
+    }
+
+    #[test]
+    fn port_order_violation_detected() {
+        // invB's request leaves before invA's — port2 would see its
+        // document first.
+        let t = Trace {
+            events: vec![
+                ev(0, 0, "invB", EventKind::Start),
+                ev(1, 1, "invB", EventKind::Finish),
+                ev(2, 2, "invA", EventKind::Start),
+                ev(3, 3, "invA", EventKind::Finish),
+                ev(9, 4, "recC", EventKind::Start),
+                ev(10, 5, "recC", EventKind::Finish),
+            ],
+        };
+        let (c, b) = purchase_conv();
+        let v = check_conformance(&t, &c, &b);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].relation.contains("port1 -> port2"));
+    }
+
+    #[test]
+    fn skipped_interactions_are_vacuous() {
+        let t = Trace {
+            events: vec![
+                ev(0, 0, "invA", EventKind::Start),
+                ev(1, 1, "invA", EventKind::Finish),
+                ev(2, 2, "invB", EventKind::Skip),
+                ev(3, 3, "recC", EventKind::Skip),
+            ],
+        };
+        let (c, b) = purchase_conv();
+        assert!(check_conformance(&t, &c, &b).is_empty());
+    }
+
+    #[test]
+    fn callback_before_request_detected() {
+        let t = Trace {
+            events: vec![
+                ev(0, 0, "recC", EventKind::Start),
+                ev(1, 1, "invA", EventKind::Start),
+                ev(2, 2, "invA", EventKind::Finish),
+                ev(3, 3, "invB", EventKind::Start),
+                ev(4, 4, "invB", EventKind::Finish),
+                ev(5, 5, "recC", EventKind::Finish),
+            ],
+        };
+        let (c, b) = purchase_conv();
+        let v = check_conformance(&t, &c, &b);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].relation.contains("port2 -> callback"));
+    }
+}

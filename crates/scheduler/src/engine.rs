@@ -1,0 +1,690 @@
+//! The dataflow scheduling engine: "dependencies are explicitly modeled to
+//! guide activity scheduling" (§1). A discrete-event simulator executes a
+//! (desugared, service-free) constraint set directly — an activity starts
+//! the moment its incoming HappenBefore constraints are satisfied, with
+//! dead-path elimination for conditional regions and dynamic checking of
+//! Exclusive constraints (§4.2).
+
+use crate::trace::{EventKind, Time, Trace, TraceEvent};
+use dscweaver_core::ExecConditions;
+use dscweaver_dscl::{ActivityState, Condition, ConstraintSet, Relation, StateRef};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+
+/// Activity durations in virtual time units.
+#[derive(Clone, Debug)]
+pub struct DurationModel {
+    default: Time,
+    per_activity: BTreeMap<String, Time>,
+}
+
+impl DurationModel {
+    /// Every activity takes `d` units (coordinators introduced by
+    /// desugaring always take 0).
+    pub fn constant(d: Time) -> DurationModel {
+        DurationModel {
+            default: d,
+            per_activity: BTreeMap::new(),
+        }
+    }
+
+    /// Per-activity overrides on top of a default.
+    pub fn with_overrides(default: Time, per_activity: BTreeMap<String, Time>) -> DurationModel {
+        DurationModel {
+            default,
+            per_activity,
+        }
+    }
+
+    /// Sets one override.
+    pub fn set(&mut self, activity: &str, d: Time) {
+        self.per_activity.insert(activity.into(), d);
+    }
+
+    /// The duration of `activity`.
+    pub fn of(&self, activity: &str) -> Time {
+        if activity.starts_with("__sync") {
+            return 0;
+        }
+        self.per_activity
+            .get(activity)
+            .copied()
+            .unwrap_or(self.default)
+    }
+}
+
+/// Simulation configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Durations.
+    pub durations: DurationModel,
+    /// Branch oracle: guard → value produced. Guards not listed produce
+    /// the first value of their domain.
+    pub oracle: BTreeMap<String, String>,
+    /// Worker limit: at most this many activities run concurrently
+    /// (`None` = unbounded). Skips and zero-duration coordinators do not
+    /// occupy a worker.
+    pub workers: Option<usize>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            durations: DurationModel::constant(1),
+            oracle: BTreeMap::new(),
+            workers: None,
+        }
+    }
+}
+
+/// The result of a run.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// The trace.
+    pub trace: Trace,
+    /// Number of constraint-satisfaction checks performed — the
+    /// "maintenance and computation costs" the optimization reduces
+    /// (§4: "redundant constraints incur unnecessary maintenance and
+    /// computation costs if added to the scheduling engine").
+    pub constraint_checks: u64,
+    /// Activities that could never be resolved (deadlock); empty on sound
+    /// schemes.
+    pub stuck: Vec<String>,
+}
+
+impl Schedule {
+    /// True if every activity resolved.
+    pub fn completed(&self) -> bool {
+        self.stuck.is_empty()
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Prereq {
+    producer: StateRef,
+    cond: Option<Condition>,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum GuardOutcome {
+    Value(String),
+    Skipped,
+}
+
+/// Runs the dataflow scheduler over `cs`.
+pub fn simulate(cs: &ConstraintSet, exec: &ExecConditions, config: &SimConfig) -> Schedule {
+    // Indexing.
+    let mut start_prereqs: HashMap<&str, Vec<Prereq>> = HashMap::new();
+    let mut finish_prereqs: HashMap<&str, Vec<Prereq>> = HashMap::new();
+    for a in &cs.activities {
+        start_prereqs.insert(a, Vec::new());
+        finish_prereqs.insert(a, Vec::new());
+    }
+    for r in &cs.relations {
+        if let Relation::HappenBefore { from, to, cond, .. } = r {
+            let p = Prereq {
+                producer: from.clone(),
+                cond: cond.clone(),
+            };
+            let bucket = match to.state {
+                ActivityState::Start | ActivityState::Run => &mut start_prereqs,
+                ActivityState::Finish => &mut finish_prereqs,
+            };
+            if let Some(v) = bucket.get_mut(to.activity.as_str()) {
+                v.push(p);
+            }
+        }
+    }
+    // Exclusive partner sets.
+    let mut exclusive: HashMap<&str, Vec<&str>> = HashMap::new();
+    for (x, y) in cs.exclusives() {
+        exclusive
+            .entry(x.activity.as_str())
+            .or_default()
+            .push(y.activity.as_str());
+        exclusive
+            .entry(y.activity.as_str())
+            .or_default()
+            .push(x.activity.as_str());
+    }
+
+    // Dynamic state.
+    let mut resolved: HashMap<StateRef, (Time, u64)> = HashMap::new();
+    let mut outcome: HashMap<&str, GuardOutcome> = HashMap::new();
+    let mut started: HashSet<&str> = HashSet::new();
+    let mut done: HashSet<&str> = HashSet::new(); // finished or skipped
+    let mut running: HashSet<&str> = HashSet::new();
+    let mut finish_blocked: HashSet<&str> = HashSet::new();
+    let mut trace = Trace::default();
+    let mut seq: u64 = 0;
+    let mut checks: u64 = 0;
+    let mut now: Time = 0;
+
+    // Scheduled natural finishes: Reverse-ordered min-heap.
+    let mut finish_queue: BinaryHeap<std::cmp::Reverse<(Time, u64, String)>> = BinaryHeap::new();
+
+    let value_of_guard = |g: &str, config: &SimConfig, cs: &ConstraintSet| -> String {
+        config.oracle.get(g).cloned().unwrap_or_else(|| {
+            cs.domains
+                .get(g)
+                .and_then(|d| d.first().cloned())
+                .unwrap_or_else(|| "done".to_string())
+        })
+    };
+
+    // Prereq satisfied under current state?
+    let satisfied = |p: &Prereq,
+                     resolved: &HashMap<StateRef, (Time, u64)>,
+                     outcome: &HashMap<&str, GuardOutcome>,
+                     checks: &mut u64|
+     -> bool {
+        *checks += 1;
+        match &p.cond {
+            None => resolved.contains_key(&p.producer),
+            Some(c) => match outcome.get(c.on.as_str()) {
+                None => false, // guard undecided: must wait
+                Some(GuardOutcome::Value(v)) if *v == c.value => {
+                    resolved.contains_key(&p.producer)
+                }
+                // Guard mismatched or skipped: the constraint is waived.
+                Some(_) => true,
+            },
+        }
+    };
+
+    // Exec decision: Some(true/false) once all mentioned guards resolved.
+    let exec_known = |a: &str,
+                      exec: &ExecConditions,
+                      outcome: &HashMap<&str, GuardOutcome>|
+     -> Option<bool> {
+        let dnf = exec.of(a);
+        if dnf.is_always() {
+            return Some(true);
+        }
+        let mut guards: HashSet<&str> = HashSet::new();
+        for t in dnf.terms() {
+            for c in t {
+                guards.insert(&c.on);
+            }
+        }
+        if !guards.iter().all(|g| outcome.contains_key(*g)) {
+            return None;
+        }
+        let value = dnf.terms().iter().any(|term| {
+            term.iter().all(|c| {
+                matches!(outcome.get(c.on.as_str()), Some(GuardOutcome::Value(v)) if *v == c.value)
+            })
+        });
+        Some(value)
+    };
+
+    let total = cs.activities.len();
+    loop {
+        // Commit phase: start, skip, or unblock whatever is ready at `now`.
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for a in &cs.activities {
+                let a = a.as_str();
+                if done.contains(a) || running.contains(a) && !finish_blocked.contains(a) {
+                    continue;
+                }
+                if finish_blocked.contains(a) {
+                    // Re-try the deferred finish.
+                    let ok = finish_prereqs[a]
+                        .iter()
+                        .all(|p| satisfied(p, &resolved, &outcome, &mut checks));
+                    if ok {
+                        finish_blocked.remove(a);
+                        commit_finish(
+                            a, now, &mut seq, cs, config, &mut trace, &mut resolved,
+                            &mut outcome, &mut running, &mut done, value_of_guard,
+                        );
+                        progressed = true;
+                    }
+                    continue;
+                }
+                if started.contains(a) {
+                    continue;
+                }
+                let starts_ok = start_prereqs[a]
+                    .iter()
+                    .all(|p| satisfied(p, &resolved, &outcome, &mut checks));
+                if !starts_ok {
+                    continue;
+                }
+                match exec_known(a, exec, &outcome) {
+                    None => continue,
+                    Some(true) => {
+                        // Exclusive: defer while a partner is running.
+                        if exclusive
+                            .get(a)
+                            .is_some_and(|ps| ps.iter().any(|p| running.contains(p)))
+                        {
+                            continue;
+                        }
+                        // Worker limit: zero-duration activities (the
+                        // desugaring coordinators) pass through freely.
+                        if let Some(k) = config.workers {
+                            if config.durations.of(a) > 0 && running.len() >= k {
+                                continue;
+                            }
+                        }
+                        started.insert(a);
+                        running.insert(a);
+                        trace.events.push(TraceEvent {
+                            time: now,
+                            seq,
+                            activity: a.to_string(),
+                            kind: EventKind::Start,
+                            value: None,
+                        });
+                        resolved.insert(StateRef::start(a), (now, seq));
+                        resolved.insert(StateRef::run(a), (now, seq));
+                        seq += 1;
+                        finish_queue.push(std::cmp::Reverse((
+                            now + config.durations.of(a),
+                            seq,
+                            a.to_string(),
+                        )));
+                        progressed = true;
+                    }
+                    Some(false) => {
+                        // Skip also waits for finish-side prerequisites
+                        // (skip events are ordered after everything the
+                        // activity would have waited for).
+                        let fin_ok = finish_prereqs[a]
+                            .iter()
+                            .all(|p| satisfied(p, &resolved, &outcome, &mut checks));
+                        if !fin_ok {
+                            continue;
+                        }
+                        started.insert(a);
+                        done.insert(a);
+                        trace.events.push(TraceEvent {
+                            time: now,
+                            seq,
+                            activity: a.to_string(),
+                            kind: EventKind::Skip,
+                            value: None,
+                        });
+                        for st in ActivityState::ALL {
+                            resolved.insert(
+                                StateRef {
+                                    activity: a.to_string(),
+                                    state: st,
+                                },
+                                (now, seq),
+                            );
+                        }
+                        outcome.insert(a, GuardOutcome::Skipped);
+                        seq += 1;
+                        progressed = true;
+                    }
+                }
+            }
+        }
+
+        if done.len() == total {
+            break;
+        }
+        // Advance to the next natural finish.
+        let Some(std::cmp::Reverse((t, _, a))) = finish_queue.pop() else {
+            break; // deadlock: nothing running, nothing ready
+        };
+        now = now.max(t);
+        let a_ref: &str = cs
+            .activities
+            .get(&a)
+            .map(String::as_str)
+            .expect("finish of unknown activity");
+        // Finish-side prerequisites may defer the completion.
+        let ok = finish_prereqs[a_ref]
+            .iter()
+            .all(|p| satisfied(p, &resolved, &outcome, &mut checks));
+        if ok {
+            commit_finish(
+                a_ref, now, &mut seq, cs, config, &mut trace, &mut resolved, &mut outcome,
+                &mut running, &mut done, value_of_guard,
+            );
+        } else {
+            finish_blocked.insert(a_ref);
+        }
+    }
+
+    let stuck: Vec<String> = cs
+        .activities
+        .iter()
+        .filter(|a| !done.contains(a.as_str()))
+        .cloned()
+        .collect();
+    Schedule {
+        trace,
+        constraint_checks: checks,
+        stuck,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn commit_finish<'a>(
+    a: &'a str,
+    now: Time,
+    seq: &mut u64,
+    cs: &ConstraintSet,
+    config: &SimConfig,
+    trace: &mut Trace,
+    resolved: &mut HashMap<StateRef, (Time, u64)>,
+    outcome: &mut HashMap<&'a str, GuardOutcome>,
+    running: &mut HashSet<&'a str>,
+    done: &mut HashSet<&'a str>,
+    value_of_guard: impl Fn(&str, &SimConfig, &ConstraintSet) -> String,
+) {
+    running.remove(a);
+    done.insert(a);
+    let value = if cs.domains.contains_key(a) {
+        Some(value_of_guard(a, config, cs))
+    } else {
+        None
+    };
+    trace.events.push(TraceEvent {
+        time: now,
+        seq: *seq,
+        activity: a.to_string(),
+        kind: EventKind::Finish,
+        value: value.clone(),
+    });
+    resolved.insert(StateRef::finish(a), (now, *seq));
+    *seq += 1;
+    outcome.insert(
+        a,
+        GuardOutcome::Value(value.unwrap_or_else(|| "done".to_string())),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dscweaver_dscl::Origin;
+
+    fn before(a: &str, b: &str) -> Relation {
+        Relation::before(StateRef::finish(a), StateRef::start(b), Origin::Data)
+    }
+
+    fn run(cs: &ConstraintSet, config: &SimConfig) -> Schedule {
+        let exec = ExecConditions::derive(cs);
+        simulate(cs, &exec, config)
+    }
+
+    #[test]
+    fn chain_executes_in_order() {
+        let mut cs = ConstraintSet::new("chain");
+        for a in ["a", "b", "c"] {
+            cs.add_activity(a);
+        }
+        cs.push(before("a", "b"));
+        cs.push(before("b", "c"));
+        let s = run(&cs, &SimConfig::default());
+        assert!(s.completed());
+        assert!(s.trace.verify(&cs).is_empty());
+        assert_eq!(s.trace.makespan(), 3, "three unit activities in series");
+        assert_eq!(s.trace.max_concurrency(), 1);
+    }
+
+    #[test]
+    fn independent_activities_run_concurrently() {
+        let mut cs = ConstraintSet::new("par");
+        for a in ["a", "b", "c"] {
+            cs.add_activity(a);
+        }
+        let s = run(&cs, &SimConfig::default());
+        assert_eq!(s.trace.makespan(), 1);
+        assert_eq!(s.trace.max_concurrency(), 3);
+    }
+
+    #[test]
+    fn branch_skips_dead_path() {
+        let mut cs = ConstraintSet::new("branch");
+        for a in ["g", "x", "y", "j"] {
+            cs.add_activity(a);
+        }
+        cs.add_domain("g", vec!["T".into(), "F".into()]);
+        cs.push(Relation::before_if(
+            StateRef::finish("g"),
+            StateRef::start("x"),
+            Condition::new("g", "T"),
+            Origin::Control,
+        ));
+        cs.push(Relation::before_if(
+            StateRef::finish("g"),
+            StateRef::start("y"),
+            Condition::new("g", "F"),
+            Origin::Control,
+        ));
+        cs.push(before("x", "j"));
+        cs.push(before("y", "j"));
+
+        let mut cfg = SimConfig::default();
+        cfg.oracle.insert("g".into(), "T".into());
+        let s = run(&cs, &cfg);
+        assert!(s.completed());
+        assert!(s.trace.executed("x"));
+        assert!(s.trace.skipped("y"));
+        assert!(s.trace.executed("j"), "join runs despite the dead path");
+        assert!(s.trace.verify(&cs).is_empty());
+
+        cfg.oracle.insert("g".into(), "F".into());
+        let s2 = run(&cs, &cfg);
+        assert!(s2.trace.skipped("x"));
+        assert!(s2.trace.executed("y"));
+        assert!(s2.trace.verify(&cs).is_empty());
+    }
+
+    #[test]
+    fn skip_ordered_after_prerequisites() {
+        // a → x, x conditional on g=T; on F the skip of x happens no
+        // earlier than finish(a) — and therefore the join j (after x)
+        // starts after a.
+        let mut cs = ConstraintSet::new("skiporder");
+        for a in ["g", "a", "x", "j"] {
+            cs.add_activity(a);
+        }
+        cs.add_domain("g", vec!["T".into(), "F".into()]);
+        cs.push(Relation::before_if(
+            StateRef::finish("g"),
+            StateRef::start("x"),
+            Condition::new("g", "T"),
+            Origin::Control,
+        ));
+        cs.push(before("a", "x"));
+        cs.push(before("x", "j"));
+        let mut cfg = SimConfig::default();
+        cfg.oracle.insert("g".into(), "F".into());
+        cfg.durations.set("a", 10);
+        let s = run(&cs, &cfg);
+        assert!(s.completed());
+        let skip_time = s
+            .trace
+            .events
+            .iter()
+            .find(|e| e.activity == "x" && e.kind == EventKind::Skip)
+            .unwrap()
+            .time;
+        assert!(skip_time >= 10, "skip waits for finish(a) at t=10");
+        let j_start = s.trace.occurrence(&StateRef::start("j")).unwrap().0;
+        assert!(j_start >= 10);
+    }
+
+    #[test]
+    fn finish_side_prerequisite_defers_completion() {
+        // S(a) → F(b) with a starting late: b must not finish before a
+        // starts.
+        let mut cs = ConstraintSet::new("overlap");
+        for a in ["z", "a", "b"] {
+            cs.add_activity(a);
+        }
+        cs.push(before("z", "a")); // delays a's start
+        cs.push(Relation::before(
+            StateRef::start("a"),
+            StateRef::finish("b"),
+            Origin::Cooperation,
+        ));
+        let mut cfg = SimConfig::default();
+        cfg.durations.set("z", 5);
+        cfg.durations.set("b", 1);
+        let s = run(&cs, &cfg);
+        assert!(s.completed());
+        let b_fin = s.trace.occurrence(&StateRef::finish("b")).unwrap().0;
+        let a_start = s.trace.occurrence(&StateRef::start("a")).unwrap().0;
+        assert_eq!(a_start, 5);
+        assert!(b_fin >= 5, "b finished at {b_fin}, before a started");
+        assert!(s.trace.verify(&cs).is_empty());
+    }
+
+    #[test]
+    fn deadlock_reports_stuck_activities() {
+        let mut cs = ConstraintSet::new("dead");
+        cs.add_activity("a");
+        cs.add_activity("b");
+        cs.push(before("a", "b"));
+        cs.push(before("b", "a"));
+        let s = run(&cs, &SimConfig::default());
+        assert!(!s.completed());
+        assert_eq!(s.stuck, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn exclusive_serializes() {
+        let mut cs = ConstraintSet::new("excl");
+        cs.add_activity("p");
+        cs.add_activity("q");
+        cs.push(Relation::Exclusive {
+            a: StateRef::run("p"),
+            b: StateRef::run("q"),
+            origin: Origin::Cooperation,
+        });
+        let mut cfg = SimConfig::default();
+        cfg.durations.set("p", 5);
+        cfg.durations.set("q", 5);
+        let s = run(&cs, &cfg);
+        assert!(s.completed());
+        assert!(s.trace.verify_exclusives(&cs).is_empty());
+        assert_eq!(s.trace.makespan(), 10, "serialized");
+        assert_eq!(s.trace.max_concurrency(), 1);
+    }
+
+    #[test]
+    fn fewer_constraints_fewer_checks() {
+        // Redundant constraints cost checks: a chain plus shortcuts.
+        let mut full = ConstraintSet::new("full");
+        for a in ["a", "b", "c", "d"] {
+            full.add_activity(a);
+        }
+        full.push(before("a", "b"));
+        full.push(before("b", "c"));
+        full.push(before("c", "d"));
+        let mut redundant = full.clone();
+        redundant.push(before("a", "c"));
+        redundant.push(before("a", "d"));
+        redundant.push(before("b", "d"));
+        let s_min = run(&full, &SimConfig::default());
+        let s_red = run(&redundant, &SimConfig::default());
+        assert_eq!(s_min.trace.makespan(), s_red.trace.makespan());
+        assert!(
+            s_red.constraint_checks > s_min.constraint_checks,
+            "{} vs {}",
+            s_red.constraint_checks,
+            s_min.constraint_checks
+        );
+    }
+
+    #[test]
+    fn coordinator_activities_take_zero_time() {
+        let mut cs = ConstraintSet::new("ht");
+        cs.add_activity("a");
+        cs.add_activity("b");
+        cs.push(Relation::HappenTogether {
+            a: StateRef::start("a"),
+            b: StateRef::start("b"),
+            cond: None,
+            origin: Origin::Cooperation,
+        });
+        cs.desugar_happen_together();
+        let s = run(&cs, &SimConfig::default());
+        assert!(s.completed(), "stuck: {:?}", s.stuck);
+        let a_start = s.trace.occurrence(&StateRef::start("a")).unwrap().0;
+        let b_start = s.trace.occurrence(&StateRef::start("b")).unwrap().0;
+        assert_eq!(a_start, b_start, "barrier starts together");
+    }
+}
+
+#[cfg(test)]
+mod worker_tests {
+    use super::*;
+    use dscweaver_dscl::Origin;
+
+    fn independent(n: usize) -> ConstraintSet {
+        let mut cs = ConstraintSet::new("workers");
+        for i in 0..n {
+            cs.add_activity(format!("a{i}"));
+        }
+        cs
+    }
+
+    fn run_with(cs: &ConstraintSet, workers: Option<usize>) -> Schedule {
+        let exec = ExecConditions::derive(cs);
+        let config = SimConfig {
+            workers,
+            ..Default::default()
+        };
+        simulate(cs, &exec, &config)
+    }
+
+    #[test]
+    fn single_worker_serializes() {
+        let cs = independent(5);
+        let s = run_with(&cs, Some(1));
+        assert!(s.completed());
+        assert_eq!(s.trace.max_concurrency(), 1);
+        assert_eq!(s.trace.makespan(), 5);
+    }
+
+    #[test]
+    fn worker_pool_caps_concurrency() {
+        let cs = independent(6);
+        let s = run_with(&cs, Some(2));
+        assert!(s.completed());
+        assert_eq!(s.trace.max_concurrency(), 2);
+        assert_eq!(s.trace.makespan(), 3, "6 unit tasks on 2 workers");
+        let unbounded = run_with(&cs, None);
+        assert_eq!(unbounded.trace.makespan(), 1);
+        assert_eq!(unbounded.trace.max_concurrency(), 6);
+    }
+
+    #[test]
+    fn constraints_still_hold_under_worker_limit() {
+        let mut cs = independent(4);
+        cs.push(Relation::before(
+            StateRef::finish("a0"),
+            StateRef::start("a3"),
+            Origin::Data,
+        ));
+        let s = run_with(&cs, Some(2));
+        assert!(s.completed());
+        assert!(s.trace.verify(&cs).is_empty());
+    }
+
+    #[test]
+    fn coordinators_bypass_the_pool() {
+        // A barrier between two activities with a single worker must not
+        // deadlock: the zero-duration coordinator does not occupy it.
+        let mut cs = independent(2);
+        cs.push(Relation::HappenTogether {
+            a: StateRef::start("a0"),
+            b: StateRef::start("a1"),
+            cond: None,
+            origin: Origin::Cooperation,
+        });
+        cs.desugar_happen_together();
+        let s = run_with(&cs, Some(2));
+        assert!(s.completed(), "{:?}", s.stuck);
+    }
+}

@@ -1,0 +1,132 @@
+//! The paper's Figure 6: a **Deployment process** that installs middleware
+//! and application packages after receiving a deployment configuration.
+//!
+//! The point of the example (§3.2): there is *neither a data nor a control
+//! dependency* between `invDeploy_midConfig` and `invDeploy_appConfig`,
+//! yet the application package must be installed after the middleware has
+//! set up the directory structure (a servlet goes under Tomcat's
+//! `$Tomcat/webapp`). Only a **cooperation dependency** captures this
+//! implicit interaction.
+//!
+//! The module also carries the paper's other cooperation example:
+//! overlapping lifetimes — `S(collectSurvey) → F(closeOrder)` — the survey
+//! must *start* before order-closing *finishes*.
+
+use dscweaver_core::{Dependency, DependencySet};
+use dscweaver_dscl::StateRef;
+use dscweaver_model::{parse_process, Process};
+
+/// The Deployment process in the model DSL. Both invocations extract their
+/// part of the configuration, so both read `config` — no def-use data
+/// dependency orders them.
+pub const DEPLOYMENT_DSL: &str = r#"
+process Deployment {
+  var config, midStatus, appStatus, order, survey;
+  service Deploy { ports 1 async }
+
+  sequence {
+    receive recClient_Config from Client writes config;
+    flow {
+      sequence {
+        invoke invDeploy_midConfig on Deploy port 1 reads config;
+        receive recDeploy_midStatus from Deploy writes midStatus;
+      }
+      sequence {
+        invoke invDeploy_appConfig on Deploy port 1 reads config;
+        receive recDeploy_appStatus from Deploy writes appStatus;
+      }
+    }
+    flow {
+      assign closeOrder reads midStatus, appStatus writes order;
+      assign collectSurvey writes survey;
+    }
+    reply replyClient_done to Client reads order;
+  }
+}
+"#;
+
+/// Parses the Deployment process.
+pub fn deployment_process() -> Process {
+    let p = parse_process(DEPLOYMENT_DSL).expect("built-in process must parse");
+    debug_assert!(p.validate().is_empty(), "{:?}", p.validate());
+    p
+}
+
+/// The analyst-supplied cooperation dependencies of the Deployment
+/// process:
+///
+/// * `invDeploy_midConfig →_o invDeploy_appConfig` — the Figure 6 implicit
+///   interaction (directory structure must exist first);
+/// * `S(collectSurvey) →_o F(closeOrder)` — the fine-granularity
+///   overlapping-lifetime constraint of §3.2.
+pub fn deployment_cooperation() -> Vec<Dependency> {
+    vec![
+        Dependency::cooperation("invDeploy_midConfig", "invDeploy_appConfig"),
+        Dependency::cooperation_states(
+            StateRef::start("collectSurvey"),
+            StateRef::finish("closeOrder"),
+        ),
+    ]
+}
+
+/// The full Deployment dependency set: PDG-extracted data/control +
+/// declaration-implied service dependencies + the cooperation list.
+pub fn deployment_dependencies() -> DependencySet {
+    let process = deployment_process();
+    let mut ds = dscweaver_pdg::extract(&process, dscweaver_pdg::ExtractOptions::default());
+    for d in deployment_cooperation() {
+        ds.push(d);
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dscweaver_core::Weaver;
+
+    #[test]
+    fn no_data_or_control_between_the_two_invokes() {
+        let ds = deployment_dependencies();
+        let ordered = ds.deps.iter().any(|d| {
+            d.from.name == "invDeploy_midConfig"
+                && d.to.name == "invDeploy_appConfig"
+                && d.kind.dimension() != "cooperative"
+        });
+        assert!(
+            !ordered,
+            "the paper's point: only cooperation orders the installs"
+        );
+        assert!(ds.deps.iter().any(|d| {
+            d.from.name == "invDeploy_midConfig"
+                && d.to.name == "invDeploy_appConfig"
+                && d.kind.dimension() == "cooperative"
+        }));
+    }
+
+    #[test]
+    fn pipeline_keeps_the_cooperation_constraint() {
+        let out = Weaver::new().run(&deployment_dependencies()).unwrap();
+        assert!(
+            out.minimal
+                .happen_befores()
+                .any(|r| r.to_string() == "F(invDeploy_midConfig) -> S(invDeploy_appConfig)"),
+            "nothing else implies the install order:\n{}",
+            out.minimal.to_dscl()
+        );
+        // The overlapping-lifetime constraint survives too.
+        assert!(out
+            .minimal
+            .happen_befores()
+            .any(|r| r.to_string() == "S(collectSurvey) -> F(closeOrder)"));
+    }
+
+    #[test]
+    fn overlap_constraint_uses_states() {
+        let coop = deployment_cooperation();
+        assert_eq!(
+            coop[1].to_string(),
+            "S(collectSurvey) ->o F(closeOrder)"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! # dscweaver-workloads
+//!
+//! Canonical processes from the paper (Purchasing §2, Deployment §3.2)
+//! plus synthetic workload generators for the scaling and ablation
+//! benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod deployment;
+pub mod purchasing;
+pub mod scenarios;
+pub mod synth;
+
+pub use deployment::{deployment_dependencies, deployment_process};
+pub use scenarios::{loan_dependencies, loan_process, quotes_dependencies, quotes_process, settlement_constraints};
+pub use purchasing::{
+    purchasing_conversations, purchasing_cooperation, purchasing_dependencies,
+    purchasing_dependencies_extracted, purchasing_process,
+};
+pub use synth::{fork_join, layered, service_mesh, LayeredParams};

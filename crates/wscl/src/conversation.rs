@@ -1,0 +1,368 @@
+//! WSCL-style conversation documents and the derivation of service
+//! dependencies from them.
+//!
+//! §3.2: "Service dependency information is likely to be found in standard
+//! description documents like WSCL that specifies the XML documents being
+//! exchanged, and the allowed sequencing of these document exchanges."
+//! A [`Conversation`] names the service's *interactions* (from the
+//! service's perspective: `Receive` = an input port the process invokes,
+//! `Send` = an asynchronous callback the process receives) and the allowed
+//! *transitions* between them. Together with a [`ServiceBinding`] — which
+//! process activity talks to which interaction — this yields exactly the
+//! `→_s` rows of the paper's Table 1.
+
+use dscweaver_core::Dependency;
+use std::collections::BTreeMap;
+
+/// Direction of an interaction, from the service's perspective.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InteractionKind {
+    /// The service receives a document — an input port; the process side
+    /// is an `invoke`.
+    Receive,
+    /// The service sends a document — an asynchronous callback; the
+    /// process side is a `receive`.
+    Send,
+}
+
+/// One interaction of a conversation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Interaction {
+    /// Unique id within the conversation.
+    pub id: String,
+    /// Direction.
+    pub kind: InteractionKind,
+    /// The XML document type exchanged (informational).
+    pub document: String,
+}
+
+/// A service conversation: interactions plus allowed sequencing.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Conversation {
+    /// The service name.
+    pub name: String,
+    /// Interactions in declaration order (Receive interactions are
+    /// numbered as ports 1..n in this order).
+    pub interactions: Vec<Interaction>,
+    /// Allowed orderings: `(source interaction id, destination id)`.
+    pub transitions: Vec<(String, String)>,
+}
+
+/// Problems in a conversation document.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WsclError {
+    /// A transition endpoint names an unknown interaction.
+    UnknownInteraction(String),
+    /// Two interactions share an id.
+    DuplicateInteraction(String),
+    /// A binding references an unknown interaction.
+    UnboundInteraction(String),
+}
+
+impl std::fmt::Display for WsclError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WsclError::UnknownInteraction(i) => {
+                write!(f, "transition references unknown interaction '{i}'")
+            }
+            WsclError::DuplicateInteraction(i) => write!(f, "duplicate interaction id '{i}'"),
+            WsclError::UnboundInteraction(i) => {
+                write!(f, "binding references unknown interaction '{i}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WsclError {}
+
+impl Conversation {
+    /// A new empty conversation.
+    pub fn new(name: impl Into<String>) -> Self {
+        Conversation {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Builder: adds a Receive interaction (input port).
+    pub fn receive(mut self, id: &str, document: &str) -> Self {
+        self.interactions.push(Interaction {
+            id: id.into(),
+            kind: InteractionKind::Receive,
+            document: document.into(),
+        });
+        self
+    }
+
+    /// Builder: adds a Send interaction (callback).
+    pub fn send(mut self, id: &str, document: &str) -> Self {
+        self.interactions.push(Interaction {
+            id: id.into(),
+            kind: InteractionKind::Send,
+            document: document.into(),
+        });
+        self
+    }
+
+    /// Builder: adds a transition.
+    pub fn transition(mut self, from: &str, to: &str) -> Self {
+        self.transitions.push((from.into(), to.into()));
+        self
+    }
+
+    /// Looks up an interaction.
+    pub fn interaction(&self, id: &str) -> Option<&Interaction> {
+        self.interactions.iter().find(|i| i.id == id)
+    }
+
+    /// Structural validation.
+    pub fn validate(&self) -> Vec<WsclError> {
+        let mut errors = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for i in &self.interactions {
+            if !seen.insert(i.id.as_str()) {
+                errors.push(WsclError::DuplicateInteraction(i.id.clone()));
+            }
+        }
+        for (f, t) in &self.transitions {
+            for e in [f, t] {
+                if self.interaction(e).is_none() {
+                    errors.push(WsclError::UnknownInteraction(e.clone()));
+                }
+            }
+        }
+        errors
+    }
+
+    /// Receive interactions in port order.
+    pub fn ports(&self) -> Vec<&Interaction> {
+        self.interactions
+            .iter()
+            .filter(|i| i.kind == InteractionKind::Receive)
+            .collect()
+    }
+
+    /// The §3.3 node name of an interaction: a Receive interaction gets
+    /// the bare service name (single port) or `service_k` (multi-port,
+    /// 1-based port order); every Send interaction maps to the single
+    /// dummy callback port `service_d`.
+    pub fn node_of(&self, id: &str) -> Option<String> {
+        let interaction = self.interaction(id)?;
+        match interaction.kind {
+            InteractionKind::Send => Some(format!("{}_d", self.name)),
+            InteractionKind::Receive => {
+                let ports = self.ports();
+                let pos = ports.iter().position(|i| i.id == id)? + 1;
+                if ports.len() <= 1 {
+                    Some(self.name.clone())
+                } else {
+                    Some(format!("{}_{}", self.name, pos))
+                }
+            }
+        }
+    }
+}
+
+/// Binds conversation interactions to process activities.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ServiceBinding {
+    /// interaction id → the process activity that invokes it (Receive
+    /// interactions).
+    pub invokers: BTreeMap<String, String>,
+    /// interaction id → the process activity that listens for it (Send
+    /// interactions).
+    pub receivers: BTreeMap<String, String>,
+}
+
+impl ServiceBinding {
+    /// Empty binding.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: binds an invoking activity to a Receive interaction.
+    pub fn invoke(mut self, interaction: &str, activity: &str) -> Self {
+        self.invokers.insert(interaction.into(), activity.into());
+        self
+    }
+
+    /// Builder: binds a receiving activity to a Send interaction.
+    pub fn receive(mut self, interaction: &str, activity: &str) -> Self {
+        self.receivers.insert(interaction.into(), activity.into());
+        self
+    }
+}
+
+/// Derives the service dependencies (`→_s`) and the external service nodes
+/// a conversation contributes, given the process binding.
+///
+/// * Each bound invoker: `inv →_s node(port)`.
+/// * Each transition: `node(src) →_s node(dst)` (deduplicated — several
+///   Send interactions share the dummy node).
+/// * Each bound receiver: `node_d →_s rec`.
+pub fn derive_service_dependencies(
+    conv: &Conversation,
+    binding: &ServiceBinding,
+) -> Result<(Vec<Dependency>, Vec<String>), WsclError> {
+    let errors = conv.validate();
+    if let Some(e) = errors.into_iter().next() {
+        return Err(e);
+    }
+    for id in binding.invokers.keys().chain(binding.receivers.keys()) {
+        if conv.interaction(id).is_none() {
+            return Err(WsclError::UnboundInteraction(id.clone()));
+        }
+    }
+
+    let mut deps = Vec::new();
+    let mut nodes = Vec::new();
+    let mut seen_dep = std::collections::HashSet::new();
+    let mut push = |deps: &mut Vec<Dependency>, d: Dependency| {
+        if seen_dep.insert(d.to_string()) {
+            deps.push(d);
+        }
+    };
+
+    // Nodes, in interaction order (dummy appears once).
+    let mut seen_node = std::collections::HashSet::new();
+    for i in &conv.interactions {
+        let n = conv.node_of(&i.id).expect("validated id");
+        if seen_node.insert(n.clone()) {
+            nodes.push(n);
+        }
+    }
+
+    for (id, inv) in &binding.invokers {
+        let node = conv.node_of(id).expect("validated id");
+        push(&mut deps, Dependency::service(inv, &node));
+    }
+    for (f, t) in &conv.transitions {
+        let fnode = conv.node_of(f).expect("validated id");
+        let tnode = conv.node_of(t).expect("validated id");
+        if fnode != tnode {
+            push(&mut deps, Dependency::service(&fnode, &tnode));
+        }
+    }
+    for (id, rec) in &binding.receivers {
+        let node = conv.node_of(id).expect("validated id");
+        push(&mut deps, Dependency::service(&node, rec));
+    }
+    Ok((deps, nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's state-aware Purchase service: sequential invocation on
+    /// its two ports, callback with the final invoice.
+    fn purchase() -> Conversation {
+        Conversation::new("Purchase")
+            .receive("port1", "PurchaseOrder")
+            .receive("port2", "ShippingInvoice")
+            .send("callback", "OrderInvoice")
+            .transition("port1", "port2")
+            .transition("port1", "callback")
+            .transition("port2", "callback")
+    }
+
+    #[test]
+    fn purchase_conversation_derives_table1_rows() {
+        let binding = ServiceBinding::new()
+            .invoke("port1", "invPurchase_po")
+            .invoke("port2", "invPurchase_si")
+            .receive("callback", "recPurchase_oi");
+        let (deps, nodes) = derive_service_dependencies(&purchase(), &binding).unwrap();
+        let strs: Vec<String> = deps.iter().map(|d| d.to_string()).collect();
+        for expected in [
+            "invPurchase_po ->s Purchase_1",
+            "invPurchase_si ->s Purchase_2",
+            "Purchase_1 ->s Purchase_2",
+            "Purchase_1 ->s Purchase_d",
+            "Purchase_2 ->s Purchase_d",
+            "Purchase_d ->s recPurchase_oi",
+        ] {
+            assert!(strs.contains(&expected.to_string()), "missing {expected} in {strs:?}");
+        }
+        assert_eq!(deps.len(), 6);
+        assert_eq!(nodes, vec!["Purchase_1", "Purchase_2", "Purchase_d"]);
+    }
+
+    #[test]
+    fn single_port_naming() {
+        let conv = Conversation::new("Credit")
+            .receive("auth", "AuthRequest")
+            .send("result", "AuthResult")
+            .transition("auth", "result");
+        let binding = ServiceBinding::new()
+            .invoke("auth", "invCredit_po")
+            .receive("result", "recCredit_au");
+        let (deps, nodes) = derive_service_dependencies(&conv, &binding).unwrap();
+        let strs: Vec<String> = deps.iter().map(|d| d.to_string()).collect();
+        assert_eq!(
+            strs,
+            vec![
+                "invCredit_po ->s Credit",
+                "Credit ->s Credit_d",
+                "Credit_d ->s recCredit_au"
+            ]
+        );
+        assert_eq!(nodes, vec!["Credit", "Credit_d"]);
+    }
+
+    #[test]
+    fn two_sends_share_one_dummy() {
+        let conv = Conversation::new("Ship")
+            .receive("port", "PurchaseOrder")
+            .send("si", "ShippingInvoice")
+            .send("ss", "ShippingSchedule")
+            .transition("port", "si")
+            .transition("port", "ss");
+        let binding = ServiceBinding::new()
+            .invoke("port", "invShip_po")
+            .receive("si", "recShip_si")
+            .receive("ss", "recShip_ss");
+        let (deps, nodes) = derive_service_dependencies(&conv, &binding).unwrap();
+        let strs: Vec<String> = deps.iter().map(|d| d.to_string()).collect();
+        assert_eq!(
+            strs,
+            vec![
+                "invShip_po ->s Ship",
+                "Ship ->s Ship_d",
+                "Ship_d ->s recShip_si",
+                "Ship_d ->s recShip_ss"
+            ],
+            "the Ship→Ship_d transition is deduplicated"
+        );
+        assert_eq!(nodes, vec!["Ship", "Ship_d"]);
+    }
+
+    #[test]
+    fn no_transitions_no_ordering() {
+        let conv = Conversation::new("Production")
+            .receive("port1", "PurchaseOrder")
+            .receive("port2", "ShippingSchedule");
+        let binding = ServiceBinding::new()
+            .invoke("port1", "invProduction_po")
+            .invoke("port2", "invProduction_ss");
+        let (deps, _) = derive_service_dependencies(&conv, &binding).unwrap();
+        assert_eq!(deps.len(), 2, "only the invocation edges: {deps:?}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let bad = Conversation::new("X")
+            .receive("a", "D")
+            .receive("a", "D")
+            .transition("a", "ghost");
+        let errs = bad.validate();
+        assert!(errs.iter().any(|e| matches!(e, WsclError::DuplicateInteraction(_))));
+        assert!(errs.iter().any(|e| matches!(e, WsclError::UnknownInteraction(_))));
+        let binding = ServiceBinding::new().invoke("nope", "x");
+        let conv = Conversation::new("Y").receive("a", "D");
+        assert!(matches!(
+            derive_service_dependencies(&conv, &binding),
+            Err(WsclError::UnboundInteraction(_))
+        ));
+    }
+}

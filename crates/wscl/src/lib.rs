@@ -1,0 +1,20 @@
+//! # dscweaver-wscl
+//!
+//! WSCL-style service conversation documents (§3.2) — the source of
+//! *service dependencies*. A conversation names a service's interactions
+//! (ports and callbacks) and the allowed sequencing between them; bound to
+//! the invoking/receiving activities of a process, it yields the `→_s`
+//! dependencies of Table 1, including port-ordering requirements like the
+//! state-aware Purchase service's "sequential invocation on its two
+//! ports".
+
+#![warn(missing_docs)]
+
+pub mod conversation;
+pub mod xml;
+
+pub use conversation::{
+    derive_service_dependencies, Conversation, Interaction, InteractionKind, ServiceBinding,
+    WsclError,
+};
+pub use xml::{from_xml, to_xml, WsclXmlError};

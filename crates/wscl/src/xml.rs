@@ -1,0 +1,181 @@
+//! WSCL 1.0-flavored XML serialization of conversations.
+
+use crate::conversation::{Conversation, Interaction, InteractionKind};
+use dscweaver_xml::{parse, Element, ParseError};
+
+/// Emits the conversation as WSCL-style XML.
+pub fn to_xml(conv: &Conversation) -> String {
+    let mut interactions = Element::new("ConversationInteractions");
+    for i in &conv.interactions {
+        let kind = match i.kind {
+            InteractionKind::Receive => "Receive",
+            InteractionKind::Send => "Send",
+        };
+        let doc_tag = match i.kind {
+            InteractionKind::Receive => "InboundXMLDocument",
+            InteractionKind::Send => "OutboundXMLDocument",
+        };
+        interactions = interactions.child(
+            Element::new("Interaction")
+                .attr("interactionType", kind)
+                .attr("id", i.id.clone())
+                .child(Element::new(doc_tag).attr("id", i.document.clone())),
+        );
+    }
+    let mut transitions = Element::new("ConversationTransitions");
+    for (f, t) in &conv.transitions {
+        transitions = transitions.child(
+            Element::new("Transition")
+                .child(Element::new("SourceInteraction").attr("href", f.clone()))
+                .child(Element::new("DestinationInteraction").attr("href", t.clone())),
+        );
+    }
+    let root = Element::new("Conversation")
+        .attr("name", conv.name.clone())
+        .attr("xmlns", "http://www.w3.org/2002/02/wscl10")
+        .child(interactions)
+        .child(transitions);
+    dscweaver_xml::to_string_pretty(&root)
+}
+
+/// Errors from WSCL XML loading.
+#[derive(Debug)]
+pub enum WsclXmlError {
+    /// The XML itself failed to parse.
+    Xml(ParseError),
+    /// Structurally valid XML but not a WSCL conversation.
+    Shape(String),
+}
+
+impl std::fmt::Display for WsclXmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WsclXmlError::Xml(e) => write!(f, "{e}"),
+            WsclXmlError::Shape(m) => write!(f, "malformed WSCL document: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WsclXmlError {}
+
+/// Parses a WSCL-style conversation document.
+pub fn from_xml(src: &str) -> Result<Conversation, WsclXmlError> {
+    let root = parse(src).map_err(WsclXmlError::Xml)?;
+    if root.name != "Conversation" {
+        return Err(WsclXmlError::Shape(format!(
+            "expected <Conversation>, got <{}>",
+            root.name
+        )));
+    }
+    let name = root
+        .require_attr("name")
+        .map_err(WsclXmlError::Shape)?
+        .to_string();
+    let mut conv = Conversation::new(name);
+    if let Some(ints) = root.first_named("ConversationInteractions") {
+        for i in ints.elements_named("Interaction") {
+            let id = i.require_attr("id").map_err(WsclXmlError::Shape)?.to_string();
+            let kind = match i.require_attr("interactionType").map_err(WsclXmlError::Shape)? {
+                "Receive" | "ReceiveSend" => InteractionKind::Receive,
+                "Send" | "SendReceive" => InteractionKind::Send,
+                other => {
+                    return Err(WsclXmlError::Shape(format!(
+                        "unsupported interactionType '{other}'"
+                    )))
+                }
+            };
+            let document = i
+                .elements()
+                .find(|e| e.name.ends_with("XMLDocument"))
+                .and_then(|e| e.get_attr("id"))
+                .unwrap_or("")
+                .to_string();
+            conv.interactions.push(Interaction { id, kind, document });
+        }
+    }
+    if let Some(trans) = root.first_named("ConversationTransitions") {
+        for t in trans.elements_named("Transition") {
+            let src = t
+                .first_named("SourceInteraction")
+                .and_then(|e| e.get_attr("href"))
+                .ok_or_else(|| WsclXmlError::Shape("transition without source".into()))?;
+            let dst = t
+                .first_named("DestinationInteraction")
+                .and_then(|e| e.get_attr("href"))
+                .ok_or_else(|| WsclXmlError::Shape("transition without destination".into()))?;
+            conv.transitions.push((src.to_string(), dst.to_string()));
+        }
+    }
+    Ok(conv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Conversation {
+        Conversation::new("Purchase")
+            .receive("port1", "PurchaseOrder")
+            .receive("port2", "ShippingInvoice")
+            .send("callback", "OrderInvoice")
+            .transition("port1", "port2")
+            .transition("port2", "callback")
+    }
+
+    #[test]
+    fn round_trip() {
+        let conv = sample();
+        let xml = to_xml(&conv);
+        assert!(xml.contains("interactionType=\"Receive\""));
+        assert!(xml.contains("OutboundXMLDocument"));
+        let back = from_xml(&xml).unwrap();
+        assert_eq!(back, conv);
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        assert!(matches!(
+            from_xml("<NotAConversation/>"),
+            Err(WsclXmlError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_name() {
+        assert!(from_xml("<Conversation/>").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_interaction_type() {
+        let xml = r#"<Conversation name="X"><ConversationInteractions>
+            <Interaction interactionType="Teleport" id="a"/>
+        </ConversationInteractions></Conversation>"#;
+        assert!(from_xml(xml).is_err());
+    }
+
+    #[test]
+    fn parses_handwritten_wscl() {
+        let xml = r#"<?xml version="1.0"?>
+<Conversation name="Credit" xmlns="http://www.w3.org/2002/02/wscl10">
+  <ConversationInteractions>
+    <Interaction interactionType="Receive" id="auth">
+      <InboundXMLDocument id="AuthRequest"/>
+    </Interaction>
+    <Interaction interactionType="Send" id="result">
+      <OutboundXMLDocument id="AuthResult"/>
+    </Interaction>
+  </ConversationInteractions>
+  <ConversationTransitions>
+    <Transition>
+      <SourceInteraction href="auth"/>
+      <DestinationInteraction href="result"/>
+    </Transition>
+  </ConversationTransitions>
+</Conversation>"#;
+        let conv = from_xml(xml).unwrap();
+        assert_eq!(conv.name, "Credit");
+        assert_eq!(conv.interactions.len(), 2);
+        assert_eq!(conv.transitions, vec![("auth".to_string(), "result".to_string())]);
+        assert!(conv.validate().is_empty());
+    }
+}

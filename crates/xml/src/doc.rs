@@ -1,0 +1,150 @@
+//! Element-tree document model.
+
+use std::fmt;
+
+/// An XML element: name, ordered attributes, ordered children.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Element {
+    /// Tag name (may contain a `ns:` prefix, kept verbatim).
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+/// A node in the element tree.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// Character data (entity-decoded).
+    Text(String),
+    /// A comment (without the `<!--`/`-->` markers).
+    Comment(String),
+}
+
+impl Element {
+    /// A new element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder: adds an attribute.
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Builder: appends a child element.
+    pub fn child(mut self, e: Element) -> Self {
+        self.children.push(Node::Element(e));
+        self
+    }
+
+    /// Builder: appends character data.
+    pub fn text(mut self, t: impl Into<String>) -> Self {
+        self.children.push(Node::Text(t.into()));
+        self
+    }
+
+    /// The value of attribute `key`, if present.
+    pub fn get_attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of attribute `key`, or an error naming the element.
+    pub fn require_attr(&self, key: &str) -> Result<&str, String> {
+        self.get_attr(key)
+            .ok_or_else(|| format!("<{}> is missing required attribute '{key}'", self.name))
+    }
+
+    /// Child elements (ignoring text/comments).
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Child elements with the given tag name.
+    pub fn elements_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> {
+        self.elements().filter(move |e| e.name == name)
+    }
+
+    /// First child element with the given tag name.
+    pub fn first_named(&self, name: &str) -> Option<&Element> {
+        self.elements().find(|e| e.name == name)
+    }
+
+    /// Concatenated text content of direct text children, trimmed.
+    pub fn text_content(&self) -> String {
+        let mut s = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                s.push_str(t);
+            }
+        }
+        s.trim().to_string()
+    }
+
+    /// Recursively counts elements (including self).
+    pub fn element_count(&self) -> usize {
+        1 + self.elements().map(Element::element_count).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::write::to_string_pretty(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let e = Element::new("invoke")
+            .attr("name", "invCredit_po")
+            .attr("partner", "Credit")
+            .child(Element::new("input").text("po"));
+        assert_eq!(e.get_attr("name"), Some("invCredit_po"));
+        assert_eq!(e.get_attr("missing"), None);
+        assert!(e.require_attr("partner").is_ok());
+        assert!(e.require_attr("nope").unwrap_err().contains("invoke"));
+        assert_eq!(e.elements().count(), 1);
+        assert_eq!(e.first_named("input").unwrap().text_content(), "po");
+        assert_eq!(e.element_count(), 2);
+    }
+
+    #[test]
+    fn elements_named_filters() {
+        let e = Element::new("flow")
+            .child(Element::new("link").attr("name", "l1"))
+            .child(Element::new("invoke"))
+            .child(Element::new("link").attr("name", "l2"));
+        let names: Vec<_> = e
+            .elements_named("link")
+            .map(|l| l.get_attr("name").unwrap())
+            .collect();
+        assert_eq!(names, vec!["l1", "l2"]);
+    }
+
+    #[test]
+    fn text_content_trims_and_concatenates() {
+        let mut e = Element::new("doc");
+        e.children.push(Node::Text("  hello ".into()));
+        e.children.push(Node::Comment("ignored".into()));
+        e.children.push(Node::Text("world  ".into()));
+        assert_eq!(e.text_content(), "hello world");
+    }
+}

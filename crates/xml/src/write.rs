@@ -1,0 +1,184 @@
+//! Serialization of the element tree with entity escaping.
+
+use crate::doc::{Element, Node};
+
+/// Escapes character data (`&`, `<`, `>`).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes attribute values (adds `"` and newline escapes).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes compactly (no added whitespace) — canonical form for
+/// round-trip tests.
+pub fn to_string(e: &Element) -> String {
+    let mut out = String::new();
+    write_compact(e, &mut out);
+    out
+}
+
+fn write_compact(e: &Element, out: &mut String) {
+    out.push('<');
+    out.push_str(&e.name);
+    for (k, v) in &e.attrs {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for c in &e.children {
+        match c {
+            Node::Element(el) => write_compact(el, out),
+            Node::Text(t) => out.push_str(&escape_text(t)),
+            Node::Comment(t) => {
+                out.push_str("<!--");
+                out.push_str(t);
+                out.push_str("-->");
+            }
+        }
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push('>');
+}
+
+/// Serializes with two-space indentation — the form emitted for generated
+/// BPEL so humans can read it. Text children inhibit indentation of their
+/// parent (mixed content stays verbatim).
+pub fn to_string_pretty(e: &Element) -> String {
+    let mut out = String::new();
+    write_pretty(e, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn has_text(e: &Element) -> bool {
+    e.children
+        .iter()
+        .any(|c| matches!(c, Node::Text(t) if !t.trim().is_empty()))
+}
+
+fn write_pretty(e: &Element, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    out.push_str(&pad);
+    out.push('<');
+    out.push_str(&e.name);
+    for (k, v) in &e.attrs {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    if has_text(e) {
+        // Mixed/text content: keep on one line.
+        for c in &e.children {
+            match c {
+                Node::Element(el) => write_compact(el, out),
+                Node::Text(t) => out.push_str(&escape_text(t)),
+                Node::Comment(t) => {
+                    out.push_str("<!--");
+                    out.push_str(t);
+                    out.push_str("-->");
+                }
+            }
+        }
+    } else {
+        for c in &e.children {
+            out.push('\n');
+            match c {
+                Node::Element(el) => write_pretty(el, depth + 1, out),
+                Node::Text(_) => {}
+                Node::Comment(t) => {
+                    out.push_str(&"  ".repeat(depth + 1));
+                    out.push_str("<!--");
+                    out.push_str(t);
+                    out.push_str("-->");
+                }
+            }
+        }
+        out.push('\n');
+        out.push_str(&pad);
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_empty_element() {
+        assert_eq!(to_string(&Element::new("empty")), "<empty/>");
+    }
+
+    #[test]
+    fn compact_with_attrs_and_children() {
+        let e = Element::new("a")
+            .attr("k", "v")
+            .child(Element::new("b").text("t"));
+        assert_eq!(to_string(&e), r#"<a k="v"><b>t</b></a>"#);
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        assert_eq!(escape_attr("say \"hi\"\n"), "say &quot;hi&quot;&#10;");
+        let e = Element::new("x").attr("q", "a\"b").text("1<2");
+        assert_eq!(to_string(&e), r#"<x q="a&quot;b">1&lt;2</x>"#);
+    }
+
+    #[test]
+    fn pretty_indents_nested_elements() {
+        let e = Element::new("flow")
+            .child(Element::new("links").child(Element::new("link").attr("name", "l1")))
+            .child(Element::new("invoke").attr("name", "a"));
+        let s = to_string_pretty(&e);
+        assert!(s.contains("\n  <links>"));
+        assert!(s.contains("\n    <link name=\"l1\"/>"));
+        assert!(s.ends_with("</flow>\n"));
+    }
+
+    #[test]
+    fn pretty_keeps_text_inline() {
+        let e = Element::new("cond").text("au = true");
+        assert_eq!(to_string_pretty(&e), "<cond>au = true</cond>\n");
+    }
+}

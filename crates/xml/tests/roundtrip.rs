@@ -1,0 +1,91 @@
+//! Property test: write → parse is the identity on element trees.
+
+use dscweaver_xml::{parse, to_string, to_string_pretty, Element, Node};
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_.-]{0,8}"
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Printable text including characters that need escaping; avoid
+    // whitespace-only strings (the parser drops those) by anchoring with a
+    // letter.
+    "[a-z][ -~&<>\"']{0,12}".prop_filter("no control chars", |s| {
+        !s.contains(['\u{0}', '\r'])
+    })
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (
+        name_strategy(),
+        proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+        proptest::option::of(text_strategy()),
+    )
+        .prop_map(|(name, attrs, text)| {
+            let mut e = Element::new(name);
+            // Deduplicate attribute names (XML forbids duplicates).
+            let mut seen = std::collections::HashSet::new();
+            for (k, v) in attrs {
+                if seen.insert(k.clone()) {
+                    e.attrs.push((k, v));
+                }
+            }
+            if let Some(t) = text {
+                e.children.push(Node::Text(t));
+            }
+            e
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                let mut seen = std::collections::HashSet::new();
+                for (k, v) in attrs {
+                    if seen.insert(k.clone()) {
+                        e.attrs.push((k, v));
+                    }
+                }
+                for c in children {
+                    e.children.push(Node::Element(c));
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_roundtrip(e in element_strategy()) {
+        let s = to_string(&e);
+        let parsed = parse(&s).expect("generated XML must parse");
+        prop_assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn pretty_roundtrip_structure(e in element_strategy()) {
+        // Pretty output inserts whitespace, which the parser drops when it
+        // is whitespace-only; element structure and attributes must survive.
+        let s = to_string_pretty(&e);
+        let parsed = parse(&s).expect("pretty XML must parse");
+        fn canon(e: &Element) -> Element {
+            let mut out = Element::new(e.name.clone());
+            out.attrs = e.attrs.clone();
+            for c in &e.children {
+                match c {
+                    Node::Element(el) => out.children.push(Node::Element(canon(el))),
+                    Node::Text(t) if !t.trim().is_empty() => {
+                        out.children.push(Node::Text(t.trim().to_string()))
+                    }
+                    _ => {}
+                }
+            }
+            out
+        }
+        prop_assert_eq!(canon(&parsed), canon(&e));
+    }
+}

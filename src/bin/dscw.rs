@@ -1,0 +1,223 @@
+//! `dscw` — the DSCWeaver command-line tool.
+//!
+//! ```text
+//! dscw optimize  <process.proc> [--coop <deps.dscl>] [--wscl <conv.xml>:<bind>...]
+//! dscw validate  <process.proc> [...]
+//! dscw run       <process.proc> [--branch g=V]... [...]
+//! dscw bpel      <process.proc> [--structured] [...]
+//! dscw dot       <process.proc> [--stage sc|asc|minimal] [...]
+//! dscw figures   <process.proc> [...]
+//! ```
+//!
+//! The process is a `.proc` DSL file (see `dscweaver-model`). Cooperation
+//! dependencies come from a DSCL file whose relations are merged in as
+//! `cooperation:`-tagged constraints. WSCL conversations are XML files
+//! with a binding spec `interaction=activity,...` after a colon.
+
+use dscweaver::core::{Dependency, DependencyKind, Endpoint, Weaver};
+use dscweaver::dscl::{parse_constraints, Relation, SyncGraph};
+use dscweaver::model::parse_process;
+use dscweaver::scheduler::SimConfig;
+use dscweaver::vertical::{weave, VerticalInput};
+use dscweaver::wscl::{from_xml, ServiceBinding};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dscw <optimize|validate|run|bpel|dot|figures> <process.proc>
+       [--coop <constraints.dscl>]
+       [--wscl <conversation.xml>:<iid=activity,...>]...
+       [--branch <guard=value>]...
+       [--stage sc|asc|minimal]      (dot)
+       [--structured]                (bpel)"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    command: String,
+    process_path: String,
+    coop: Option<String>,
+    wscl: Vec<(String, String)>,
+    branches: Vec<(String, String)>,
+    stage: String,
+    structured: bool,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next()?;
+    let process_path = argv.next()?;
+    let mut args = Args {
+        command,
+        process_path,
+        coop: None,
+        wscl: Vec::new(),
+        branches: Vec::new(),
+        stage: "minimal".into(),
+        structured: false,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--coop" => args.coop = Some(argv.next()?),
+            "--wscl" => {
+                let spec = argv.next()?;
+                let (path, bind) = spec.split_once(':')?;
+                args.wscl.push((path.to_string(), bind.to_string()));
+            }
+            "--branch" => {
+                let spec = argv.next()?;
+                let (g, v) = spec.split_once('=')?;
+                args.branches.push((g.to_string(), v.to_string()));
+            }
+            "--stage" => args.stage = argv.next()?,
+            "--structured" => args.structured = true,
+            _ => return None,
+        }
+    }
+    Some(args)
+}
+
+fn run() -> Result<(), String> {
+    let Some(args) = parse_args() else {
+        return Err("bad arguments".into());
+    };
+    let src = std::fs::read_to_string(&args.process_path)
+        .map_err(|e| format!("cannot read {}: {e}", args.process_path))?;
+    let process = parse_process(&src).map_err(|e| e.to_string())?;
+    let problems = process.validate();
+    if !problems.is_empty() {
+        let msgs: Vec<String> = problems.iter().map(|p| p.to_string()).collect();
+        return Err(format!("process does not validate:\n  {}", msgs.join("\n  ")));
+    }
+
+    // Cooperation dependencies from a DSCL file.
+    let mut cooperation: Vec<Dependency> = Vec::new();
+    if let Some(path) = &args.coop {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let cs = parse_constraints(&text).map_err(|e| e.to_string())?;
+        for r in cs.happen_befores() {
+            if let Relation::HappenBefore { from, to, .. } = r {
+                cooperation.push(Dependency {
+                    from: Endpoint::at(from.activity.clone(), from.state),
+                    to: Endpoint::at(to.activity.clone(), to.state),
+                    kind: DependencyKind::Cooperation,
+                });
+            }
+        }
+    }
+
+    // WSCL conversations.
+    let mut conversations = Vec::new();
+    for (path, bind_spec) in &args.wscl {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let conv = from_xml(&text).map_err(|e| e.to_string())?;
+        let mut binding = ServiceBinding::new();
+        for pair in bind_spec.split(',') {
+            let (iid, act) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("bad binding '{pair}' (want interaction=activity)"))?;
+            let interaction = conv
+                .interaction(iid)
+                .ok_or_else(|| format!("conversation '{}' has no interaction '{iid}'", conv.name))?;
+            binding = match interaction.kind {
+                dscweaver::wscl::InteractionKind::Receive => binding.invoke(iid, act),
+                dscweaver::wscl::InteractionKind::Send => binding.receive(iid, act),
+            };
+        }
+        conversations.push((conv, binding));
+    }
+
+    let mut sim = SimConfig::default();
+    for (g, v) in &args.branches {
+        sim.oracle.insert(g.clone(), v.clone());
+    }
+
+    let out = weave(&VerticalInput {
+        process: &process,
+        conversations: &conversations,
+        cooperation: &cooperation,
+        weaver: Weaver::new(),
+        sim,
+    })
+    .map_err(|e| e.to_string())?;
+
+    match args.command.as_str() {
+        "optimize" => {
+            println!("{}", out.weaver.dependencies.render_table1());
+            println!("{}", out.weaver.render_table2());
+            println!("{}", out.weaver.minimal.to_dscl());
+            println!("removal justifications:");
+            for w in out.weaver.explain_removals() {
+                println!("  {w}");
+            }
+        }
+        "validate" => {
+            println!("{}", out.report());
+            if !out.ok() {
+                return Err("validation failed".into());
+            }
+        }
+        "run" => {
+            println!("{}", out.report());
+            println!("trace:");
+            for e in &out.schedule.trace.events {
+                println!(
+                    "  t={:<6} #{:<4} {:<8} {}",
+                    e.time,
+                    e.seq,
+                    format!("{:?}", e.kind),
+                    e.activity
+                );
+            }
+            if !out.ok() {
+                return Err("execution failed".into());
+            }
+        }
+        "bpel" => {
+            if args.structured {
+                println!(
+                    "{}",
+                    dscweaver::bpel::emit_structured_string(&process, &out.weaver.minimal)
+                );
+            } else {
+                println!("{}", out.bpel);
+            }
+        }
+        "dot" => {
+            let cs = match args.stage.as_str() {
+                "sc" => {
+                    let mut sc = out.weaver.sc.clone();
+                    sc.desugar_happen_together();
+                    sc
+                }
+                "asc" => out.weaver.asc.clone(),
+                "minimal" => out.weaver.minimal.clone(),
+                other => return Err(format!("unknown stage '{other}'")),
+            };
+            println!("{}", SyncGraph::build(&cs).to_dot(&cs.name));
+        }
+        "figures" => {
+            println!("{}", dscweaver::model::render_flowchart(&process));
+            println!("{}", dscweaver::model::render_constructs(&process));
+            println!("{}", SyncGraph::build(&out.weaver.minimal).render());
+        }
+        other => return Err(format!("unknown command '{other}'")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            if e == "bad arguments" {
+                return usage();
+            }
+            eprintln!("dscw: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

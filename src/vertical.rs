@@ -1,0 +1,218 @@
+//! The complete DSCWeaver vertical (§1): *specification → optimization →
+//! validation → execution*.
+//!
+//! [`weave`] takes a process definition plus its dependency inputs and
+//! runs every stage:
+//!
+//! 1. **Specification** — data/control dependencies are extracted from the
+//!    process (PDG, §3.1), service dependencies derived from WSCL
+//!    conversations (§3.2), cooperation dependencies supplied by the
+//!    analyst.
+//! 2. **Optimization** — merge (§4.2), service translation (§4.3),
+//!    minimal-set extraction (§4.4).
+//! 3. **Validation** — the minimal set is lowered to a colored Petri net
+//!    and checked per branch assignment (§4.1).
+//! 4. **Execution** — the dataflow engine runs the minimal set; the trace
+//!    is verified against the *full* merged constraint set, which is the
+//!    optimizer's correctness contract; BPEL code is generated.
+
+use dscweaver_core::{Weaver, WeaverError, WeaverOutput};
+use dscweaver_dscl::ConstraintSet;
+use dscweaver_model::Process;
+use dscweaver_petri::{validate_default, ValidationReport};
+use dscweaver_scheduler::{simulate, Schedule, SimConfig};
+use dscweaver_wscl::{derive_service_dependencies, Conversation, ServiceBinding, WsclError};
+
+/// Inputs for the vertical pipeline.
+pub struct VerticalInput<'a> {
+    /// The process definition (activity kinds, variables, partners).
+    pub process: &'a Process,
+    /// WSCL conversations with bindings, one per partner service.
+    pub conversations: &'a [(Conversation, ServiceBinding)],
+    /// Analyst-supplied cooperation dependencies.
+    pub cooperation: &'a [dscweaver_core::Dependency],
+    /// Pipeline configuration.
+    pub weaver: Weaver,
+    /// Simulation configuration for the execution stage.
+    pub sim: SimConfig,
+}
+
+/// Everything the vertical produces.
+pub struct VerticalOutput {
+    /// The optimization stages (Table 1 → Figures 7–9, Table 2).
+    pub weaver: WeaverOutput,
+    /// Petri-net validation verdict on the minimal set.
+    pub validation: ValidationReport,
+    /// The executed schedule (minimal set, dataflow engine).
+    pub schedule: Schedule,
+    /// Violations of the *original* merged SC in the executed trace
+    /// (must be empty — the optimizer's correctness contract).
+    pub violations: Vec<dscweaver_scheduler::Violation>,
+    /// WSCL conversation conformance violations of the executed trace
+    /// (must be empty — the service-side contract).
+    pub conformance: Vec<dscweaver_scheduler::Violation>,
+    /// Generated BPEL document.
+    pub bpel: String,
+}
+
+/// Vertical pipeline failure.
+#[derive(Debug)]
+pub enum VerticalError {
+    /// A WSCL document or binding is broken.
+    Wscl(WsclError),
+    /// The optimization pipeline failed.
+    Weaver(WeaverError),
+}
+
+impl std::fmt::Display for VerticalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerticalError::Wscl(e) => write!(f, "{e}"),
+            VerticalError::Weaver(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerticalError {}
+
+impl VerticalOutput {
+    /// True when every stage succeeded: validation passed, execution
+    /// completed, and the trace satisfies the full original constraint
+    /// set.
+    pub fn ok(&self) -> bool {
+        self.validation.ok()
+            && self.schedule.completed()
+            && self.violations.is_empty()
+            && self.conformance.is_empty()
+    }
+
+    /// A human-readable multi-stage report.
+    pub fn report(&self) -> String {
+        let w = &self.weaver;
+        let mut out = String::new();
+        out.push_str(&format!("== DSCWeaver vertical: {} ==\n", w.sc.name));
+        out.push_str(&format!(
+            "dependencies: {} (Table 1)\n",
+            w.dependencies.deps.len()
+        ));
+        out.push_str(&format!("merged SC:    {} constraints\n", w.sc.constraint_count()));
+        out.push_str(&format!(
+            "ASC:          {} constraints ({} bridges, {} service relations dropped)\n",
+            w.asc.constraint_count(),
+            w.translation.bridges.len(),
+            w.translation.dropped
+        ));
+        out.push_str(&format!(
+            "minimal P*:   {} constraints ({} removed total)\n",
+            w.minimal.constraint_count(),
+            w.total_removed()
+        ));
+        out.push_str(&format!(
+            "validation:   {} ({} branch assignments)\n",
+            if self.validation.ok() { "OK" } else { "FAILED" },
+            self.validation.assignments_checked
+        ));
+        out.push_str(&format!(
+            "execution:    makespan {} | peak concurrency {} | {} constraint checks\n",
+            self.schedule.trace.makespan(),
+            self.schedule.trace.max_concurrency(),
+            self.schedule.constraint_checks
+        ));
+        out.push_str(&format!(
+            "verification: {} violations of the original SC, {} WSCL conformance violations\n",
+            self.violations.len(),
+            self.conformance.len()
+        ));
+        out
+    }
+}
+
+/// Extracts the full dependency set for the vertical: PDG data/control
+/// from the process, WSCL service dependencies, analyst cooperation.
+pub fn assemble_dependencies(
+    process: &Process,
+    conversations: &[(Conversation, ServiceBinding)],
+    cooperation: &[dscweaver_core::Dependency],
+) -> Result<dscweaver_core::DependencySet, WsclError> {
+    let mut ds = dscweaver_pdg::extract(
+        process,
+        dscweaver_pdg::ExtractOptions {
+            data: true,
+            control: true,
+            services_from_decls: false,
+        },
+    );
+    for (conv, binding) in conversations {
+        let (deps, nodes) = derive_service_dependencies(conv, binding)?;
+        for n in nodes {
+            ds.add_service(n);
+        }
+        for d in deps {
+            ds.push(d);
+        }
+    }
+    for d in cooperation {
+        ds.push(d.clone());
+    }
+    Ok(ds)
+}
+
+/// Runs the full vertical.
+pub fn weave(input: &VerticalInput<'_>) -> Result<VerticalOutput, VerticalError> {
+    let ds = assemble_dependencies(input.process, input.conversations, input.cooperation)
+        .map_err(VerticalError::Wscl)?;
+    let weaver_out = input.weaver.run(&ds).map_err(VerticalError::Weaver)?;
+    let validation = validate_default(&weaver_out.minimal, &weaver_out.exec);
+    let schedule = simulate(&weaver_out.minimal, &weaver_out.exec, &input.sim);
+    // Correctness contract: the trace produced under the MINIMAL set must
+    // satisfy the FULL merged SC, projected to internal activities (the
+    // ASC before minimization, which carries every data/control/coop
+    // constraint plus the translated service constraints).
+    let violations = schedule.trace.verify(&weaver_out.asc);
+    let conformance =
+        dscweaver_scheduler::check_all_conformance(&schedule.trace, input.conversations);
+    let bpel = dscweaver_bpel::emit_string(input.process, &weaver_out.minimal);
+    Ok(VerticalOutput {
+        weaver: weaver_out,
+        validation,
+        schedule,
+        violations,
+        conformance,
+        bpel,
+    })
+}
+
+/// Convenience: run the vertical on an explicitly supplied dependency set
+/// (skipping extraction), e.g. the canonical Table 1.
+pub fn weave_dependencies(
+    process: &Process,
+    ds: &dscweaver_core::DependencySet,
+    weaver: &Weaver,
+    sim: &SimConfig,
+) -> Result<VerticalOutput, VerticalError> {
+    let weaver_out = weaver.run(ds).map_err(VerticalError::Weaver)?;
+    let validation = validate_default(&weaver_out.minimal, &weaver_out.exec);
+    let schedule = simulate(&weaver_out.minimal, &weaver_out.exec, sim);
+    let violations = schedule.trace.verify(&weaver_out.asc);
+    let bpel = dscweaver_bpel::emit_string(process, &weaver_out.minimal);
+    Ok(VerticalOutput {
+        weaver: weaver_out,
+        validation,
+        schedule,
+        violations,
+        conformance: Vec::new(),
+        bpel,
+    })
+}
+
+/// The structural (Figure-2 style) baseline for the same process, run on
+/// the same engine — used for concurrency comparisons.
+pub fn baseline_schedule(
+    process: &Process,
+    sim: &SimConfig,
+) -> Result<(ConstraintSet, Schedule), dscweaver_scheduler::StructuralError> {
+    let cs = dscweaver_scheduler::structural_constraints(process)?;
+    let exec = dscweaver_core::ExecConditions::derive(&cs);
+    let schedule = simulate(&cs, &exec, sim);
+    Ok((cs, schedule))
+}

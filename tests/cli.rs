@@ -1,0 +1,146 @@
+//! End-to-end tests of the `dscw` command-line tool.
+
+use std::io::Write;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dscw"))
+}
+
+fn write_tmp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dscw-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+const PROC: &str = r#"
+process Mini {
+  var po, au, oi;
+  service Credit { ports 1 async }
+  sequence {
+    receive recOrder from Client writes po;
+    invoke invCheck on Credit port 1 reads po;
+    receive recAuth from Credit writes au;
+    switch gate reads au {
+      case T { assign fulfil writes oi; }
+      case F { assign refuse writes oi; }
+    }
+    reply done to Client reads oi;
+  }
+}
+"#;
+
+const COOP: &str = r#"
+constraints MiniCoop {
+  activities fulfil, done;
+  cooperation: F(fulfil) -> S(done);
+}
+"#;
+
+const WSCL: &str = r#"<Conversation name="Credit">
+  <ConversationInteractions>
+    <Interaction interactionType="Receive" id="check">
+      <InboundXMLDocument id="Check"/>
+    </Interaction>
+    <Interaction interactionType="Send" id="auth">
+      <OutboundXMLDocument id="Auth"/>
+    </Interaction>
+  </ConversationInteractions>
+  <ConversationTransitions>
+    <Transition><SourceInteraction href="check"/><DestinationInteraction href="auth"/></Transition>
+  </ConversationTransitions>
+</Conversation>"#;
+
+#[test]
+fn validate_and_optimize_and_run() {
+    let proc_path = write_tmp("mini.proc", PROC);
+    let coop_path = write_tmp("mini.dscl", COOP);
+    let wscl_path = write_tmp("credit.xml", WSCL);
+    let wscl_arg = format!("{}:check=invCheck,auth=recAuth", wscl_path.display());
+
+    let out = bin()
+        .args(["validate", proc_path.to_str().unwrap()])
+        .args(["--coop", coop_path.to_str().unwrap()])
+        .args(["--wscl", &wscl_arg])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("validation:   OK"), "{text}");
+    assert!(text.contains("0 violations"), "{text}");
+
+    let out = bin()
+        .args(["optimize", proc_path.to_str().unwrap()])
+        .args(["--coop", coop_path.to_str().unwrap()])
+        .args(["--wscl", &wscl_arg])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Table 1."));
+    assert!(text.contains("Table 2."));
+    assert!(text.contains("removal justifications:"), "{text}");
+    // The WSCL callback translated to invCheck → recAuth.
+    assert!(text.contains("translated: F(invCheck) -> S(recAuth);"), "{text}");
+
+    let out = bin()
+        .args(["run", proc_path.to_str().unwrap()])
+        .args(["--coop", coop_path.to_str().unwrap()])
+        .args(["--wscl", &wscl_arg])
+        .args(["--branch", "gate=F"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Skip     fulfil"), "{text}");
+    assert!(text.contains("Start    refuse"), "{text}");
+}
+
+#[test]
+fn bpel_and_dot_outputs() {
+    let proc_path = write_tmp("mini2.proc", PROC);
+    let out = bin()
+        .args(["bpel", proc_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("<process name=\"Mini\""));
+    // Emitted BPEL parses back.
+    assert!(dscweaver::bpel::parse_bpel(text.trim_start_matches("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n")).is_ok());
+
+    for stage in ["sc", "asc", "minimal"] {
+        let out = bin()
+            .args(["dot", proc_path.to_str().unwrap(), "--stage", stage])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "stage {stage}");
+        assert!(String::from_utf8_lossy(&out.stdout).starts_with("digraph"));
+    }
+}
+
+#[test]
+fn errors_are_reported() {
+    // Missing file.
+    let out = bin().args(["validate", "/nonexistent.proc"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    // Invalid process.
+    let bad = write_tmp("bad.proc", "process P { bogus }");
+    let out = bin().args(["optimize", bad.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+
+    // Unknown command.
+    let good = write_tmp("ok.proc", "process P { var x; assign a writes x; }");
+    let out = bin().args(["frobnicate", good.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+
+    // No args → usage.
+    let out = bin().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
