@@ -1,11 +1,14 @@
 //! Ext-B: minimal-set algorithm ablation — equivalence modes (the literal
 //! Definition-3 reading vs the execution-aware semantics the paper's own
-//! Figure 9 requires vs pure reachability) × removal orders.
+//! Figure 9 requires vs pure reachability) × removal orders × the
+//! interned/prefiltered implementation vs the structural baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dscweaver_core::{minimize, EdgeOrder, EquivalenceMode, ExecConditions, merge, translate_services};
+use dscweaver_bench::harness::{black_box, Harness};
+use dscweaver_core::{
+    merge, minimize, minimize_generic, minimize_generic_baseline, translate_services, EdgeOrder,
+    EquivalenceMode, ExecConditions,
+};
 use dscweaver_workloads::{layered, purchasing_dependencies, LayeredParams};
-use std::hint::black_box;
 
 fn prepared(ds: &dscweaver_core::DependencySet) -> (dscweaver_dscl::ConstraintSet, ExecConditions) {
     let sc = merge(ds);
@@ -14,31 +17,20 @@ fn prepared(ds: &dscweaver_core::DependencySet) -> (dscweaver_dscl::ConstraintSe
     (asc, exec)
 }
 
-fn bench_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ext_b/mode");
-    group.sample_size(30);
+fn main() {
+    let mut h = Harness::from_env();
+
     let (asc, exec) = prepared(&purchasing_dependencies());
     for mode in [
         EquivalenceMode::Strict,
         EquivalenceMode::ExecutionAware,
         EquivalenceMode::Reachability,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{mode:?}")),
-            &mode,
-            |b, &mode| {
-                b.iter(|| {
-                    black_box(minimize(&asc, &exec, mode, &EdgeOrder::default()).unwrap())
-                })
-            },
-        );
+        h.bench(&format!("ext_b/mode/{mode:?}"), 30, || {
+            black_box(minimize(&asc, &exec, mode, &EdgeOrder::default()).unwrap())
+        });
     }
-    group.finish();
-}
 
-fn bench_orders(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ext_b/order");
-    group.sample_size(30);
     let ds = layered(&LayeredParams {
         width: 5,
         depth: 8,
@@ -53,16 +45,25 @@ fn bench_orders(c: &mut Criterion) {
         ("reverse", EdgeOrder::ReverseGiven),
         ("coop_first", EdgeOrder::default()),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &order, |b, order| {
-            b.iter(|| {
-                black_box(
-                    minimize(&asc, &exec, EquivalenceMode::ExecutionAware, order).unwrap(),
-                )
-            })
+        h.bench(&format!("ext_b/order/{name}"), 30, || {
+            black_box(minimize(&asc, &exec, EquivalenceMode::ExecutionAware, &order).unwrap())
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_modes, bench_orders);
-criterion_main!(benches);
+    // Implementation ablation on the same layered workload: interned +
+    // bitset-prefiltered + parallel vs the structural reference.
+    for mode in [
+        EquivalenceMode::Strict,
+        EquivalenceMode::ExecutionAware,
+        EquivalenceMode::Reachability,
+    ] {
+        h.bench(&format!("ext_b/impl_new/{mode:?}"), 20, || {
+            black_box(minimize_generic(&asc, &exec, mode, &EdgeOrder::default()).unwrap())
+        });
+        h.bench(&format!("ext_b/impl_baseline/{mode:?}"), 10, || {
+            black_box(minimize_generic_baseline(&asc, &exec, mode, &EdgeOrder::default()).unwrap())
+        });
+    }
+
+    h.finish();
+}

@@ -3,61 +3,54 @@
 //! (PDG extraction), Figure 7 (merge), Figure 8 (service translation),
 //! Figure 9 / Table 2 (minimization).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use dscweaver_core::{merge, minimize, translate_services, EdgeOrder, EquivalenceMode, ExecConditions, Weaver};
+use dscweaver_bench::harness::{black_box, Harness};
+use dscweaver_core::{
+    merge, minimize, translate_services, EdgeOrder, EquivalenceMode, ExecConditions, Weaver,
+};
 use dscweaver_workloads::{purchasing_dependencies, purchasing_process};
-use std::hint::black_box;
 
-fn bench_extraction(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env();
+
     let process = purchasing_process();
-    c.bench_function("fig5/extract_data_deps", |b| {
-        b.iter(|| black_box(dscweaver_pdg::data_dependencies(&process)))
+    h.bench("fig5/extract_data_deps", 100, || {
+        black_box(dscweaver_pdg::data_dependencies(&process))
     });
-    c.bench_function("fig5/extract_control_deps", |b| {
-        b.iter(|| black_box(dscweaver_pdg::control_dependencies(&process)))
+    h.bench("fig5/extract_control_deps", 100, || {
+        black_box(dscweaver_pdg::control_dependencies(&process))
     });
-    c.bench_function("table1/full_extraction", |b| {
-        b.iter(|| {
-            black_box(dscweaver_workloads::purchasing_dependencies_extracted())
-        })
+    h.bench("table1/full_extraction", 100, || {
+        black_box(dscweaver_workloads::purchasing_dependencies_extracted())
     });
-}
 
-fn bench_pipeline_stages(c: &mut Criterion) {
     let ds = purchasing_dependencies();
-    c.bench_function("fig7/merge", |b| b.iter(|| black_box(merge(&ds))));
+    h.bench("fig7/merge", 100, || black_box(merge(&ds)));
 
     let sc = merge(&ds);
-    c.bench_function("fig8/translate_services", |b| {
-        b.iter(|| black_box(translate_services(&sc)))
+    h.bench("fig8/translate_services", 100, || {
+        black_box(translate_services(&sc))
     });
 
     let (asc, _) = translate_services(&sc);
     let exec = ExecConditions::derive(&sc);
-    c.bench_function("fig9/minimize_execution_aware", |b| {
-        b.iter(|| {
-            black_box(
-                minimize(
-                    &asc,
-                    &exec,
-                    EquivalenceMode::ExecutionAware,
-                    &EdgeOrder::default(),
-                )
-                .unwrap(),
+    h.bench("fig9/minimize_execution_aware", 100, || {
+        black_box(
+            minimize(
+                &asc,
+                &exec,
+                EquivalenceMode::ExecutionAware,
+                &EdgeOrder::default(),
             )
-        })
+            .unwrap(),
+        )
     });
-    c.bench_function("table2/full_pipeline", |b| {
-        b.iter(|| black_box(Weaver::new().run(&ds).unwrap()))
+    h.bench("table2/full_pipeline", 100, || {
+        black_box(Weaver::new().run(&ds).unwrap())
     });
-}
 
-fn bench_baseline(c: &mut Criterion) {
-    let process = purchasing_process();
-    c.bench_function("fig2/structural_constraints", |b| {
-        b.iter(|| black_box(dscweaver_scheduler::structural_constraints(&process).unwrap()))
+    h.bench("fig2/structural_constraints", 100, || {
+        black_box(dscweaver_scheduler::structural_constraints(&process).unwrap())
     });
-}
 
-criterion_group!(benches, bench_extraction, bench_pipeline_stages, bench_baseline);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,22 +1,19 @@
 //! Ext-C: Petri-net validation cost — lowering, per-assignment
 //! simulation, and (small nets) full interleaving exploration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dscweaver_bench::harness::{black_box, Harness};
 use dscweaver_core::Weaver;
 use dscweaver_petri::{explore, lower, validate, ValidateOptions};
 use dscweaver_workloads::{layered, purchasing_dependencies, LayeredParams};
-use std::hint::black_box;
 
-fn bench_lowering(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env();
+
     let out = Weaver::new().run(&purchasing_dependencies()).unwrap();
-    c.bench_function("ext_c/lower_purchasing", |b| {
-        b.iter(|| black_box(lower(&out.minimal, &out.exec)))
+    h.bench("ext_c/lower_purchasing", 100, || {
+        black_box(lower(&out.minimal, &out.exec))
     });
-}
 
-fn bench_validation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ext_c/validate");
-    group.sample_size(20);
     let mut cases = vec![("purchasing".to_string(), purchasing_dependencies())];
     for guards in [2usize, 6] {
         cases.push((
@@ -33,18 +30,11 @@ fn bench_validation(c: &mut Criterion) {
     }
     for (name, ds) in cases {
         let out = Weaver::new().run(&ds).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(name),
-            &(out.minimal.clone(), out.exec.clone()),
-            |b, (cs, exec)| {
-                b.iter(|| black_box(validate(cs, exec, &ValidateOptions::default())))
-            },
-        );
+        h.bench(&format!("ext_c/validate/{name}"), 20, || {
+            black_box(validate(&out.minimal, &out.exec, &ValidateOptions::default()))
+        });
     }
-    group.finish();
-}
 
-fn bench_exploration(c: &mut Criterion) {
     // Bounded interleaving exploration on a small diamond-shaped set.
     let ds = layered(&LayeredParams {
         width: 2,
@@ -56,10 +46,9 @@ fn bench_exploration(c: &mut Criterion) {
     });
     let out = Weaver::new().run(&ds).unwrap();
     let lowered = lower(&out.minimal, &out.exec);
-    c.bench_function("ext_c/explore_interleavings", |b| {
-        b.iter(|| black_box(explore(&lowered.net, 200_000)))
+    h.bench("ext_c/explore_interleavings", 20, || {
+        black_box(explore(&lowered.net, 200_000))
     });
-}
 
-criterion_group!(benches, bench_lowering, bench_validation, bench_exploration);
-criterion_main!(benches);
+    h.finish();
+}

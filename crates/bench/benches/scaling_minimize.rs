@@ -1,14 +1,16 @@
 //! Ext-A: optimization cost vs process size (the scaling evaluation the
-//! paper's single worked example lacks).
+//! paper's single worked example lacks), plus the old-vs-new minimizer
+//! comparison behind `BENCH_minimize.json` (`repro bench-json` writes the
+//! machine-readable version of the same sweep).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dscweaver_core::Weaver;
+use dscweaver_bench::harness::{black_box, Harness};
+use dscweaver_bench::perf::minimize_cases;
+use dscweaver_core::{minimize_generic, minimize_generic_baseline, Weaver};
 use dscweaver_workloads::{layered, service_mesh, LayeredParams};
-use std::hint::black_box;
 
-fn bench_layered_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ext_a/layered");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::from_env();
+
     for (width, depth) in [(4usize, 5usize), (6, 10), (8, 15), (10, 25)] {
         let ds = layered(&LayeredParams {
             width,
@@ -19,26 +21,32 @@ fn bench_layered_scaling(c: &mut Criterion) {
             seed: 7,
         });
         let n = ds.activities.len();
-        group.throughput(Throughput::Elements(ds.deps.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &ds, |b, ds| {
-            b.iter(|| black_box(Weaver::new().run(ds).unwrap()))
+        h.bench(&format!("ext_a/layered/{n}"), 10, || {
+            black_box(Weaver::new().run(&ds).unwrap())
         });
     }
-    group.finish();
-}
 
-fn bench_mesh_translation_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ext_a/service_mesh");
-    group.sample_size(10);
     for n in [10usize, 40, 100] {
         let ds = service_mesh(n, 5);
-        group.throughput(Throughput::Elements(ds.deps.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &ds, |b, ds| {
-            b.iter(|| black_box(Weaver::new().run(ds).unwrap()))
+        h.bench(&format!("ext_a/service_mesh/{n}"), 10, || {
+            black_box(Weaver::new().run(&ds).unwrap())
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_layered_scaling, bench_mesh_translation_scaling);
-criterion_main!(benches);
+    // Interned + prefiltered + parallel minimizer vs the pre-interning
+    // reference implementation, on the same prepared inputs the JSON
+    // artifact uses. The baseline is capped to smaller sizes: at n=2000 it
+    // is minutes-slow — run `repro bench-json` for the measured (single
+    // sample) large-n comparison.
+    for case in minimize_cases(true) {
+        let (asc, exec) = case.prepare();
+        h.bench(&format!("ext_a/minimize_new/{}", case.name), 10, || {
+            black_box(minimize_generic(&asc, &exec, case.mode, &case.order).unwrap())
+        });
+        h.bench(&format!("ext_a/minimize_baseline/{}", case.name), 3, || {
+            black_box(minimize_generic_baseline(&asc, &exec, case.mode, &case.order).unwrap())
+        });
+    }
+
+    h.finish();
+}

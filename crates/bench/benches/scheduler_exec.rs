@@ -2,16 +2,15 @@
 //! constraints, the unoptimized ASC, and the minimal set; plus trace
 //! verification cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dscweaver_bench::ext_d_sim;
+use dscweaver_bench::harness::{black_box, Harness};
 use dscweaver_core::{ExecConditions, Weaver};
 use dscweaver_scheduler::{simulate, structural_constraints, SimConfig};
 use dscweaver_workloads::{fork_join, purchasing_dependencies, purchasing_process};
-use std::hint::black_box;
 
-fn bench_purchasing_schemes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ext_d/purchasing");
-    group.sample_size(50);
+fn main() {
+    let mut h = Harness::from_env();
+
     let process = purchasing_process();
     let out = Weaver::new().run(&purchasing_dependencies()).unwrap();
     let structural = structural_constraints(&process).unwrap();
@@ -24,46 +23,29 @@ fn bench_purchasing_schemes(c: &mut Criterion) {
         ("minimal", &out.minimal, &out.exec),
     ];
     for (name, cs, exec) in cases {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
-            b.iter(|| black_box(simulate(cs, exec, &sim)))
+        h.bench(&format!("ext_d/purchasing/{name}"), 50, || {
+            black_box(simulate(cs, exec, &sim))
         });
     }
-    group.finish();
-}
 
-fn bench_redundancy_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ext_d/forkjoin_redundancy");
-    group.sample_size(20);
     for redundant in [0usize, 25, 100] {
         let ds = fork_join(6, 6, redundant, 13);
-        let out = Weaver::new().run(&ds).unwrap();
+        let fj = Weaver::new().run(&ds).unwrap();
         let sim = SimConfig::default();
-        group.bench_with_input(
-            BenchmarkId::new("full", redundant),
-            &(out.asc.clone(), out.exec.clone()),
-            |b, (cs, exec)| b.iter(|| black_box(simulate(cs, exec, &sim))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("minimal", redundant),
-            &(out.minimal.clone(), out.exec.clone()),
-            |b, (cs, exec)| b.iter(|| black_box(simulate(cs, exec, &sim))),
+        h.bench(&format!("ext_d/forkjoin_redundancy/full/{redundant}"), 20, || {
+            black_box(simulate(&fj.asc, &fj.exec, &sim))
+        });
+        h.bench(
+            &format!("ext_d/forkjoin_redundancy/minimal/{redundant}"),
+            20,
+            || black_box(simulate(&fj.minimal, &fj.exec, &sim)),
         );
     }
-    group.finish();
-}
 
-fn bench_trace_verification(c: &mut Criterion) {
-    let out = Weaver::new().run(&purchasing_dependencies()).unwrap();
     let schedule = simulate(&out.minimal, &out.exec, &ext_d_sim("T"));
-    c.bench_function("ext_d/verify_trace_vs_full_asc", |b| {
-        b.iter(|| black_box(schedule.trace.verify(&out.asc)))
+    h.bench("ext_d/verify_trace_vs_full_asc", 100, || {
+        black_box(schedule.trace.verify(&out.asc))
     });
-}
 
-criterion_group!(
-    benches,
-    bench_purchasing_schemes,
-    bench_redundancy_overhead,
-    bench_trace_verification
-);
-criterion_main!(benches);
+    h.finish();
+}

@@ -5,11 +5,65 @@
 //! cargo run -p dscweaver-bench --bin repro            # everything
 //! cargo run -p dscweaver-bench --bin repro table2     # one experiment
 //! ```
+//!
+//! The `bench-json` subcommand instead runs the old-vs-new minimizer
+//! comparison and writes the machine-readable `BENCH_minimize.json`:
+//!
+//! ```sh
+//! cargo run --release -p dscweaver-bench --bin repro -- bench-json
+//! cargo run -p dscweaver-bench --bin repro -- bench-json --smoke  # <30 s path check
+//! ```
 
 use dscweaver_bench as exp;
 
+fn bench_json(args: &[String]) {
+    // Strict parsing: a typo'd flag must not silently drop `--smoke` and
+    // turn a 2-second path check into the multi-minute full suite.
+    let usage = "usage: repro bench-json [--smoke] [--out PATH] [--threads N]";
+    let mut smoke = false;
+    let mut out_path = "BENCH_minimize.json".to_string();
+    let mut threads = 0usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("error: --out requires a path\n{usage}");
+                    std::process::exit(2);
+                }
+            },
+            "--threads" => match it.next().map(|v| v.parse()) {
+                Some(Ok(n)) => threads = n,
+                _ => {
+                    eprintln!("error: --threads requires a non-negative integer\n{usage}");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument '{other}'\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let json = exp::perf::bench_minimize_json(smoke, threads);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+    // Ignore EPIPE so `repro bench-json | head` exits cleanly after the
+    // artifact is already on disk.
+    let _ = std::io::Write::write_all(&mut std::io::stdout(), json.as_bytes());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench-json") {
+        bench_json(&args[1..]);
+        return;
+    }
     let all = [
         ("fig1", exp::fig1 as fn() -> String),
         ("fig2", exp::fig2),

@@ -208,6 +208,7 @@ pub fn ext_b() -> String {
                 let weaver = Weaver {
                     mode,
                     order: order.clone(),
+                    ..Weaver::default()
                 };
                 let t0 = Instant::now();
                 let res = weaver.run(ds).expect("sound");

@@ -1,0 +1,151 @@
+//! A minimal benchmarking harness.
+//!
+//! The build has no network access, so Criterion is unavailable; the
+//! `benches/*.rs` targets (all `harness = false`) use this instead. It
+//! keeps the parts the experiments actually need — named benchmarks,
+//! sample counts, name filtering from the command line, and robust
+//! (median) timing — and nothing else.
+//!
+//! Environment knobs:
+//! * `DSCWEAVER_BENCH_SAMPLES` — override every benchmark's sample count.
+//! * a positional CLI argument — substring filter on benchmark names
+//!   (`cargo bench --bench scaling_minimize -- layered`).
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] so bench files need one import.
+pub use std::hint::black_box;
+
+/// Times `iters` invocations of `f`, returning the total wall time.
+pub fn time_iters<T>(iters: usize, mut f: impl FnMut() -> T) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed()
+}
+
+/// Runs `f` `samples` times (after one untimed warm-up call) and returns
+/// the per-sample durations, sorted ascending.
+pub fn sample<T>(samples: usize, mut f: impl FnMut() -> T) -> Vec<Duration> {
+    black_box(f()); // warm-up
+    let mut times: Vec<Duration> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    times
+}
+
+/// Median of a sorted duration slice.
+pub fn median(sorted: &[Duration]) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2
+    }
+}
+
+/// Formats a duration with a unit that keeps 3-4 significant digits.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The harness: collects CLI filter + env overrides, runs benchmarks,
+/// prints one line per benchmark.
+pub struct Harness {
+    filter: Option<String>,
+    sample_override: Option<usize>,
+    ran: usize,
+}
+
+impl Harness {
+    /// Builds a harness from `std::env::args` (skipping flags cargo
+    /// passes, e.g. `--bench`) and `DSCWEAVER_BENCH_SAMPLES`.
+    pub fn from_env() -> Harness {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        let sample_override = std::env::var("DSCWEAVER_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok());
+        Harness {
+            filter,
+            sample_override,
+            ran: 0,
+        }
+    }
+
+    /// Runs one benchmark unless filtered out; prints median-of-samples.
+    pub fn bench<T>(&mut self, name: &str, samples: usize, f: impl FnMut() -> T) {
+        if let Some(flt) = &self.filter {
+            if !name.contains(flt.as_str()) {
+                return;
+            }
+        }
+        let samples = self.sample_override.unwrap_or(samples);
+        let times = sample(samples, f);
+        println!(
+            "{name:<48} median {:>12}   (min {}, max {}, n={})",
+            fmt_duration(median(&times)),
+            fmt_duration(times[0]),
+            fmt_duration(*times.last().unwrap()),
+            times.len(),
+        );
+        self.ran += 1;
+    }
+
+    /// Prints a trailing summary; call last in `main`.
+    pub fn finish(self) {
+        if self.ran == 0 {
+            println!(
+                "no benchmarks matched filter {:?}",
+                self.filter.as_deref().unwrap_or("")
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_sorted() {
+        let d = |ms| Duration::from_millis(ms);
+        assert_eq!(median(&[d(1), d(2), d(30)]), d(2));
+        assert_eq!(median(&[d(1), d(3)]), d(2));
+        assert_eq!(median(&[]), Duration::ZERO);
+    }
+
+    #[test]
+    fn sample_counts_and_sorts() {
+        let times = sample(5, || 1 + 1);
+        assert_eq!(times.len(), 5);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_duration(Duration::from_micros(50)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(50)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(50)).ends_with(" s"));
+    }
+}

@@ -2,10 +2,12 @@
 //!
 //! Experiment harness: structured regeneration of every table and figure
 //! in the paper plus the extended (Ext-A..D) evaluations, shared between
-//! the `repro` binary and the Criterion benches.
+//! the `repro` binary and the wall-time benches (see [`harness`]).
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
+pub mod perf;
 
 pub use experiments::*;

@@ -1,0 +1,303 @@
+//! Old-vs-new minimizer comparison: shared case definitions for the
+//! `scaling_minimize` / `ablation_minimize` benches and the
+//! machine-readable `BENCH_minimize.json` artifact written by
+//! `repro bench-json`.
+//!
+//! The comparison pits [`dscweaver_core::minimize_generic_with`] (interned
+//! annotations, bitset prefilters, scoped worker threads — this repo's
+//! optimized engine) against [`dscweaver_core::minimize_generic_baseline`]
+//! (the sequential structural reference) on identical prepared inputs, and
+//! asserts the minimal sets agree before reporting any timing.
+
+use crate::harness::{black_box, median, sample};
+use dscweaver_core::{
+    merge, minimize_generic_baseline, minimize_generic_with, translate_services, EdgeOrder,
+    EquivalenceMode, ExecConditions, MinimizeOptions,
+};
+use dscweaver_dscl::ConstraintSet;
+use dscweaver_workloads::{fork_join, layered, purchasing_dependencies, LayeredParams};
+use std::time::Duration;
+
+/// One comparison input: a workload plus the minimizer configuration to
+/// run it under.
+pub struct MinimizeCase {
+    /// Stable case name (used in bench ids and the JSON artifact).
+    pub name: String,
+    /// Closure-comparison mode.
+    pub mode: EquivalenceMode,
+    /// Removal-candidate order.
+    pub order: EdgeOrder,
+    kind: CaseKind,
+}
+
+enum CaseKind {
+    Purchasing,
+    Layered(LayeredParams),
+    ForkJoin {
+        width: usize,
+        chain_len: usize,
+        redundant: usize,
+        seed: u64,
+    },
+}
+
+impl MinimizeCase {
+    /// Materializes the workload and runs the pipeline front half
+    /// (merge → execution conditions → service translation), returning the
+    /// ASC the minimizer takes. Deterministic per case.
+    pub fn prepare(&self) -> (ConstraintSet, ExecConditions) {
+        let ds = match &self.kind {
+            CaseKind::Purchasing => purchasing_dependencies(),
+            CaseKind::Layered(p) => layered(p),
+            CaseKind::ForkJoin {
+                width,
+                chain_len,
+                redundant,
+                seed,
+            } => fork_join(*width, *chain_len, *redundant, *seed),
+        };
+        let mut sc = merge(&ds);
+        sc.desugar_happen_together();
+        let exec = ExecConditions::derive(&sc);
+        let (asc, _) = translate_services(&sc);
+        (asc, exec)
+    }
+}
+
+/// The comparison suite. `small_only` drops the n=2000 scaling case —
+/// use it for iterating benches and for the tier-1 smoke run; the full
+/// suite backs the committed `BENCH_minimize.json`.
+pub fn minimize_cases(small_only: bool) -> Vec<MinimizeCase> {
+    let mut cases = vec![
+        MinimizeCase {
+            name: "purchasing_n14".into(),
+            mode: EquivalenceMode::ExecutionAware,
+            order: EdgeOrder::default(),
+            kind: CaseKind::Purchasing,
+        },
+        MinimizeCase {
+            name: "layered_n62".into(),
+            mode: EquivalenceMode::ExecutionAware,
+            order: EdgeOrder::default(),
+            kind: CaseKind::Layered(LayeredParams {
+                width: 6,
+                depth: 10,
+                density: 0.3,
+                redundant: 60,
+                guards: 2,
+                seed: 17,
+            }),
+        },
+        MinimizeCase {
+            name: "fork_join_n82".into(),
+            mode: EquivalenceMode::Strict,
+            order: EdgeOrder::default(),
+            kind: CaseKind::ForkJoin {
+                width: 8,
+                chain_len: 10,
+                redundant: 80,
+                seed: 5,
+            },
+        },
+        MinimizeCase {
+            name: "layered_n403".into(),
+            mode: EquivalenceMode::ExecutionAware,
+            order: EdgeOrder::default(),
+            kind: CaseKind::Layered(LayeredParams {
+                width: 8,
+                depth: 50,
+                density: 0.25,
+                redundant: 400,
+                guards: 3,
+                seed: 23,
+            }),
+        },
+    ];
+    if !small_only {
+        // The acceptance-criterion case: 2000 activities, injected
+        // redundancy sized so the input holds at least twice the
+        // constraints the minimal set keeps.
+        cases.push(MinimizeCase {
+            name: "layered_n2003".into(),
+            mode: EquivalenceMode::ExecutionAware,
+            order: EdgeOrder::default(),
+            kind: CaseKind::Layered(LayeredParams {
+                width: 20,
+                depth: 100,
+                density: 0.25,
+                redundant: 12_000,
+                guards: 3,
+                seed: 29,
+            }),
+        });
+    }
+    cases
+}
+
+/// One row of the JSON artifact.
+struct CaseReport {
+    name: String,
+    n_activities: usize,
+    constraints_in: usize,
+    constraints_kept: usize,
+    removed: usize,
+    redundancy: f64,
+    mode: String,
+    order: String,
+    baseline_ms: f64,
+    new_seq_ms: f64,
+    new_par_ms: f64,
+    speedup_seq: f64,
+    speedup_par: f64,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn json_f(v: f64) -> String {
+    // Stable short float rendering for the artifact.
+    format!("{v:.3}")
+}
+
+/// Runs the comparison suite and renders `BENCH_minimize.json`.
+///
+/// `smoke` restricts to the small cases with one sample each — it exists
+/// so the tier-1 test suite can exercise the whole measurement path
+/// (prepare → both engines → agreement check → JSON rendering) in
+/// seconds; its timings are not meaningful.
+pub fn bench_minimize_json(smoke: bool, threads: usize) -> String {
+    let samples_new = if smoke { 1 } else { 5 };
+    let samples_base = if smoke { 1 } else { 3 };
+    let mut reports: Vec<CaseReport> = Vec::new();
+    for case in minimize_cases(smoke) {
+        let (asc, exec) = case.prepare();
+        if smoke && asc.constraint_count() > 500 {
+            // Smoke mode exists to run inside the (unoptimized) test
+            // suite in seconds — the path check doesn't need mid-size
+            // inputs.
+            continue;
+        }
+        let big = asc.constraint_count() > 2_000;
+        // The baseline is minutes-slow on the n=2000 case — one sample.
+        let sb = if big { 1 } else { samples_base };
+
+        let seq = MinimizeOptions { threads: 1 };
+        let par = MinimizeOptions { threads };
+        let res_base =
+            minimize_generic_baseline(&asc, &exec, case.mode, &case.order).expect("acyclic");
+        let res_new =
+            minimize_generic_with(&asc, &exec, case.mode, &case.order, &par).expect("acyclic");
+        let kept = |r: &dscweaver_core::MinimizeResult| {
+            let mut v: Vec<String> = r.minimal.happen_befores().map(|x| x.to_string()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(
+            kept(&res_base),
+            kept(&res_new),
+            "engines disagree on case {}",
+            case.name
+        );
+
+        let t_base = median(&sample(sb, || {
+            black_box(minimize_generic_baseline(&asc, &exec, case.mode, &case.order).unwrap())
+        }));
+        let t_seq = median(&sample(samples_new, || {
+            black_box(
+                minimize_generic_with(&asc, &exec, case.mode, &case.order, &seq).unwrap(),
+            )
+        }));
+        let t_par = median(&sample(samples_new, || {
+            black_box(
+                minimize_generic_with(&asc, &exec, case.mode, &case.order, &par).unwrap(),
+            )
+        }));
+
+        let kept_n = res_new.kept();
+        reports.push(CaseReport {
+            name: case.name,
+            n_activities: asc.activities.len(),
+            constraints_in: asc.constraint_count(),
+            constraints_kept: kept_n,
+            removed: res_new.removed.len(),
+            redundancy: asc.constraint_count() as f64 / kept_n.max(1) as f64,
+            mode: format!("{:?}", case.mode),
+            order: match &case.order {
+                EdgeOrder::Given => "given".into(),
+                EdgeOrder::ReverseGiven => "reverse_given".into(),
+                EdgeOrder::ByDimension(_) => "by_dimension".into(),
+            },
+            baseline_ms: ms(t_base),
+            new_seq_ms: ms(t_seq),
+            new_par_ms: ms(t_par),
+            speedup_seq: t_base.as_secs_f64() / t_seq.as_secs_f64().max(1e-12),
+            speedup_par: t_base.as_secs_f64() / t_par.as_secs_f64().max(1e-12),
+        });
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"artifact\": \"BENCH_minimize\",\n");
+    out.push_str("  \"description\": \"minimize_generic (interned + bitset-prefiltered + parallel) vs the sequential structural baseline on identical inputs; minimal sets verified equal before timing\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"cases\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"n_activities\": {},\n", r.n_activities));
+        out.push_str(&format!("      \"constraints_in\": {},\n", r.constraints_in));
+        out.push_str(&format!(
+            "      \"constraints_kept\": {},\n",
+            r.constraints_kept
+        ));
+        out.push_str(&format!("      \"removed\": {},\n", r.removed));
+        out.push_str(&format!(
+            "      \"redundancy\": {},\n",
+            json_f(r.redundancy)
+        ));
+        out.push_str(&format!("      \"mode\": \"{}\",\n", r.mode));
+        out.push_str(&format!("      \"order\": \"{}\",\n", r.order));
+        out.push_str(&format!(
+            "      \"baseline_ms\": {},\n",
+            json_f(r.baseline_ms)
+        ));
+        out.push_str(&format!("      \"new_seq_ms\": {},\n", json_f(r.new_seq_ms)));
+        out.push_str(&format!("      \"new_par_ms\": {},\n", json_f(r.new_par_ms)));
+        out.push_str(&format!(
+            "      \"speedup_seq\": {},\n",
+            json_f(r.speedup_seq)
+        ));
+        out.push_str(&format!(
+            "      \"speedup_par\": {}\n",
+            json_f(r.speedup_par)
+        ));
+        out.push_str(if i + 1 == reports.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_prepare_deterministically() {
+        for case in minimize_cases(true) {
+            let (a, _) = case.prepare();
+            let (b, _) = case.prepare();
+            assert_eq!(a, b, "case {} not deterministic", case.name);
+            assert!(a.constraint_count() > 0);
+        }
+    }
+
+    #[test]
+    fn small_only_drops_the_scaling_case() {
+        let small = minimize_cases(true);
+        let full = minimize_cases(false);
+        assert_eq!(full.len(), small.len() + 1);
+        assert!(full.last().unwrap().name.contains("2003"));
+    }
+}

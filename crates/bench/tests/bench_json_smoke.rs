@@ -1,0 +1,46 @@
+//! Tier-1 smoke run of the `repro bench-json` measurement path: prepares
+//! the small comparison cases, runs both minimizer implementations,
+//! asserts they agree (done inside `bench_minimize_json`), and checks the
+//! rendered artifact is well-formed. Timings in this mode are meaningless
+//! (debug build, one sample) and are not asserted on.
+
+use dscweaver_bench::perf::{bench_minimize_json, minimize_cases};
+
+#[test]
+fn bench_json_smoke_runs_and_renders() {
+    let json = bench_minimize_json(true, 2);
+    assert!(json.starts_with("{\n"));
+    assert!(json.ends_with("}\n"));
+    assert!(json.contains("\"artifact\": \"BENCH_minimize\""));
+    assert!(json.contains("\"smoke\": true"));
+    assert!(json.contains("\"name\": \"purchasing_n14\""));
+    assert!(json.contains("\"speedup_par\""));
+    // Every emitted case has the full field set, exactly once per case.
+    let cases = json.matches("\"name\":").count();
+    assert!(cases >= 2, "expected at least two smoke cases, got {cases}");
+    for field in [
+        "\"baseline_ms\":",
+        "\"new_seq_ms\":",
+        "\"new_par_ms\":",
+        "\"constraints_in\":",
+        "\"redundancy\":",
+    ] {
+        assert_eq!(json.matches(field).count(), cases, "field {field}");
+    }
+    // Balanced braces/brackets — cheap well-formedness check without a
+    // JSON parser dependency (no string values contain braces).
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
+
+#[test]
+fn full_suite_contains_the_acceptance_case() {
+    let full = minimize_cases(false);
+    let big = full.iter().find(|c| c.name == "layered_n2003").unwrap();
+    let (asc, _) = big.prepare();
+    assert!(asc.activities.len() >= 2000);
+    // Redundancy floor for the acceptance criterion: at least 2× the
+    // skeleton. (The generator injects transitively-implied shortcuts, so
+    // constraint_count / kept ≥ 2 once 10k shortcuts land.)
+    assert!(asc.constraint_count() >= 2 * 10_000);
+}

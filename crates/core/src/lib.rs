@@ -22,8 +22,9 @@ pub use diff::{diff_constraint_sets, diff_outputs, ConstraintDiff};
 pub use exec::ExecConditions;
 pub use merge::{lower, merge};
 pub use minimize::{
-    minimize, minimize_generic, minimize_unconditional_fast, EdgeOrder, EquivalenceMode,
-    MinimizeError, MinimizeResult,
+    minimize, minimize_generic, minimize_generic_baseline, minimize_generic_with,
+    minimize_unconditional_fast, minimize_with, EdgeOrder, EquivalenceMode, MinimizeError,
+    MinimizeOptions, MinimizeResult,
 };
 pub use pipeline::{Weaver, WeaverError, WeaverOutput};
 pub use translate::{translate_services, TranslationReport};

@@ -34,13 +34,39 @@
 //! constraints the loop offers for removal first; the default tries
 //! cooperation constraints before the data constraints they typically
 //! duplicate, matching the paper's Figure 9 labeling.
+//!
+//! ## Implementation
+//!
+//! [`minimize_generic_with`] is an optimized engine built on three ideas:
+//!
+//! 1. **Interning** — every annotation DNF is hash-consed into a
+//!    [`DnfPool`], so closure rows are vectors of `u32` ids, row equality
+//!    is id-vector equality, and unions/compositions/implications are
+//!    memoized by id pair.
+//! 2. **Bitset prefilters** — two dense unconditional reachability
+//!    skeletons are maintained over the live edges (one for all edges,
+//!    one for unconditional edges only). A candidate with no alternate
+//!    2+-step path is rejected without touching annotated rows; a
+//!    candidate with a same-guard (or unguarded) alternate that reaches
+//!    its head unconditionally is accepted likewise. On fully
+//!    unconditional inputs every candidate is decided here, so the
+//!    generic engine matches [`minimize_unconditional_fast`] within a
+//!    small constant.
+//! 3. **Scoped-thread parallelism** — candidates the prefilters leave
+//!    undecided are screened concurrently (their tentative tail row is
+//!    composed on worker threads against a read-only snapshot, invalidated
+//!    if an earlier acceptance dirtied their dependency cone), and the
+//!    slow path's affected-ancestor recomputation runs in
+//!    reverse-topological level batches across a `std::thread::scope`
+//!    pool. The result is pinned edge-for-edge equal to the sequential
+//!    reference implementation, kept as [`minimize_generic_baseline`].
 
 use crate::exec::{dnf_and, implies_under, ExecConditions};
 use dscweaver_dscl::sync_graph::{SyncGraph, SyncNode};
-use dscweaver_dscl::{Condition, ConstraintSet, Origin, Relation};
+use dscweaver_dscl::{Condition, ConstraintSet, Origin, Relation, SyncEdge};
 use dscweaver_graph::annotated::{Dnf, Row};
-use dscweaver_graph::{find_cycle, topo_sort, EdgeId, NodeId};
-use std::collections::{HashMap, HashSet};
+use dscweaver_graph::{find_cycle, topo_sort, BitSet, DiGraph, DnfId, DnfPool, EdgeId, NodeId};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// How closures are compared (Definitions 4–5). Ordered from most to
 /// least conservative; all three agree on the paper's Purchasing process
@@ -91,6 +117,30 @@ impl Default for EdgeOrder {
             Origin::Coordinator,
             Origin::Other,
         ])
+    }
+}
+
+/// Tuning knobs for the optimized minimizer.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MinimizeOptions {
+    /// Worker threads for candidate screening and ancestor recomputation.
+    /// `0` (the default) picks from available parallelism; `1` forces the
+    /// fully sequential engine. The result is identical either way.
+    pub threads: usize,
+}
+
+impl MinimizeOptions {
+    /// The effective thread count (resolving `0` to the machine's
+    /// available parallelism, capped at 8 — the row work saturates well
+    /// before that).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads != 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
     }
 }
 
@@ -147,6 +197,17 @@ pub fn minimize(
     mode: EquivalenceMode,
     order: &EdgeOrder,
 ) -> Result<MinimizeResult, MinimizeError> {
+    minimize_with(cs, exec, mode, order, &MinimizeOptions::default())
+}
+
+/// [`minimize`] with explicit [`MinimizeOptions`].
+pub fn minimize_with(
+    cs: &ConstraintSet,
+    exec: &ExecConditions,
+    mode: EquivalenceMode,
+    order: &EdgeOrder,
+    opts: &MinimizeOptions,
+) -> Result<MinimizeResult, MinimizeError> {
     // Fast path: with no conditional constraints, annotated closures
     // degenerate to plain reachability in every mode, and the minimal set
     // is the (unique) transitive reduction of the constraint DAG — no DNF
@@ -158,11 +219,636 @@ pub fn minimize(
     {
         return minimize_unconditional_fast(cs, order);
     }
-    minimize_generic(cs, exec, mode, order)
+    minimize_generic_with(cs, exec, mode, order, opts)
 }
 
-/// The generic §4.4 greedy algorithm over condition-annotated closures.
+/// The generic §4.4 greedy algorithm over condition-annotated closures
+/// (optimized engine, default options).
 pub fn minimize_generic(
+    cs: &ConstraintSet,
+    exec: &ExecConditions,
+    mode: EquivalenceMode,
+    order: &EdgeOrder,
+) -> Result<MinimizeResult, MinimizeError> {
+    minimize_generic_with(cs, exec, mode, order, &MinimizeOptions::default())
+}
+
+/// An interned closure row: `(target node index, annotation id)` sorted by
+/// target. Equality is bitwise — the pool guarantees structurally equal
+/// DNFs share an id.
+type IRow = Vec<(u32, DnfId)>;
+
+/// The annotation with which `t` is reached in an interned row.
+fn irow_get(row: &IRow, t: u32) -> Option<DnfId> {
+    row.binary_search_by_key(&t, |&(k, _)| k)
+        .ok()
+        .map(|i| row[i].1)
+}
+
+/// Interns a structurally composed row.
+fn intern_row(pool: &mut DnfPool<Condition>, srow: Vec<(u32, Dnf<Condition>)>) -> IRow {
+    srow.into_iter().map(|(t, d)| (t, pool.intern(&d))).collect()
+}
+
+/// `acc[t] ∪= d` through the pool.
+fn upsert(pool: &mut DnfPool<Condition>, acc: &mut BTreeMap<u32, DnfId>, t: u32, d: DnfId) {
+    use std::collections::btree_map::Entry;
+    match acc.entry(t) {
+        Entry::Occupied(mut o) => {
+            let u = pool.union(*o.get(), d);
+            *o.get_mut() = u;
+        }
+        Entry::Vacant(v) => {
+            v.insert(d);
+        }
+    }
+}
+
+/// Structural row composition against a read-only snapshot — safe to run
+/// on worker threads (resolves interned successor rows through `&DnfPool`,
+/// never interns). `fresh` overrides `irows` for already-recomputed nodes.
+fn compose_structural(
+    g: &DiGraph<SyncNode, SyncEdge>,
+    n: NodeId,
+    skip: EdgeId,
+    removed: &HashSet<EdgeId>,
+    pool: &DnfPool<Condition>,
+    irows: &[IRow],
+    fresh: &HashMap<usize, IRow>,
+) -> Vec<(u32, Dnf<Condition>)> {
+    let mut acc: BTreeMap<u32, Dnf<Condition>> = BTreeMap::new();
+    for e in g.out_edges(n) {
+        if e == skip || removed.contains(&e) {
+            continue;
+        }
+        let (_, m) = g.endpoints(e);
+        let guard = &g.edge_weight(e).cond;
+        acc.entry(m.index() as u32)
+            .or_insert_with(Dnf::empty)
+            .insert(guard.clone().map(|c| vec![c]).unwrap_or_default());
+        let mrow: &IRow = fresh.get(&m.index()).unwrap_or(&irows[m.index()]);
+        for &(t, did) in mrow {
+            pool.dnf(did)
+                .compose_into(guard.as_ref(), acc.entry(t).or_insert_with(Dnf::empty));
+        }
+    }
+    acc.into_iter().collect()
+}
+
+/// Chunked parallel map over scoped `std::thread`s. Falls back to a plain
+/// sequential map for one thread or tiny inputs.
+fn par_map<T: Sync, R: Send>(
+    threads: usize,
+    items: &[T],
+    f: &(impl Fn(&T) -> R + Sync),
+) -> Vec<R> {
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    std::thread::scope(|scope| {
+        for (ichunk, ochunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (item, slot) in ichunk.iter().zip(ochunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Sorts removal candidates according to `order`.
+fn order_candidates(
+    g: &DiGraph<SyncNode, SyncEdge>,
+    sg: &SyncGraph,
+    order: &EdgeOrder,
+) -> Vec<(EdgeId, usize)> {
+    let mut candidates: Vec<(EdgeId, usize)> = sg.constraint_edges().collect();
+    match order {
+        EdgeOrder::Given => {}
+        EdgeOrder::ReverseGiven => candidates.reverse(),
+        EdgeOrder::ByDimension(priority) => {
+            let rank = |o: Origin| -> usize {
+                priority.iter().position(|&p| p == o).unwrap_or(priority.len())
+            };
+            candidates.sort_by_key(|&(e, i)| (rank(g.edge_weight(e).origin), i));
+        }
+    }
+    candidates
+}
+
+/// All mutable state of the optimized greedy loop.
+struct Engine<'a> {
+    g: &'a DiGraph<SyncNode, SyncEdge>,
+    cs: &'a ConstraintSet,
+    mode: EquivalenceMode,
+    threads: usize,
+    pool: DnfPool<Condition>,
+    /// Interned annotated-closure rows, by node index.
+    irows: Vec<IRow>,
+    /// Interned execution condition per node (services: always).
+    exec_ids: Vec<DnfId>,
+    /// Reachability over all live edges / over unconditional live edges.
+    closure: Vec<BitSet>,
+    uncond: Vec<BitSet>,
+    removed: HashSet<EdgeId>,
+    topo_pos: Vec<usize>,
+    /// Longest-path distance to a sink on the original graph — strictly
+    /// decreasing along every edge, so it stays a valid schedule under
+    /// edge deletion. Nodes sharing a level never depend on each other.
+    level: Vec<usize>,
+    /// Memoized `context ∧ old ⟹ new` verdicts, keyed by interned ids
+    /// (domains are fixed per run, so the verdict is too).
+    imp_cache: HashMap<(DnfId, DnfId, DnfId), bool>,
+    /// Nodes whose rows changed / lost an out-edge since the last
+    /// screening snapshot — invalidates precomputed screening rows.
+    dirty_rows: HashSet<usize>,
+    dirty_tails: HashSet<usize>,
+}
+
+/// Minimum same-level batch size before ancestor recomputation fans out to
+/// worker threads — below this the scope setup costs more than the rows.
+const PAR_BATCH_MIN: usize = 8;
+
+impl<'a> Engine<'a> {
+    fn new(
+        g: &'a DiGraph<SyncNode, SyncEdge>,
+        cs: &'a ConstraintSet,
+        exec: &ExecConditions,
+        mode: EquivalenceMode,
+        threads: usize,
+        topo: &[NodeId],
+    ) -> Engine<'a> {
+        let bound = g.node_bound();
+        let mut topo_pos = vec![usize::MAX; bound];
+        for (i, &n) in topo.iter().enumerate() {
+            topo_pos[n.index()] = i;
+        }
+        let mut level = vec![0usize; bound];
+        for &n in topo.iter().rev() {
+            let l = g
+                .successors(n)
+                .map(|m| level[m.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            level[n.index()] = l;
+        }
+
+        let mut pool = DnfPool::new();
+        let mut exec_ids = vec![DnfPool::<Condition>::ALWAYS; bound];
+        for n in g.node_ids() {
+            exec_ids[n.index()] = match g.weight(n) {
+                SyncNode::State(s) => pool.intern(&exec.of(&s.activity)),
+                SyncNode::Service(_) => DnfPool::<Condition>::ALWAYS,
+            };
+        }
+
+        let mut eng = Engine {
+            g,
+            cs,
+            mode,
+            threads,
+            pool,
+            irows: vec![Vec::new(); bound],
+            exec_ids,
+            closure: vec![BitSet::new(bound); bound],
+            uncond: vec![BitSet::new(bound); bound],
+            removed: HashSet::new(),
+            topo_pos,
+            level,
+            imp_cache: HashMap::new(),
+            dirty_rows: HashSet::new(),
+            dirty_tails: HashSet::new(),
+        };
+        // One reverse-topological pass builds the interned annotated
+        // closure and both bitset skeletons.
+        let none: HashMap<usize, IRow> = HashMap::new();
+        for &n in topo.iter().rev() {
+            eng.irows[n.index()] = eng.compose_interned(n, None, &none);
+            eng.rebuild_bitset_row(n);
+        }
+        eng
+    }
+
+    /// Recomputes the interned row of `n`, excluding `skip` and all
+    /// removed edges. Successor rows come from `fresh` when present.
+    fn compose_interned(
+        &mut self,
+        n: NodeId,
+        skip: Option<EdgeId>,
+        fresh: &HashMap<usize, IRow>,
+    ) -> IRow {
+        let g = self.g;
+        let mut acc: BTreeMap<u32, DnfId> = BTreeMap::new();
+        for e in g.out_edges(n) {
+            if Some(e) == skip || self.removed.contains(&e) {
+                continue;
+            }
+            let (_, m) = g.endpoints(e);
+            let guard = &g.edge_weight(e).cond;
+            let gid = self.pool.of_guard(guard.as_ref());
+            upsert(&mut self.pool, &mut acc, m.index() as u32, gid);
+            let mi = m.index();
+            let mrow_len = fresh.get(&mi).unwrap_or(&self.irows[mi]).len();
+            for k in 0..mrow_len {
+                let (t, did) = match fresh.get(&mi) {
+                    Some(r) => r[k],
+                    None => self.irows[mi][k],
+                };
+                let composed = self.pool.compose(did, guard.as_ref());
+                upsert(&mut self.pool, &mut acc, t, composed);
+            }
+        }
+        acc.into_iter().collect()
+    }
+
+    /// Rebuilds `closure[n]` and `uncond[n]` from the live out-edges.
+    /// Successor rows must already be current (reverse-topological order).
+    fn rebuild_bitset_row(&mut self, n: NodeId) {
+        let g = self.g;
+        let bound = g.node_bound();
+        let mut row = BitSet::new(bound);
+        let mut urow = BitSet::new(bound);
+        for e in g.out_edges(n) {
+            if self.removed.contains(&e) {
+                continue;
+            }
+            let (_, m) = g.endpoints(e);
+            row.insert(m.index());
+            row.union_with(&self.closure[m.index()]);
+            if g.edge_weight(e).cond.is_none() {
+                urow.insert(m.index());
+                urow.union_with(&self.uncond[m.index()]);
+            }
+        }
+        self.closure[n.index()] = row;
+        self.uncond[n.index()] = urow;
+    }
+
+    /// Memoized `ctx ∧ old ⟹ new` over interned formulas.
+    fn implies(&mut self, ctx: DnfId, old: DnfId, new: DnfId) -> bool {
+        if old == new || old == DnfPool::<Condition>::EMPTY || ctx == DnfPool::<Condition>::EMPTY
+        {
+            return true;
+        }
+        if let Some(&b) = self.imp_cache.get(&(ctx, old, new)) {
+            return b;
+        }
+        let b = implies_under(
+            self.pool.dnf(ctx),
+            self.pool.dnf(old),
+            self.pool.dnf(new),
+            &self.cs.domains,
+        );
+        self.imp_cache.insert((ctx, old, new), b);
+        b
+    }
+
+    /// Definition 4/5: is node `ni`'s current row covered by `new`?
+    fn covered(&mut self, ni: usize, new: &IRow) -> bool {
+        match self.mode {
+            EquivalenceMode::Strict => self.irows[ni] == *new,
+            EquivalenceMode::Reachability => {
+                let old_len = self.irows[ni].len();
+                (0..old_len).all(|k| {
+                    let t = self.irows[ni][k].0;
+                    irow_get(new, t).is_some()
+                })
+            }
+            EquivalenceMode::ExecutionAware => {
+                let old_len = self.irows[ni].len();
+                for k in 0..old_len {
+                    let (t, old_id) = self.irows[ni][k];
+                    let new_id = irow_get(new, t).unwrap_or(DnfPool::<Condition>::EMPTY);
+                    if old_id == new_id {
+                        continue;
+                    }
+                    let ctx = self.pool.and(self.exec_ids[ni], self.exec_ids[t as usize]);
+                    if !self.implies(ctx, old_id, new_id) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Accept prefilter: a live alternate out-edge of `u` whose guard is
+    /// absent or identical to the candidate's, reaching `v` directly or
+    /// through unconditional edges, replays every annotation the candidate
+    /// contributed — the row of `u` (hence the whole closure) is provably
+    /// unchanged, so the removal is pure redundancy.
+    fn prefilter_accept(&self, cand: EdgeId, u: NodeId, v: NodeId) -> bool {
+        let g = self.g;
+        let guard_c = &g.edge_weight(cand).cond;
+        for oe in g.out_edges(u) {
+            if oe == cand || self.removed.contains(&oe) {
+                continue;
+            }
+            let gw = &g.edge_weight(oe).cond;
+            if !(gw.is_none() || gw == guard_c) {
+                continue;
+            }
+            let (_, w) = g.endpoints(oe);
+            if w == v || self.uncond[w.index()].contains(v.index()) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Reject prefilter: with no alternate path `u ⇒ v` at all, `v` drops
+    /// out of `u`'s row entirely. (On a DAG no path from a sibling head
+    /// can route back through the candidate edge, so the closure queried
+    /// *with* the candidate still answers this exactly.)
+    fn has_alternate_path(&self, cand: EdgeId, u: NodeId, v: NodeId) -> bool {
+        let g = self.g;
+        g.out_edges(u).any(|oe| {
+            oe != cand && !self.removed.contains(&oe) && {
+                let (_, w) = g.endpoints(oe);
+                w == v || self.closure[w.index()].contains(v.index())
+            }
+        })
+    }
+
+    /// True if the prefilters cannot decide `cand` against the current
+    /// state — i.e. screening should precompute its tentative tail row.
+    fn screen_undecided(&self, cand: EdgeId) -> bool {
+        let (u, v) = self.g.endpoints(cand);
+        if self.prefilter_accept(cand, u, v) {
+            return false;
+        }
+        if !self.has_alternate_path(cand, u, v) {
+            // Strict/Reachability reject outright; ExecutionAware still
+            // needs the row when the lost target was never live.
+            return self.mode == EquivalenceMode::ExecutionAware;
+        }
+        true
+    }
+
+    /// True if a screening row precomputed at the window snapshot is still
+    /// valid: the tail kept all its edges and no successor row changed.
+    fn precomp_valid(&self, cand: EdgeId) -> bool {
+        let g = self.g;
+        let (u, _) = g.endpoints(cand);
+        if self.dirty_tails.contains(&u.index()) {
+            return false;
+        }
+        g.out_edges(u).all(|oe| {
+            oe == cand || self.removed.contains(&oe) || {
+                let (_, m) = g.endpoints(oe);
+                !self.dirty_rows.contains(&m.index())
+            }
+        })
+    }
+
+    /// Live-edge ancestors of `u` (inclusive), sorted so successors come
+    /// before predecessors (descending topological position).
+    fn affected_ancestors(&self, u: NodeId) -> Vec<NodeId> {
+        let g = self.g;
+        let mut seen = vec![false; g.node_bound()];
+        let mut stack = vec![u];
+        let mut affected = Vec::new();
+        seen[u.index()] = true;
+        while let Some(x) = stack.pop() {
+            affected.push(x);
+            for e in g.in_edges(x) {
+                if self.removed.contains(&e) {
+                    continue;
+                }
+                let (p, _) = g.endpoints(e);
+                if !seen[p.index()] {
+                    seen[p.index()] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        affected.sort_by_key(|n| std::cmp::Reverse(self.topo_pos[n.index()]));
+        affected
+    }
+
+    /// Recomputes the rows of every affected ancestor with `cand` gone,
+    /// fanning same-level batches out to worker threads. `new_u` is the
+    /// already-computed row of the candidate's tail.
+    fn recompute_rows(
+        &mut self,
+        affected: &[NodeId],
+        u: NodeId,
+        cand: EdgeId,
+        new_u: IRow,
+    ) -> HashMap<usize, IRow> {
+        let mut fresh: HashMap<usize, IRow> = HashMap::new();
+        fresh.insert(u.index(), new_u);
+        let rest: Vec<NodeId> = affected.iter().copied().filter(|&n| n != u).collect();
+        if self.threads > 1 && rest.len() >= PAR_BATCH_MIN {
+            // Level batches, nearest-to-sinks first: a node's successors
+            // always sit on strictly smaller levels, so each batch only
+            // reads rows finished in earlier batches (or untouched ones).
+            let mut by_level: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
+            for &n in &rest {
+                by_level.entry(self.level[n.index()]).or_default().push(n);
+            }
+            for (_, batch) in by_level {
+                if batch.len() >= 2 {
+                    let (g, pool, irows, removed, fr) =
+                        (self.g, &self.pool, &self.irows, &self.removed, &fresh);
+                    let rows = par_map(self.threads, &batch, &|&n: &NodeId| {
+                        (
+                            n.index(),
+                            compose_structural(g, n, cand, removed, pool, irows, fr),
+                        )
+                    });
+                    for (ni, srow) in rows {
+                        let ir = intern_row(&mut self.pool, srow);
+                        fresh.insert(ni, ir);
+                    }
+                } else {
+                    for &n in &batch {
+                        let r = self.compose_interned(n, Some(cand), &fresh);
+                        fresh.insert(n.index(), r);
+                    }
+                }
+            }
+        } else {
+            for &n in &rest {
+                let r = self.compose_interned(n, Some(cand), &fresh);
+                fresh.insert(n.index(), r);
+            }
+        }
+        fresh
+    }
+
+    /// One greedy step: decide `cand` and mutate state on acceptance.
+    /// `pre` is an optional screening row (structural, snapshot-composed).
+    fn try_remove(&mut self, cand: EdgeId, pre: Option<Vec<(u32, Dnf<Condition>)>>) -> bool {
+        let g = self.g;
+        let (u, v) = g.endpoints(cand);
+        let ui = u.index();
+
+        if self.prefilter_accept(cand, u, v) {
+            // Row of u provably unchanged — no closure maintenance needed.
+            self.removed.insert(cand);
+            self.dirty_tails.insert(ui);
+            return true;
+        }
+
+        if !self.has_alternate_path(cand, u, v) {
+            match self.mode {
+                EquivalenceMode::Strict | EquivalenceMode::Reachability => return false,
+                EquivalenceMode::ExecutionAware => {
+                    // v is lost from u's row entirely; salvageable only if
+                    // the annotation was vacuous under the execution
+                    // context (e.g. a dead branch combination).
+                    let old_v = irow_get(&self.irows[ui], v.index() as u32)
+                        .expect("candidate edge target must be in tail row");
+                    let ctx = self.pool.and(self.exec_ids[ui], self.exec_ids[v.index()]);
+                    if !self.implies(ctx, old_v, DnfPool::<Condition>::EMPTY) {
+                        return false;
+                    }
+                }
+            }
+        }
+
+        // General path: the full recomposed row of u.
+        let new_u: IRow = match pre {
+            Some(srow) => intern_row(&mut self.pool, srow),
+            None => self.compose_interned(u, Some(cand), &HashMap::new()),
+        };
+        if new_u == self.irows[ui] {
+            self.removed.insert(cand);
+            self.dirty_tails.insert(ui);
+            return true;
+        }
+        if !self.covered(ui, &new_u) {
+            return false;
+        }
+
+        // Slow path (rare): u's row weakened but stays covered — every
+        // live ancestor's row must be recomputed and rechecked.
+        let affected = self.affected_ancestors(u);
+        let fresh = self.recompute_rows(&affected, u, cand, new_u);
+        for &n in &affected {
+            let ni = n.index();
+            if fresh[&ni] == self.irows[ni] {
+                continue;
+            }
+            // Borrow dance: `covered` needs `&mut self`, so take the new
+            // row out of the map for the call.
+            let new_row = &fresh[&ni];
+            let ok = {
+                let row = new_row.clone();
+                self.covered(ni, &row)
+            };
+            if !ok {
+                return false;
+            }
+        }
+
+        // Commit: swap rows in, then repair both reachability skeletons
+        // for the affected cone (successors first — the affected list is
+        // already in that order).
+        self.removed.insert(cand);
+        self.dirty_tails.insert(ui);
+        for (ni, row) in fresh {
+            if self.irows[ni] != row {
+                self.dirty_rows.insert(ni);
+            }
+            self.irows[ni] = row;
+        }
+        for &n in &affected {
+            self.rebuild_bitset_row(n);
+        }
+        true
+    }
+}
+
+/// The generic §4.4 greedy algorithm with explicit [`MinimizeOptions`] —
+/// the optimized engine (interned annotations, bitset prefilters, scoped
+/// worker threads). Produces edge-for-edge the same minimal set as
+/// [`minimize_generic_baseline`].
+pub fn minimize_generic_with(
+    cs: &ConstraintSet,
+    exec: &ExecConditions,
+    mode: EquivalenceMode,
+    order: &EdgeOrder,
+    opts: &MinimizeOptions,
+) -> Result<MinimizeResult, MinimizeError> {
+    let sg = SyncGraph::build(cs);
+    let g = &sg.graph;
+    if let Some(cycle) = find_cycle(g) {
+        return Err(MinimizeError::Conflict {
+            cycle: cycle.iter().map(|&n| g.weight(n).label()).collect(),
+        });
+    }
+    let topo = topo_sort(g).expect("cycle-free graph must sort");
+    let candidates = order_candidates(g, &sg, order);
+    let threads = opts.effective_threads();
+    let mut eng = Engine::new(g, cs, exec, mode, threads, &topo);
+
+    let mut removed_rels: Vec<usize> = Vec::new();
+    let mut checked = 0usize;
+    let window = if threads > 1 { (threads * 4).max(8) } else { 1 };
+    let mut k = 0usize;
+    while k < candidates.len() {
+        let end = (k + window).min(candidates.len());
+
+        // Screening phase: compose the tentative tail row of every
+        // prefilter-undecided candidate in the window concurrently against
+        // a read-only snapshot. Results are advisory — the apply phase
+        // re-runs the prefilters and drops any row whose dependency cone
+        // an earlier acceptance dirtied.
+        let mut pre: HashMap<usize, Vec<(u32, Dnf<Condition>)>> = HashMap::new();
+        if threads > 1 && end - k > 1 {
+            let undecided: Vec<(usize, EdgeId)> = (k..end)
+                .map(|i| (i, candidates[i].0))
+                .filter(|&(_, e)| eng.screen_undecided(e))
+                .collect();
+            if undecided.len() >= 2 {
+                let (g, pool, irows, removed) = (eng.g, &eng.pool, &eng.irows, &eng.removed);
+                let none: HashMap<usize, IRow> = HashMap::new();
+                let rows = par_map(threads, &undecided, &|&(i, e): &(usize, EdgeId)| {
+                    let (u, _) = g.endpoints(e);
+                    (i, compose_structural(g, u, e, removed, pool, irows, &none))
+                });
+                pre.extend(rows);
+            }
+        }
+
+        eng.dirty_rows.clear();
+        eng.dirty_tails.clear();
+        for i in k..end {
+            let (cand, rel_idx) = candidates[i];
+            checked += 1;
+            let precomp = pre.remove(&i).filter(|_| eng.precomp_valid(cand));
+            if eng.try_remove(cand, precomp) {
+                removed_rels.push(rel_idx);
+            }
+        }
+        k = end;
+    }
+
+    let removed_set: HashSet<usize> = removed_rels.iter().copied().collect();
+    let minimal = SyncGraph::subset(cs, &|i| !removed_set.contains(&i));
+    let removed = removed_rels
+        .iter()
+        .map(|&i| cs.relations[i].clone())
+        .collect();
+    Ok(MinimizeResult {
+        minimal,
+        removed,
+        candidates_checked: checked,
+    })
+}
+
+/// The sequential reference implementation of the §4.4 greedy algorithm —
+/// structural rows, no interning, no prefilters, no threads. Kept for the
+/// equivalence property tests and as the before-side of the `ext_a`
+/// benchmarks; [`minimize_generic_with`] must match it edge for edge.
+pub fn minimize_generic_baseline(
     cs: &ConstraintSet,
     exec: &ExecConditions,
     mode: EquivalenceMode,
@@ -183,11 +869,10 @@ pub fn minimize_generic(
     }
 
     // Initial annotated closure.
-    let mut rows: Vec<Row<Condition>> = dscweaver_graph::annotated_closure(g, &|_, w: &dscweaver_dscl::SyncEdge| {
-        w.cond.clone()
-    })
-    .expect("acyclic")
-    .into_rows();
+    let mut rows: Vec<Row<Condition>> =
+        dscweaver_graph::annotated_closure(g, &|_, w: &SyncEdge| w.cond.clone())
+            .expect("acyclic")
+            .into_rows();
 
     // Execution condition of a node (service nodes: always).
     let exec_of = |n: NodeId| -> Dnf<Condition> {
@@ -197,22 +882,15 @@ pub fn minimize_generic(
         }
     };
 
-    // Candidate constraint edges in the requested order.
-    let mut candidates: Vec<(EdgeId, usize)> = sg.constraint_edges().collect();
-    match order {
-        EdgeOrder::Given => {}
-        EdgeOrder::ReverseGiven => candidates.reverse(),
-        EdgeOrder::ByDimension(priority) => {
-            let rank = |o: Origin| -> usize {
-                priority.iter().position(|&p| p == o).unwrap_or(priority.len())
-            };
-            candidates.sort_by_key(|&(e, i)| (rank(g.edge_weight(e).origin), i));
-        }
-    }
+    let candidates = order_candidates(g, &sg, order);
 
     let mut removed_edges: HashSet<EdgeId> = HashSet::new();
     let mut removed_rels: Vec<usize> = Vec::new();
     let mut checked = 0usize;
+    // Dense scratch index: `scratch_of[n]` is the position of `n`'s
+    // freshly recomputed row in `new_rows`, or `usize::MAX`. Allocated
+    // once and reset per candidate (only the touched entries).
+    let mut scratch_of: Vec<usize> = vec![usize::MAX; g.node_bound()];
 
     for (cand, rel_idx) in candidates {
         checked += 1;
@@ -223,7 +901,7 @@ pub fn minimize_generic(
         // if it is unchanged the whole closure is unchanged (accept
         // immediately), and if it is not even covered the removal is
         // rejected without touching the ancestors.
-        let new_u = compose_without(g, u, cand, &removed_edges, &rows, &[], &HashMap::new());
+        let new_u = compose_without(g, u, cand, &removed_edges, &rows, &[], &scratch_of);
         if new_u == rows[u.index()] {
             // Closure untouched: the constraint was pure redundancy.
             removed_edges.insert(cand);
@@ -259,12 +937,13 @@ pub fn minimize_generic(
         // original order stays valid: we only ever delete edges).
         affected.sort_by_key(|n| std::cmp::Reverse(topo_pos[n.index()]));
         let mut new_rows: Vec<(NodeId, Row<Condition>)> = Vec::with_capacity(affected.len());
-        let mut new_of: std::collections::HashMap<NodeId, usize> =
-            std::collections::HashMap::new();
         for &n in &affected {
-            let row = compose_without(g, n, cand, &removed_edges, &rows, &new_rows, &new_of);
-            new_of.insert(n, new_rows.len());
+            let row = compose_without(g, n, cand, &removed_edges, &rows, &new_rows, &scratch_of);
+            scratch_of[n.index()] = new_rows.len();
             new_rows.push((n, row));
+        }
+        for &n in &affected {
+            scratch_of[n.index()] = usize::MAX;
         }
 
         // Definition 4/5 check on every affected row.
@@ -314,17 +993,7 @@ pub fn minimize_unconditional_fast(
     }
     let closure = dscweaver_graph::transitive_closure(g);
 
-    let mut candidates: Vec<(EdgeId, usize)> = sg.constraint_edges().collect();
-    match order {
-        EdgeOrder::Given => {}
-        EdgeOrder::ReverseGiven => candidates.reverse(),
-        EdgeOrder::ByDimension(priority) => {
-            let rank = |o: Origin| -> usize {
-                priority.iter().position(|&p| p == o).unwrap_or(priority.len())
-            };
-            candidates.sort_by_key(|&(e, i)| (rank(g.edge_weight(e).origin), i));
-        }
-    }
+    let candidates = order_candidates(g, &sg, order);
 
     // Count live constraint edges per (u, v) pair for duplicate handling.
     let mut live_per_pair: HashMap<(NodeId, NodeId), usize> = HashMap::new();
@@ -373,17 +1042,17 @@ pub fn minimize_unconditional_fast(
 
 /// Recomposes the closure row of `n` with edge `skip` (and every edge in
 /// `removed`) excluded. Successor rows come from `scratch` (freshly
-/// recomputed rows, looked up via `scratch_of`) when present, else from
-/// the stable `rows` table — successors outside the affected set are
-/// untouched by the removal.
+/// recomputed rows, located via the dense `scratch_of` index, `usize::MAX`
+/// meaning absent) when present, else from the stable `rows` table —
+/// successors outside the affected set are untouched by the removal.
 fn compose_without(
-    g: &dscweaver_graph::DiGraph<SyncNode, dscweaver_dscl::SyncEdge>,
+    g: &DiGraph<SyncNode, SyncEdge>,
     n: NodeId,
     skip: EdgeId,
     removed: &HashSet<EdgeId>,
     rows: &[Row<Condition>],
     scratch: &[(NodeId, Row<Condition>)],
-    scratch_of: &HashMap<NodeId, usize>,
+    scratch_of: &[usize],
 ) -> Row<Condition> {
     let mut row = Row::new();
     for e in g.out_edges(n) {
@@ -393,9 +1062,9 @@ fn compose_without(
         let (_, m) = g.endpoints(e);
         let guard = g.edge_weight(e).cond.clone();
         row.add_term(m, guard.clone().map(|c| vec![c]).unwrap_or_default());
-        let mrow: &Row<Condition> = match scratch_of.get(&m) {
-            Some(&i) => &scratch[i].1,
-            None => &rows[m.index()],
+        let mrow: &Row<Condition> = match scratch_of[m.index()] {
+            usize::MAX => &rows[m.index()],
+            i => &scratch[i].1,
         };
         for (t, dnf) in mrow.iter() {
             row.compose_from(t, dnf, guard.as_ref());
@@ -450,6 +1119,17 @@ mod tests {
     fn run(cs: &ConstraintSet, mode: EquivalenceMode) -> MinimizeResult {
         let exec = ExecConditions::derive(cs);
         minimize(cs, &exec, mode, &EdgeOrder::default()).unwrap()
+    }
+
+    /// Minimal-set relations rendered and sorted — removal-order agnostic.
+    fn kept_set(r: &MinimizeResult) -> Vec<String> {
+        let mut v: Vec<String> = r
+            .minimal
+            .happen_befores()
+            .map(|x| format!("{x} ({})", x.origin()))
+            .collect();
+        v.sort();
+        v
     }
 
     #[test]
@@ -609,6 +1289,14 @@ mod tests {
             .unwrap_err();
         let MinimizeError::Conflict { cycle } = err;
         assert!(cycle.len() >= 3);
+        // Baseline reports the same conflict.
+        assert!(minimize_generic_baseline(
+            &cs,
+            &exec,
+            EquivalenceMode::Strict,
+            &EdgeOrder::default()
+        )
+        .is_err());
     }
 
     #[test]
@@ -679,8 +1367,8 @@ mod tests {
     #[test]
     fn fast_path_agrees_with_generic_on_unconditional_sets() {
         // Deterministic pseudo-random unconditional DAGs: the dispatch
-        // (fast path) and the generic greedy algorithm must keep exactly
-        // the same relations.
+        // (fast path), the optimized generic engine, and the sequential
+        // baseline must keep exactly the same relations.
         let mut x: u64 = 0xD1B54A32D192ED03;
         let mut rnd = || {
             x ^= x << 13;
@@ -714,27 +1402,84 @@ mod tests {
             let exec = ExecConditions::derive(&cs);
             for order in [EdgeOrder::Given, EdgeOrder::ReverseGiven, EdgeOrder::default()] {
                 let fast = minimize_unconditional_fast(&cs, &order).unwrap();
-                let generic = minimize_generic(
-                    &cs,
-                    &exec,
-                    EquivalenceMode::Strict,
-                    &order,
-                )
-                .unwrap();
-                let render = |r: &MinimizeResult| -> Vec<String> {
-                    let mut v: Vec<String> = r
-                        .minimal
-                        .happen_befores()
-                        .map(|x| format!("{x} ({})", x.origin()))
-                        .collect();
-                    v.sort();
-                    v
-                };
+                let generic =
+                    minimize_generic(&cs, &exec, EquivalenceMode::Strict, &order).unwrap();
+                let baseline =
+                    minimize_generic_baseline(&cs, &exec, EquivalenceMode::Strict, &order)
+                        .unwrap();
                 assert_eq!(
-                    render(&fast),
-                    render(&generic),
+                    kept_set(&fast),
+                    kept_set(&generic),
                     "case {case}, order {order:?}"
                 );
+                assert_eq!(
+                    kept_set(&generic),
+                    kept_set(&baseline),
+                    "case {case}, order {order:?} (baseline)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_agrees_with_baseline_on_conditional_sets() {
+        // Hand-built conditional sets covering the prefilter edge cases:
+        // same-guard duplicates, guarded shortcut chains, branch joins.
+        let mut cs = cs_with(
+            &["a", "g", "x", "y", "j", "z"],
+            vec![
+                before("a", "g", Origin::Data),
+                Relation::before_if(
+                    StateRef::finish("g"),
+                    StateRef::start("x"),
+                    Condition::new("g", "T"),
+                    Origin::Control,
+                ),
+                Relation::before_if(
+                    StateRef::finish("g"),
+                    StateRef::start("y"),
+                    Condition::new("g", "F"),
+                    Origin::Control,
+                ),
+                before("x", "j", Origin::Data),
+                before("y", "j", Origin::Data),
+                before("g", "j", Origin::Control),
+                before("a", "j", Origin::Cooperation),
+                Relation::before_if(
+                    StateRef::finish("g"),
+                    StateRef::start("z"),
+                    Condition::new("g", "T"),
+                    Origin::Data,
+                ),
+                Relation::before_if(
+                    StateRef::finish("g"),
+                    StateRef::start("z"),
+                    Condition::new("g", "T"),
+                    Origin::Cooperation,
+                ),
+            ],
+        );
+        cs.add_domain("g", vec!["T".into(), "F".into()]);
+        let exec = ExecConditions::derive(&cs);
+        for mode in [
+            EquivalenceMode::Strict,
+            EquivalenceMode::ExecutionAware,
+            EquivalenceMode::Reachability,
+        ] {
+            for order in [EdgeOrder::Given, EdgeOrder::ReverseGiven, EdgeOrder::default()] {
+                for threads in [1usize, 4] {
+                    let opts = MinimizeOptions { threads };
+                    let engine =
+                        minimize_generic_with(&cs, &exec, mode, &order, &opts).unwrap();
+                    let baseline =
+                        minimize_generic_baseline(&cs, &exec, mode, &order).unwrap();
+                    assert_eq!(
+                        kept_set(&engine),
+                        kept_set(&baseline),
+                        "mode {mode:?}, order {order:?}, threads {threads}"
+                    );
+                    assert_eq!(engine.removed.len(), baseline.removed.len());
+                }
             }
         }
     }
@@ -779,5 +1524,11 @@ mod tests {
         );
         let res = run(&cs, EquivalenceMode::ExecutionAware);
         assert_eq!(res.kept(), 1);
+    }
+
+    #[test]
+    fn options_thread_resolution() {
+        assert_eq!(MinimizeOptions { threads: 3 }.effective_threads(), 3);
+        assert!(MinimizeOptions::default().effective_threads() >= 1);
     }
 }

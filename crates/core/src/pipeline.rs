@@ -9,7 +9,9 @@
 use crate::dependency::DependencySet;
 use crate::exec::ExecConditions;
 use crate::merge::merge;
-use crate::minimize::{minimize, EdgeOrder, EquivalenceMode, MinimizeError, MinimizeResult};
+use crate::minimize::{
+    minimize_with, EdgeOrder, EquivalenceMode, MinimizeError, MinimizeOptions, MinimizeResult,
+};
 use crate::translate::{translate_services, TranslationReport};
 use dscweaver_dscl::{ConstraintError, ConstraintSet, Origin, Relation};
 
@@ -20,6 +22,9 @@ pub struct Weaver {
     pub mode: EquivalenceMode,
     /// Removal-candidate ordering.
     pub order: EdgeOrder,
+    /// Minimizer worker threads (`0` = auto, `1` = sequential). Thread
+    /// count never changes the result, only the wall time.
+    pub threads: usize,
 }
 
 /// Pipeline failure.
@@ -89,8 +94,16 @@ impl Weaver {
         let (asc, translation) = translate_services(&sc);
         let MinimizeResult {
             minimal, removed, ..
-        } = minimize(&asc, &exec, self.mode, &self.order)
-            .map_err(WeaverError::Conflict)?;
+        } = minimize_with(
+            &asc,
+            &exec,
+            self.mode,
+            &self.order,
+            &MinimizeOptions {
+                threads: self.threads,
+            },
+        )
+        .map_err(WeaverError::Conflict)?;
         Ok(WeaverOutput {
             dependencies: ds.clone(),
             sc,
@@ -202,7 +215,7 @@ mod tests {
     fn reachability_mode_removes_more() {
         let weaver = Weaver {
             mode: EquivalenceMode::Reachability,
-            order: EdgeOrder::default(),
+            ..Weaver::default()
         };
         let out = weaver.run(&small_ds()).unwrap();
         // Under full dead-path elimination, a → b is covered by the guarded
@@ -244,7 +257,7 @@ mod tests {
     fn strict_mode_keeps_more() {
         let weaver_strict = Weaver {
             mode: EquivalenceMode::Strict,
-            order: EdgeOrder::default(),
+            ..Weaver::default()
         };
         let strict = weaver_strict.run(&small_ds()).unwrap();
         let aware = Weaver::new().run(&small_ds()).unwrap();

@@ -23,8 +23,9 @@ use std::collections::BTreeMap;
 pub type GuardSet<G> = Vec<G>;
 
 /// A monotone DNF over guards: the set of *minimal* guard-sets under
-/// inclusion. Canonically sorted, so `Eq` is semantic equality.
-#[derive(Clone, PartialEq, Eq, Debug)]
+/// inclusion. Canonically sorted, so `Eq` is semantic equality (and
+/// `Hash` is consistent with it — required by [`crate::intern::DnfPool`]).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Dnf<G> {
     terms: Vec<GuardSet<G>>,
 }

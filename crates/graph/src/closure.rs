@@ -7,6 +7,7 @@
 
 use crate::bitset::BitSet;
 use crate::digraph::{DiGraph, NodeId};
+use crate::scc::tarjan_scc;
 use crate::topo::topo_sort;
 
 /// Dense reachability matrix: `row(n)` is the set of nodes strictly
@@ -43,9 +44,9 @@ impl Closure {
 /// Computes the strict transitive closure.
 ///
 /// For DAGs a single reverse-topological pass suffices; cyclic graphs fall
-/// back to an SCC-aware fixpoint (needed because the optimizer computes
-/// closures while *diagnosing* conflicting, possibly cyclic, constraint
-/// sets).
+/// back to SCC condensation and a single reverse-topological pass over the
+/// component DAG (needed because the optimizer computes closures while
+/// *diagnosing* conflicting, possibly cyclic, constraint sets).
 pub fn transitive_closure<N, E>(g: &DiGraph<N, E>) -> Closure {
     let bound = g.node_bound();
     let mut rows: Vec<BitSet> = (0..bound).map(|_| BitSet::new(bound)).collect();
@@ -69,29 +70,44 @@ pub fn transitive_closure<N, E>(g: &DiGraph<N, E>) -> Closure {
             }
         }
         Err(_) => {
-            // Fixpoint for cyclic graphs.
-            let mut changed = true;
-            while changed {
-                changed = false;
-                for n in g.node_ids() {
-                    let succ: Vec<NodeId> = g.successors(n).collect();
-                    for m in succ {
-                        if m == n {
-                            if !rows[n.index()].contains(n.index()) {
-                                rows[n.index()].insert(n.index());
-                                changed = true;
-                            }
-                            continue;
+            // Cyclic graphs: condense to strongly connected components and
+            // make a single pass over them. `tarjan_scc` emits components
+            // in reverse topological order of the condensation (every
+            // successor component is finished first), so one sweep
+            // suffices — no whole-graph fixpoint iteration.
+            let sccs = tarjan_scc(g);
+            let mut comp_of = vec![usize::MAX; bound];
+            for (c, members) in sccs.iter().enumerate() {
+                for &n in members {
+                    comp_of[n.index()] = c;
+                }
+            }
+            let mut comp_rows: Vec<BitSet> = Vec::with_capacity(sccs.len());
+            for (c, members) in sccs.iter().enumerate() {
+                let mut acc = BitSet::new(bound);
+                let mut internal_edge = false;
+                for &n in members {
+                    for m in g.successors(n) {
+                        if comp_of[m.index()] == c {
+                            internal_edge = true;
+                        } else {
+                            acc.insert(m.index());
+                            acc.union_with(&comp_rows[comp_of[m.index()]]);
                         }
-                        let (a, b) = split_two(&mut rows, n.index(), m.index());
-                        let mut c = a.union_with(b);
-                        if !a.contains(m.index()) {
-                            a.insert(m.index());
-                            c = true;
-                        }
-                        changed |= c;
                     }
                 }
+                // A nontrivial component (or a self-loop) reaches all of
+                // its own members, itself included — the strict closure
+                // admits self-reachability exactly on cycles.
+                if members.len() > 1 || internal_edge {
+                    for &n in members {
+                        acc.insert(n.index());
+                    }
+                }
+                for &n in members {
+                    rows[n.index()] = acc.clone();
+                }
+                comp_rows.push(acc);
             }
         }
     }

@@ -32,6 +32,7 @@ pub mod closure;
 pub mod digraph;
 pub mod dom;
 pub mod dot;
+pub mod intern;
 pub mod matching;
 pub mod reduction;
 pub mod scc;
@@ -39,6 +40,7 @@ pub mod topo;
 pub mod visit;
 
 pub use annotated::{annotated_closure, AnnotatedClosure, Dnf, GuardSet, Row};
+pub use intern::{DnfId, DnfPool, TermId};
 pub use bitset::BitSet;
 pub use closure::{transitive_closure, Closure};
 pub use digraph::{DiGraph, EdgeId, NodeId};

@@ -1,69 +1,66 @@
-//! Property-based tests over the graph substrate's core invariants.
+//! Property-based tests over the graph substrate's core invariants,
+//! driven by the in-repo deterministic PRNG.
 
 use dscweaver_graph::annotated::Dnf;
 use dscweaver_graph::{
     annotated_closure, max_antichain, max_layer_width, topo_sort, transitive_closure,
-    transitive_reduction, DiGraph, NodeId,
+    transitive_reduction, DiGraph, DnfPool, NodeId,
 };
-use proptest::prelude::*;
+use dscweaver_prng::Rng;
 
-/// Strategy: a random DAG over `n` nodes given as an upper-triangular edge
-/// selection (edges always go from lower to higher index, so acyclicity is
-/// by construction).
-fn dag_strategy(max_n: usize) -> impl Strategy<Value = DiGraph<(), ()>> {
-    (2..max_n).prop_flat_map(|n| {
-        let pairs: Vec<(usize, usize)> = (0..n)
-            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
-            .collect();
-        let len = pairs.len();
-        (Just(n), Just(pairs), proptest::collection::vec(any::<bool>(), len))
-    })
-    .prop_map(|(n, pairs, mask)| {
-        let mut g = DiGraph::new();
-        let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
-        for ((i, j), keep) in pairs.into_iter().zip(mask) {
-            if keep {
+/// A random DAG over up to `max_n` nodes: edges always go from lower to
+/// higher index, so acyclicity holds by construction.
+fn random_dag(rng: &mut Rng, max_n: usize, density: f64) -> DiGraph<(), ()> {
+    let n = 2 + rng.random_range(max_n - 2);
+    let mut g = DiGraph::new();
+    let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random_bool(density) {
                 g.add_edge(ids[i], ids[j], ());
             }
         }
-        g
-    })
+    }
+    g
 }
 
-/// Strategy: a random directed graph that may contain cycles.
-fn digraph_strategy(max_n: usize) -> impl Strategy<Value = DiGraph<(), ()>> {
-    (2..max_n).prop_flat_map(|n| {
-        (
-            Just(n),
-            proptest::collection::vec((0..n, 0..n), 0..(n * 3)),
-        )
-    })
-    .prop_map(|(n, edges)| {
-        let mut g = DiGraph::new();
-        let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
-        for (i, j) in edges {
-            g.add_edge(ids[i], ids[j], ());
-        }
-        g
-    })
+/// A random directed graph that may contain cycles, self-loops, and
+/// parallel edges.
+fn random_digraph(rng: &mut Rng, max_n: usize) -> DiGraph<(), ()> {
+    let n = 2 + rng.random_range(max_n - 2);
+    let mut g = DiGraph::new();
+    let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+    let m = rng.random_range(n * 3 + 1);
+    for _ in 0..m {
+        let i = rng.random_range(n);
+        let j = rng.random_range(n);
+        g.add_edge(ids[i], ids[j], ());
+    }
+    g
 }
 
-proptest! {
-    /// Transitive reduction never changes the closure.
-    #[test]
-    fn reduction_preserves_closure(g in dag_strategy(14)) {
+/// Transitive reduction never changes the closure.
+#[test]
+fn reduction_preserves_closure() {
+    let mut rng = Rng::seed_from_u64(0xB001);
+    for case in 0..64 {
+        let g = random_dag(&mut rng, 14, 0.5);
         let before = transitive_closure(&g);
         let mut h = g.clone();
         transitive_reduction(&mut h).unwrap();
         let after = transitive_closure(&h);
         for n in g.node_ids() {
-            prop_assert_eq!(before.row(n), after.row(n));
+            assert_eq!(before.row(n), after.row(n), "case {case} node {n:?}");
         }
     }
+}
 
-    /// After reduction, every remaining edge is load-bearing.
-    #[test]
-    fn reduction_is_minimal(g in dag_strategy(10)) {
+/// After reduction, every remaining edge is load-bearing.
+#[test]
+fn reduction_is_minimal() {
+    let mut rng = Rng::seed_from_u64(0xB002);
+    for case in 0..48 {
+        let g = random_dag(&mut rng, 10, 0.5);
         let mut h = g.clone();
         transitive_reduction(&mut h).unwrap();
         let base = transitive_closure(&h);
@@ -72,84 +69,184 @@ proptest! {
             h2.remove_edge(e);
             let c2 = transitive_closure(&h2);
             let same = h.node_ids().all(|n| c2.row(n) == base.row(n));
-            prop_assert!(!same, "edge {:?} still removable", e);
+            assert!(!same, "case {case}: edge {e:?} still removable");
         }
     }
+}
 
-    /// Topological order respects every edge.
-    #[test]
-    fn topo_respects_edges(g in dag_strategy(16)) {
+/// Topological order respects every edge.
+#[test]
+fn topo_respects_edges() {
+    let mut rng = Rng::seed_from_u64(0xB003);
+    for case in 0..64 {
+        let g = random_dag(&mut rng, 16, 0.5);
         let order = topo_sort(&g).unwrap();
         let mut pos = vec![usize::MAX; g.node_bound()];
         for (i, &n) in order.iter().enumerate() {
             pos[n.index()] = i;
         }
         for (_, a, b, _) in g.edges() {
-            prop_assert!(pos[a.index()] < pos[b.index()]);
+            assert!(pos[a.index()] < pos[b.index()], "case {case}");
         }
     }
+}
 
-    /// Closure is identical whether computed by the DAG pass or the cyclic
-    /// fixpoint (exercised by inserting then deleting a cycle-free edge set).
-    #[test]
-    fn closure_transitivity(g in digraph_strategy(10)) {
+/// The closure relation is transitive and contains every edge — on
+/// arbitrary digraphs, including cyclic ones (the SCC-condensation path).
+#[test]
+fn closure_transitivity() {
+    let mut rng = Rng::seed_from_u64(0xB004);
+    for case in 0..64 {
+        let g = random_digraph(&mut rng, 10);
         let c = transitive_closure(&g);
         let n: Vec<NodeId> = g.node_ids().collect();
         for &a in &n {
             for &b in &n {
                 for &d in &n {
                     if c.reaches(a, b) && c.reaches(b, d) {
-                        prop_assert!(c.reaches(a, d), "{:?}->{:?}->{:?}", a, b, d);
+                        assert!(c.reaches(a, d), "case {case}: {a:?}->{b:?}->{d:?}");
                     }
                 }
             }
         }
         // And every edge is in the closure.
         for (_, a, b, _) in g.edges() {
-            prop_assert!(c.reaches(a, b));
+            assert!(c.reaches(a, b), "case {case}");
         }
     }
+}
 
-    /// Max antichain is at least the layer width and at most n.
-    #[test]
-    fn antichain_bounds(g in dag_strategy(10)) {
+/// The cyclic-fallback closure (SCC condensation) agrees with a brute
+/// force per-node DFS reachability oracle.
+#[test]
+fn cyclic_closure_matches_dfs_oracle() {
+    let mut rng = Rng::seed_from_u64(0xB005);
+    for case in 0..64 {
+        let g = random_digraph(&mut rng, 12);
+        let c = transitive_closure(&g);
+        for src in g.node_ids() {
+            // DFS from src over out-edges; strict reachability (src only
+            // counted when revisited through a cycle).
+            let mut reach = vec![false; g.node_bound()];
+            let mut stack: Vec<NodeId> = g.successors(src).collect();
+            while let Some(x) = stack.pop() {
+                if reach[x.index()] {
+                    continue;
+                }
+                reach[x.index()] = true;
+                stack.extend(g.successors(x));
+            }
+            for t in g.node_ids() {
+                assert_eq!(
+                    c.reaches(src, t),
+                    reach[t.index()],
+                    "case {case}: {src:?} -> {t:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Max antichain is at least the layer width and at most n.
+#[test]
+fn antichain_bounds() {
+    let mut rng = Rng::seed_from_u64(0xB006);
+    for case in 0..48 {
+        let g = random_dag(&mut rng, 10, 0.5);
         let (w, ac) = max_antichain(&g).unwrap();
         let lw = max_layer_width(&g).unwrap();
-        prop_assert!(w >= lw, "antichain {} < layer width {}", w, lw);
-        prop_assert!(w <= g.node_count());
-        prop_assert_eq!(ac.len(), w);
+        assert!(w >= lw, "case {case}: antichain {w} < layer width {lw}");
+        assert!(w <= g.node_count());
+        assert_eq!(ac.len(), w);
         let c = transitive_closure(&g);
         for &a in &ac {
             for &b in &ac {
                 if a != b {
-                    prop_assert!(!c.reaches(a, b));
+                    assert!(!c.reaches(a, b), "case {case}");
                 }
             }
         }
     }
+}
 
-    /// The unconditional annotated closure agrees with the plain closure.
-    #[test]
-    fn annotated_matches_plain_when_unconditional(g in dag_strategy(12)) {
+/// The unconditional annotated closure agrees with the plain closure.
+#[test]
+fn annotated_matches_plain_when_unconditional() {
+    let mut rng = Rng::seed_from_u64(0xB007);
+    for case in 0..48 {
+        let g = random_dag(&mut rng, 12, 0.5);
         let plain = transitive_closure(&g);
         let ann = annotated_closure::<_, _, u32>(&g, &|_, _: &()| None).unwrap();
         for n in g.node_ids() {
             let plain_targets: Vec<usize> = plain.row(n).iter().collect();
             let ann_targets: Vec<usize> =
                 ann.row(n).iter().map(|(t, _)| t.index()).collect();
-            prop_assert_eq!(&plain_targets, &ann_targets);
+            assert_eq!(plain_targets, ann_targets, "case {case}");
             for (_, dnf) in ann.row(n).iter() {
-                prop_assert!(dnf.is_always());
+                assert!(dnf.is_always(), "case {case}");
             }
         }
     }
+}
 
-    /// DNF insert keeps a minimal antichain: no term is a subset of another.
-    #[test]
-    fn dnf_antichain_invariant(termsets in proptest::collection::vec(
-        proptest::collection::vec(0u8..6, 0..4), 0..12)) {
+/// Interning is faithful: for arbitrary DNFs, pool-id equality coincides
+/// exactly with structural equality, and the pool's memoized union / and /
+/// compose agree with the structural operations they cache.
+#[test]
+fn interned_ids_agree_with_structural_equality() {
+    let mut rng = Rng::seed_from_u64(0xB009);
+    let random_dnf = |rng: &mut Rng| -> Dnf<u8> {
         let mut d: Dnf<u8> = Dnf::empty();
-        for t in termsets {
+        for _ in 0..rng.random_range(5) {
+            let t: Vec<u8> = (0..rng.random_range(3))
+                .map(|_| rng.random_range(4) as u8)
+                .collect();
+            d.insert(t);
+        }
+        d
+    };
+    for case in 0..64 {
+        let mut pool: DnfPool<u8> = DnfPool::new();
+        let dnfs: Vec<Dnf<u8>> = (0..12).map(|_| random_dnf(&mut rng)).collect();
+        let ids: Vec<_> = dnfs.iter().map(|d| pool.intern(d)).collect();
+        for i in 0..dnfs.len() {
+            assert_eq!(pool.dnf(ids[i]), &dnfs[i], "case {case}: resolution");
+            for j in 0..dnfs.len() {
+                assert_eq!(
+                    ids[i] == ids[j],
+                    dnfs[i] == dnfs[j],
+                    "case {case}: id equality must be structural equality ({i}, {j})"
+                );
+            }
+        }
+        // Pooled operations equal their structural counterparts.
+        for _ in 0..16 {
+            let i = rng.random_range(dnfs.len());
+            let j = rng.random_range(dnfs.len());
+            let mut u = dnfs[i].clone();
+            u.union_with(&dnfs[j]);
+            let uid = pool.union(ids[i], ids[j]);
+            assert_eq!(pool.dnf(uid), &u, "case {case}: union");
+
+            let guard = rng.random_range(4) as u8;
+            let mut c = Dnf::empty();
+            dnfs[i].compose_into(Some(&guard), &mut c);
+            let cid = pool.compose(ids[i], Some(&guard));
+            assert_eq!(pool.dnf(cid), &c, "case {case}: compose");
+        }
+    }
+}
+
+/// DNF insert keeps a minimal antichain: no term is a subset of another.
+#[test]
+fn dnf_antichain_invariant() {
+    let mut rng = Rng::seed_from_u64(0xB008);
+    for case in 0..256 {
+        let mut d: Dnf<u8> = Dnf::empty();
+        for _ in 0..rng.random_range(12) {
+            let t: Vec<u8> = (0..rng.random_range(4))
+                .map(|_| rng.random_range(6) as u8)
+                .collect();
             d.insert(t);
         }
         let terms = d.terms();
@@ -157,7 +254,7 @@ proptest! {
             for (j, b) in terms.iter().enumerate() {
                 if i != j {
                     let subset = a.iter().all(|x| b.contains(x));
-                    prop_assert!(!subset, "{:?} ⊆ {:?}", a, b);
+                    assert!(!subset, "case {case}: {a:?} ⊆ {b:?}");
                 }
             }
         }

@@ -1,10 +1,11 @@
 //! Property test: `parse(render(p)) == p` for arbitrary generated
-//! processes, and every generated process yields a usable CFG.
+//! processes, and every generated process yields a usable CFG. Process
+//! shapes are drawn with the in-repo deterministic PRNG.
 
 use dscweaver_model::{
     parse_process, render_constructs, Activity, Case, Cfg, Construct, Process,
 };
-use proptest::prelude::*;
+use dscweaver_prng::Rng;
 
 #[derive(Clone, Debug)]
 struct Ctx {
@@ -20,6 +21,39 @@ fn fresh_act(ctx: &mut Ctx) -> String {
 fn fresh_var(ctx: &mut Ctx) -> String {
     ctx.next_var += 1;
     format!("v{}", ctx.next_var)
+}
+
+#[derive(Clone, Debug)]
+enum Shape {
+    Act { reads: u8, writes: u8 },
+    Seq(Vec<Shape>),
+    Flow(Vec<Shape>),
+    Switch(Vec<Shape>),
+    While(Box<Shape>),
+}
+
+/// A random shape tree of bounded depth (mirrors the old proptest
+/// `prop_recursive(3, 20, 4, ...)` strategy).
+fn random_shape(rng: &mut Rng, depth: usize) -> Shape {
+    let leaf = depth == 0 || rng.random_bool(0.4);
+    if leaf {
+        Shape::Act {
+            reads: rng.random_range(2) as u8,
+            writes: 1 + rng.random_range(2) as u8,
+        }
+    } else {
+        let children = |rng: &mut Rng, max: usize, depth: usize| -> Vec<Shape> {
+            (0..1 + rng.random_range(max))
+                .map(|_| random_shape(rng, depth - 1))
+                .collect()
+        };
+        match rng.random_range(4) {
+            0 => Shape::Seq(children(rng, 3, depth)),
+            1 => Shape::Flow(children(rng, 3, depth)),
+            2 => Shape::Switch(children(rng, 2, depth)),
+            _ => Shape::While(Box::new(random_shape(rng, depth - 1))),
+        }
+    }
 }
 
 /// Recursively materializes a construct from a shape seed. Names are
@@ -78,81 +112,73 @@ fn build(shape: &Shape, ctx: &mut Ctx, vars: &mut Vec<String>) -> Construct {
     }
 }
 
-#[derive(Clone, Debug)]
-enum Shape {
-    Act { reads: u8, writes: u8 },
-    Seq(Vec<Shape>),
-    Flow(Vec<Shape>),
-    Switch(Vec<Shape>),
-    While(Box<Shape>),
+fn random_process(rng: &mut Rng) -> Process {
+    let shape = random_shape(rng, 3);
+    let mut ctx = Ctx {
+        next_act: 0,
+        next_var: 0,
+    };
+    let mut vars = vec![];
+    let root = build(&shape, &mut ctx, &mut vars);
+    let mut p = Process::new("Gen", root);
+    vars.sort();
+    vars.dedup();
+    p.vars = vars;
+    p
 }
 
-fn shape_strategy() -> impl Strategy<Value = Shape> {
-    let leaf = (0u8..2, 1u8..3).prop_map(|(reads, writes)| Shape::Act { reads, writes });
-    leaf.prop_recursive(3, 20, 4, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 1..4).prop_map(Shape::Seq),
-            proptest::collection::vec(inner.clone(), 1..4).prop_map(Shape::Flow),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Shape::Switch),
-            inner.prop_map(|s| Shape::While(Box::new(s))),
-        ]
-    })
-}
-
-fn process_strategy() -> impl Strategy<Value = Process> {
-    shape_strategy().prop_map(|shape| {
-        let mut ctx = Ctx {
-            next_act: 0,
-            next_var: 0,
-        };
-        let mut vars = vec![];
-        let root = build(&shape, &mut ctx, &mut vars);
-        let mut p = Process::new("Gen", root);
-        vars.sort();
-        vars.dedup();
-        p.vars = vars;
-        p
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn render_parse_identity(p in process_strategy()) {
-        prop_assert!(p.validate().is_empty(), "{:?}", p.validate());
+#[test]
+fn render_parse_identity() {
+    let mut rng = Rng::seed_from_u64(0xC001);
+    for case in 0..64 {
+        let p = random_process(&mut rng);
+        assert!(p.validate().is_empty(), "case {case}: {:?}", p.validate());
         let text = render_constructs(&p);
         let back = parse_process(&text)
-            .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{text}")))?;
-        prop_assert_eq!(back, p);
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n---\n{text}"));
+        assert_eq!(back, p, "case {case}");
     }
+}
 
-    #[test]
-    fn cfg_always_well_formed(p in process_strategy()) {
+#[test]
+fn cfg_always_well_formed() {
+    let mut rng = Rng::seed_from_u64(0xC002);
+    for case in 0..64 {
+        let p = random_process(&mut rng);
         let cfg = Cfg::build(&p);
         // Every activity appears exactly once in the CFG and can reach the
         // exit.
         for a in p.activities() {
             let n = cfg.node(&a.name).expect("activity in CFG");
-            prop_assert!(
+            assert!(
                 dscweaver_graph::shortest_path(&cfg.graph, n, cfg.exit).is_some(),
-                "{} cannot reach exit",
+                "case {case}: {} cannot reach exit",
                 a.name
             );
         }
         // Entry reaches everything.
         let reach = dscweaver_graph::reachable_from(&cfg.graph, cfg.entry);
-        prop_assert_eq!(reach.count(), cfg.graph.node_count());
+        assert_eq!(reach.count(), cfg.graph.node_count(), "case {case}");
     }
+}
 
-    #[test]
-    fn extraction_never_panics_and_validates(p in process_strategy()) {
+#[test]
+fn extraction_never_panics_and_validates() {
+    let mut rng = Rng::seed_from_u64(0xC003);
+    for case in 0..64 {
+        let p = random_process(&mut rng);
         let ds = dscweaver_pdg::extract(&p, dscweaver_pdg::ExtractOptions::default());
-        prop_assert_eq!(ds.activities.len(), p.activities().len());
+        assert_eq!(ds.activities.len(), p.activities().len(), "case {case}");
         // All extracted dependencies reference declared activities.
         for d in &ds.deps {
-            prop_assert!(ds.activities.contains(&d.from.name) || ds.services.contains(&d.from.name));
-            prop_assert!(ds.activities.contains(&d.to.name) || ds.services.contains(&d.to.name));
+            assert!(
+                ds.activities.contains(&d.from.name) || ds.services.contains(&d.from.name),
+                "case {case}"
+            );
+            assert!(
+                ds.activities.contains(&d.to.name) || ds.services.contains(&d.to.name),
+                "case {case}"
+            );
         }
     }
 }

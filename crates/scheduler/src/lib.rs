@@ -10,8 +10,8 @@
 //! * [`constructs`] — the sequencing-construct baseline: Figure-2-style
 //!   process structure converted to (over-specified) constraints, run on
 //!   the same engine;
-//! * [`threaded`] — a real concurrent executor (crossbeam threads +
-//!   parking_lot monitor) honoring the same constraints;
+//! * [`threaded`] — a real concurrent executor (scoped `std::thread`s +
+//!   a `std::sync` monitor) honoring the same constraints;
 //! * [`trace`] — traces, metrics and post-hoc verification of *any*
 //!   constraint set against a trace (the optimizer's correctness oracle).
 

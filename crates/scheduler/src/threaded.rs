@@ -1,5 +1,5 @@
 //! A real concurrent executor: one OS thread per activity, synchronizing
-//! through a shared monitor (parking_lot mutex + condvar) exactly on the
+//! through a shared monitor (`std::sync` mutex + condvar) exactly on the
 //! HappenBefore constraints. Where the DES (`engine`) *simulates* the
 //! dataflow schedule in virtual time, this module *executes* it — the
 //! integration tests run both and verify their traces against the same
@@ -8,8 +8,8 @@
 use crate::trace::{EventKind, Trace, TraceEvent};
 use dscweaver_core::ExecConditions;
 use dscweaver_dscl::{ActivityState, ConstraintSet, Relation, StateRef};
-use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 #[derive(Default)]
@@ -110,7 +110,7 @@ pub fn execute_threaded(
         }))
     };
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for a in &cs.activities {
             let a = a.as_str();
             let monitor = &monitor;
@@ -121,8 +121,8 @@ pub fn execute_threaded(
             let exclusive = &exclusive;
             let prereqs_ok = &prereqs_ok;
             let exec_state = &exec_state;
-            scope.spawn(move |_| {
-                let mut m = monitor.lock();
+            scope.spawn(move || {
+                let mut m = monitor.lock().unwrap();
                 // Phase 1: wait until startable (or skippable).
                 let decision = loop {
                     if m.aborted {
@@ -146,9 +146,11 @@ pub fn execute_threaded(
                         }
                         _ => {}
                     }
-                    if condvar.wait_for(&mut m, timeout).timed_out() {
+                    let (guard, wait) = condvar.wait_timeout(m, timeout).unwrap();
+                    m = guard;
+                    if wait.timed_out() {
                         m.aborted = true;
-                        stuck.lock().push(a.to_string());
+                        stuck.lock().unwrap().push(a.to_string());
                         condvar.notify_all();
                         return;
                     }
@@ -193,15 +195,17 @@ pub fn execute_threaded(
                 // "Work" happens here, outside the lock.
                 drop(m);
                 std::thread::yield_now();
-                let mut m = monitor.lock();
+                let mut m = monitor.lock().unwrap();
                 // Phase 2: wait for finish-side prerequisites.
                 while !prereqs_ok(&m, &finish_prereqs[a]) {
                     if m.aborted {
                         return;
                     }
-                    if condvar.wait_for(&mut m, timeout).timed_out() {
+                    let (guard, wait) = condvar.wait_timeout(m, timeout).unwrap();
+                    m = guard;
+                    if wait.timed_out() {
                         m.aborted = true;
-                        stuck.lock().push(a.to_string());
+                        stuck.lock().unwrap().push(a.to_string());
                         condvar.notify_all();
                         return;
                     }
@@ -228,13 +232,12 @@ pub fn execute_threaded(
                 condvar.notify_all();
             });
         }
-    })
-    .expect("activity thread panicked");
+    });
 
-    let m = monitor.into_inner();
+    let m = monitor.into_inner().unwrap();
     ThreadedRun {
         trace: Trace { events: m.events },
-        stuck: stuck.into_inner(),
+        stuck: stuck.into_inner().unwrap(),
     }
 }
 

@@ -6,9 +6,7 @@
 //! All generators are deterministic in their seed.
 
 use dscweaver_core::{Dependency, DependencySet};
-use rand::rngs::StdRng;
-use rand::seq::IndexedRandom;
-use rand::{Rng, SeedableRng};
+use dscweaver_prng::Rng;
 
 /// Parameters for the layered-process generator.
 #[derive(Clone, Debug)]
@@ -51,7 +49,7 @@ impl Default for LayeredParams {
 /// Returns the dependency set; the injected-redundant count is recoverable
 /// from `counts()["cooperative"]`.
 pub fn layered(params: &LayeredParams) -> DependencySet {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
     let mut ds = DependencySet::new(format!(
         "layered_w{}_d{}_s{}",
         params.width, params.depth, params.seed
@@ -74,7 +72,7 @@ pub fn layered(params: &LayeredParams) -> DependencySet {
                 }
             }
             if !any {
-                let j = rng.random_range(0..params.width);
+                let j = rng.random_range(params.width);
                 ds.push(Dependency::data(&name(layer - 1, j), &name(layer, i)));
             }
         }
@@ -111,12 +109,12 @@ pub fn layered(params: &LayeredParams) -> DependencySet {
     let mut attempts = 0;
     while added < params.redundant && attempts < params.redundant * 50 {
         attempts += 1;
-        let Some((x, y)) = pairs.choose(&mut rng).cloned() else {
+        let Some((x, y)) = rng.choose(&pairs).cloned() else {
             break;
         };
         let nexts: Vec<&(String, String)> =
             pairs.iter().filter(|(f, _)| *f == y).collect();
-        let Some((_, z)) = nexts.choose(&mut rng) else {
+        let Some((_, z)) = rng.choose(&nexts) else {
             continue;
         };
         ds.push(Dependency::cooperation(&x, z));
@@ -129,7 +127,7 @@ pub fn layered(params: &LayeredParams) -> DependencySet {
 /// `chain_len` activities which join into one sink; `redundant` extra
 /// source→sink / shortcut constraints are injected.
 pub fn fork_join(width: usize, chain_len: usize, redundant: usize, seed: u64) -> DependencySet {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut ds = DependencySet::new(format!("forkjoin_w{width}_l{chain_len}_s{seed}"));
     ds.add_activity("source");
     ds.add_activity("sink");
@@ -144,9 +142,9 @@ pub fn fork_join(width: usize, chain_len: usize, redundant: usize, seed: u64) ->
         ds.push(Dependency::data(&prev, "sink"));
     }
     for _ in 0..redundant {
-        let w = rng.random_range(0..width);
-        let a = rng.random_range(0..chain_len);
-        let b = rng.random_range(0..chain_len);
+        let w = rng.random_range(width);
+        let a = rng.random_range(chain_len);
+        let b = rng.random_range(chain_len);
         let (lo, hi) = (a.min(b), a.max(b));
         if lo == hi {
             ds.push(Dependency::cooperation(&format!("c_{w}_{lo}"), "sink"));
@@ -165,7 +163,7 @@ pub fn fork_join(width: usize, chain_len: usize, redundant: usize, seed: u64) ->
 /// the full WSCL-style plumbing (`inv → S`, `S → S_d`, `S_d → rec`).
 /// Exercises service-dependency translation at scale.
 pub fn service_mesh(n_services: usize, seed: u64) -> DependencySet {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut ds = DependencySet::new(format!("mesh_{n_services}_s{seed}"));
     ds.add_activity("start");
     let mut receives = vec!["start".to_string()];
@@ -178,7 +176,7 @@ pub fn service_mesh(n_services: usize, seed: u64) -> DependencySet {
         ds.add_service(svc.clone());
         ds.add_service(format!("{svc}_d"));
         // The invoke consumes data from a random earlier receive.
-        let src = receives[rng.random_range(0..receives.len())].clone();
+        let src = receives[rng.random_range(receives.len())].clone();
         ds.push(Dependency::data(&src, &inv));
         ds.push(Dependency::service(&inv, &svc));
         ds.push(Dependency::service(&svc, &format!("{svc}_d")));
@@ -195,7 +193,7 @@ pub fn service_mesh(n_services: usize, seed: u64) -> DependencySet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dscweaver_core::{EdgeOrder, EquivalenceMode, ExecConditions, Weaver};
+    use dscweaver_core::{EquivalenceMode, ExecConditions, Weaver};
 
     #[test]
     fn layered_is_deterministic_and_connected() {
@@ -263,7 +261,7 @@ mod tests {
         // Strict mode keeps at least as many constraints.
         let strict = Weaver {
             mode: EquivalenceMode::Strict,
-            order: EdgeOrder::default(),
+            ..Weaver::default()
         }
         .run(&ds)
         .unwrap();

@@ -1,73 +1,73 @@
 //! Property test: write → parse is the identity on element trees.
+//! Random trees are drawn with the in-repo deterministic PRNG.
 
+use dscweaver_prng::Rng;
 use dscweaver_xml::{parse, to_string, to_string_pretty, Element, Node};
-use proptest::prelude::*;
 
-fn name_strategy() -> impl Strategy<Value = String> {
-    "[a-zA-Z][a-zA-Z0-9_.-]{0,8}"
+const NAME_FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+const NAME_REST: &[u8] =
+    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-";
+// Printable text including characters that need escaping; anchored with a
+// letter so whitespace-only strings (dropped by the parser) cannot occur.
+const TEXT_FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+const TEXT_REST: &[u8] = b" !#$%&'()*+,-./0123456789:;<=>?@ABCXYZ[\\]^_`abcxyz{|}~\"<>&";
+
+fn random_name(rng: &mut Rng) -> String {
+    let mut s = rng.ascii_string(NAME_FIRST, 1);
+    let len = rng.random_range(9);
+    s.push_str(&rng.ascii_string(NAME_REST, len));
+    s
 }
 
-fn text_strategy() -> impl Strategy<Value = String> {
-    // Printable text including characters that need escaping; avoid
-    // whitespace-only strings (the parser drops those) by anchoring with a
-    // letter.
-    "[a-z][ -~&<>\"']{0,12}".prop_filter("no control chars", |s| {
-        !s.contains(['\u{0}', '\r'])
-    })
+fn random_text(rng: &mut Rng) -> String {
+    let mut s = rng.ascii_string(TEXT_FIRST, 1);
+    let len = rng.random_range(13);
+    s.push_str(&rng.ascii_string(TEXT_REST, len));
+    s
 }
 
-fn element_strategy() -> impl Strategy<Value = Element> {
-    let leaf = (
-        name_strategy(),
-        proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
-        proptest::option::of(text_strategy()),
-    )
-        .prop_map(|(name, attrs, text)| {
-            let mut e = Element::new(name);
-            // Deduplicate attribute names (XML forbids duplicates).
-            let mut seen = std::collections::HashSet::new();
-            for (k, v) in attrs {
-                if seen.insert(k.clone()) {
-                    e.attrs.push((k, v));
-                }
-            }
-            if let Some(t) = text {
-                e.children.push(Node::Text(t));
-            }
-            e
-        });
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        (
-            name_strategy(),
-            proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
-            proptest::collection::vec(inner, 0..4),
-        )
-            .prop_map(|(name, attrs, children)| {
-                let mut e = Element::new(name);
-                let mut seen = std::collections::HashSet::new();
-                for (k, v) in attrs {
-                    if seen.insert(k.clone()) {
-                        e.attrs.push((k, v));
-                    }
-                }
-                for c in children {
-                    e.children.push(Node::Element(c));
-                }
-                e
-            })
-    })
+fn random_attrs(rng: &mut Rng, e: &mut Element) {
+    // Deduplicate attribute names (XML forbids duplicates).
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..rng.random_range(3) {
+        let k = random_name(rng);
+        if seen.insert(k.clone()) {
+            e.attrs.push((k, random_text(rng)));
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn compact_roundtrip(e in element_strategy()) {
+fn random_element(rng: &mut Rng, depth: usize) -> Element {
+    let mut e = Element::new(random_name(rng));
+    random_attrs(rng, &mut e);
+    if depth == 0 || rng.random_bool(0.35) {
+        if rng.random_bool(0.5) {
+            e.children.push(Node::Text(random_text(rng)));
+        }
+    } else {
+        for _ in 0..rng.random_range(4) {
+            e.children.push(Node::Element(random_element(rng, depth - 1)));
+        }
+    }
+    e
+}
+
+#[test]
+fn compact_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xD001);
+    for case in 0..256 {
+        let e = random_element(&mut rng, 3);
         let s = to_string(&e);
         let parsed = parse(&s).expect("generated XML must parse");
-        prop_assert_eq!(parsed, e);
+        assert_eq!(parsed, e, "case {case}: {s}");
     }
+}
 
-    #[test]
-    fn pretty_roundtrip_structure(e in element_strategy()) {
+#[test]
+fn pretty_roundtrip_structure() {
+    let mut rng = Rng::seed_from_u64(0xD002);
+    for case in 0..256 {
+        let e = random_element(&mut rng, 3);
         // Pretty output inserts whitespace, which the parser drops when it
         // is whitespace-only; element structure and attributes must survive.
         let s = to_string_pretty(&e);
@@ -86,6 +86,6 @@ proptest! {
             }
             out
         }
-        prop_assert_eq!(canon(&parsed), canon(&e));
+        assert_eq!(canon(&parsed), canon(&e), "case {case}");
     }
 }

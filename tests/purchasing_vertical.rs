@@ -225,6 +225,7 @@ fn figure9_minimal_edges_are_stable_across_orders() {
         let weaver = Weaver {
             mode: EquivalenceMode::ExecutionAware,
             order,
+            ..Weaver::default()
         };
         let out = weaver.run(&ds).unwrap();
         assert_eq!(out.minimal.constraint_count(), 17, "order changed the size");
@@ -239,7 +240,7 @@ fn strict_mode_keeps_the_three_guard_protected_edges() {
     let ds = purchasing_dependencies();
     let strict = Weaver {
         mode: EquivalenceMode::Strict,
-        order: EdgeOrder::default(),
+        ..Weaver::default()
     }
     .run(&ds)
     .unwrap();
