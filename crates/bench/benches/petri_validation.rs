@@ -3,8 +3,10 @@
 
 use dscweaver_bench::harness::{black_box, Harness};
 use dscweaver_core::Weaver;
-use dscweaver_petri::{explore, lower, validate, ValidateOptions};
-use dscweaver_workloads::{layered, purchasing_dependencies, LayeredParams};
+use dscweaver_petri::{explore, explore_with, lower, validate, ValidateOptions};
+use dscweaver_workloads::{
+    dense_conditional, layered, purchasing_dependencies, DenseConditionalParams, LayeredParams,
+};
 
 fn main() {
     let mut h = Harness::from_env();
@@ -49,6 +51,47 @@ fn main() {
     h.bench("ext_c/explore_interleavings", 20, || {
         black_box(explore(&lowered.net, 200_000))
     });
+    h.bench("ext_c/explore_interleavings_layered", 20, || {
+        black_box(explore_with(&lowered.net, 200_000, 0))
+    });
+
+    // Rescan vs wavefront per-assignment simulation on the
+    // dense-conditional core (the BENCH_petri.json comparison).
+    let ds = dense_conditional(&DenseConditionalParams {
+        guards: 6,
+        chain_len: 6,
+        redundant: 32,
+        seed: 11,
+    });
+    let out = Weaver::new().run(&ds).unwrap();
+    for (name, opts) in [
+        (
+            "rescan",
+            ValidateOptions {
+                threads: 1,
+                rescan_baseline: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "wavefront_seq",
+            ValidateOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        ),
+        (
+            "wavefront_par",
+            ValidateOptions {
+                threads: 0,
+                ..Default::default()
+            },
+        ),
+    ] {
+        h.bench(&format!("ext_c/validate_dense_g6/{name}"), 10, || {
+            black_box(validate(&out.minimal, &out.exec, &opts))
+        });
+    }
 
     h.finish();
 }

@@ -5,7 +5,9 @@
 use dscweaver_bench::ext_d_sim;
 use dscweaver_bench::harness::{black_box, Harness};
 use dscweaver_core::{ExecConditions, Weaver};
-use dscweaver_scheduler::{simulate, structural_constraints, SimConfig};
+use dscweaver_scheduler::{
+    simulate, simulate_rescan_baseline, structural_constraints, SimConfig,
+};
 use dscweaver_workloads::{fork_join, purchasing_dependencies, purchasing_process};
 
 fn main() {
@@ -45,6 +47,28 @@ fn main() {
     let schedule = simulate(&out.minimal, &out.exec, &ext_d_sim("T"));
     h.bench("ext_d/verify_trace_vs_full_asc", 100, || {
         black_box(schedule.trace.verify(&out.asc))
+    });
+
+    // Rescan vs wavefront on a redundancy-heavy ASC (the
+    // BENCH_scheduler.json comparison).
+    let ds = fork_join(12, 10, 120, 13);
+    let fj = Weaver::new().run(&ds).unwrap();
+    let sim = SimConfig::default();
+    h.bench("ext_d/engine/rescan", 20, || {
+        black_box(simulate_rescan_baseline(&fj.asc, &fj.exec, &sim))
+    });
+    h.bench("ext_d/engine/wavefront_seq", 20, || {
+        black_box(simulate(
+            &fj.asc,
+            &fj.exec,
+            &SimConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        ))
+    });
+    h.bench("ext_d/engine/wavefront_par", 20, || {
+        black_box(simulate(&fj.asc, &fj.exec, &sim))
     });
 
     h.finish();

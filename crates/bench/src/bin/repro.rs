@@ -6,11 +6,14 @@
 //! cargo run -p dscweaver-bench --bin repro table2     # one experiment
 //! ```
 //!
-//! The `bench-json` subcommand instead runs the old-vs-new minimizer
-//! comparison and writes the machine-readable `BENCH_minimize.json`:
+//! The `bench-json` subcommand instead runs the old-vs-new engine
+//! comparisons and writes the machine-readable artifacts
+//! (`BENCH_minimize.json`, `BENCH_petri.json`, `BENCH_scheduler.json`):
 //!
 //! ```sh
-//! cargo run --release -p dscweaver-bench --bin repro -- bench-json
+//! cargo run --release -p dscweaver-bench --bin repro -- bench-json                   # minimize
+//! cargo run --release -p dscweaver-bench --bin repro -- bench-json --suite petri
+//! cargo run --release -p dscweaver-bench --bin repro -- bench-json --suite all
 //! cargo run -p dscweaver-bench --bin repro -- bench-json --smoke  # <30 s path check
 //! ```
 
@@ -19,16 +22,25 @@ use dscweaver_bench as exp;
 fn bench_json(args: &[String]) {
     // Strict parsing: a typo'd flag must not silently drop `--smoke` and
     // turn a 2-second path check into the multi-minute full suite.
-    let usage = "usage: repro bench-json [--smoke] [--out PATH] [--threads N]";
+    let usage =
+        "usage: repro bench-json [--suite minimize|petri|scheduler|all] [--smoke] [--out PATH] [--threads N]";
     let mut smoke = false;
-    let mut out_path = "BENCH_minimize.json".to_string();
+    let mut suite = "minimize".to_string();
+    let mut out_path: Option<String> = None;
     let mut threads = 0usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--suite" => match it.next().map(String::as_str) {
+                Some(s @ ("minimize" | "petri" | "scheduler" | "all")) => suite = s.to_string(),
+                _ => {
+                    eprintln!("error: --suite requires minimize|petri|scheduler|all\n{usage}");
+                    std::process::exit(2);
+                }
+            },
             "--out" => match it.next() {
-                Some(p) => out_path = p.clone(),
+                Some(p) => out_path = Some(p.clone()),
                 None => {
                     eprintln!("error: --out requires a path\n{usage}");
                     std::process::exit(2);
@@ -47,15 +59,40 @@ fn bench_json(args: &[String]) {
             }
         }
     }
-    let json = exp::perf::bench_minimize_json(smoke, threads);
-    if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("error: cannot write {out_path}: {e}");
-        std::process::exit(1);
+    let suites: Vec<(&str, &str, fn(bool, usize) -> String)> = match suite.as_str() {
+        "minimize" => vec![("minimize", "BENCH_minimize.json", exp::perf::bench_minimize_json)],
+        "petri" => vec![("petri", "BENCH_petri.json", exp::perf_petri::bench_petri_json)],
+        "scheduler" => vec![(
+            "scheduler",
+            "BENCH_scheduler.json",
+            exp::perf_scheduler::bench_scheduler_json,
+        )],
+        _ => vec![
+            ("minimize", "BENCH_minimize.json", exp::perf::bench_minimize_json),
+            ("petri", "BENCH_petri.json", exp::perf_petri::bench_petri_json),
+            (
+                "scheduler",
+                "BENCH_scheduler.json",
+                exp::perf_scheduler::bench_scheduler_json,
+            ),
+        ],
+    };
+    if out_path.is_some() && suites.len() > 1 {
+        eprintln!("error: --out needs a single suite, not --suite all\n{usage}");
+        std::process::exit(2);
     }
-    eprintln!("wrote {out_path}");
-    // Ignore EPIPE so `repro bench-json | head` exits cleanly after the
-    // artifact is already on disk.
-    let _ = std::io::Write::write_all(&mut std::io::stdout(), json.as_bytes());
+    for (name, default_out, run) in suites {
+        let json = run(smoke, threads);
+        let path = out_path.clone().unwrap_or_else(|| default_out.to_string());
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path} (suite {name})");
+        // Ignore EPIPE so `repro bench-json | head` exits cleanly after
+        // the artifact is already on disk.
+        let _ = std::io::Write::write_all(&mut std::io::stdout(), json.as_bytes());
+    }
 }
 
 fn main() {

@@ -322,6 +322,7 @@ pub fn ext_d_sim(branch: &str) -> SimConfig {
         durations: DurationModel::with_overrides(2, durations),
         oracle: [("if_au".to_string(), branch.to_string())].into(),
         workers: None,
+        threads: 0,
     }
 }
 
@@ -404,6 +405,7 @@ pub fn ext_d() -> String {
             durations: DurationModel::with_overrides(2, durations),
             oracle: BTreeMap::new(),
             workers: None,
+            threads: 0,
         };
         let s_base = simulate(&qstructural, &qexec, &sim);
         let s_min = simulate(&qres.minimal, &qres.exec, &sim);

@@ -149,6 +149,9 @@ struct CaseReport {
     new_par_ms: f64,
     speedup_seq: f64,
     speedup_par: f64,
+    pool_dnfs: usize,
+    pool_terms: usize,
+    implies_hit_rate: f64,
 }
 
 fn ms(d: Duration) -> f64 {
@@ -182,8 +185,14 @@ pub fn bench_minimize_json(smoke: bool, threads: usize) -> String {
         // The baseline is minutes-slow on the n=2000 case — one sample.
         let sb = if big { 1 } else { samples_base };
 
-        let seq = MinimizeOptions { threads: 1 };
-        let par = MinimizeOptions { threads };
+        let seq = MinimizeOptions {
+            threads: 1,
+            ..Default::default()
+        };
+        let par = MinimizeOptions {
+            threads,
+            ..Default::default()
+        };
         let res_base =
             minimize_generic_baseline(&asc, &exec, case.mode, &case.order).expect("acyclic");
         let res_new =
@@ -233,6 +242,9 @@ pub fn bench_minimize_json(smoke: bool, threads: usize) -> String {
             new_par_ms: ms(t_par),
             speedup_seq: t_base.as_secs_f64() / t_seq.as_secs_f64().max(1e-12),
             speedup_par: t_base.as_secs_f64() / t_par.as_secs_f64().max(1e-12),
+            pool_dnfs: res_new.stats.pool_dnfs,
+            pool_terms: res_new.stats.pool_terms,
+            implies_hit_rate: res_new.stats.implies_hit_rate(),
         });
     }
 
@@ -270,8 +282,14 @@ pub fn bench_minimize_json(smoke: bool, threads: usize) -> String {
             json_f(r.speedup_seq)
         ));
         out.push_str(&format!(
-            "      \"speedup_par\": {}\n",
+            "      \"speedup_par\": {},\n",
             json_f(r.speedup_par)
+        ));
+        out.push_str(&format!("      \"pool_dnfs\": {},\n", r.pool_dnfs));
+        out.push_str(&format!("      \"pool_terms\": {},\n", r.pool_terms));
+        out.push_str(&format!(
+            "      \"implies_hit_rate\": {}\n",
+            json_f(r.implies_hit_rate)
         ));
         out.push_str(if i + 1 == reports.len() { "    }\n" } else { "    },\n" });
     }

@@ -1,0 +1,226 @@
+//! Old-vs-new Petri validation comparison: the legacy full-rescan
+//! simulator versus the wavefront worklist (sequential and with the
+//! assignment fan-out on the worker pool), rendered as the
+//! machine-readable `BENCH_petri.json` artifact written by
+//! `repro bench-json --suite petri`.
+//!
+//! Reports are canonicalized and asserted identical across all engines
+//! and thread counts before any timing is taken.
+
+use crate::harness::{black_box, median, sample};
+use dscweaver_core::{ExecConditions, Weaver};
+use dscweaver_dscl::ConstraintSet;
+use dscweaver_petri::{validate, AssignmentFailure, ValidateOptions, ValidationReport};
+use dscweaver_workloads::{dense_conditional, DenseConditionalParams};
+use std::time::Duration;
+
+/// One comparison input for the validation bench.
+pub struct PetriCase {
+    /// Stable case name (used in the JSON artifact).
+    pub name: String,
+    /// Generator parameters.
+    pub params: DenseConditionalParams,
+}
+
+impl PetriCase {
+    /// Materializes the workload and runs the optimizer front half,
+    /// returning the minimal constraint set the validator takes.
+    pub fn prepare(&self) -> (ConstraintSet, ExecConditions) {
+        let ds = dense_conditional(&self.params);
+        let out = Weaver::new().run(&ds).expect("acyclic workload");
+        (out.minimal, out.exec)
+    }
+}
+
+/// The comparison suite. `small_only` keeps the sub-second cases for the
+/// tier-1 smoke run; the full suite adds the ≥512-assignment
+/// dense-conditional core behind the committed `BENCH_petri.json`.
+pub fn petri_cases(small_only: bool) -> Vec<PetriCase> {
+    let mut cases = vec![
+        PetriCase {
+            name: "dense_g4_l3".into(),
+            params: DenseConditionalParams {
+                guards: 4,
+                chain_len: 3,
+                redundant: 12,
+                seed: 11,
+            },
+        },
+        PetriCase {
+            name: "dense_g6_l6".into(),
+            params: DenseConditionalParams {
+                guards: 6,
+                chain_len: 6,
+                redundant: 32,
+                seed: 11,
+            },
+        },
+    ];
+    if !small_only {
+        // The acceptance case: 2^9 = 512 live branch assignments over
+        // deep guarded slow paths.
+        cases.push(PetriCase {
+            name: "dense_g9_l12".into(),
+            params: DenseConditionalParams {
+                guards: 9,
+                chain_len: 12,
+                redundant: 96,
+                seed: 11,
+            },
+        });
+    }
+    cases
+}
+
+struct CaseReport {
+    name: String,
+    n_activities: usize,
+    assignments: usize,
+    failures: usize,
+    baseline_ms: f64,
+    new_seq_ms: f64,
+    new_par_ms: f64,
+    speedup_seq: f64,
+    speedup_par: f64,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn json_f(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+fn canon_failure(f: &AssignmentFailure) -> (Vec<(String, String)>, Vec<String>, String, bool) {
+    let mut a: Vec<(String, String)> = f
+        .assignment
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    a.sort();
+    (a, f.stuck.clone(), f.marking.clone(), f.diverged)
+}
+
+#[allow(clippy::type_complexity)]
+fn canon(r: &ValidationReport) -> (
+    Option<Vec<String>>,
+    usize,
+    bool,
+    Vec<(Vec<(String, String)>, Vec<String>, String, bool)>,
+) {
+    (
+        r.conflict_cycle.clone(),
+        r.assignments_checked,
+        r.assignments_truncated,
+        r.failures.iter().map(canon_failure).collect(),
+    )
+}
+
+/// Runs the validation comparison suite and renders `BENCH_petri.json`.
+///
+/// `smoke` restricts to the small cases with one sample each so the
+/// tier-1 test suite can exercise the full measurement path in seconds;
+/// its timings are not meaningful.
+pub fn bench_petri_json(smoke: bool, threads: usize) -> String {
+    let samples_new = if smoke { 1 } else { 5 };
+    let samples_base = if smoke { 1 } else { 3 };
+    let mut reports: Vec<CaseReport> = Vec::new();
+    for case in petri_cases(smoke) {
+        let (cs, exec) = case.prepare();
+        let base_opts = ValidateOptions {
+            threads: 1,
+            rescan_baseline: true,
+            ..Default::default()
+        };
+        let seq_opts = ValidateOptions {
+            threads: 1,
+            ..Default::default()
+        };
+        let par_opts = ValidateOptions {
+            threads,
+            ..Default::default()
+        };
+
+        let r_base = validate(&cs, &exec, &base_opts);
+        let r_seq = validate(&cs, &exec, &seq_opts);
+        let r_par = validate(&cs, &exec, &par_opts);
+        assert_eq!(canon(&r_base), canon(&r_seq), "case {}", case.name);
+        assert_eq!(canon(&r_base), canon(&r_par), "case {}", case.name);
+
+        let t_base = median(&sample(samples_base, || {
+            black_box(validate(&cs, &exec, &base_opts))
+        }));
+        let t_seq = median(&sample(samples_new, || {
+            black_box(validate(&cs, &exec, &seq_opts))
+        }));
+        let t_par = median(&sample(samples_new, || {
+            black_box(validate(&cs, &exec, &par_opts))
+        }));
+
+        reports.push(CaseReport {
+            name: case.name,
+            n_activities: cs.activities.len(),
+            assignments: r_base.assignments_checked,
+            failures: r_base.failures.len(),
+            baseline_ms: ms(t_base),
+            new_seq_ms: ms(t_seq),
+            new_par_ms: ms(t_par),
+            speedup_seq: t_base.as_secs_f64() / t_seq.as_secs_f64().max(1e-12),
+            speedup_par: t_base.as_secs_f64() / t_par.as_secs_f64().max(1e-12),
+        });
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"artifact\": \"BENCH_petri\",\n");
+    out.push_str("  \"description\": \"per-assignment validation: legacy full-rescan simulator vs the wavefront worklist (seq and with the assignment fan-out on the worker pool); reports canonicalized and asserted identical before timing\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"cases\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"n_activities\": {},\n", r.n_activities));
+        out.push_str(&format!("      \"assignments\": {},\n", r.assignments));
+        out.push_str(&format!("      \"failures\": {},\n", r.failures));
+        out.push_str(&format!(
+            "      \"baseline_ms\": {},\n",
+            json_f(r.baseline_ms)
+        ));
+        out.push_str(&format!("      \"new_seq_ms\": {},\n", json_f(r.new_seq_ms)));
+        out.push_str(&format!("      \"new_par_ms\": {},\n", json_f(r.new_par_ms)));
+        out.push_str(&format!(
+            "      \"speedup_seq\": {},\n",
+            json_f(r.speedup_seq)
+        ));
+        out.push_str(&format!(
+            "      \"speedup_par\": {}\n",
+            json_f(r.speedup_par)
+        ));
+        out.push_str(if i + 1 == reports.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_prepare_deterministically() {
+        for case in petri_cases(true) {
+            let (a, _) = case.prepare();
+            let (b, _) = case.prepare();
+            assert_eq!(a, b, "case {} not deterministic", case.name);
+        }
+    }
+
+    #[test]
+    fn full_suite_contains_the_512_assignment_case() {
+        let full = petri_cases(false);
+        let big = full.iter().find(|c| c.name == "dense_g9_l12").unwrap();
+        assert!(1usize << big.params.guards >= 512);
+    }
+}

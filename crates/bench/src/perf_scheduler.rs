@@ -1,0 +1,256 @@
+//! Old-vs-new DES scheduler comparison: the legacy per-tick linear rescan
+//! versus the dependency-counting wavefront (sequential and with the
+//! guard-evaluation batches on the worker pool), rendered as the
+//! machine-readable `BENCH_scheduler.json` artifact written by
+//! `repro bench-json --suite scheduler`.
+//!
+//! Traces are asserted byte-identical across engines and thread counts
+//! before any timing is taken; the constraint-check counters of both
+//! engines are reported (the wavefront's are strictly lower — that is the
+//! optimization).
+
+use crate::harness::{black_box, median, sample};
+use dscweaver_core::{merge, translate_services, ExecConditions};
+use dscweaver_dscl::ConstraintSet;
+use dscweaver_scheduler::{simulate, simulate_rescan_baseline, SimConfig};
+use dscweaver_workloads::{
+    dense_conditional, fork_join, layered, DenseConditionalParams, LayeredParams,
+};
+use std::time::Duration;
+
+/// One comparison input for the scheduler bench.
+pub struct SchedulerCase {
+    /// Stable case name (used in the JSON artifact).
+    pub name: String,
+    kind: CaseKind,
+}
+
+enum CaseKind {
+    Dense(DenseConditionalParams),
+    Layered(LayeredParams),
+    ForkJoin {
+        width: usize,
+        chain_len: usize,
+        redundant: usize,
+        seed: u64,
+    },
+}
+
+impl SchedulerCase {
+    /// Materializes the workload and runs the pipeline front half,
+    /// returning the executable ASC (pre-minimization, so the engine sees
+    /// the full redundant constraint load the rescan pays for).
+    pub fn prepare(&self) -> (ConstraintSet, ExecConditions) {
+        let ds = match &self.kind {
+            CaseKind::Dense(p) => dense_conditional(p),
+            CaseKind::Layered(p) => layered(p),
+            CaseKind::ForkJoin {
+                width,
+                chain_len,
+                redundant,
+                seed,
+            } => fork_join(*width, *chain_len, *redundant, *seed),
+        };
+        let mut sc = merge(&ds);
+        sc.desugar_happen_together();
+        let exec = ExecConditions::derive(&sc);
+        let (asc, _) = translate_services(&sc);
+        (asc, exec)
+    }
+}
+
+/// The comparison suite. `small_only` keeps the sub-second cases for the
+/// tier-1 smoke run; the full suite adds the large layered process behind
+/// the committed `BENCH_scheduler.json`.
+pub fn scheduler_cases(small_only: bool) -> Vec<SchedulerCase> {
+    let mut cases = vec![
+        SchedulerCase {
+            name: "dense_g4_l3".into(),
+            kind: CaseKind::Dense(DenseConditionalParams {
+                guards: 4,
+                chain_len: 3,
+                redundant: 12,
+                seed: 11,
+            }),
+        },
+        SchedulerCase {
+            name: "fork_join_n122".into(),
+            kind: CaseKind::ForkJoin {
+                width: 12,
+                chain_len: 10,
+                redundant: 120,
+                seed: 13,
+            },
+        },
+    ];
+    if !small_only {
+        cases.push(SchedulerCase {
+            name: "dense_g9_l12".into(),
+            kind: CaseKind::Dense(DenseConditionalParams {
+                guards: 9,
+                chain_len: 12,
+                redundant: 96,
+                seed: 11,
+            }),
+        });
+        cases.push(SchedulerCase {
+            name: "layered_n1003".into(),
+            kind: CaseKind::Layered(LayeredParams {
+                width: 10,
+                depth: 100,
+                density: 0.25,
+                redundant: 3_000,
+                guards: 3,
+                seed: 19,
+            }),
+        });
+    }
+    cases
+}
+
+struct CaseReport {
+    name: String,
+    n_activities: usize,
+    constraints: usize,
+    checks_rescan: u64,
+    checks_wavefront: u64,
+    baseline_ms: f64,
+    new_seq_ms: f64,
+    new_par_ms: f64,
+    speedup_seq: f64,
+    speedup_par: f64,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn json_f(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Runs the scheduler comparison suite and renders `BENCH_scheduler.json`.
+///
+/// `smoke` restricts to the small cases with one sample each so the
+/// tier-1 test suite can exercise the full measurement path in seconds;
+/// its timings are not meaningful.
+pub fn bench_scheduler_json(smoke: bool, threads: usize) -> String {
+    let samples_new = if smoke { 1 } else { 5 };
+    let samples_base = if smoke { 1 } else { 3 };
+    let mut reports: Vec<CaseReport> = Vec::new();
+    for case in scheduler_cases(smoke) {
+        let (asc, exec) = case.prepare();
+        let config = SimConfig::default();
+        let seq_cfg = SimConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let par_cfg = SimConfig {
+            threads,
+            ..Default::default()
+        };
+
+        let s_base = simulate_rescan_baseline(&asc, &exec, &config);
+        let s_seq = simulate(&asc, &exec, &seq_cfg);
+        let s_par = simulate(&asc, &exec, &par_cfg);
+        assert!(s_base.completed(), "case {}: stuck", case.name);
+        let key = |s: &dscweaver_scheduler::Schedule| format!("{:?} {:?}", s.trace, s.stuck);
+        assert_eq!(key(&s_base), key(&s_seq), "case {}", case.name);
+        assert_eq!(key(&s_base), key(&s_par), "case {}", case.name);
+        assert_eq!(
+            s_seq.constraint_checks, s_par.constraint_checks,
+            "case {}: checks not thread-invariant",
+            case.name
+        );
+        assert!(
+            s_seq.constraint_checks <= s_base.constraint_checks,
+            "case {}: agenda spent more checks",
+            case.name
+        );
+
+        let t_base = median(&sample(samples_base, || {
+            black_box(simulate_rescan_baseline(&asc, &exec, &config))
+        }));
+        let t_seq = median(&sample(samples_new, || {
+            black_box(simulate(&asc, &exec, &seq_cfg))
+        }));
+        let t_par = median(&sample(samples_new, || {
+            black_box(simulate(&asc, &exec, &par_cfg))
+        }));
+
+        reports.push(CaseReport {
+            name: case.name,
+            n_activities: asc.activities.len(),
+            constraints: asc.constraint_count(),
+            checks_rescan: s_base.constraint_checks,
+            checks_wavefront: s_seq.constraint_checks,
+            baseline_ms: ms(t_base),
+            new_seq_ms: ms(t_seq),
+            new_par_ms: ms(t_par),
+            speedup_seq: t_base.as_secs_f64() / t_seq.as_secs_f64().max(1e-12),
+            speedup_par: t_base.as_secs_f64() / t_par.as_secs_f64().max(1e-12),
+        });
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"artifact\": \"BENCH_scheduler\",\n");
+    out.push_str("  \"description\": \"DES execution of the full ASC: legacy per-tick linear rescan vs the dependency-counting wavefront (seq and with guard-evaluation batches on the worker pool); traces asserted byte-identical before timing\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"cases\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"n_activities\": {},\n", r.n_activities));
+        out.push_str(&format!("      \"constraints\": {},\n", r.constraints));
+        out.push_str(&format!(
+            "      \"checks_rescan\": {},\n",
+            r.checks_rescan
+        ));
+        out.push_str(&format!(
+            "      \"checks_wavefront\": {},\n",
+            r.checks_wavefront
+        ));
+        out.push_str(&format!(
+            "      \"baseline_ms\": {},\n",
+            json_f(r.baseline_ms)
+        ));
+        out.push_str(&format!("      \"new_seq_ms\": {},\n", json_f(r.new_seq_ms)));
+        out.push_str(&format!("      \"new_par_ms\": {},\n", json_f(r.new_par_ms)));
+        out.push_str(&format!(
+            "      \"speedup_seq\": {},\n",
+            json_f(r.speedup_seq)
+        ));
+        out.push_str(&format!(
+            "      \"speedup_par\": {}\n",
+            json_f(r.speedup_par)
+        ));
+        out.push_str(if i + 1 == reports.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_prepare_deterministically() {
+        for case in scheduler_cases(true) {
+            let (a, _) = case.prepare();
+            let (b, _) = case.prepare();
+            assert_eq!(a, b, "case {} not deterministic", case.name);
+            assert!(a.constraint_count() > 0);
+        }
+    }
+
+    #[test]
+    fn full_suite_scales_past_a_thousand_activities() {
+        let full = scheduler_cases(false);
+        let big = full.iter().find(|c| c.name == "layered_n1003").unwrap();
+        let (asc, _) = big.prepare();
+        assert!(asc.activities.len() >= 1000);
+    }
+}

@@ -1,0 +1,46 @@
+//! Tier-1 smoke run of the `repro bench-json --suite petri` measurement
+//! path: prepares the small dense-conditional cases, runs the legacy and
+//! wavefront validators, asserts they agree (done inside
+//! `bench_petri_json`), and checks the rendered artifact is well-formed.
+//! Timings in this mode are meaningless (debug build, one sample) and are
+//! not asserted on.
+
+use dscweaver_bench::perf_petri::{bench_petri_json, petri_cases};
+
+#[test]
+fn bench_petri_json_smoke_runs_and_renders() {
+    let json = bench_petri_json(true, 2);
+    assert!(json.starts_with("{\n"));
+    assert!(json.ends_with("}\n"));
+    assert!(json.contains("\"artifact\": \"BENCH_petri\""));
+    assert!(json.contains("\"smoke\": true"));
+    assert!(json.contains("\"name\": \"dense_g4_l3\""));
+    assert!(json.contains("\"speedup_par\""));
+    // Every emitted case has the full field set, exactly once per case.
+    let cases = json.matches("\"name\":").count();
+    assert!(cases >= 2, "expected at least two smoke cases, got {cases}");
+    for field in [
+        "\"n_activities\":",
+        "\"assignments\":",
+        "\"failures\":",
+        "\"baseline_ms\":",
+        "\"new_seq_ms\":",
+        "\"new_par_ms\":",
+        "\"speedup_seq\":",
+        "\"speedup_par\":",
+    ] {
+        assert_eq!(json.matches(field).count(), cases, "field {field}");
+    }
+    // Balanced braces/brackets — cheap well-formedness check without a
+    // JSON parser dependency (no string values contain braces).
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
+
+#[test]
+fn full_suite_contains_the_512_assignment_case() {
+    let full = petri_cases(false);
+    let big = full.iter().find(|c| c.name == "dense_g9_l12").unwrap();
+    assert!(1usize << big.params.guards >= 512);
+    assert!(big.params.chain_len >= 8, "slow paths must be deep");
+}

@@ -24,6 +24,9 @@ fn bench_json_smoke_runs_and_renders() {
         "\"new_par_ms\":",
         "\"constraints_in\":",
         "\"redundancy\":",
+        "\"pool_dnfs\":",
+        "\"pool_terms\":",
+        "\"implies_hit_rate\":",
     ] {
         assert_eq!(json.matches(field).count(), cases, "field {field}");
     }

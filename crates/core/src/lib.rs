@@ -24,7 +24,7 @@ pub use merge::{lower, merge};
 pub use minimize::{
     minimize, minimize_generic, minimize_generic_baseline, minimize_generic_with,
     minimize_unconditional_fast, minimize_with, EdgeOrder, EquivalenceMode, MinimizeError,
-    MinimizeOptions, MinimizeResult,
+    MinimizeOptions, MinimizeResult, MinimizeStats,
 };
 pub use pipeline::{Weaver, WeaverError, WeaverOutput};
 pub use translate::{translate_services, TranslationReport};

@@ -65,7 +65,10 @@ use crate::exec::{dnf_and, implies_under, ExecConditions};
 use dscweaver_dscl::sync_graph::{SyncGraph, SyncNode};
 use dscweaver_dscl::{Condition, ConstraintSet, Origin, Relation, SyncEdge};
 use dscweaver_graph::annotated::{Dnf, Row};
-use dscweaver_graph::{find_cycle, topo_sort, BitSet, DiGraph, DnfId, DnfPool, EdgeId, NodeId};
+use dscweaver_graph::{
+    effective_threads, find_cycle, par_map, topo_sort, BitSet, DiGraph, DnfId, DnfPool, EdgeId,
+    NodeId,
+};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// How closures are compared (Definitions 4–5). Ordered from most to
@@ -121,26 +124,41 @@ impl Default for EdgeOrder {
 }
 
 /// Tuning knobs for the optimized minimizer.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct MinimizeOptions {
     /// Worker threads for candidate screening and ancestor recomputation.
     /// `0` (the default) picks from available parallelism; `1` forces the
     /// fully sequential engine. The result is identical either way.
     pub threads: usize,
+    /// `DnfPool` size (distinct interned DNFs) past which `implies`
+    /// verdicts are answered by uncached structural comparison instead of
+    /// growing the memo table. Verdicts are pure, so the result is
+    /// identical either way; the threshold only bounds memory on
+    /// adversarial inputs whose branch combinations mint exponentially
+    /// many distinct annotations. `0` disables the fallback.
+    pub pool_cache_limit: usize,
 }
+
+impl Default for MinimizeOptions {
+    fn default() -> Self {
+        MinimizeOptions {
+            threads: 0,
+            pool_cache_limit: DEFAULT_POOL_CACHE_LIMIT,
+        }
+    }
+}
+
+/// Default [`MinimizeOptions::pool_cache_limit`]: ~1M interned DNFs. Far
+/// beyond anything the paper-scale workloads produce, so the fallback is
+/// effectively off unless a caller dials it down.
+pub const DEFAULT_POOL_CACHE_LIMIT: usize = 1 << 20;
 
 impl MinimizeOptions {
     /// The effective thread count (resolving `0` to the machine's
     /// available parallelism, capped at 8 — the row work saturates well
     /// before that).
     pub fn effective_threads(&self) -> usize {
-        if self.threads != 0 {
-            return self.threads;
-        }
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(8)
+        effective_threads(self.threads, 8)
     }
 }
 
@@ -168,6 +186,37 @@ impl std::fmt::Display for MinimizeError {
 
 impl std::error::Error for MinimizeError {}
 
+/// Interning and memo-cache counters from one optimized-engine run.
+/// All-zero for the baseline and unconditional fast paths, which use
+/// neither a pool nor an `implies` cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MinimizeStats {
+    /// Distinct DNFs interned in the [`DnfPool`] at the end of the run.
+    pub pool_dnfs: usize,
+    /// Distinct conjunctive terms interned in the pool.
+    pub pool_terms: usize,
+    /// `implies` queries answered from the memo cache.
+    pub implies_cache_hits: u64,
+    /// `implies` queries computed structurally and then memoized.
+    pub implies_cache_misses: u64,
+    /// `implies` queries computed structurally *without* memoization
+    /// because the pool had outgrown [`MinimizeOptions::pool_cache_limit`].
+    pub implies_uncached: u64,
+}
+
+impl MinimizeStats {
+    /// Cache hit rate over all cache-eligible `implies` queries
+    /// (`hits / (hits + misses)`), or 0 when none were made.
+    pub fn implies_hit_rate(&self) -> f64 {
+        let total = self.implies_cache_hits + self.implies_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.implies_cache_hits as f64 / total as f64
+        }
+    }
+}
+
 /// The outcome of minimization.
 #[derive(Clone, Debug)]
 pub struct MinimizeResult {
@@ -177,6 +226,8 @@ pub struct MinimizeResult {
     pub removed: Vec<Relation>,
     /// How many removal candidates were examined.
     pub candidates_checked: usize,
+    /// Interning/memoization telemetry (optimized engine only).
+    pub stats: MinimizeStats,
 }
 
 impl MinimizeResult {
@@ -295,32 +346,6 @@ fn compose_structural(
     acc.into_iter().collect()
 }
 
-/// Chunked parallel map over scoped `std::thread`s. Falls back to a plain
-/// sequential map for one thread or tiny inputs.
-fn par_map<T: Sync, R: Send>(
-    threads: usize,
-    items: &[T],
-    f: &(impl Fn(&T) -> R + Sync),
-) -> Vec<R> {
-    if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
-    std::thread::scope(|scope| {
-        for (ichunk, ochunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (item, slot) in ichunk.iter().zip(ochunk.iter_mut()) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("worker filled every slot"))
-        .collect()
-}
-
 /// Sorts removal candidates according to `order`.
 fn order_candidates(
     g: &DiGraph<SyncNode, SyncEdge>,
@@ -364,6 +389,12 @@ struct Engine<'a> {
     /// Memoized `context ∧ old ⟹ new` verdicts, keyed by interned ids
     /// (domains are fixed per run, so the verdict is too).
     imp_cache: HashMap<(DnfId, DnfId, DnfId), bool>,
+    /// Pool size past which `implies` stops consulting/growing the memo
+    /// cache (0 = unlimited). See [`MinimizeOptions::pool_cache_limit`].
+    pool_cache_limit: usize,
+    imp_hits: u64,
+    imp_misses: u64,
+    imp_uncached: u64,
     /// Nodes whose rows changed / lost an out-edge since the last
     /// screening snapshot — invalidates precomputed screening rows.
     dirty_rows: HashSet<usize>,
@@ -381,6 +412,7 @@ impl<'a> Engine<'a> {
         exec: &ExecConditions,
         mode: EquivalenceMode,
         threads: usize,
+        pool_cache_limit: usize,
         topo: &[NodeId],
     ) -> Engine<'a> {
         let bound = g.node_bound();
@@ -421,6 +453,10 @@ impl<'a> Engine<'a> {
             topo_pos,
             level,
             imp_cache: HashMap::new(),
+            pool_cache_limit,
+            imp_hits: 0,
+            imp_misses: 0,
+            imp_uncached: 0,
             dirty_rows: HashSet::new(),
             dirty_tails: HashSet::new(),
         };
@@ -489,14 +525,20 @@ impl<'a> Engine<'a> {
         self.uncond[n.index()] = urow;
     }
 
-    /// Memoized `ctx ∧ old ⟹ new` over interned formulas.
+    /// Memoized `ctx ∧ old ⟹ new` over interned formulas. Once the pool
+    /// outgrows `pool_cache_limit`, verdicts are computed structurally
+    /// without touching the cache — same answers, bounded memory.
     fn implies(&mut self, ctx: DnfId, old: DnfId, new: DnfId) -> bool {
         if old == new || old == DnfPool::<Condition>::EMPTY || ctx == DnfPool::<Condition>::EMPTY
         {
             return true;
         }
-        if let Some(&b) = self.imp_cache.get(&(ctx, old, new)) {
-            return b;
+        let cache_on = self.pool_cache_limit == 0 || self.pool.dnf_count() <= self.pool_cache_limit;
+        if cache_on {
+            if let Some(&b) = self.imp_cache.get(&(ctx, old, new)) {
+                self.imp_hits += 1;
+                return b;
+            }
         }
         let b = implies_under(
             self.pool.dnf(ctx),
@@ -504,8 +546,24 @@ impl<'a> Engine<'a> {
             self.pool.dnf(new),
             &self.cs.domains,
         );
-        self.imp_cache.insert((ctx, old, new), b);
+        if cache_on {
+            self.imp_misses += 1;
+            self.imp_cache.insert((ctx, old, new), b);
+        } else {
+            self.imp_uncached += 1;
+        }
         b
+    }
+
+    /// Telemetry snapshot for [`MinimizeResult::stats`].
+    fn stats(&self) -> MinimizeStats {
+        MinimizeStats {
+            pool_dnfs: self.pool.dnf_count(),
+            pool_terms: self.pool.term_count(),
+            implies_cache_hits: self.imp_hits,
+            implies_cache_misses: self.imp_misses,
+            implies_uncached: self.imp_uncached,
+        }
     }
 
     /// Definition 4/5: is node `ni`'s current row covered by `new`?
@@ -533,6 +591,59 @@ impl<'a> Engine<'a> {
                     }
                 }
                 true
+            }
+        }
+    }
+
+    /// Difference-driven reachability repair after accepting the removal
+    /// of `cand = u → v`. Deleting an edge only *loses* paths, and every
+    /// path lost from an affected ancestor ran through the candidate, so
+    /// its lost targets all lie in `{v} ∪ closure[v]` — the candidate
+    /// head's cone, whose own rows the removal cannot touch (`v` is no
+    /// ancestor of `u` on a DAG). Only those columns are rechecked against
+    /// the already-repaired successor rows (`affected` is ordered
+    /// successors-first); every other bit is provably unchanged. The
+    /// unconditional skeleton can only shrink when the removed edge itself
+    /// was unconditional.
+    fn repair_bitsets_after_removal(&mut self, affected: &[NodeId], v: NodeId, cand_uncond: bool) {
+        let g = self.g;
+        let vi = v.index();
+        let mut maybe_lost: Vec<usize> = self.closure[vi].iter().collect();
+        maybe_lost.push(vi);
+        let mut maybe_lost_u: Vec<usize> = Vec::new();
+        if cand_uncond {
+            maybe_lost_u = self.uncond[vi].iter().collect();
+            maybe_lost_u.push(vi);
+        }
+        for &n in affected {
+            let ni = n.index();
+            for &t in &maybe_lost {
+                if !self.closure[ni].contains(t) {
+                    continue;
+                }
+                let still = g.out_edges(n).any(|e| {
+                    !self.removed.contains(&e) && {
+                        let (_, w) = g.endpoints(e);
+                        w.index() == t || self.closure[w.index()].contains(t)
+                    }
+                });
+                if !still {
+                    self.closure[ni].remove(t);
+                }
+            }
+            for &t in &maybe_lost_u {
+                if !self.uncond[ni].contains(t) {
+                    continue;
+                }
+                let still = g.out_edges(n).any(|e| {
+                    !self.removed.contains(&e) && g.edge_weight(e).cond.is_none() && {
+                        let (_, w) = g.endpoints(e);
+                        w.index() == t || self.uncond[w.index()].contains(t)
+                    }
+                });
+                if !still {
+                    self.uncond[ni].remove(t);
+                }
             }
         }
     }
@@ -750,7 +861,9 @@ impl<'a> Engine<'a> {
 
         // Commit: swap rows in, then repair both reachability skeletons
         // for the affected cone (successors first — the affected list is
-        // already in that order).
+        // already in that order), rechecking only the columns the removal
+        // can have lost.
+        let cand_uncond = g.edge_weight(cand).cond.is_none();
         self.removed.insert(cand);
         self.dirty_tails.insert(ui);
         for (ni, row) in fresh {
@@ -759,9 +872,7 @@ impl<'a> Engine<'a> {
             }
             self.irows[ni] = row;
         }
-        for &n in &affected {
-            self.rebuild_bitset_row(n);
-        }
+        self.repair_bitsets_after_removal(&affected, v, cand_uncond);
         true
     }
 }
@@ -787,7 +898,7 @@ pub fn minimize_generic_with(
     let topo = topo_sort(g).expect("cycle-free graph must sort");
     let candidates = order_candidates(g, &sg, order);
     let threads = opts.effective_threads();
-    let mut eng = Engine::new(g, cs, exec, mode, threads, &topo);
+    let mut eng = Engine::new(g, cs, exec, mode, threads, opts.pool_cache_limit, &topo);
 
     let mut removed_rels: Vec<usize> = Vec::new();
     let mut checked = 0usize;
@@ -841,6 +952,7 @@ pub fn minimize_generic_with(
         minimal,
         removed,
         candidates_checked: checked,
+        stats: eng.stats(),
     })
 }
 
@@ -970,6 +1082,7 @@ pub fn minimize_generic_baseline(
         minimal,
         removed,
         candidates_checked: checked,
+        stats: MinimizeStats::default(),
     })
 }
 
@@ -1037,6 +1150,7 @@ pub fn minimize_unconditional_fast(
         minimal,
         removed,
         candidates_checked: checked,
+        stats: MinimizeStats::default(),
     })
 }
 
@@ -1468,7 +1582,10 @@ mod tests {
         ] {
             for order in [EdgeOrder::Given, EdgeOrder::ReverseGiven, EdgeOrder::default()] {
                 for threads in [1usize, 4] {
-                    let opts = MinimizeOptions { threads };
+                    let opts = MinimizeOptions {
+                        threads,
+                        ..Default::default()
+                    };
                     let engine =
                         minimize_generic_with(&cs, &exec, mode, &order, &opts).unwrap();
                     let baseline =
@@ -1528,7 +1645,71 @@ mod tests {
 
     #[test]
     fn options_thread_resolution() {
-        assert_eq!(MinimizeOptions { threads: 3 }.effective_threads(), 3);
+        let three = MinimizeOptions {
+            threads: 3,
+            ..Default::default()
+        };
+        assert_eq!(three.effective_threads(), 3);
         assert!(MinimizeOptions::default().effective_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_cache_fallback_preserves_results_and_counts_uncached() {
+        // A tiny limit forces every implies verdict onto the uncached
+        // structural path; the minimal set must be unchanged and the
+        // telemetry must show the fallback engaged.
+        let mut cs = cs_with(
+            &["g", "x", "y", "j"],
+            vec![
+                Relation::before_if(
+                    StateRef::finish("g"),
+                    StateRef::start("x"),
+                    Condition::new("g", "T"),
+                    Origin::Control,
+                ),
+                Relation::before_if(
+                    StateRef::finish("g"),
+                    StateRef::start("y"),
+                    Condition::new("g", "F"),
+                    Origin::Control,
+                ),
+                before("x", "j", Origin::Data),
+                before("y", "j", Origin::Data),
+                before("g", "j", Origin::Control),
+            ],
+        );
+        cs.add_domain("g", vec!["T".into(), "F".into()]);
+        let exec = ExecConditions::derive(&cs);
+        let order = EdgeOrder::default();
+        let cached = minimize_generic_with(
+            &cs,
+            &exec,
+            EquivalenceMode::ExecutionAware,
+            &order,
+            &MinimizeOptions::default(),
+        )
+        .unwrap();
+        let uncached = minimize_generic_with(
+            &cs,
+            &exec,
+            EquivalenceMode::ExecutionAware,
+            &order,
+            &MinimizeOptions {
+                pool_cache_limit: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(kept_set(&cached), kept_set(&uncached));
+        assert!(cached.stats.pool_dnfs > 1);
+        assert_eq!(cached.stats.implies_uncached, 0);
+        assert!(uncached.stats.implies_uncached > 0);
+        assert_eq!(uncached.stats.implies_cache_hits, 0);
+        assert_eq!(
+            cached.stats.implies_cache_hits
+                + cached.stats.implies_cache_misses,
+            uncached.stats.implies_uncached,
+            "same verdict sequence, different caching"
+        );
     }
 }

@@ -101,6 +101,7 @@ impl Weaver {
             &self.order,
             &MinimizeOptions {
                 threads: self.threads,
+                ..Default::default()
             },
         )
         .map_err(WeaverError::Conflict)?;

@@ -19,10 +19,13 @@
 //!    and that every terminal marking is final.
 
 use crate::lower::{lower, LoweredNet};
-use crate::reach::{assignment_chooser, explore, run_to_quiescence, Reachability};
+use crate::reach::{
+    assignment_chooser, explore, explore_with, run_to_quiescence, run_to_quiescence_wavefront,
+    Reachability,
+};
 use dscweaver_core::ExecConditions;
 use dscweaver_dscl::{ConstraintSet, SyncGraph};
-use dscweaver_graph::find_cycle;
+use dscweaver_graph::{effective_threads, find_cycle, par_ranges};
 use std::collections::HashMap;
 
 /// Validation options.
@@ -37,6 +40,16 @@ pub struct ValidateOptions {
     /// Also run bounded interleaving exploration with this many states
     /// (0 = skip).
     pub explore_states: usize,
+    /// Worker threads for the per-assignment fan-out and the layer-chunked
+    /// exploration. `0` picks from available parallelism, `1` forces the
+    /// sequential path; the report is bit-identical either way (failures
+    /// merge in assignment-lexicographic window order).
+    pub threads: usize,
+    /// Run each assignment on the legacy full-rescan simulator instead of
+    /// the wavefront worklist. Results are identical; the flag exists so
+    /// `BENCH_petri.json` and the equivalence tests can measure the old
+    /// engine through the same entry point.
+    pub rescan_baseline: bool,
 }
 
 impl Default for ValidateOptions {
@@ -45,6 +58,8 @@ impl Default for ValidateOptions {
             max_assignments: 4096,
             max_steps: 1_000_000,
             explore_states: 0,
+            threads: 0,
+            rescan_baseline: false,
         }
     }
 }
@@ -126,17 +141,39 @@ pub fn validate(
     let truncated = space > opts.max_assignments;
     let to_check = space.min(opts.max_assignments);
 
-    let mut failures = Vec::new();
-    let mut idx = vec![0usize; guards.len()];
-    for _ in 0..to_check {
+    // One branch assignment per linear index, decoded positionally (the
+    // mixed-radix little-endian layout of the original odometer loop), so
+    // any contiguous window of indices is an independent work unit. Each
+    // run is a fresh simulation over the shared read-only net; the window
+    // results concatenate back in assignment-lexicographic order, making
+    // the failure list bit-identical for any thread count.
+    let run_one = |i: usize| -> Option<AssignmentFailure> {
+        let mut rest = i;
+        let idx: Vec<usize> = guards
+            .iter()
+            .map(|(_, dom)| {
+                let len = dom.len().max(1);
+                let d = rest % len;
+                rest /= len;
+                d
+            })
+            .collect();
         let assignment: HashMap<String, String> = guards
             .iter()
             .zip(&idx)
             .map(|((g, dom), &i)| (format!("finish({g})"), dom[i].clone()))
             .collect();
-        let run = run_to_quiescence(&lowered.net, assignment_chooser(&assignment), opts.max_steps);
+        let run = if opts.rescan_baseline {
+            run_to_quiescence(&lowered.net, assignment_chooser(&assignment), opts.max_steps)
+        } else {
+            run_to_quiescence_wavefront(
+                &lowered.net,
+                assignment_chooser(&assignment),
+                opts.max_steps,
+            )
+        };
         if run.diverged || !lowered.is_final(&run.final_marking) {
-            failures.push(AssignmentFailure {
+            Some(AssignmentFailure {
                 assignment: guards
                     .iter()
                     .zip(&idx)
@@ -149,23 +186,26 @@ pub fn validate(
                     .collect(),
                 marking: lowered.net.render_marking(&run.final_marking),
                 diverged: run.diverged,
-            });
+            })
+        } else {
+            None
         }
-        // Odometer.
-        let mut pos = 0;
-        while pos < idx.len() {
-            idx[pos] += 1;
-            if idx[pos] < guards[pos].1.len() {
-                break;
-            }
-            idx[pos] = 0;
-            pos += 1;
-        }
-    }
+    };
+    let threads = effective_threads(opts.threads, 8);
+    let failures: Vec<AssignmentFailure> = par_ranges(threads, to_check, &|r| {
+        r.filter_map(run_one).collect::<Vec<AssignmentFailure>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     // Layer 3: optional interleaving exploration.
     let exploration = if opts.explore_states > 0 {
-        Some(explore(&lowered.net, opts.explore_states))
+        Some(if opts.rescan_baseline {
+            explore(&lowered.net, opts.explore_states)
+        } else {
+            explore_with(&lowered.net, opts.explore_states, opts.threads)
+        })
     } else {
         None
     };

@@ -15,8 +15,11 @@ pub mod lower;
 pub mod net;
 pub mod reach;
 
-pub use analysis::{validate, validate_default, ValidateOptions, ValidationReport};
+pub use analysis::{validate, validate_default, AssignmentFailure, ValidateOptions, ValidationReport};
 pub use invariants::{check_invariants, place_invariants, PlaceInvariant};
 pub use lower::{lower, ActivityNodes, LoweredNet, SKIP};
 pub use net::{ArcIn, ArcOut, Color, ColorFilter, Marking, Mode, Net, PlaceId, TransitionId};
-pub use reach::{assignment_chooser, explore, run_to_quiescence, Reachability, Run};
+pub use reach::{
+    assignment_chooser, explore, explore_with, run_to_quiescence, run_to_quiescence_wavefront,
+    Reachability, Run,
+};

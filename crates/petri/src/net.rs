@@ -194,6 +194,15 @@ impl Marking {
     pub fn marked_places(&self) -> impl Iterator<Item = PlaceId> + '_ {
         self.tokens.keys().copied()
     }
+
+    /// The smallest color in `place` accepted by `filter`, without
+    /// allocating the full color list.
+    pub fn first_accepting(&self, place: PlaceId, filter: &ColorFilter) -> Option<&Color> {
+        self.tokens
+            .get(&place)?
+            .keys()
+            .find(|c| filter.accepts(c))
+    }
 }
 
 impl Net {
@@ -284,16 +293,28 @@ impl Net {
         mode_idx: usize,
         binding: &[Color],
     ) -> Marking {
+        let mut next = marking.clone();
+        self.fire_in_place(&mut next, t, mode_idx, binding);
+        next
+    }
+
+    /// [`Net::fire`] mutating `marking` directly — for long simulation runs
+    /// where cloning the whole marking per firing dominates.
+    pub fn fire_in_place(
+        &self,
+        marking: &mut Marking,
+        t: TransitionId,
+        mode_idx: usize,
+        binding: &[Color],
+    ) {
         let mode = &self.transitions[t.0 as usize].modes[mode_idx];
         assert_eq!(binding.len(), mode.inputs.len(), "binding arity mismatch");
-        let mut next = marking.clone();
         for (arc, color) in mode.inputs.iter().zip(binding) {
-            next.remove(arc.place, color);
+            marking.remove(arc.place, color);
         }
         for arc in &mode.outputs {
-            next.add(arc.place, arc.color.clone());
+            marking.add(arc.place, arc.color.clone());
         }
-        next
     }
 
     /// All transition ids.

@@ -1,9 +1,19 @@
 //! Reachability analysis: bounded interleaving exploration for small nets,
 //! and a deterministic maximal-step simulator for the conflict-free nets
 //! the DSCL lowering produces.
+//!
+//! Both analyses come in two flavors sharing one result type: the original
+//! full-rescan/FIFO implementations ([`run_to_quiescence`], [`explore`])
+//! and the optimized ones ([`run_to_quiescence_wavefront`],
+//! [`explore_with`]) — a dirty-transition worklist that skips the `O(T)`
+//! sweep rescans, and a frontier-layered BFS whose per-marking expansion
+//! fans out on the shared [`dscweaver_graph::par`] pool. Each pair is
+//! pinned bit-identical (trace for trace, marking for marking) by the
+//! `par_equivalence` property tests.
 
 use crate::net::{Color, Marking, Net, TransitionId};
-use std::collections::{HashMap, HashSet, VecDeque};
+use dscweaver_graph::par_map;
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 /// Result of bounded reachability exploration.
 #[derive(Clone, Debug)]
@@ -60,6 +70,83 @@ pub fn explore(net: &Net, max_states: usize) -> Reachability {
         if !any {
             terminal.push(m);
         }
+    }
+    Reachability {
+        states: seen.len(),
+        truncated,
+        terminal,
+        fired,
+        max_place_tokens,
+    }
+}
+
+/// What expanding one marking yields — computed purely, so a whole BFS
+/// layer can expand on worker threads.
+struct Expansion {
+    /// Largest single-place token count in the expanded marking.
+    peak: u32,
+    /// Successor markings with the firing transition, in the exact
+    /// deterministic order the sequential loop generates them (transition
+    /// id, then mode, then binding order).
+    succs: Vec<(TransitionId, Marking)>,
+}
+
+fn expand(net: &Net, m: &Marking) -> Expansion {
+    let mut peak = 0;
+    for p in m.marked_places() {
+        peak = peak.max(m.total(p));
+    }
+    let mut succs = Vec::new();
+    for t in net.transition_ids() {
+        for mode in 0..net.transitions[t.0 as usize].modes.len() {
+            for binding in net.enabled_bindings(m, t, mode) {
+                succs.push((t, net.fire(m, t, mode, &binding)));
+            }
+        }
+    }
+    Expansion { peak, succs }
+}
+
+/// [`explore`] with the per-marking expansion of each BFS frontier layer
+/// fanned out over `threads` scoped workers (`0` = auto, `1` =
+/// sequential). A FIFO queue visits markings in layer order, so expanding
+/// a whole layer concurrently and merging the expansions *in frontier
+/// order* replays the sequential seen-set insertion order exactly — the
+/// result (including the `truncated` flag and terminal-marking order) is
+/// bit-identical for any thread count.
+pub fn explore_with(net: &Net, max_states: usize, threads: usize) -> Reachability {
+    let threads = dscweaver_graph::effective_threads(threads, 8);
+    let mut seen: HashSet<Marking> = HashSet::new();
+    let mut terminal = Vec::new();
+    let mut fired = HashSet::new();
+    let mut truncated = false;
+    let mut max_place_tokens = 0;
+
+    seen.insert(net.initial.clone());
+    let mut frontier: Vec<Marking> = vec![net.initial.clone()];
+
+    while !frontier.is_empty() {
+        let expansions = par_map(threads, &frontier, &|m: &Marking| expand(net, m));
+        let mut next_frontier = Vec::new();
+        for (m, exp) in frontier.iter().zip(expansions) {
+            max_place_tokens = max_place_tokens.max(exp.peak);
+            if exp.succs.is_empty() {
+                terminal.push(m.clone());
+                continue;
+            }
+            for (t, next) in exp.succs {
+                fired.insert(t);
+                if !seen.contains(&next) {
+                    if seen.len() >= max_states {
+                        truncated = true;
+                        continue;
+                    }
+                    seen.insert(next.clone());
+                    next_frontier.push(next);
+                }
+            }
+        }
+        frontier = next_frontier;
     }
     Reachability {
         states: seen.len(),
@@ -133,6 +220,152 @@ pub fn run_to_quiescence(
             trace.push((t, net.transitions[t.0 as usize].modes[mode].label.clone()));
             progressed = true;
             steps += 1;
+        }
+        if !progressed {
+            return Run {
+                final_marking: m,
+                trace,
+                diverged: false,
+            };
+        }
+    }
+}
+
+/// The lexicographically smallest enabled binding of one mode, or `None`
+/// if the mode is disabled — equivalent to `enabled_bindings(..)[0]`
+/// (bindings are emitted sorted), but clone-free on the common case.
+///
+/// When a mode's input arcs hit pairwise-distinct places, the arcs cannot
+/// compete for tokens: the mode is enabled iff every arc's place holds an
+/// accepting color, and the sorted-first binding is the per-arc minimum
+/// accepting color (lexicographic order over the binding vector is
+/// arc-major, and the per-arc choices are independent). Modes with two
+/// arcs on one place fall back to the backtracking enumeration.
+fn first_binding(
+    net: &Net,
+    m: &Marking,
+    t: TransitionId,
+    mode_idx: usize,
+    distinct_places: bool,
+) -> Option<Vec<Color>> {
+    if distinct_places {
+        net.transitions[t.0 as usize].modes[mode_idx]
+            .inputs
+            .iter()
+            .map(|arc| m.first_accepting(arc.place, &arc.filter).cloned())
+            .collect()
+    } else {
+        let mut bindings = net.enabled_bindings(m, t, mode_idx);
+        if bindings.is_empty() {
+            None
+        } else {
+            Some(bindings.remove(0))
+        }
+    }
+}
+
+/// [`run_to_quiescence`] without the `O(T)` sweep rescans: a sorted
+/// dirty-transition worklist, with clone-free enabledness probes and
+/// in-place firing.
+///
+/// The rescan loop re-checks every transition each sweep, but a transition
+/// found disabled can only become enabled again when a later firing adds
+/// tokens to one of its input places (firing never *removes* enabledness
+/// prerequisites from others — extra tokens never disable a mode). So the
+/// worklist keeps exactly the transitions that might be enabled: all of
+/// them initially, minus checked-and-disabled ones, plus the consumers of
+/// every place a firing produced into. Scanning the worklist in ascending
+/// id order with a sweep position (consumers behind the scan wait for the
+/// next sweep, consumers ahead join the current one) replays the rescan's
+/// firing sequence *exactly* — same trace, same sticky mode decisions,
+/// same divergence cutoff — which the `par_equivalence` property tests
+/// pin. On the lowered nets, where each firing enables O(out-degree)
+/// transitions, this turns quadratic sweeps into near-linear work; the
+/// [`first_binding`] fast path and [`Net::fire_in_place`] additionally
+/// drop the per-probe and per-firing whole-marking clones the legacy
+/// engine pays.
+pub fn run_to_quiescence_wavefront(
+    net: &Net,
+    mut choose_mode: impl FnMut(&Net, TransitionId, &[usize]) -> usize,
+    max_steps: usize,
+) -> Run {
+    // consumers[p] = transitions with an input arc on place p in any mode;
+    // distinct[t][mode] = no two input arcs of the mode share a place
+    // (licenses the clone-free first_binding fast path).
+    let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); net.places.len()];
+    let mut distinct: Vec<Vec<bool>> = Vec::with_capacity(net.transitions.len());
+    for (ti, tr) in net.transitions.iter().enumerate() {
+        let mut ins: BTreeSet<u32> = BTreeSet::new();
+        let mut per_mode = Vec::with_capacity(tr.modes.len());
+        for mode in &tr.modes {
+            let mut places: Vec<u32> = mode.inputs.iter().map(|a| a.place.0).collect();
+            for &p in &places {
+                ins.insert(p);
+            }
+            places.sort_unstable();
+            places.dedup();
+            per_mode.push(places.len() == mode.inputs.len());
+        }
+        distinct.push(per_mode);
+        for p in ins {
+            consumers[p as usize].push(ti as u32);
+        }
+    }
+
+    let mut m = net.initial.clone();
+    let mut trace = Vec::new();
+    let mut steps = 0;
+    let mut decided: HashMap<TransitionId, usize> = HashMap::new();
+    let mut dirty: BTreeSet<u32> = (0..net.transitions.len() as u32).collect();
+    loop {
+        // Budget check sits between sweeps, exactly like the rescan's.
+        if steps >= max_steps {
+            return Run {
+                final_marking: m,
+                trace,
+                diverged: true,
+            };
+        }
+        let mut pos = 0u32;
+        let mut progressed = false;
+        while let Some(t) = dirty.range(pos..).next().copied() {
+            let tid = TransitionId(t);
+            let enabled: Vec<usize> = (0..net.transitions[t as usize].modes.len())
+                .filter(|&mi| {
+                    first_binding(net, &m, tid, mi, distinct[t as usize][mi]).is_some()
+                })
+                .collect();
+            pos = t + 1;
+            if enabled.is_empty() {
+                dirty.remove(&t);
+                continue;
+            }
+            let mode = match decided.get(&tid) {
+                Some(&mi) if enabled.contains(&mi) => mi,
+                _ => {
+                    let mi = if enabled.len() == 1 {
+                        enabled[0]
+                    } else {
+                        choose_mode(net, tid, &enabled)
+                    };
+                    decided.insert(tid, mi);
+                    mi
+                }
+            };
+            let binding = first_binding(net, &m, tid, mode, distinct[t as usize][mode])
+                .expect("chosen mode is enabled");
+            net.fire_in_place(&mut m, tid, mode, &binding);
+            trace.push((tid, net.transitions[t as usize].modes[mode].label.clone()));
+            progressed = true;
+            steps += 1;
+            // Only consumers of the produced tokens can have gained
+            // enabledness. The fired transition itself stays dirty — the
+            // next sweep re-checks it, as the rescan would.
+            for arc in &net.transitions[t as usize].modes[mode].outputs {
+                for &c in &consumers[arc.place.0 as usize] {
+                    dirty.insert(c);
+                }
+            }
         }
         if !progressed {
             return Run {
@@ -275,6 +508,52 @@ mod tests {
         net.initial.add(p, Color::unit());
         let run = run_to_quiescence(&net, |_, _, e| e[0], 50);
         assert!(run.diverged);
+    }
+
+    #[test]
+    fn first_binding_fast_path_matches_backtracking() {
+        // Two distinct input places with several accepting colors each:
+        // the fast path must return enabled_bindings()[0] (lexicographic
+        // minimum) exactly.
+        let mut net = Net::default();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        let out = net.add_place("out");
+        let t = net.add_transition(
+            "t",
+            vec![Mode {
+                label: "go".into(),
+                inputs: vec![
+                    ArcIn {
+                        place: p,
+                        filter: ColorFilter::OneOf(vec![Color::of("T"), Color::of("skip")]),
+                    },
+                    ArcIn {
+                        place: q,
+                        filter: ColorFilter::Any,
+                    },
+                ],
+                outputs: vec![ArcOut {
+                    place: out,
+                    color: Color::unit(),
+                }],
+            }],
+        );
+        net.initial.add(p, Color::of("skip"));
+        net.initial.add(p, Color::of("T"));
+        net.initial.add(p, Color::of("F"));
+        net.initial.add(q, Color::of("b"));
+        net.initial.add(q, Color::of("a"));
+        let slow = net.enabled_bindings(&net.initial, t, 0);
+        let fast = first_binding(&net, &net.initial, t, 0, true);
+        assert_eq!(fast.as_ref(), slow.first());
+        assert_eq!(fast, Some(vec![Color::of("T"), Color::of("a")]));
+        // Disabled case: filter accepts nothing present.
+        let mut empty = net.initial.clone();
+        empty.remove(q, &Color::of("a"));
+        empty.remove(q, &Color::of("b"));
+        assert_eq!(first_binding(&net, &empty, t, 0, true), None);
+        assert!(net.enabled_bindings(&empty, t, 0).is_empty());
     }
 
     #[test]

@@ -4,11 +4,33 @@
 //! the moment its incoming HappenBefore constraints are satisfied, with
 //! dead-path elimination for conditional regions and dynamic checking of
 //! Exclusive constraints (§4.2).
+//!
+//! Two engines share the event loop skeleton and produce identical traces:
+//!
+//! * [`simulate`] — the wavefront engine. Per-tick readiness is driven by a
+//!   dependency-counting agenda (only activities whose watched states or
+//!   guards changed are re-evaluated), and each agenda sweep's pure
+//!   guard-evaluation batch runs on the shared worker pool
+//!   (`dscweaver_graph::par_map`). The trace is bit-identical for any
+//!   `SimConfig::threads` value.
+//! * [`simulate_rescan_baseline`] — the original engine: every commit pass
+//!   linearly rescans all activities. Kept as the measured baseline for
+//!   `BENCH_scheduler.json` and the equivalence property tests.
+//!
+//! The engines agree on the trace and on `stuck`; they intentionally differ
+//! on `constraint_checks` — the agenda is the point: unchanged activities
+//! are not re-checked, so the wavefront engine performs strictly fewer
+//! satisfaction checks on sparse processes.
 
 use crate::trace::{EventKind, Time, Trace, TraceEvent};
 use dscweaver_core::ExecConditions;
 use dscweaver_dscl::{ActivityState, Condition, ConstraintSet, Relation, StateRef};
-use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+use dscweaver_graph::{effective_threads, par_map};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
+
+/// Below this agenda size a parallel evaluation batch costs more than it
+/// saves; sweeps smaller than this are evaluated inline.
+const PAR_EVAL_MIN: usize = 8;
 
 /// Activity durations in virtual time units.
 #[derive(Clone, Debug)]
@@ -64,6 +86,10 @@ pub struct SimConfig {
     /// (`None` = unbounded). Skips and zero-duration coordinators do not
     /// occupy a worker.
     pub workers: Option<usize>,
+    /// Worker threads for the guard-evaluation batches of the wavefront
+    /// engine: `0` = auto (one per core, capped at 8), `1` = sequential.
+    /// The schedule is bit-identical regardless.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -72,6 +98,7 @@ impl Default for SimConfig {
             durations: DurationModel::constant(1),
             oracle: BTreeMap::new(),
             workers: None,
+            threads: 0,
         }
     }
 }
@@ -110,8 +137,443 @@ enum GuardOutcome {
     Skipped,
 }
 
-/// Runs the dataflow scheduler over `cs`.
+fn value_of_guard(g: &str, config: &SimConfig, cs: &ConstraintSet) -> String {
+    config.oracle.get(g).cloned().unwrap_or_else(|| {
+        cs.domains
+            .get(g)
+            .and_then(|d| d.first().cloned())
+            .unwrap_or_else(|| "done".to_string())
+    })
+}
+
+/// Prereq satisfied under the given state? Counts one check per call.
+fn prereq_satisfied(
+    p: &Prereq,
+    resolved: &HashMap<StateRef, (Time, u64)>,
+    outcome: &HashMap<&str, GuardOutcome>,
+    checks: &mut u64,
+) -> bool {
+    *checks += 1;
+    match &p.cond {
+        None => resolved.contains_key(&p.producer),
+        Some(c) => match outcome.get(c.on.as_str()) {
+            None => false, // guard undecided: must wait
+            Some(GuardOutcome::Value(v)) if *v == c.value => resolved.contains_key(&p.producer),
+            // Guard mismatched or skipped: the constraint is waived.
+            Some(_) => true,
+        },
+    }
+}
+
+/// Exec decision: Some(true/false) once all mentioned guards resolved.
+fn exec_decided(a: &str, exec: &ExecConditions, outcome: &HashMap<&str, GuardOutcome>) -> Option<bool> {
+    let dnf = exec.of(a);
+    if dnf.is_always() {
+        return Some(true);
+    }
+    let mut guards: HashSet<&str> = HashSet::new();
+    for t in dnf.terms() {
+        for c in t {
+            guards.insert(&c.on);
+        }
+    }
+    if !guards.iter().all(|g| outcome.contains_key(*g)) {
+        return None;
+    }
+    let value = dnf.terms().iter().any(|term| {
+        term.iter().all(|c| {
+            matches!(outcome.get(c.on.as_str()), Some(GuardOutcome::Value(v)) if *v == c.value)
+        })
+    });
+    Some(value)
+}
+
+/// What one agenda visit would do, plus the checks it spent deciding.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Act {
+    /// Cannot act under the evaluated state.
+    None,
+    /// Deferred finish is now satisfiable.
+    Unblock,
+    /// Start prereqs hold and the execution condition is true.
+    Start,
+    /// Execution condition is false and the skip's prereqs hold.
+    Skip,
+}
+
+#[derive(Clone, Copy)]
+struct Eval {
+    act: Act,
+    checks: u64,
+}
+
+/// The pure per-activity readiness decision — exactly the evaluation the
+/// rescan engine performs per visit, against an explicit state snapshot so
+/// batches of it can run on the worker pool. Exclusive partners and the
+/// worker limit are *not* part of this: they read `running`, which mutates
+/// during a sweep, so they are gated sequentially at commit time.
+#[allow(clippy::too_many_arguments)]
+fn eval_activity(
+    a: &str,
+    start_prereqs: &HashMap<&str, Vec<Prereq>>,
+    finish_prereqs: &HashMap<&str, Vec<Prereq>>,
+    exec: &ExecConditions,
+    resolved: &HashMap<StateRef, (Time, u64)>,
+    outcome: &HashMap<&str, GuardOutcome>,
+    started: &HashSet<&str>,
+    done: &HashSet<&str>,
+    running: &HashSet<&str>,
+    finish_blocked: &HashSet<&str>,
+) -> Eval {
+    let mut checks = 0u64;
+    if done.contains(a) || running.contains(a) && !finish_blocked.contains(a) {
+        return Eval { act: Act::None, checks };
+    }
+    if finish_blocked.contains(a) {
+        let ok = finish_prereqs[a]
+            .iter()
+            .all(|p| prereq_satisfied(p, resolved, outcome, &mut checks));
+        let act = if ok { Act::Unblock } else { Act::None };
+        return Eval { act, checks };
+    }
+    if started.contains(a) {
+        return Eval { act: Act::None, checks };
+    }
+    let starts_ok = start_prereqs[a]
+        .iter()
+        .all(|p| prereq_satisfied(p, resolved, outcome, &mut checks));
+    if !starts_ok {
+        return Eval { act: Act::None, checks };
+    }
+    match exec_decided(a, exec, outcome) {
+        None => Eval { act: Act::None, checks },
+        Some(true) => Eval { act: Act::Start, checks },
+        Some(false) => {
+            // Skip also waits for finish-side prerequisites (skip events
+            // are ordered after everything the activity would have waited
+            // for).
+            let fin_ok = finish_prereqs[a]
+                .iter()
+                .all(|p| prereq_satisfied(p, resolved, outcome, &mut checks));
+            let act = if fin_ok { Act::Skip } else { Act::None };
+            Eval { act, checks }
+        }
+    }
+}
+
+/// Re-arms every dependent in `list`: back on the agenda, and marked
+/// tainted so a precomputed batch eval is not reused for it.
+fn wake_all(list: Option<&Vec<usize>>, dirty: &mut BTreeSet<usize>, tainted: &mut HashSet<usize>) {
+    if let Some(v) = list {
+        for &i in v {
+            dirty.insert(i);
+            tainted.insert(i);
+        }
+    }
+}
+
+/// Runs the dataflow scheduler over `cs` — the wavefront engine.
+///
+/// Readiness is tracked by a dependency-counting agenda: each activity
+/// leaves the agenda when an evaluation finds it unable to act, and
+/// re-enters only when a state it watches changes (a prereq producer
+/// resolving, a guard it mentions deciding, an exclusive partner
+/// finishing, or a worker slot freeing). Each agenda sweep first evaluates
+/// its pending activities as one pure batch on the worker pool
+/// (`config.threads`; `0` = auto), then commits sequentially in activity
+/// order, which makes the trace bit-identical to the rescan baseline and
+/// independent of the thread count — only `constraint_checks` shrinks.
 pub fn simulate(cs: &ConstraintSet, exec: &ExecConditions, config: &SimConfig) -> Schedule {
+    // Indexing.
+    let mut start_prereqs: HashMap<&str, Vec<Prereq>> = HashMap::new();
+    let mut finish_prereqs: HashMap<&str, Vec<Prereq>> = HashMap::new();
+    for a in &cs.activities {
+        start_prereqs.insert(a, Vec::new());
+        finish_prereqs.insert(a, Vec::new());
+    }
+    for r in &cs.relations {
+        if let Relation::HappenBefore { from, to, cond, .. } = r {
+            let p = Prereq {
+                producer: from.clone(),
+                cond: cond.clone(),
+            };
+            let bucket = match to.state {
+                ActivityState::Start | ActivityState::Run => &mut start_prereqs,
+                ActivityState::Finish => &mut finish_prereqs,
+            };
+            if let Some(v) = bucket.get_mut(to.activity.as_str()) {
+                v.push(p);
+            }
+        }
+    }
+    // Exclusive partner sets.
+    let mut exclusive: HashMap<&str, Vec<&str>> = HashMap::new();
+    for (x, y) in cs.exclusives() {
+        exclusive
+            .entry(x.activity.as_str())
+            .or_default()
+            .push(y.activity.as_str());
+        exclusive
+            .entry(y.activity.as_str())
+            .or_default()
+            .push(x.activity.as_str());
+    }
+
+    // Agenda bookkeeping: who watches which state / guard.
+    let acts: Vec<&str> = cs.activities.iter().map(String::as_str).collect();
+    let act_ix: HashMap<&str, usize> = acts.iter().enumerate().map(|(i, a)| (*a, i)).collect();
+    let mut dep_state: HashMap<StateRef, Vec<usize>> = HashMap::new();
+    let mut dep_guard: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, a) in acts.iter().enumerate() {
+        for p in start_prereqs[a].iter().chain(finish_prereqs[a].iter()) {
+            dep_state.entry(p.producer.clone()).or_default().push(i);
+            if let Some(c) = &p.cond {
+                dep_guard.entry(c.on.clone()).or_default().push(i);
+            }
+        }
+        let dnf = exec.of(a);
+        if !dnf.is_always() {
+            for t in dnf.terms() {
+                for c in t {
+                    dep_guard.entry(c.on.clone()).or_default().push(i);
+                }
+            }
+        }
+    }
+    let excl_ix: Vec<Vec<usize>> = acts
+        .iter()
+        .map(|a| {
+            exclusive
+                .get(a)
+                .map(|ps| ps.iter().map(|p| act_ix[p]).collect())
+                .unwrap_or_default()
+        })
+        .collect();
+    let threads = effective_threads(config.threads, 8);
+
+    // Dynamic state.
+    let mut resolved: HashMap<StateRef, (Time, u64)> = HashMap::new();
+    let mut outcome: HashMap<&str, GuardOutcome> = HashMap::new();
+    let mut started: HashSet<&str> = HashSet::new();
+    let mut done: HashSet<&str> = HashSet::new(); // finished or skipped
+    let mut running: HashSet<&str> = HashSet::new();
+    let mut finish_blocked: HashSet<&str> = HashSet::new();
+    let mut trace = Trace::default();
+    let mut seq: u64 = 0;
+    let mut checks: u64 = 0;
+    let mut now: Time = 0;
+
+    // Scheduled natural finishes: Reverse-ordered min-heap.
+    let mut finish_queue: BinaryHeap<std::cmp::Reverse<(Time, u64, String)>> = BinaryHeap::new();
+
+    // The agenda. `dirty` holds activities whose readiness may have
+    // changed; `worker_blocked` holds activities that were startable but
+    // found no free worker (re-armed by the next finish); `tainted` marks
+    // activities whose watched state changed after the current sweep's
+    // batch evaluation, invalidating their precomputed entry.
+    let mut dirty: BTreeSet<usize> = (0..acts.len()).collect();
+    let mut worker_blocked: BTreeSet<usize> = BTreeSet::new();
+    let mut tainted: HashSet<usize> = HashSet::new();
+
+    let total = cs.activities.len();
+    loop {
+        // Commit phase: sweep the agenda until nothing can act at `now`.
+        loop {
+            if dirty.is_empty() {
+                break;
+            }
+            tainted.clear();
+            // Pure readiness evaluation of the whole pending sweep, batched
+            // on the worker pool. Advisory: commits below re-evaluate any
+            // entry whose inputs a prior commit of this sweep changed.
+            let batch: Vec<usize> = dirty.iter().copied().collect();
+            let pre: HashMap<usize, Eval> = if threads > 1 && batch.len() >= PAR_EVAL_MIN {
+                par_map(threads, &batch, &|&i| {
+                    (
+                        i,
+                        eval_activity(
+                            acts[i], &start_prereqs, &finish_prereqs, exec, &resolved,
+                            &outcome, &started, &done, &running, &finish_blocked,
+                        ),
+                    )
+                })
+                .into_iter()
+                .collect()
+            } else {
+                HashMap::new()
+            };
+            let mut progressed = false;
+            let mut pos = 0usize;
+            // Monotone sweep: agenda insertions behind `pos` wait for the
+            // next sweep, mirroring the rescan engine's pass order.
+            while let Some(i) = dirty.range(pos..).next().copied() {
+                pos = i + 1;
+                let a = acts[i];
+                let ev = match pre.get(&i) {
+                    Some(ev) if !tainted.contains(&i) => *ev,
+                    _ => eval_activity(
+                        a, &start_prereqs, &finish_prereqs, exec, &resolved, &outcome,
+                        &started, &done, &running, &finish_blocked,
+                    ),
+                };
+                checks += ev.checks;
+                match ev.act {
+                    Act::None => {
+                        dirty.remove(&i);
+                    }
+                    Act::Unblock => {
+                        dirty.remove(&i);
+                        finish_blocked.remove(a);
+                        commit_finish(
+                            a, now, &mut seq, cs, config, &mut trace, &mut resolved,
+                            &mut outcome, &mut running, &mut done, value_of_guard,
+                        );
+                        wake_all(dep_state.get(&StateRef::finish(a)), &mut dirty, &mut tainted);
+                        wake_all(dep_guard.get(a), &mut dirty, &mut tainted);
+                        for &j in &excl_ix[i] {
+                            dirty.insert(j);
+                            tainted.insert(j);
+                        }
+                        for j in std::mem::take(&mut worker_blocked) {
+                            dirty.insert(j);
+                            tainted.insert(j);
+                        }
+                        progressed = true;
+                    }
+                    Act::Start => {
+                        // Exclusive: defer while a partner is running; the
+                        // partner's finish re-arms us.
+                        if exclusive
+                            .get(a)
+                            .is_some_and(|ps| ps.iter().any(|p| running.contains(p)))
+                        {
+                            dirty.remove(&i);
+                            continue;
+                        }
+                        // Worker limit: zero-duration activities (the
+                        // desugaring coordinators) pass through freely.
+                        if let Some(k) = config.workers {
+                            if config.durations.of(a) > 0 && running.len() >= k {
+                                dirty.remove(&i);
+                                worker_blocked.insert(i);
+                                continue;
+                            }
+                        }
+                        dirty.remove(&i);
+                        started.insert(a);
+                        running.insert(a);
+                        trace.events.push(TraceEvent {
+                            time: now,
+                            seq,
+                            activity: a.to_string(),
+                            kind: EventKind::Start,
+                            value: None,
+                        });
+                        resolved.insert(StateRef::start(a), (now, seq));
+                        resolved.insert(StateRef::run(a), (now, seq));
+                        seq += 1;
+                        finish_queue.push(std::cmp::Reverse((
+                            now + config.durations.of(a),
+                            seq,
+                            a.to_string(),
+                        )));
+                        wake_all(dep_state.get(&StateRef::start(a)), &mut dirty, &mut tainted);
+                        wake_all(dep_state.get(&StateRef::run(a)), &mut dirty, &mut tainted);
+                        progressed = true;
+                    }
+                    Act::Skip => {
+                        dirty.remove(&i);
+                        started.insert(a);
+                        done.insert(a);
+                        trace.events.push(TraceEvent {
+                            time: now,
+                            seq,
+                            activity: a.to_string(),
+                            kind: EventKind::Skip,
+                            value: None,
+                        });
+                        for st in ActivityState::ALL {
+                            let sr = StateRef {
+                                activity: a.to_string(),
+                                state: st,
+                            };
+                            resolved.insert(sr.clone(), (now, seq));
+                            wake_all(dep_state.get(&sr), &mut dirty, &mut tainted);
+                        }
+                        outcome.insert(a, GuardOutcome::Skipped);
+                        wake_all(dep_guard.get(a), &mut dirty, &mut tainted);
+                        seq += 1;
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        if done.len() == total {
+            break;
+        }
+        // Advance to the next natural finish.
+        let Some(std::cmp::Reverse((t, _, a))) = finish_queue.pop() else {
+            break; // deadlock: nothing running, nothing ready
+        };
+        now = now.max(t);
+        let a_ref: &str = cs
+            .activities
+            .get(&a)
+            .map(String::as_str)
+            .expect("finish of unknown activity");
+        // Finish-side prerequisites may defer the completion.
+        let ok = finish_prereqs[a_ref]
+            .iter()
+            .all(|p| prereq_satisfied(p, &resolved, &outcome, &mut checks));
+        if ok {
+            commit_finish(
+                a_ref, now, &mut seq, cs, config, &mut trace, &mut resolved, &mut outcome,
+                &mut running, &mut done, value_of_guard,
+            );
+            wake_all(dep_state.get(&StateRef::finish(a_ref)), &mut dirty, &mut tainted);
+            wake_all(dep_guard.get(a_ref), &mut dirty, &mut tainted);
+            for &j in &excl_ix[act_ix[a_ref]] {
+                dirty.insert(j);
+                tainted.insert(j);
+            }
+            for j in std::mem::take(&mut worker_blocked) {
+                dirty.insert(j);
+                tainted.insert(j);
+            }
+        } else {
+            finish_blocked.insert(a_ref);
+        }
+    }
+
+    let stuck: Vec<String> = cs
+        .activities
+        .iter()
+        .filter(|a| !done.contains(a.as_str()))
+        .cloned()
+        .collect();
+    Schedule {
+        trace,
+        constraint_checks: checks,
+        stuck,
+    }
+}
+
+/// The original engine: every commit pass linearly rescans all activities.
+///
+/// Kept (unchanged in behavior) as the measured baseline for
+/// `BENCH_scheduler.json` and as the reference the wavefront engine's
+/// equivalence property tests compare against. Produces the same trace and
+/// `stuck` as [`simulate`]; `constraint_checks` is higher because every
+/// pass re-checks activities whose inputs did not change.
+pub fn simulate_rescan_baseline(
+    cs: &ConstraintSet,
+    exec: &ExecConditions,
+    config: &SimConfig,
+) -> Schedule {
     // Indexing.
     let mut start_prereqs: HashMap<&str, Vec<Prereq>> = HashMap::new();
     let mut finish_prereqs: HashMap<&str, Vec<Prereq>> = HashMap::new();
@@ -162,61 +624,6 @@ pub fn simulate(cs: &ConstraintSet, exec: &ExecConditions, config: &SimConfig) -
     // Scheduled natural finishes: Reverse-ordered min-heap.
     let mut finish_queue: BinaryHeap<std::cmp::Reverse<(Time, u64, String)>> = BinaryHeap::new();
 
-    let value_of_guard = |g: &str, config: &SimConfig, cs: &ConstraintSet| -> String {
-        config.oracle.get(g).cloned().unwrap_or_else(|| {
-            cs.domains
-                .get(g)
-                .and_then(|d| d.first().cloned())
-                .unwrap_or_else(|| "done".to_string())
-        })
-    };
-
-    // Prereq satisfied under current state?
-    let satisfied = |p: &Prereq,
-                     resolved: &HashMap<StateRef, (Time, u64)>,
-                     outcome: &HashMap<&str, GuardOutcome>,
-                     checks: &mut u64|
-     -> bool {
-        *checks += 1;
-        match &p.cond {
-            None => resolved.contains_key(&p.producer),
-            Some(c) => match outcome.get(c.on.as_str()) {
-                None => false, // guard undecided: must wait
-                Some(GuardOutcome::Value(v)) if *v == c.value => {
-                    resolved.contains_key(&p.producer)
-                }
-                // Guard mismatched or skipped: the constraint is waived.
-                Some(_) => true,
-            },
-        }
-    };
-
-    // Exec decision: Some(true/false) once all mentioned guards resolved.
-    let exec_known = |a: &str,
-                      exec: &ExecConditions,
-                      outcome: &HashMap<&str, GuardOutcome>|
-     -> Option<bool> {
-        let dnf = exec.of(a);
-        if dnf.is_always() {
-            return Some(true);
-        }
-        let mut guards: HashSet<&str> = HashSet::new();
-        for t in dnf.terms() {
-            for c in t {
-                guards.insert(&c.on);
-            }
-        }
-        if !guards.iter().all(|g| outcome.contains_key(*g)) {
-            return None;
-        }
-        let value = dnf.terms().iter().any(|term| {
-            term.iter().all(|c| {
-                matches!(outcome.get(c.on.as_str()), Some(GuardOutcome::Value(v)) if *v == c.value)
-            })
-        });
-        Some(value)
-    };
-
     let total = cs.activities.len();
     loop {
         // Commit phase: start, skip, or unblock whatever is ready at `now`.
@@ -232,7 +639,7 @@ pub fn simulate(cs: &ConstraintSet, exec: &ExecConditions, config: &SimConfig) -
                     // Re-try the deferred finish.
                     let ok = finish_prereqs[a]
                         .iter()
-                        .all(|p| satisfied(p, &resolved, &outcome, &mut checks));
+                        .all(|p| prereq_satisfied(p, &resolved, &outcome, &mut checks));
                     if ok {
                         finish_blocked.remove(a);
                         commit_finish(
@@ -248,11 +655,11 @@ pub fn simulate(cs: &ConstraintSet, exec: &ExecConditions, config: &SimConfig) -
                 }
                 let starts_ok = start_prereqs[a]
                     .iter()
-                    .all(|p| satisfied(p, &resolved, &outcome, &mut checks));
+                    .all(|p| prereq_satisfied(p, &resolved, &outcome, &mut checks));
                 if !starts_ok {
                     continue;
                 }
-                match exec_known(a, exec, &outcome) {
+                match exec_decided(a, exec, &outcome) {
                     None => continue,
                     Some(true) => {
                         // Exclusive: defer while a partner is running.
@@ -294,7 +701,7 @@ pub fn simulate(cs: &ConstraintSet, exec: &ExecConditions, config: &SimConfig) -
                         // activity would have waited for).
                         let fin_ok = finish_prereqs[a]
                             .iter()
-                            .all(|p| satisfied(p, &resolved, &outcome, &mut checks));
+                            .all(|p| prereq_satisfied(p, &resolved, &outcome, &mut checks));
                         if !fin_ok {
                             continue;
                         }
@@ -340,7 +747,7 @@ pub fn simulate(cs: &ConstraintSet, exec: &ExecConditions, config: &SimConfig) -
         // Finish-side prerequisites may defer the completion.
         let ok = finish_prereqs[a_ref]
             .iter()
-            .all(|p| satisfied(p, &resolved, &outcome, &mut checks));
+            .all(|p| prereq_satisfied(p, &resolved, &outcome, &mut checks));
         if ok {
             commit_finish(
                 a_ref, now, &mut seq, cs, config, &mut trace, &mut resolved, &mut outcome,
@@ -614,6 +1021,94 @@ mod tests {
         let b_start = s.trace.occurrence(&StateRef::start("b")).unwrap().0;
         assert_eq!(a_start, b_start, "barrier starts together");
     }
+
+    #[test]
+    fn wavefront_matches_rescan_and_spends_fewer_checks() {
+        // A branching process with a deferred finish and an exclusive
+        // pair exercises every commit kind; the engines must agree on the
+        // trace byte-for-byte while the agenda engine spends fewer checks.
+        let mut cs = ConstraintSet::new("equiv");
+        for a in ["g", "a", "x", "y", "j", "p", "q"] {
+            cs.add_activity(a);
+        }
+        cs.add_domain("g", vec!["T".into(), "F".into()]);
+        cs.push(Relation::before_if(
+            StateRef::finish("g"),
+            StateRef::start("x"),
+            Condition::new("g", "T"),
+            Origin::Control,
+        ));
+        cs.push(Relation::before_if(
+            StateRef::finish("g"),
+            StateRef::start("y"),
+            Condition::new("g", "F"),
+            Origin::Control,
+        ));
+        cs.push(before("a", "x"));
+        cs.push(before("x", "j"));
+        cs.push(before("y", "j"));
+        cs.push(Relation::before(
+            StateRef::start("a"),
+            StateRef::finish("p"),
+            Origin::Cooperation,
+        ));
+        cs.push(Relation::Exclusive {
+            a: StateRef::run("p"),
+            b: StateRef::run("q"),
+            origin: Origin::Cooperation,
+        });
+        let exec = ExecConditions::derive(&cs);
+        for value in ["T", "F"] {
+            let mut cfg = SimConfig::default();
+            cfg.oracle.insert("g".into(), value.into());
+            cfg.durations.set("a", 7);
+            cfg.durations.set("p", 3);
+            let base = simulate_rescan_baseline(&cs, &exec, &cfg);
+            for threads in [0usize, 1, 2] {
+                let mut c = cfg.clone();
+                c.threads = threads;
+                let wf = simulate(&cs, &exec, &c);
+                assert_eq!(
+                    format!("{:?}", wf.trace),
+                    format!("{:?}", base.trace),
+                    "trace diverged (oracle {value}, threads {threads})"
+                );
+                assert_eq!(wf.stuck, base.stuck);
+                assert!(
+                    wf.constraint_checks <= base.constraint_checks,
+                    "agenda spent more checks than the rescan: {} vs {}",
+                    wf.constraint_checks,
+                    base.constraint_checks
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wavefront_checks_are_thread_invariant() {
+        let mut cs = ConstraintSet::new("inv");
+        for i in 0..20 {
+            cs.add_activity(format!("a{i}"));
+        }
+        for i in 0..19 {
+            cs.push(before(&format!("a{i}"), &format!("a{}", i + 1)));
+        }
+        let exec = ExecConditions::derive(&cs);
+        let runs: Vec<Schedule> = [1usize, 2, 0]
+            .iter()
+            .map(|&threads| {
+                let cfg = SimConfig {
+                    threads,
+                    ..Default::default()
+                };
+                simulate(&cs, &exec, &cfg)
+            })
+            .collect();
+        for s in &runs[1..] {
+            assert_eq!(format!("{:?}", s.trace), format!("{:?}", runs[0].trace));
+            assert_eq!(s.constraint_checks, runs[0].constraint_checks);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -686,5 +1181,23 @@ mod worker_tests {
         cs.desugar_happen_together();
         let s = run_with(&cs, Some(2));
         assert!(s.completed(), "{:?}", s.stuck);
+    }
+
+    #[test]
+    fn worker_limit_matches_rescan_baseline() {
+        let mut cs = independent(8);
+        cs.push(Relation::before(
+            StateRef::finish("a0"),
+            StateRef::start("a5"),
+            Origin::Data,
+        ));
+        let exec = ExecConditions::derive(&cs);
+        let config = SimConfig {
+            workers: Some(3),
+            ..Default::default()
+        };
+        let base = simulate_rescan_baseline(&cs, &exec, &config);
+        let wf = simulate(&cs, &exec, &config);
+        assert_eq!(format!("{:?}", wf.trace), format!("{:?}", base.trace));
     }
 }

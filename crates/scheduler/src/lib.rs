@@ -25,6 +25,6 @@ pub mod trace;
 
 pub use conformance::{check_all_conformance, check_conformance};
 pub use constructs::{structural_constraints, StructuralError};
-pub use engine::{simulate, DurationModel, Schedule, SimConfig};
+pub use engine::{simulate, simulate_rescan_baseline, DurationModel, Schedule, SimConfig};
 pub use threaded::{execute_threaded, ThreadedRun};
 pub use trace::{EventKind, Time, Trace, TraceEvent, Violation};

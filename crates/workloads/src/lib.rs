@@ -17,4 +17,6 @@ pub use purchasing::{
     purchasing_conversations, purchasing_cooperation, purchasing_dependencies,
     purchasing_dependencies_extracted, purchasing_process,
 };
-pub use synth::{fork_join, layered, service_mesh, LayeredParams};
+pub use synth::{
+    dense_conditional, fork_join, layered, service_mesh, DenseConditionalParams, LayeredParams,
+};

@@ -158,6 +158,84 @@ pub fn fork_join(width: usize, chain_len: usize, redundant: usize, seed: u64) ->
     ds
 }
 
+/// Parameters for the dense-conditional-core generator.
+#[derive(Clone, Debug)]
+pub struct DenseConditionalParams {
+    /// Independent binary guards; the validator's branch-assignment
+    /// fan-out enumerates `2^guards` live assignments (clamped to ≥ 1).
+    pub guards: usize,
+    /// Depth of each guarded slow-path chain.
+    pub chain_len: usize,
+    /// Injected transitively-implied shortcut constraints (within-chain
+    /// and chain→join), the minimizer-reduction knob.
+    pub redundant: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DenseConditionalParams {
+    fn default() -> Self {
+        DenseConditionalParams {
+            guards: 9,
+            chain_len: 6,
+            redundant: 64,
+            seed: 11,
+        }
+    }
+}
+
+/// Generates a dense-conditional-core process: an entry activity fans out
+/// to `guards` independent binary guards, each guarding a deep slow-path
+/// chain (every chain element control-depends on its guard's `T` branch),
+/// all chains joining into one sink. With the default 9 guards the
+/// validator's per-assignment fan-out has `2^9 = 512` live branch
+/// assignments — the workload behind `BENCH_petri.json`.
+pub fn dense_conditional(params: &DenseConditionalParams) -> DependencySet {
+    let guards = params.guards.max(1);
+    let mut rng = Rng::seed_from_u64(params.seed);
+    let mut ds = DependencySet::new(format!(
+        "dense_g{}_l{}_s{}",
+        guards, params.chain_len, params.seed
+    ));
+    ds.add_activity("entry");
+    ds.add_activity("join");
+    let chain = |k: usize, l: usize| format!("s_{k}_{l}");
+    for k in 0..guards {
+        let g = format!("g_{k}");
+        ds.add_activity(g.clone());
+        ds.add_domain(g.clone(), vec!["T".into(), "F".into()]);
+        ds.push(Dependency::data("entry", &g));
+        let mut prev = g.clone();
+        for l in 0..params.chain_len {
+            let n = chain(k, l);
+            ds.add_activity(n.clone());
+            ds.push(Dependency::data(&prev, &n));
+            ds.push(Dependency::control(&g, &n, "T"));
+            prev = n;
+        }
+        // Skipped chains waive the join's data prereq (dead-path
+        // elimination), so the join always runs.
+        ds.push(Dependency::data(&prev, "join"));
+    }
+    // Redundant shortcuts: within a chain (implied by the data chain) or
+    // from a chain element to the join (implied via the chain tail).
+    for _ in 0..params.redundant {
+        if params.chain_len == 0 {
+            break;
+        }
+        let k = rng.random_range(guards);
+        let a = rng.random_range(params.chain_len);
+        let b = rng.random_range(params.chain_len);
+        let (lo, hi) = (a.min(b), a.max(b));
+        if lo == hi {
+            ds.push(Dependency::cooperation(&chain(k, lo), "join"));
+        } else {
+            ds.push(Dependency::cooperation(&chain(k, lo), &chain(k, hi)));
+        }
+    }
+    ds
+}
+
 /// A service-mesh workload: `n_services` asynchronous services, each with
 /// an invoke/receive pair in the process chained by data dependencies, and
 /// the full WSCL-style plumbing (`inv → S`, `S → S_d`, `S_d → rec`).
@@ -246,6 +324,33 @@ mod tests {
         // Each service contributes one bridge inv → rec.
         assert_eq!(out.translation.bridges.len(), 10);
         assert!(out.minimal.validate().is_empty());
+    }
+
+    #[test]
+    fn dense_conditional_is_deterministic_with_512_assignments() {
+        let a = dense_conditional(&DenseConditionalParams::default());
+        let b = dense_conditional(&DenseConditionalParams::default());
+        assert_eq!(a, b);
+        let cs = dscweaver_core::merge(&a);
+        let space: usize = cs.domains.values().map(|d| d.len().max(1)).product();
+        assert!(space >= 512, "assignment space {space} < 512");
+    }
+
+    #[test]
+    fn dense_conditional_small_validates_per_assignment() {
+        // Tier-1-sized instance: 4 guards → 16 assignments, all of which
+        // must terminate cleanly on the minimized scheme.
+        let ds = dense_conditional(&DenseConditionalParams {
+            guards: 4,
+            chain_len: 3,
+            redundant: 12,
+            ..Default::default()
+        });
+        let out = Weaver::new().run(&ds).unwrap();
+        assert!(out.total_removed() >= 12, "removed {}", out.total_removed());
+        let report = dscweaver_petri::validate_default(&out.minimal, &out.exec);
+        assert!(report.ok(), "failures: {:?}", report.failures);
+        assert_eq!(report.assignments_checked, 16);
     }
 
     #[test]

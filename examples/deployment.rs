@@ -39,6 +39,7 @@ fn main() {
         durations: DurationModel::constant(2),
         oracle: Default::default(),
         workers: None,
+        threads: 0,
     };
     sim.durations.set("invDeploy_midConfig", 30);
     sim.durations.set("invDeploy_appConfig", 3);

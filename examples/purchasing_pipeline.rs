@@ -30,6 +30,7 @@ fn sim(branch: &str) -> SimConfig {
         durations: DurationModel::with_overrides(2, durations),
         oracle: [("if_au".to_string(), branch.to_string())].into(),
         workers: None,
+        threads: 0,
     }
 }
 

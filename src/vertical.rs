@@ -19,7 +19,7 @@
 use dscweaver_core::{Weaver, WeaverError, WeaverOutput};
 use dscweaver_dscl::ConstraintSet;
 use dscweaver_model::Process;
-use dscweaver_petri::{validate_default, ValidationReport};
+use dscweaver_petri::{validate, ValidateOptions, ValidationReport};
 use dscweaver_scheduler::{simulate, Schedule, SimConfig};
 use dscweaver_wscl::{derive_service_dependencies, Conversation, ServiceBinding, WsclError};
 
@@ -162,8 +162,21 @@ pub fn weave(input: &VerticalInput<'_>) -> Result<VerticalOutput, VerticalError>
     let ds = assemble_dependencies(input.process, input.conversations, input.cooperation)
         .map_err(VerticalError::Wscl)?;
     let weaver_out = input.weaver.run(&ds).map_err(VerticalError::Weaver)?;
-    let validation = validate_default(&weaver_out.minimal, &weaver_out.exec);
-    let schedule = simulate(&weaver_out.minimal, &weaver_out.exec, &input.sim);
+    // The Weaver's thread knob drives validation and (unless the sim
+    // config sets its own) the scheduler's guard-evaluation batches.
+    let validation = validate(
+        &weaver_out.minimal,
+        &weaver_out.exec,
+        &ValidateOptions {
+            threads: input.weaver.threads,
+            ..Default::default()
+        },
+    );
+    let mut sim = input.sim.clone();
+    if sim.threads == 0 {
+        sim.threads = input.weaver.threads;
+    }
+    let schedule = simulate(&weaver_out.minimal, &weaver_out.exec, &sim);
     // Correctness contract: the trace produced under the MINIMAL set must
     // satisfy the FULL merged SC, projected to internal activities (the
     // ASC before minimization, which carries every data/control/coop
@@ -191,8 +204,19 @@ pub fn weave_dependencies(
     sim: &SimConfig,
 ) -> Result<VerticalOutput, VerticalError> {
     let weaver_out = weaver.run(ds).map_err(VerticalError::Weaver)?;
-    let validation = validate_default(&weaver_out.minimal, &weaver_out.exec);
-    let schedule = simulate(&weaver_out.minimal, &weaver_out.exec, sim);
+    let validation = validate(
+        &weaver_out.minimal,
+        &weaver_out.exec,
+        &ValidateOptions {
+            threads: weaver.threads,
+            ..Default::default()
+        },
+    );
+    let mut sim = sim.clone();
+    if sim.threads == 0 {
+        sim.threads = weaver.threads;
+    }
+    let schedule = simulate(&weaver_out.minimal, &weaver_out.exec, &sim);
     let violations = schedule.trace.verify(&weaver_out.asc);
     let bpel = dscweaver_bpel::emit_string(process, &weaver_out.minimal);
     Ok(VerticalOutput {

@@ -57,7 +57,10 @@ fn engine_matches_baseline_on_conditional_layered() {
             for order in orders() {
                 let base = minimize_generic_baseline(&asc, &exec, mode, &order).unwrap();
                 for threads in [1usize, 2, 4] {
-                    let opts = MinimizeOptions { threads };
+                    let opts = MinimizeOptions {
+                        threads,
+                        ..Default::default()
+                    };
                     let eng = minimize_generic_with(&asc, &exec, mode, &order, &opts).unwrap();
                     assert_eq!(
                         removed_list(&eng),
@@ -96,7 +99,10 @@ fn engine_matches_baseline_and_fast_path_on_fork_join() {
                 &exec,
                 EquivalenceMode::Strict,
                 &order,
-                &MinimizeOptions { threads: 4 },
+                &MinimizeOptions {
+                    threads: 4,
+                    ..Default::default()
+                },
             )
             .unwrap();
             assert_eq!(removed_list(&eng), removed_list(&base), "case {case}");
@@ -133,7 +139,10 @@ fn thread_count_is_invisible_across_repeats() {
         &exec,
         EquivalenceMode::ExecutionAware,
         &order,
-        &MinimizeOptions { threads: 1 },
+        &MinimizeOptions {
+            threads: 1,
+            ..Default::default()
+        },
     )
     .unwrap();
     for _ in 0..5 {
@@ -143,7 +152,10 @@ fn thread_count_is_invisible_across_repeats() {
                 &exec,
                 EquivalenceMode::ExecutionAware,
                 &order,
-                &MinimizeOptions { threads },
+                &MinimizeOptions {
+                    threads,
+                    ..Default::default()
+                },
             )
             .unwrap();
             assert_eq!(removed_list(&run), removed_list(&reference), "threads {threads}");

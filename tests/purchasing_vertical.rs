@@ -38,6 +38,7 @@ fn purchasing_sim(branch: &str) -> SimConfig {
         durations: DurationModel::with_overrides(1, durations),
         oracle: BTreeMap::new(),
         workers: None,
+        threads: 0,
     };
     cfg.oracle.insert("if_au".into(), branch.into());
     cfg
