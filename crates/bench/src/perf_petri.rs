@@ -4,14 +4,26 @@
 //! machine-readable `BENCH_petri.json` artifact written by
 //! `repro bench-json --suite petri`.
 //!
+//! Two further sections measure the prepared engine: the amortized
+//! per-run constant of replaying assignments through one reused
+//! [`PreparedNet`] session versus a fresh wavefront build per run, and
+//! the factored enumeration on guard-independent workloads (per-group
+//! additive assignment counts versus the full multiplicative product).
+//!
 //! Reports are canonicalized and asserted identical across all engines
 //! and thread counts before any timing is taken.
 
 use crate::harness::{black_box, median, sample};
 use dscweaver_core::{ExecConditions, Weaver};
 use dscweaver_dscl::ConstraintSet;
-use dscweaver_petri::{validate, AssignmentFailure, ValidateOptions, ValidationReport};
-use dscweaver_workloads::{dense_conditional, DenseConditionalParams};
+use dscweaver_petri::{
+    assignment_chooser, lower, run_to_quiescence_wavefront, validate, AssignmentFailure,
+    PreparedNet, ValidateOptions, ValidationReport,
+};
+use dscweaver_workloads::{
+    dense_conditional, disjoint_conditional, DenseConditionalParams, DisjointConditionalParams,
+};
+use std::collections::HashMap;
 use std::time::Duration;
 
 /// One comparison input for the validation bench.
@@ -72,6 +84,56 @@ pub fn petri_cases(small_only: bool) -> Vec<PetriCase> {
     cases
 }
 
+/// One guard-independent workload for the factored-enumeration section.
+pub struct FactoredCase {
+    /// Stable workload name (used in the JSON artifact).
+    pub name: String,
+    /// Generator parameters.
+    pub params: DisjointConditionalParams,
+}
+
+/// Guard-independent workloads: islands of guards with provably disjoint
+/// downstream place-footprints, so factored validation enumerates each
+/// group separately (additive) instead of their cross product
+/// (multiplicative).
+pub fn factored_cases(small_only: bool) -> Vec<FactoredCase> {
+    let mut cases = vec![FactoredCase {
+        name: "disjoint_2x3_l2".into(),
+        params: DisjointConditionalParams {
+            groups: 2,
+            guards_per_group: 3,
+            chain_len: 2,
+            redundant: 6,
+            seed: 5,
+        },
+    }];
+    if !small_only {
+        // 2^10 = 1024 full assignments vs 2 · 2^5 = 64 factored.
+        cases.push(FactoredCase {
+            name: "disjoint_2x5_l4".into(),
+            params: DisjointConditionalParams {
+                groups: 2,
+                guards_per_group: 5,
+                chain_len: 4,
+                redundant: 16,
+                seed: 5,
+            },
+        });
+        // 2^9 = 512 full assignments vs 3 · 2^3 = 24 factored.
+        cases.push(FactoredCase {
+            name: "disjoint_3x3_l4".into(),
+            params: DisjointConditionalParams {
+                groups: 3,
+                guards_per_group: 3,
+                chain_len: 4,
+                redundant: 12,
+                seed: 5,
+            },
+        });
+    }
+    cases
+}
+
 struct CaseReport {
     name: String,
     n_activities: usize,
@@ -82,6 +144,22 @@ struct CaseReport {
     new_par_ms: f64,
     speedup_seq: f64,
     speedup_par: f64,
+    prepared_runs: usize,
+    fresh_run_ms: f64,
+    prepared_run_ms: f64,
+    prepared_speedup: f64,
+}
+
+struct FactoredReport {
+    name: String,
+    guards: usize,
+    guard_groups: usize,
+    assignment_space: usize,
+    full_assignments: usize,
+    factored_assignments: usize,
+    full_ms: f64,
+    factored_ms: f64,
+    factored_speedup: f64,
 }
 
 fn ms(d: Duration) -> f64 {
@@ -158,6 +236,62 @@ pub fn bench_petri_json(smoke: bool, threads: usize) -> String {
             black_box(validate(&cs, &exec, &par_opts))
         }));
 
+        // Amortized prepared-engine constant: the first K assignments
+        // replayed through one reused `NetSession` versus a fresh
+        // wavefront build (consumer/distinct tables + scratch marking)
+        // per run. Results are asserted identical before timing.
+        let lowered = lower(&cs, &exec);
+        let guards: Vec<(&String, &Vec<String>)> = cs
+            .domains
+            .iter()
+            .filter(|(_, dom)| !dom.is_empty())
+            .collect();
+        let space = guards
+            .iter()
+            .fold(1usize, |acc, (_, dom)| acc.saturating_mul(dom.len()));
+        let k = space.min(16);
+        let assignments: Vec<HashMap<String, String>> = (0..k)
+            .map(|i| {
+                let mut rest = i;
+                guards
+                    .iter()
+                    .map(|(g, dom)| {
+                        let d = rest % dom.len();
+                        rest /= dom.len();
+                        (format!("finish({g})"), dom[d].clone())
+                    })
+                    .collect()
+            })
+            .collect();
+        let prep = PreparedNet::new(&lowered.net);
+        {
+            let mut session = prep.session();
+            for a in &assignments {
+                let fresh =
+                    run_to_quiescence_wavefront(&lowered.net, assignment_chooser(a), 1_000_000);
+                let reused = session.run(assignment_chooser(a), 1_000_000);
+                assert_eq!(fresh.trace, reused.trace, "case {}", case.name);
+                assert_eq!(fresh.final_marking, reused.final_marking, "case {}", case.name);
+                assert_eq!(fresh.diverged, reused.diverged, "case {}", case.name);
+            }
+        }
+        let t_fresh = median(&sample(samples_new, || {
+            for a in &assignments {
+                black_box(run_to_quiescence_wavefront(
+                    &lowered.net,
+                    assignment_chooser(a),
+                    1_000_000,
+                ));
+            }
+        }));
+        let t_prep = median(&sample(samples_new, || {
+            let prep = PreparedNet::new(&lowered.net);
+            let mut session = prep.session();
+            for a in &assignments {
+                black_box(session.run(assignment_chooser(a), 1_000_000));
+            }
+        }));
+
         reports.push(CaseReport {
             name: case.name,
             n_activities: cs.activities.len(),
@@ -168,13 +302,64 @@ pub fn bench_petri_json(smoke: bool, threads: usize) -> String {
             new_par_ms: ms(t_par),
             speedup_seq: t_base.as_secs_f64() / t_seq.as_secs_f64().max(1e-12),
             speedup_par: t_base.as_secs_f64() / t_par.as_secs_f64().max(1e-12),
+            prepared_runs: k,
+            fresh_run_ms: ms(t_fresh) / k.max(1) as f64,
+            prepared_run_ms: ms(t_prep) / k.max(1) as f64,
+            prepared_speedup: t_fresh.as_secs_f64() / t_prep.as_secs_f64().max(1e-12),
+        });
+    }
+
+    let mut factored: Vec<FactoredReport> = Vec::new();
+    for case in factored_cases(smoke) {
+        let ds = disjoint_conditional(&case.params);
+        let out = Weaver::new().run(&ds).expect("acyclic workload");
+        let full_opts = ValidateOptions {
+            threads,
+            ..Default::default()
+        };
+        let fact_opts = ValidateOptions {
+            threads,
+            factor_independent: true,
+            ..Default::default()
+        };
+        let r_full = validate(&out.minimal, &out.exec, &full_opts);
+        let r_fact = validate(&out.minimal, &out.exec, &fact_opts);
+        assert_eq!(r_full.ok(), r_fact.ok(), "case {}: verdicts disagree", case.name);
+        assert!(
+            r_fact.guard_groups >= 2,
+            "case {}: islands did not factor",
+            case.name
+        );
+        assert!(
+            r_fact.assignments_checked < r_full.assignments_checked,
+            "case {}: factoring did not shrink the enumeration",
+            case.name
+        );
+
+        let t_full = median(&sample(samples_new, || {
+            black_box(validate(&out.minimal, &out.exec, &full_opts))
+        }));
+        let t_fact = median(&sample(samples_new, || {
+            black_box(validate(&out.minimal, &out.exec, &fact_opts))
+        }));
+
+        factored.push(FactoredReport {
+            name: case.name,
+            guards: out.minimal.domains.len(),
+            guard_groups: r_fact.guard_groups,
+            assignment_space: r_fact.assignment_space,
+            full_assignments: r_full.assignments_checked,
+            factored_assignments: r_fact.assignments_checked,
+            full_ms: ms(t_full),
+            factored_ms: ms(t_fact),
+            factored_speedup: t_full.as_secs_f64() / t_fact.as_secs_f64().max(1e-12),
         });
     }
 
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"artifact\": \"BENCH_petri\",\n");
-    out.push_str("  \"description\": \"per-assignment validation: legacy full-rescan simulator vs the wavefront worklist (seq and with the assignment fan-out on the worker pool); reports canonicalized and asserted identical before timing\",\n");
+    out.push_str("  \"description\": \"per-assignment validation: legacy full-rescan simulator vs the wavefront worklist (seq and with the assignment fan-out on the worker pool), plus the amortized prepared-session replay constant and the factored enumeration on guard-independent workloads; reports canonicalized and asserted identical before timing\",\n");
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str("  \"cases\": [\n");
@@ -195,10 +380,56 @@ pub fn bench_petri_json(smoke: bool, threads: usize) -> String {
             json_f(r.speedup_seq)
         ));
         out.push_str(&format!(
-            "      \"speedup_par\": {}\n",
+            "      \"speedup_par\": {},\n",
             json_f(r.speedup_par)
         ));
+        out.push_str(&format!(
+            "      \"prepared_runs\": {},\n",
+            r.prepared_runs
+        ));
+        out.push_str(&format!(
+            "      \"fresh_run_ms\": {},\n",
+            json_f(r.fresh_run_ms)
+        ));
+        out.push_str(&format!(
+            "      \"prepared_run_ms\": {},\n",
+            json_f(r.prepared_run_ms)
+        ));
+        out.push_str(&format!(
+            "      \"prepared_speedup\": {}\n",
+            json_f(r.prepared_speedup)
+        ));
         out.push_str(if i + 1 == reports.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"factored\": [\n");
+    for (i, r) in factored.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"workload\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"guards\": {},\n", r.guards));
+        out.push_str(&format!("      \"guard_groups\": {},\n", r.guard_groups));
+        out.push_str(&format!(
+            "      \"assignment_space\": {},\n",
+            r.assignment_space
+        ));
+        out.push_str(&format!(
+            "      \"full_assignments\": {},\n",
+            r.full_assignments
+        ));
+        out.push_str(&format!(
+            "      \"factored_assignments\": {},\n",
+            r.factored_assignments
+        ));
+        out.push_str(&format!("      \"full_ms\": {},\n", json_f(r.full_ms)));
+        out.push_str(&format!(
+            "      \"factored_ms\": {},\n",
+            json_f(r.factored_ms)
+        ));
+        out.push_str(&format!(
+            "      \"factored_speedup\": {}\n",
+            json_f(r.factored_speedup)
+        ));
+        out.push_str(if i + 1 == factored.len() { "    }\n" } else { "    },\n" });
     }
     out.push_str("  ]\n}\n");
     out
@@ -222,5 +453,15 @@ mod tests {
         let full = petri_cases(false);
         let big = full.iter().find(|c| c.name == "dense_g9_l12").unwrap();
         assert!(1usize << big.params.guards >= 512);
+    }
+
+    #[test]
+    fn factored_full_suite_spans_a_1024_assignment_space() {
+        let full = factored_cases(false);
+        let big = full.iter().find(|c| c.name == "disjoint_2x5_l4").unwrap();
+        let space = 1usize << (big.params.groups * big.params.guards_per_group);
+        assert_eq!(space, 1024);
+        let factored = big.params.groups * (1usize << big.params.guards_per_group);
+        assert!(factored < space);
     }
 }

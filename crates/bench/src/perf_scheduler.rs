@@ -8,11 +8,16 @@
 //! before any timing is taken; the constraint-check counters of both
 //! engines are reported (the wavefront's are strictly lower — that is the
 //! optimization).
+//!
+//! A further section measures the prepared session: K oracle variants
+//! replayed through one [`PreparedSchedule`] (indexes derived once)
+//! versus a fresh `simulate` — which rebuilds the prereq/dependency
+//! indexes — per run.
 
 use crate::harness::{black_box, median, sample};
 use dscweaver_core::{merge, translate_services, ExecConditions};
 use dscweaver_dscl::ConstraintSet;
-use dscweaver_scheduler::{simulate, simulate_rescan_baseline, SimConfig};
+use dscweaver_scheduler::{simulate, simulate_rescan_baseline, PreparedSchedule, SimConfig};
 use dscweaver_workloads::{
     dense_conditional, fork_join, layered, DenseConditionalParams, LayeredParams,
 };
@@ -119,6 +124,10 @@ struct CaseReport {
     new_par_ms: f64,
     speedup_seq: f64,
     speedup_par: f64,
+    replay_runs: usize,
+    fresh_replays_ms: f64,
+    session_replays_ms: f64,
+    session_speedup: f64,
 }
 
 fn ms(d: Duration) -> f64 {
@@ -178,6 +187,54 @@ pub fn bench_scheduler_json(smoke: bool, threads: usize) -> String {
             black_box(simulate(&asc, &exec, &par_cfg))
         }));
 
+        // Amortized prepared-session constant: K oracle variants (bit
+        // patterns over up to three guard domains; identical configs on
+        // guard-free workloads) replayed through one `PreparedSchedule`
+        // versus a fresh `simulate` — which re-derives the
+        // prereq/dependency indexes — per run. Traces are asserted
+        // identical before timing.
+        let doms: Vec<(&String, &Vec<String>)> = asc
+            .domains
+            .iter()
+            .filter(|(_, dom)| !dom.is_empty())
+            .take(3)
+            .collect();
+        let oracles: Vec<SimConfig> = (0..8u32)
+            .map(|bits| {
+                let mut cfg = SimConfig {
+                    threads: 1,
+                    ..Default::default()
+                };
+                for (k, (g, dom)) in doms.iter().enumerate() {
+                    let d = if bits & (1 << k) != 0 { 1 % dom.len() } else { 0 };
+                    cfg.oracle.insert((*g).clone(), dom[d].clone());
+                }
+                cfg
+            })
+            .collect();
+        let session = PreparedSchedule::new(&asc, &exec);
+        for cfg in &oracles {
+            let fresh = simulate(&asc, &exec, cfg);
+            let replay = session.run(cfg);
+            assert_eq!(key(&fresh), key(&replay), "case {}: replay diverged", case.name);
+            assert_eq!(
+                fresh.constraint_checks, replay.constraint_checks,
+                "case {}: replay checks diverged",
+                case.name
+            );
+        }
+        let t_fresh_runs = median(&sample(samples_new, || {
+            for cfg in &oracles {
+                black_box(simulate(&asc, &exec, cfg));
+            }
+        }));
+        let t_session_runs = median(&sample(samples_new, || {
+            let session = PreparedSchedule::new(&asc, &exec);
+            for cfg in &oracles {
+                black_box(session.run(cfg));
+            }
+        }));
+
         reports.push(CaseReport {
             name: case.name,
             n_activities: asc.activities.len(),
@@ -189,13 +246,17 @@ pub fn bench_scheduler_json(smoke: bool, threads: usize) -> String {
             new_par_ms: ms(t_par),
             speedup_seq: t_base.as_secs_f64() / t_seq.as_secs_f64().max(1e-12),
             speedup_par: t_base.as_secs_f64() / t_par.as_secs_f64().max(1e-12),
+            replay_runs: oracles.len(),
+            fresh_replays_ms: ms(t_fresh_runs),
+            session_replays_ms: ms(t_session_runs),
+            session_speedup: t_fresh_runs.as_secs_f64() / t_session_runs.as_secs_f64().max(1e-12),
         });
     }
 
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"artifact\": \"BENCH_scheduler\",\n");
-    out.push_str("  \"description\": \"DES execution of the full ASC: legacy per-tick linear rescan vs the dependency-counting wavefront (seq and with guard-evaluation batches on the worker pool); traces asserted byte-identical before timing\",\n");
+    out.push_str("  \"description\": \"DES execution of the full ASC: legacy per-tick linear rescan vs the dependency-counting wavefront (seq and with guard-evaluation batches on the worker pool), plus the amortized prepared-session replay constant across oracle variants; traces asserted byte-identical before timing\",\n");
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str("  \"cases\": [\n");
@@ -223,8 +284,21 @@ pub fn bench_scheduler_json(smoke: bool, threads: usize) -> String {
             json_f(r.speedup_seq)
         ));
         out.push_str(&format!(
-            "      \"speedup_par\": {}\n",
+            "      \"speedup_par\": {},\n",
             json_f(r.speedup_par)
+        ));
+        out.push_str(&format!("      \"replay_runs\": {},\n", r.replay_runs));
+        out.push_str(&format!(
+            "      \"fresh_replays_ms\": {},\n",
+            json_f(r.fresh_replays_ms)
+        ));
+        out.push_str(&format!(
+            "      \"session_replays_ms\": {},\n",
+            json_f(r.session_replays_ms)
+        ));
+        out.push_str(&format!(
+            "      \"session_speedup\": {}\n",
+            json_f(r.session_speedup)
         ));
         out.push_str(if i + 1 == reports.len() { "    }\n" } else { "    },\n" });
     }

@@ -28,8 +28,29 @@ fn bench_petri_json_smoke_runs_and_renders() {
         "\"new_par_ms\":",
         "\"speedup_seq\":",
         "\"speedup_par\":",
+        "\"prepared_runs\":",
+        "\"fresh_run_ms\":",
+        "\"prepared_run_ms\":",
+        "\"prepared_speedup\":",
     ] {
         assert_eq!(json.matches(field).count(), cases, "field {field}");
+    }
+    // The factored-enumeration section on guard-independent workloads:
+    // every entry reports both the full and the strictly smaller factored
+    // assignment counts (the measurement path asserts matching verdicts).
+    let factored = json.matches("\"workload\":").count();
+    assert!(factored >= 1, "expected a factored smoke case");
+    for field in [
+        "\"guards\":",
+        "\"guard_groups\":",
+        "\"assignment_space\":",
+        "\"full_assignments\":",
+        "\"factored_assignments\":",
+        "\"full_ms\":",
+        "\"factored_ms\":",
+        "\"factored_speedup\":",
+    ] {
+        assert_eq!(json.matches(field).count(), factored, "field {field}");
     }
     // Balanced braces/brackets — cheap well-formedness check without a
     // JSON parser dependency (no string values contain braces).

@@ -29,6 +29,10 @@ fn bench_scheduler_json_smoke_runs_and_renders() {
         "\"new_par_ms\":",
         "\"speedup_seq\":",
         "\"speedup_par\":",
+        "\"replay_runs\":",
+        "\"fresh_replays_ms\":",
+        "\"session_replays_ms\":",
+        "\"session_speedup\":",
     ] {
         assert_eq!(json.matches(field).count(), cases, "field {field}");
     }

@@ -60,6 +60,27 @@
 //!    reverse-topological level batches across a `std::thread::scope`
 //!    pool. The result is pinned edge-for-edge equal to the sequential
 //!    reference implementation, kept as [`minimize_generic_baseline`].
+//!
+//! ```
+//! use dscweaver_core::minimize::{minimize, EdgeOrder, EquivalenceMode};
+//! use dscweaver_core::ExecConditions;
+//! use dscweaver_dscl::{ConstraintSet, Origin, Relation, StateRef};
+//!
+//! // a → b → c plus the redundant transitive shortcut a → c.
+//! let mut cs = ConstraintSet::new("triple");
+//! for a in ["a", "b", "c"] {
+//!     cs.add_activity(a);
+//! }
+//! cs.push(Relation::before(StateRef::finish("a"), StateRef::start("b"), Origin::Data));
+//! cs.push(Relation::before(StateRef::finish("b"), StateRef::start("c"), Origin::Data));
+//! cs.push(Relation::before(StateRef::finish("a"), StateRef::start("c"), Origin::Data));
+//!
+//! let exec = ExecConditions::derive(&cs);
+//! let out = minimize(&cs, &exec, EquivalenceMode::ExecutionAware, &EdgeOrder::default())
+//!     .expect("acyclic");
+//! assert_eq!(out.removed.len(), 1); // only the shortcut goes
+//! assert_eq!(out.minimal.constraint_count(), 2);
+//! ```
 
 use crate::exec::{dnf_and, implies_under, ExecConditions};
 use dscweaver_dscl::sync_graph::{SyncGraph, SyncNode};

@@ -92,6 +92,13 @@ impl BitSet {
         }
     }
 
+    /// True if `self` and `other` share at least one set bit
+    /// (non-destructive intersection test).
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "capacity mismatch");
+        self.blocks.iter().zip(&other.blocks).any(|(a, b)| a & b != 0)
+    }
+
     /// True if every bit of `self` is also set in `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "capacity mismatch");
@@ -152,6 +159,20 @@ mod tests {
         s.remove(64);
         assert!(!s.contains(64));
         assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn intersects_is_non_destructive() {
+        let mut a = BitSet::new(130);
+        let mut b = BitSet::new(130);
+        a.insert(5);
+        a.insert(129);
+        b.insert(64);
+        assert!(!a.intersects(&b));
+        b.insert(129);
+        assert!(a.intersects(&b));
+        assert_eq!(a.count(), 2, "operands untouched");
+        assert_eq!(b.count(), 2);
     }
 
     #[test]

@@ -14,6 +14,19 @@
 //! read-only snapshot directly (no `Arc`, no channels), and a call with
 //! `threads <= 1` or a tiny input never spawns at all, so sprinkling
 //! `par_map` on a cold path costs nothing.
+//!
+//! ```
+//! use dscweaver_graph::{par_map, par_ranges};
+//!
+//! let xs: Vec<u64> = (0..100).collect();
+//! // Output order matches input order for any thread count.
+//! assert_eq!(par_map(4, &xs, &|x| x * x), par_map(1, &xs, &|x| x * x));
+//!
+//! // Deterministic contiguous windows over 0..n, merged positionally.
+//! let sums = par_ranges(3, 100, &|r| r.map(|i| i as u64).sum::<u64>());
+//! assert_eq!(sums.len(), 3);
+//! assert_eq!(sums.iter().sum::<u64>(), 4950);
+//! ```
 
 /// Resolves a user-facing thread knob: `0` picks the machine's available
 /// parallelism (capped at `cap` — the row/assignment work saturates well

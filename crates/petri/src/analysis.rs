@@ -19,10 +19,8 @@
 //!    and that every terminal marking is final.
 
 use crate::lower::{lower, LoweredNet};
-use crate::reach::{
-    assignment_chooser, explore, explore_with, run_to_quiescence, run_to_quiescence_wavefront,
-    Reachability,
-};
+use crate::prepared::{guard_groups, PreparedNet};
+use crate::reach::{assignment_chooser, explore, explore_with, run_to_quiescence, Reachability};
 use dscweaver_core::ExecConditions;
 use dscweaver_dscl::{ConstraintSet, SyncGraph};
 use dscweaver_graph::{effective_threads, find_cycle, par_ranges};
@@ -50,6 +48,15 @@ pub struct ValidateOptions {
     /// `BENCH_petri.json` and the equivalence tests can measure the old
     /// engine through the same entry point.
     pub rescan_baseline: bool,
+    /// Enumerate independent guard groups separately (see
+    /// [`guard_groups`]): each group's assignment
+    /// sub-space is checked with the other guards pinned to their first
+    /// domain value, turning the multiplicative product of domain sizes
+    /// into a sum over groups. The ok/not-ok verdict is unchanged
+    /// (disjoint footprints cannot interact), but `assignments_checked`
+    /// shrinks and failures report the pinned values for out-of-group
+    /// guards. Off by default so unfactored reports stay byte-stable.
+    pub factor_independent: bool,
 }
 
 impl Default for ValidateOptions {
@@ -60,6 +67,7 @@ impl Default for ValidateOptions {
             explore_states: 0,
             threads: 0,
             rescan_baseline: false,
+            factor_independent: false,
         }
     }
 }
@@ -91,6 +99,15 @@ pub struct ValidationReport {
     pub failures: Vec<AssignmentFailure>,
     /// Interleaving exploration results, when requested.
     pub exploration: Option<Reachability>,
+    /// Independence groups the enumeration was split into: `1` for the
+    /// unfactored path (or no guards), the number of disjoint-footprint
+    /// groups when [`ValidateOptions::factor_independent`] is set, `0`
+    /// when validation stopped at a structural conflict.
+    pub guard_groups: usize,
+    /// The full multiplicative assignment space (product of domain
+    /// sizes, saturating); `assignments_checked` is below this when the
+    /// cap truncated the enumeration or factoring shrank it.
+    pub assignment_space: usize,
 }
 
 impl ValidationReport {
@@ -126,10 +143,15 @@ pub fn validate(
             assignments_truncated: false,
             failures: Vec::new(),
             exploration: None,
+            guard_groups: 0,
+            assignment_space: 0,
         };
     }
 
     let lowered = lower(cs, exec);
+    // Compile the wavefront tables once; every assignment run below
+    // reuses them through a per-worker session.
+    let prep = PreparedNet::new(&lowered.net);
 
     // Layer 2: per-assignment simulation.
     let guards: Vec<(&String, &Vec<String>)> = cs.domains.iter().collect();
@@ -138,39 +160,60 @@ pub fn validate(
         .map(|(_, d)| d.len().max(1))
         .try_fold(1usize, |a, n| a.checked_mul(n))
         .unwrap_or(usize::MAX);
-    let truncated = space > opts.max_assignments;
-    let to_check = space.min(opts.max_assignments);
 
-    // One branch assignment per linear index, decoded positionally (the
-    // mixed-radix little-endian layout of the original odometer loop), so
-    // any contiguous window of indices is an independent work unit. Each
-    // run is a fresh simulation over the shared read-only net; the window
-    // results concatenate back in assignment-lexicographic order, making
-    // the failure list bit-identical for any thread count.
-    let run_one = |i: usize| -> Option<AssignmentFailure> {
-        let mut rest = i;
-        let idx: Vec<usize> = guards
+    // Enumeration plans: each plan is the set of guard positions that
+    // vary, every other guard pinned to its first domain value. The
+    // unfactored path is one plan over all guards — decoding a linear
+    // index over it is exactly the original mixed-radix little-endian
+    // odometer. With `factor_independent`, one plan per disjoint-footprint
+    // group: sub-spaces sum instead of multiplying, and the verdict is
+    // unchanged because disjoint groups cannot influence a common place.
+    let plans: Vec<Vec<usize>> = if opts.factor_independent && guards.len() > 1 {
+        let pos: HashMap<&str, usize> = guards
             .iter()
-            .map(|(_, dom)| {
-                let len = dom.len().max(1);
-                let d = rest % len;
-                rest /= len;
-                d
-            })
+            .enumerate()
+            .map(|(i, (g, _))| (g.as_str(), i))
             .collect();
+        guard_groups(&lowered, cs)
+            .iter()
+            .map(|group| {
+                let mut ix: Vec<usize> = group.iter().map(|g| pos[g.as_str()]).collect();
+                ix.sort_unstable();
+                ix
+            })
+            .collect()
+    } else {
+        vec![(0..guards.len()).collect()]
+    };
+
+    // One branch assignment per (plan, linear index), decoded positionally
+    // over the plan's guards, so any contiguous window of indices is an
+    // independent work unit. Window results concatenate back in
+    // assignment-lexicographic order, making the failure list
+    // bit-identical for any thread count. The wavefront path runs inside
+    // the caller's session (one scratch marking per pool worker); the
+    // rescan baseline stays a fresh per-run simulation.
+    let run_one = |plan: &[usize],
+                   i: usize,
+                   session: Option<&mut crate::prepared::NetSession>|
+     -> Option<AssignmentFailure> {
+        let mut idx = vec![0usize; guards.len()];
+        let mut rest = i;
+        for &g in plan {
+            let len = guards[g].1.len().max(1);
+            idx[g] = rest % len;
+            rest /= len;
+        }
         let assignment: HashMap<String, String> = guards
             .iter()
             .zip(&idx)
             .map(|((g, dom), &i)| (format!("finish({g})"), dom[i].clone()))
             .collect();
-        let run = if opts.rescan_baseline {
-            run_to_quiescence(&lowered.net, assignment_chooser(&assignment), opts.max_steps)
-        } else {
-            run_to_quiescence_wavefront(
-                &lowered.net,
-                assignment_chooser(&assignment),
-                opts.max_steps,
-            )
+        let run = match session {
+            Some(s) => s.run(assignment_chooser(&assignment), opts.max_steps),
+            None => {
+                run_to_quiescence(&lowered.net, assignment_chooser(&assignment), opts.max_steps)
+            }
         };
         if run.diverged || !lowered.is_final(&run.final_marking) {
             Some(AssignmentFailure {
@@ -192,12 +235,36 @@ pub fn validate(
         }
     };
     let threads = effective_threads(opts.threads, 8);
-    let failures: Vec<AssignmentFailure> = par_ranges(threads, to_check, &|r| {
-        r.filter_map(run_one).collect::<Vec<AssignmentFailure>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+    let mut checked = 0usize;
+    let mut truncated = false;
+    let mut failures: Vec<AssignmentFailure> = Vec::new();
+    for plan in &plans {
+        let plan_space: usize = plan
+            .iter()
+            .map(|&g| guards[g].1.len().max(1))
+            .try_fold(1usize, |a, n| a.checked_mul(n))
+            .unwrap_or(usize::MAX);
+        // max_assignments is a total budget across plans.
+        let plan_to_check = plan_space.min(opts.max_assignments.saturating_sub(checked));
+        if plan_to_check < plan_space {
+            truncated = true;
+        }
+        failures.extend(
+            par_ranges(threads, plan_to_check, &|r| {
+                if opts.rescan_baseline {
+                    r.filter_map(|i| run_one(plan, i, None))
+                        .collect::<Vec<AssignmentFailure>>()
+                } else {
+                    let mut session = prep.session();
+                    r.filter_map(|i| run_one(plan, i, Some(&mut session)))
+                        .collect()
+                }
+            })
+            .into_iter()
+            .flatten(),
+        );
+        checked += plan_to_check;
+    }
 
     // Layer 3: optional interleaving exploration.
     let exploration = if opts.explore_states > 0 {
@@ -212,10 +279,12 @@ pub fn validate(
 
     ValidationReport {
         conflict_cycle: None,
-        assignments_checked: to_check,
+        assignments_checked: checked,
         assignments_truncated: truncated,
         failures,
         exploration,
+        guard_groups: plans.len(),
+        assignment_space: space,
     }
 }
 

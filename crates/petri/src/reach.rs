@@ -13,7 +13,7 @@
 
 use crate::net::{Color, Marking, Net, TransitionId};
 use dscweaver_graph::par_map;
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Result of bounded reachability exploration.
 #[derive(Clone, Debug)]
@@ -241,7 +241,7 @@ pub fn run_to_quiescence(
 /// accepting color (lexicographic order over the binding vector is
 /// arc-major, and the per-arc choices are independent). Modes with two
 /// arcs on one place fall back to the backtracking enumeration.
-fn first_binding(
+pub(crate) fn first_binding(
     net: &Net,
     m: &Marking,
     t: TransitionId,
@@ -281,100 +281,24 @@ fn first_binding(
 /// same divergence cutoff — which the `par_equivalence` property tests
 /// pin. On the lowered nets, where each firing enables O(out-degree)
 /// transitions, this turns quadratic sweeps into near-linear work; the
-/// [`first_binding`] fast path and [`Net::fire_in_place`] additionally
+/// `first_binding` fast path and [`Net::fire_in_place`] additionally
 /// drop the per-probe and per-firing whole-marking clones the legacy
 /// engine pays.
+///
+/// This is a convenience wrapper that compiles the net's derived tables
+/// and runs once; callers replaying one net many times (validation's
+/// per-assignment loop) should build a
+/// [`PreparedNet`](crate::PreparedNet) and reuse a
+/// [`NetSession`](crate::NetSession) instead, which skips the per-call
+/// table derivation and state allocation.
 pub fn run_to_quiescence_wavefront(
     net: &Net,
-    mut choose_mode: impl FnMut(&Net, TransitionId, &[usize]) -> usize,
+    choose_mode: impl FnMut(&Net, TransitionId, &[usize]) -> usize,
     max_steps: usize,
 ) -> Run {
-    // consumers[p] = transitions with an input arc on place p in any mode;
-    // distinct[t][mode] = no two input arcs of the mode share a place
-    // (licenses the clone-free first_binding fast path).
-    let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); net.places.len()];
-    let mut distinct: Vec<Vec<bool>> = Vec::with_capacity(net.transitions.len());
-    for (ti, tr) in net.transitions.iter().enumerate() {
-        let mut ins: BTreeSet<u32> = BTreeSet::new();
-        let mut per_mode = Vec::with_capacity(tr.modes.len());
-        for mode in &tr.modes {
-            let mut places: Vec<u32> = mode.inputs.iter().map(|a| a.place.0).collect();
-            for &p in &places {
-                ins.insert(p);
-            }
-            places.sort_unstable();
-            places.dedup();
-            per_mode.push(places.len() == mode.inputs.len());
-        }
-        distinct.push(per_mode);
-        for p in ins {
-            consumers[p as usize].push(ti as u32);
-        }
-    }
-
-    let mut m = net.initial.clone();
-    let mut trace = Vec::new();
-    let mut steps = 0;
-    let mut decided: HashMap<TransitionId, usize> = HashMap::new();
-    let mut dirty: BTreeSet<u32> = (0..net.transitions.len() as u32).collect();
-    loop {
-        // Budget check sits between sweeps, exactly like the rescan's.
-        if steps >= max_steps {
-            return Run {
-                final_marking: m,
-                trace,
-                diverged: true,
-            };
-        }
-        let mut pos = 0u32;
-        let mut progressed = false;
-        while let Some(t) = dirty.range(pos..).next().copied() {
-            let tid = TransitionId(t);
-            let enabled: Vec<usize> = (0..net.transitions[t as usize].modes.len())
-                .filter(|&mi| {
-                    first_binding(net, &m, tid, mi, distinct[t as usize][mi]).is_some()
-                })
-                .collect();
-            pos = t + 1;
-            if enabled.is_empty() {
-                dirty.remove(&t);
-                continue;
-            }
-            let mode = match decided.get(&tid) {
-                Some(&mi) if enabled.contains(&mi) => mi,
-                _ => {
-                    let mi = if enabled.len() == 1 {
-                        enabled[0]
-                    } else {
-                        choose_mode(net, tid, &enabled)
-                    };
-                    decided.insert(tid, mi);
-                    mi
-                }
-            };
-            let binding = first_binding(net, &m, tid, mode, distinct[t as usize][mode])
-                .expect("chosen mode is enabled");
-            net.fire_in_place(&mut m, tid, mode, &binding);
-            trace.push((tid, net.transitions[t as usize].modes[mode].label.clone()));
-            progressed = true;
-            steps += 1;
-            // Only consumers of the produced tokens can have gained
-            // enabledness. The fired transition itself stays dirty — the
-            // next sweep re-checks it, as the rescan would.
-            for arc in &net.transitions[t as usize].modes[mode].outputs {
-                for &c in &consumers[arc.place.0 as usize] {
-                    dirty.insert(c);
-                }
-            }
-        }
-        if !progressed {
-            return Run {
-                final_marking: m,
-                trace,
-                diverged: false,
-            };
-        }
-    }
+    crate::prepared::PreparedNet::new(net)
+        .session()
+        .run(choose_mode, max_steps)
 }
 
 /// Picks the mode whose label matches the assignment, for branch

@@ -272,6 +272,346 @@ fn wake_all(list: Option<&Vec<usize>>, dirty: &mut BTreeSet<usize>, tainted: &mu
     }
 }
 
+/// A constraint set compiled for repeated simulation: the prereq indexes,
+/// exclusive-partner sets and agenda wake-lists
+/// (`dep_state`/`dep_guard`/`excl_ix`) derived once and reused across runs
+/// with different branch oracles, durations, worker limits and thread
+/// counts — the monitoring-replay workload, where one ASC is simulated
+/// many times.
+///
+/// [`simulate`] is exactly `PreparedSchedule::new(cs, exec).run(config)`,
+/// so every session run is bit-identical to the fresh-build path by
+/// construction (and pinned by the `prepared_engines_equivalence`
+/// property tests); preparing once just amortizes the index derivation.
+#[derive(Debug)]
+pub struct PreparedSchedule<'a> {
+    cs: &'a ConstraintSet,
+    exec: &'a ExecConditions,
+    start_prereqs: HashMap<&'a str, Vec<Prereq>>,
+    finish_prereqs: HashMap<&'a str, Vec<Prereq>>,
+    exclusive: HashMap<&'a str, Vec<&'a str>>,
+    acts: Vec<&'a str>,
+    act_ix: HashMap<&'a str, usize>,
+    dep_state: HashMap<StateRef, Vec<usize>>,
+    dep_guard: HashMap<String, Vec<usize>>,
+    excl_ix: Vec<Vec<usize>>,
+}
+
+impl<'a> PreparedSchedule<'a> {
+    /// Derives the static indexes (prereq buckets, exclusive partners,
+    /// agenda wake-lists) from `cs`/`exec`.
+    pub fn new(cs: &'a ConstraintSet, exec: &'a ExecConditions) -> Self {
+        // Indexing.
+        let mut start_prereqs: HashMap<&str, Vec<Prereq>> = HashMap::new();
+        let mut finish_prereqs: HashMap<&str, Vec<Prereq>> = HashMap::new();
+        for a in &cs.activities {
+            start_prereqs.insert(a, Vec::new());
+            finish_prereqs.insert(a, Vec::new());
+        }
+        for r in &cs.relations {
+            if let Relation::HappenBefore { from, to, cond, .. } = r {
+                let p = Prereq {
+                    producer: from.clone(),
+                    cond: cond.clone(),
+                };
+                let bucket = match to.state {
+                    ActivityState::Start | ActivityState::Run => &mut start_prereqs,
+                    ActivityState::Finish => &mut finish_prereqs,
+                };
+                if let Some(v) = bucket.get_mut(to.activity.as_str()) {
+                    v.push(p);
+                }
+            }
+        }
+        // Exclusive partner sets.
+        let mut exclusive: HashMap<&str, Vec<&str>> = HashMap::new();
+        for (x, y) in cs.exclusives() {
+            exclusive
+                .entry(x.activity.as_str())
+                .or_default()
+                .push(y.activity.as_str());
+            exclusive
+                .entry(y.activity.as_str())
+                .or_default()
+                .push(x.activity.as_str());
+        }
+
+        // Agenda bookkeeping: who watches which state / guard.
+        let acts: Vec<&str> = cs.activities.iter().map(String::as_str).collect();
+        let act_ix: HashMap<&str, usize> = acts.iter().enumerate().map(|(i, a)| (*a, i)).collect();
+        let mut dep_state: HashMap<StateRef, Vec<usize>> = HashMap::new();
+        let mut dep_guard: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, a) in acts.iter().enumerate() {
+            for p in start_prereqs[a].iter().chain(finish_prereqs[a].iter()) {
+                dep_state.entry(p.producer.clone()).or_default().push(i);
+                if let Some(c) = &p.cond {
+                    dep_guard.entry(c.on.clone()).or_default().push(i);
+                }
+            }
+            let dnf = exec.of(a);
+            if !dnf.is_always() {
+                for t in dnf.terms() {
+                    for c in t {
+                        dep_guard.entry(c.on.clone()).or_default().push(i);
+                    }
+                }
+            }
+        }
+        let excl_ix: Vec<Vec<usize>> = acts
+            .iter()
+            .map(|a| {
+                exclusive
+                    .get(a)
+                    .map(|ps| ps.iter().map(|p| act_ix[p]).collect())
+                    .unwrap_or_default()
+            })
+            .collect();
+        PreparedSchedule {
+            cs,
+            exec,
+            start_prereqs,
+            finish_prereqs,
+            exclusive,
+            acts,
+            act_ix,
+            dep_state,
+            dep_guard,
+            excl_ix,
+        }
+    }
+
+    /// The underlying constraint set.
+    pub fn constraint_set(&self) -> &'a ConstraintSet {
+        self.cs
+    }
+
+    /// One simulation run over the prepared indexes — the wavefront event
+    /// loop of [`simulate`], minus the per-call index derivation.
+    pub fn run(&self, config: &SimConfig) -> Schedule {
+        let cs = self.cs;
+        let exec = self.exec;
+        let start_prereqs = &self.start_prereqs;
+        let finish_prereqs = &self.finish_prereqs;
+        let exclusive = &self.exclusive;
+        let acts = &self.acts;
+        let act_ix = &self.act_ix;
+        let dep_state = &self.dep_state;
+        let dep_guard = &self.dep_guard;
+        let excl_ix = &self.excl_ix;
+        let threads = effective_threads(config.threads, 8);
+
+        // Dynamic state.
+        let mut resolved: HashMap<StateRef, (Time, u64)> = HashMap::new();
+        let mut outcome: HashMap<&str, GuardOutcome> = HashMap::new();
+        let mut started: HashSet<&str> = HashSet::new();
+        let mut done: HashSet<&str> = HashSet::new(); // finished or skipped
+        let mut running: HashSet<&str> = HashSet::new();
+        let mut finish_blocked: HashSet<&str> = HashSet::new();
+        let mut trace = Trace::default();
+        let mut seq: u64 = 0;
+        let mut checks: u64 = 0;
+        let mut now: Time = 0;
+
+        // Scheduled natural finishes: Reverse-ordered min-heap.
+        let mut finish_queue: BinaryHeap<std::cmp::Reverse<(Time, u64, String)>> = BinaryHeap::new();
+
+        // The agenda. `dirty` holds activities whose readiness may have
+        // changed; `worker_blocked` holds activities that were startable but
+        // found no free worker (re-armed by the next finish); `tainted` marks
+        // activities whose watched state changed after the current sweep's
+        // batch evaluation, invalidating their precomputed entry.
+        let mut dirty: BTreeSet<usize> = (0..acts.len()).collect();
+        let mut worker_blocked: BTreeSet<usize> = BTreeSet::new();
+        let mut tainted: HashSet<usize> = HashSet::new();
+
+        let total = cs.activities.len();
+        loop {
+            // Commit phase: sweep the agenda until nothing can act at `now`.
+            loop {
+                if dirty.is_empty() {
+                    break;
+                }
+                tainted.clear();
+                // Pure readiness evaluation of the whole pending sweep, batched
+                // on the worker pool. Advisory: commits below re-evaluate any
+                // entry whose inputs a prior commit of this sweep changed.
+                let batch: Vec<usize> = dirty.iter().copied().collect();
+                let pre: HashMap<usize, Eval> = if threads > 1 && batch.len() >= PAR_EVAL_MIN {
+                    par_map(threads, &batch, &|&i| {
+                        (
+                            i,
+                            eval_activity(
+                                acts[i], start_prereqs, finish_prereqs, exec, &resolved,
+                                &outcome, &started, &done, &running, &finish_blocked,
+                            ),
+                        )
+                    })
+                    .into_iter()
+                    .collect()
+                } else {
+                    HashMap::new()
+                };
+                let mut progressed = false;
+                let mut pos = 0usize;
+                // Monotone sweep: agenda insertions behind `pos` wait for the
+                // next sweep, mirroring the rescan engine's pass order.
+                while let Some(i) = dirty.range(pos..).next().copied() {
+                    pos = i + 1;
+                    let a = acts[i];
+                    let ev = match pre.get(&i) {
+                        Some(ev) if !tainted.contains(&i) => *ev,
+                        _ => eval_activity(
+                            a, start_prereqs, finish_prereqs, exec, &resolved, &outcome,
+                            &started, &done, &running, &finish_blocked,
+                        ),
+                    };
+                    checks += ev.checks;
+                    match ev.act {
+                        Act::None => {
+                            dirty.remove(&i);
+                        }
+                        Act::Unblock => {
+                            dirty.remove(&i);
+                            finish_blocked.remove(a);
+                            commit_finish(
+                                a, now, &mut seq, cs, config, &mut trace, &mut resolved,
+                                &mut outcome, &mut running, &mut done, value_of_guard,
+                            );
+                            wake_all(dep_state.get(&StateRef::finish(a)), &mut dirty, &mut tainted);
+                            wake_all(dep_guard.get(a), &mut dirty, &mut tainted);
+                            for &j in &excl_ix[i] {
+                                dirty.insert(j);
+                                tainted.insert(j);
+                            }
+                            for j in std::mem::take(&mut worker_blocked) {
+                                dirty.insert(j);
+                                tainted.insert(j);
+                            }
+                            progressed = true;
+                        }
+                        Act::Start => {
+                            // Exclusive: defer while a partner is running; the
+                            // partner's finish re-arms us.
+                            if exclusive
+                                .get(a)
+                                .is_some_and(|ps| ps.iter().any(|p| running.contains(p)))
+                            {
+                                dirty.remove(&i);
+                                continue;
+                            }
+                            // Worker limit: zero-duration activities (the
+                            // desugaring coordinators) pass through freely.
+                            if let Some(k) = config.workers {
+                                if config.durations.of(a) > 0 && running.len() >= k {
+                                    dirty.remove(&i);
+                                    worker_blocked.insert(i);
+                                    continue;
+                                }
+                            }
+                            dirty.remove(&i);
+                            started.insert(a);
+                            running.insert(a);
+                            trace.events.push(TraceEvent {
+                                time: now,
+                                seq,
+                                activity: a.to_string(),
+                                kind: EventKind::Start,
+                                value: None,
+                            });
+                            resolved.insert(StateRef::start(a), (now, seq));
+                            resolved.insert(StateRef::run(a), (now, seq));
+                            seq += 1;
+                            finish_queue.push(std::cmp::Reverse((
+                                now + config.durations.of(a),
+                                seq,
+                                a.to_string(),
+                            )));
+                            wake_all(dep_state.get(&StateRef::start(a)), &mut dirty, &mut tainted);
+                            wake_all(dep_state.get(&StateRef::run(a)), &mut dirty, &mut tainted);
+                            progressed = true;
+                        }
+                        Act::Skip => {
+                            dirty.remove(&i);
+                            started.insert(a);
+                            done.insert(a);
+                            trace.events.push(TraceEvent {
+                                time: now,
+                                seq,
+                                activity: a.to_string(),
+                                kind: EventKind::Skip,
+                                value: None,
+                            });
+                            for st in ActivityState::ALL {
+                                let sr = StateRef {
+                                    activity: a.to_string(),
+                                    state: st,
+                                };
+                                resolved.insert(sr.clone(), (now, seq));
+                                wake_all(dep_state.get(&sr), &mut dirty, &mut tainted);
+                            }
+                            outcome.insert(a, GuardOutcome::Skipped);
+                            wake_all(dep_guard.get(a), &mut dirty, &mut tainted);
+                            seq += 1;
+                            progressed = true;
+                        }
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+
+            if done.len() == total {
+                break;
+            }
+            // Advance to the next natural finish.
+            let Some(std::cmp::Reverse((t, _, a))) = finish_queue.pop() else {
+                break; // deadlock: nothing running, nothing ready
+            };
+            now = now.max(t);
+            let a_ref: &str = cs
+                .activities
+                .get(&a)
+                .map(String::as_str)
+                .expect("finish of unknown activity");
+            // Finish-side prerequisites may defer the completion.
+            let ok = finish_prereqs[a_ref]
+                .iter()
+                .all(|p| prereq_satisfied(p, &resolved, &outcome, &mut checks));
+            if ok {
+                commit_finish(
+                    a_ref, now, &mut seq, cs, config, &mut trace, &mut resolved, &mut outcome,
+                    &mut running, &mut done, value_of_guard,
+                );
+                wake_all(dep_state.get(&StateRef::finish(a_ref)), &mut dirty, &mut tainted);
+                wake_all(dep_guard.get(a_ref), &mut dirty, &mut tainted);
+                for &j in &excl_ix[act_ix[a_ref]] {
+                    dirty.insert(j);
+                    tainted.insert(j);
+                }
+                for j in std::mem::take(&mut worker_blocked) {
+                    dirty.insert(j);
+                    tainted.insert(j);
+                }
+            } else {
+                finish_blocked.insert(a_ref);
+            }
+        }
+
+        let stuck: Vec<String> = cs
+            .activities
+            .iter()
+            .filter(|a| !done.contains(a.as_str()))
+            .cloned()
+            .collect();
+        Schedule {
+            trace,
+            constraint_checks: checks,
+            stuck,
+        }
+    }
+}
+
 /// Runs the dataflow scheduler over `cs` — the wavefront engine.
 ///
 /// Readiness is tracked by a dependency-counting agenda: each activity
@@ -283,283 +623,12 @@ fn wake_all(list: Option<&Vec<usize>>, dirty: &mut BTreeSet<usize>, tainted: &mu
 /// (`config.threads`; `0` = auto), then commits sequentially in activity
 /// order, which makes the trace bit-identical to the rescan baseline and
 /// independent of the thread count — only `constraint_checks` shrinks.
+///
+/// Convenience wrapper: derives the static indexes and runs once. Callers
+/// replaying one constraint set under many configurations should build a
+/// [`PreparedSchedule`] and call [`PreparedSchedule::run`] repeatedly.
 pub fn simulate(cs: &ConstraintSet, exec: &ExecConditions, config: &SimConfig) -> Schedule {
-    // Indexing.
-    let mut start_prereqs: HashMap<&str, Vec<Prereq>> = HashMap::new();
-    let mut finish_prereqs: HashMap<&str, Vec<Prereq>> = HashMap::new();
-    for a in &cs.activities {
-        start_prereqs.insert(a, Vec::new());
-        finish_prereqs.insert(a, Vec::new());
-    }
-    for r in &cs.relations {
-        if let Relation::HappenBefore { from, to, cond, .. } = r {
-            let p = Prereq {
-                producer: from.clone(),
-                cond: cond.clone(),
-            };
-            let bucket = match to.state {
-                ActivityState::Start | ActivityState::Run => &mut start_prereqs,
-                ActivityState::Finish => &mut finish_prereqs,
-            };
-            if let Some(v) = bucket.get_mut(to.activity.as_str()) {
-                v.push(p);
-            }
-        }
-    }
-    // Exclusive partner sets.
-    let mut exclusive: HashMap<&str, Vec<&str>> = HashMap::new();
-    for (x, y) in cs.exclusives() {
-        exclusive
-            .entry(x.activity.as_str())
-            .or_default()
-            .push(y.activity.as_str());
-        exclusive
-            .entry(y.activity.as_str())
-            .or_default()
-            .push(x.activity.as_str());
-    }
-
-    // Agenda bookkeeping: who watches which state / guard.
-    let acts: Vec<&str> = cs.activities.iter().map(String::as_str).collect();
-    let act_ix: HashMap<&str, usize> = acts.iter().enumerate().map(|(i, a)| (*a, i)).collect();
-    let mut dep_state: HashMap<StateRef, Vec<usize>> = HashMap::new();
-    let mut dep_guard: HashMap<String, Vec<usize>> = HashMap::new();
-    for (i, a) in acts.iter().enumerate() {
-        for p in start_prereqs[a].iter().chain(finish_prereqs[a].iter()) {
-            dep_state.entry(p.producer.clone()).or_default().push(i);
-            if let Some(c) = &p.cond {
-                dep_guard.entry(c.on.clone()).or_default().push(i);
-            }
-        }
-        let dnf = exec.of(a);
-        if !dnf.is_always() {
-            for t in dnf.terms() {
-                for c in t {
-                    dep_guard.entry(c.on.clone()).or_default().push(i);
-                }
-            }
-        }
-    }
-    let excl_ix: Vec<Vec<usize>> = acts
-        .iter()
-        .map(|a| {
-            exclusive
-                .get(a)
-                .map(|ps| ps.iter().map(|p| act_ix[p]).collect())
-                .unwrap_or_default()
-        })
-        .collect();
-    let threads = effective_threads(config.threads, 8);
-
-    // Dynamic state.
-    let mut resolved: HashMap<StateRef, (Time, u64)> = HashMap::new();
-    let mut outcome: HashMap<&str, GuardOutcome> = HashMap::new();
-    let mut started: HashSet<&str> = HashSet::new();
-    let mut done: HashSet<&str> = HashSet::new(); // finished or skipped
-    let mut running: HashSet<&str> = HashSet::new();
-    let mut finish_blocked: HashSet<&str> = HashSet::new();
-    let mut trace = Trace::default();
-    let mut seq: u64 = 0;
-    let mut checks: u64 = 0;
-    let mut now: Time = 0;
-
-    // Scheduled natural finishes: Reverse-ordered min-heap.
-    let mut finish_queue: BinaryHeap<std::cmp::Reverse<(Time, u64, String)>> = BinaryHeap::new();
-
-    // The agenda. `dirty` holds activities whose readiness may have
-    // changed; `worker_blocked` holds activities that were startable but
-    // found no free worker (re-armed by the next finish); `tainted` marks
-    // activities whose watched state changed after the current sweep's
-    // batch evaluation, invalidating their precomputed entry.
-    let mut dirty: BTreeSet<usize> = (0..acts.len()).collect();
-    let mut worker_blocked: BTreeSet<usize> = BTreeSet::new();
-    let mut tainted: HashSet<usize> = HashSet::new();
-
-    let total = cs.activities.len();
-    loop {
-        // Commit phase: sweep the agenda until nothing can act at `now`.
-        loop {
-            if dirty.is_empty() {
-                break;
-            }
-            tainted.clear();
-            // Pure readiness evaluation of the whole pending sweep, batched
-            // on the worker pool. Advisory: commits below re-evaluate any
-            // entry whose inputs a prior commit of this sweep changed.
-            let batch: Vec<usize> = dirty.iter().copied().collect();
-            let pre: HashMap<usize, Eval> = if threads > 1 && batch.len() >= PAR_EVAL_MIN {
-                par_map(threads, &batch, &|&i| {
-                    (
-                        i,
-                        eval_activity(
-                            acts[i], &start_prereqs, &finish_prereqs, exec, &resolved,
-                            &outcome, &started, &done, &running, &finish_blocked,
-                        ),
-                    )
-                })
-                .into_iter()
-                .collect()
-            } else {
-                HashMap::new()
-            };
-            let mut progressed = false;
-            let mut pos = 0usize;
-            // Monotone sweep: agenda insertions behind `pos` wait for the
-            // next sweep, mirroring the rescan engine's pass order.
-            while let Some(i) = dirty.range(pos..).next().copied() {
-                pos = i + 1;
-                let a = acts[i];
-                let ev = match pre.get(&i) {
-                    Some(ev) if !tainted.contains(&i) => *ev,
-                    _ => eval_activity(
-                        a, &start_prereqs, &finish_prereqs, exec, &resolved, &outcome,
-                        &started, &done, &running, &finish_blocked,
-                    ),
-                };
-                checks += ev.checks;
-                match ev.act {
-                    Act::None => {
-                        dirty.remove(&i);
-                    }
-                    Act::Unblock => {
-                        dirty.remove(&i);
-                        finish_blocked.remove(a);
-                        commit_finish(
-                            a, now, &mut seq, cs, config, &mut trace, &mut resolved,
-                            &mut outcome, &mut running, &mut done, value_of_guard,
-                        );
-                        wake_all(dep_state.get(&StateRef::finish(a)), &mut dirty, &mut tainted);
-                        wake_all(dep_guard.get(a), &mut dirty, &mut tainted);
-                        for &j in &excl_ix[i] {
-                            dirty.insert(j);
-                            tainted.insert(j);
-                        }
-                        for j in std::mem::take(&mut worker_blocked) {
-                            dirty.insert(j);
-                            tainted.insert(j);
-                        }
-                        progressed = true;
-                    }
-                    Act::Start => {
-                        // Exclusive: defer while a partner is running; the
-                        // partner's finish re-arms us.
-                        if exclusive
-                            .get(a)
-                            .is_some_and(|ps| ps.iter().any(|p| running.contains(p)))
-                        {
-                            dirty.remove(&i);
-                            continue;
-                        }
-                        // Worker limit: zero-duration activities (the
-                        // desugaring coordinators) pass through freely.
-                        if let Some(k) = config.workers {
-                            if config.durations.of(a) > 0 && running.len() >= k {
-                                dirty.remove(&i);
-                                worker_blocked.insert(i);
-                                continue;
-                            }
-                        }
-                        dirty.remove(&i);
-                        started.insert(a);
-                        running.insert(a);
-                        trace.events.push(TraceEvent {
-                            time: now,
-                            seq,
-                            activity: a.to_string(),
-                            kind: EventKind::Start,
-                            value: None,
-                        });
-                        resolved.insert(StateRef::start(a), (now, seq));
-                        resolved.insert(StateRef::run(a), (now, seq));
-                        seq += 1;
-                        finish_queue.push(std::cmp::Reverse((
-                            now + config.durations.of(a),
-                            seq,
-                            a.to_string(),
-                        )));
-                        wake_all(dep_state.get(&StateRef::start(a)), &mut dirty, &mut tainted);
-                        wake_all(dep_state.get(&StateRef::run(a)), &mut dirty, &mut tainted);
-                        progressed = true;
-                    }
-                    Act::Skip => {
-                        dirty.remove(&i);
-                        started.insert(a);
-                        done.insert(a);
-                        trace.events.push(TraceEvent {
-                            time: now,
-                            seq,
-                            activity: a.to_string(),
-                            kind: EventKind::Skip,
-                            value: None,
-                        });
-                        for st in ActivityState::ALL {
-                            let sr = StateRef {
-                                activity: a.to_string(),
-                                state: st,
-                            };
-                            resolved.insert(sr.clone(), (now, seq));
-                            wake_all(dep_state.get(&sr), &mut dirty, &mut tainted);
-                        }
-                        outcome.insert(a, GuardOutcome::Skipped);
-                        wake_all(dep_guard.get(a), &mut dirty, &mut tainted);
-                        seq += 1;
-                        progressed = true;
-                    }
-                }
-            }
-            if !progressed {
-                break;
-            }
-        }
-
-        if done.len() == total {
-            break;
-        }
-        // Advance to the next natural finish.
-        let Some(std::cmp::Reverse((t, _, a))) = finish_queue.pop() else {
-            break; // deadlock: nothing running, nothing ready
-        };
-        now = now.max(t);
-        let a_ref: &str = cs
-            .activities
-            .get(&a)
-            .map(String::as_str)
-            .expect("finish of unknown activity");
-        // Finish-side prerequisites may defer the completion.
-        let ok = finish_prereqs[a_ref]
-            .iter()
-            .all(|p| prereq_satisfied(p, &resolved, &outcome, &mut checks));
-        if ok {
-            commit_finish(
-                a_ref, now, &mut seq, cs, config, &mut trace, &mut resolved, &mut outcome,
-                &mut running, &mut done, value_of_guard,
-            );
-            wake_all(dep_state.get(&StateRef::finish(a_ref)), &mut dirty, &mut tainted);
-            wake_all(dep_guard.get(a_ref), &mut dirty, &mut tainted);
-            for &j in &excl_ix[act_ix[a_ref]] {
-                dirty.insert(j);
-                tainted.insert(j);
-            }
-            for j in std::mem::take(&mut worker_blocked) {
-                dirty.insert(j);
-                tainted.insert(j);
-            }
-        } else {
-            finish_blocked.insert(a_ref);
-        }
-    }
-
-    let stuck: Vec<String> = cs
-        .activities
-        .iter()
-        .filter(|a| !done.contains(a.as_str()))
-        .cloned()
-        .collect();
-    Schedule {
-        trace,
-        constraint_checks: checks,
-        stuck,
-    }
+    PreparedSchedule::new(cs, exec).run(config)
 }
 
 /// The original engine: every commit pass linearly rescans all activities.

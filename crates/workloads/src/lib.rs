@@ -18,5 +18,6 @@ pub use purchasing::{
     purchasing_dependencies_extracted, purchasing_process,
 };
 pub use synth::{
-    dense_conditional, fork_join, layered, service_mesh, DenseConditionalParams, LayeredParams,
+    dense_conditional, disjoint_conditional, fork_join, layered, service_mesh,
+    DenseConditionalParams, DisjointConditionalParams, LayeredParams,
 };

@@ -236,6 +236,93 @@ pub fn dense_conditional(params: &DenseConditionalParams) -> DependencySet {
     ds
 }
 
+/// Parameters for the disjoint-islands generator.
+#[derive(Clone, Debug)]
+pub struct DisjointConditionalParams {
+    /// Number of mutually independent islands (guard groups).
+    pub groups: usize,
+    /// Binary guards per island; guards inside one island share a join,
+    /// so they form one footprint group.
+    pub guards_per_group: usize,
+    /// Depth of each guarded slow-path chain.
+    pub chain_len: usize,
+    /// Injected transitively-implied shortcut constraints, kept inside one
+    /// island so the groups stay provably disjoint.
+    pub redundant: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DisjointConditionalParams {
+    fn default() -> Self {
+        DisjointConditionalParams {
+            groups: 2,
+            guards_per_group: 2,
+            chain_len: 3,
+            redundant: 8,
+            seed: 11,
+        }
+    }
+}
+
+/// Generates `groups` mutually independent conditional islands: each
+/// island has `guards_per_group` binary guards whose guarded chains all
+/// join at a per-island sink, and nothing downstream connects the islands
+/// (they only share the upstream `entry`, which no guard's footprint
+/// reaches). The lowered net's guard-independence analysis
+/// (`dscweaver_petri::guard_groups`) therefore yields exactly `groups`
+/// groups of `guards_per_group` guards each, and factored validation
+/// checks `groups · 2^guards_per_group` assignments instead of the full
+/// `2^(groups · guards_per_group)` product.
+pub fn disjoint_conditional(params: &DisjointConditionalParams) -> DependencySet {
+    let groups = params.groups.max(1);
+    let gpg = params.guards_per_group.max(1);
+    let mut rng = Rng::seed_from_u64(params.seed);
+    let mut ds = DependencySet::new(format!(
+        "disjoint_{}x{}_l{}_s{}",
+        groups, gpg, params.chain_len, params.seed
+    ));
+    ds.add_activity("entry");
+    let chain = |i: usize, k: usize, l: usize| format!("d_{i}_{k}_{l}");
+    for i in 0..groups {
+        let join = format!("join_{i}");
+        ds.add_activity(join.clone());
+        for k in 0..gpg {
+            let g = format!("g_{i}_{k}");
+            ds.add_activity(g.clone());
+            ds.add_domain(g.clone(), vec!["T".into(), "F".into()]);
+            ds.push(Dependency::data("entry", &g));
+            let mut prev = g.clone();
+            for l in 0..params.chain_len {
+                let n = chain(i, k, l);
+                ds.add_activity(n.clone());
+                ds.push(Dependency::data(&prev, &n));
+                ds.push(Dependency::control(&g, &n, "T"));
+                prev = n;
+            }
+            // Skipped chains waive the join's data prereq (dead-path
+            // elimination), so every island's join always runs.
+            ds.push(Dependency::data(&prev, &join));
+        }
+    }
+    for _ in 0..params.redundant {
+        if params.chain_len == 0 {
+            break;
+        }
+        let i = rng.random_range(groups);
+        let k = rng.random_range(gpg);
+        let a = rng.random_range(params.chain_len);
+        let b = rng.random_range(params.chain_len);
+        let (lo, hi) = (a.min(b), a.max(b));
+        if lo == hi {
+            ds.push(Dependency::cooperation(&chain(i, k, lo), &format!("join_{i}")));
+        } else {
+            ds.push(Dependency::cooperation(&chain(i, k, lo), &chain(i, k, hi)));
+        }
+    }
+    ds
+}
+
 /// A service-mesh workload: `n_services` asynchronous services, each with
 /// an invoke/receive pair in the process chained by data dependencies, and
 /// the full WSCL-style plumbing (`inv → S`, `S → S_d`, `S_d → rec`).
@@ -351,6 +438,32 @@ mod tests {
         let report = dscweaver_petri::validate_default(&out.minimal, &out.exec);
         assert!(report.ok(), "failures: {:?}", report.failures);
         assert_eq!(report.assignments_checked, 16);
+    }
+
+    #[test]
+    fn disjoint_conditional_factors_multiplicative_to_additive() {
+        // Two islands of two guards each: the full space is 2^4 = 16, the
+        // factored enumeration is 2 · 2^2 = 8 — with the same verdict.
+        let ds = disjoint_conditional(&DisjointConditionalParams::default());
+        let out = Weaver::new().run(&ds).unwrap();
+        assert!(out.total_removed() >= 8, "removed {}", out.total_removed());
+        let full = dscweaver_petri::validate_default(&out.minimal, &out.exec);
+        assert!(full.ok(), "failures: {:?}", full.failures);
+        assert_eq!(full.assignments_checked, 16);
+        assert_eq!(full.guard_groups, 1);
+        assert_eq!(full.assignment_space, 16);
+        let factored = dscweaver_petri::validate(
+            &out.minimal,
+            &out.exec,
+            &dscweaver_petri::ValidateOptions {
+                factor_independent: true,
+                ..Default::default()
+            },
+        );
+        assert!(factored.ok(), "failures: {:?}", factored.failures);
+        assert_eq!(factored.guard_groups, 2);
+        assert_eq!(factored.assignments_checked, 8);
+        assert_eq!(factored.assignment_space, 16);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use dscweaver_core::{Weaver, WeaverError, WeaverOutput};
 use dscweaver_dscl::ConstraintSet;
 use dscweaver_model::Process;
 use dscweaver_petri::{validate, ValidateOptions, ValidationReport};
-use dscweaver_scheduler::{simulate, Schedule, SimConfig};
+use dscweaver_scheduler::{simulate, PreparedSchedule, Schedule, SimConfig};
 use dscweaver_wscl::{derive_service_dependencies, Conversation, ServiceBinding, WsclError};
 
 /// Inputs for the vertical pipeline.
@@ -176,7 +176,9 @@ pub fn weave(input: &VerticalInput<'_>) -> Result<VerticalOutput, VerticalError>
     if sim.threads == 0 {
         sim.threads = input.weaver.threads;
     }
-    let schedule = simulate(&weaver_out.minimal, &weaver_out.exec, &sim);
+    // Execution goes through the prepared session (same trace as a fresh
+    // `simulate`, indexes derived once and reusable for replays).
+    let schedule = PreparedSchedule::new(&weaver_out.minimal, &weaver_out.exec).run(&sim);
     // Correctness contract: the trace produced under the MINIMAL set must
     // satisfy the FULL merged SC, projected to internal activities (the
     // ASC before minimization, which carries every data/control/coop
@@ -216,7 +218,7 @@ pub fn weave_dependencies(
     if sim.threads == 0 {
         sim.threads = weaver.threads;
     }
-    let schedule = simulate(&weaver_out.minimal, &weaver_out.exec, &sim);
+    let schedule = PreparedSchedule::new(&weaver_out.minimal, &weaver_out.exec).run(&sim);
     let violations = schedule.trace.verify(&weaver_out.asc);
     let bpel = dscweaver_bpel::emit_string(process, &weaver_out.minimal);
     Ok(VerticalOutput {
