@@ -18,20 +18,25 @@
 //! ```
 
 use dscweaver_bench as exp;
+use dscweaver_obs as obs;
+use exp::harness::BenchOpts;
 
 fn bench_json(args: &[String]) {
     // Strict parsing: a typo'd flag must not silently drop `--smoke` and
     // turn a 2-second path check into the multi-minute full suite.
     let usage =
-        "usage: repro bench-json [--suite minimize|petri|scheduler|all] [--smoke] [--out PATH] [--threads N]";
+        "usage: repro bench-json [--suite minimize|petri|scheduler|all] [--smoke] [--out PATH] [--threads N] [--trace PATH] [--profile]";
     let mut smoke = false;
     let mut suite = "minimize".to_string();
     let mut out_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut profile = false;
     let mut threads = 0usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--profile" => profile = true,
             "--suite" => match it.next().map(String::as_str) {
                 Some(s @ ("minimize" | "petri" | "scheduler" | "all")) => suite = s.to_string(),
                 _ => {
@@ -43,6 +48,13 @@ fn bench_json(args: &[String]) {
                 Some(p) => out_path = Some(p.clone()),
                 None => {
                     eprintln!("error: --out requires a path\n{usage}");
+                    std::process::exit(2);
+                }
+            },
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p.clone()),
+                None => {
+                    eprintln!("error: --trace requires a path\n{usage}");
                     std::process::exit(2);
                 }
             },
@@ -59,7 +71,8 @@ fn bench_json(args: &[String]) {
             }
         }
     }
-    let suites: Vec<(&str, &str, fn(bool, usize) -> String)> = match suite.as_str() {
+    type SuiteFn = fn(&BenchOpts) -> (String, obs::TraceSnapshot);
+    let suites: Vec<(&str, &str, SuiteFn)> = match suite.as_str() {
         "minimize" => vec![("minimize", "BENCH_minimize.json", exp::perf::bench_minimize_json)],
         "petri" => vec![("petri", "BENCH_petri.json", exp::perf_petri::bench_petri_json)],
         "scheduler" => vec![(
@@ -81,14 +94,29 @@ fn bench_json(args: &[String]) {
         eprintln!("error: --out needs a single suite, not --suite all\n{usage}");
         std::process::exit(2);
     }
+    if trace_path.is_some() && suites.len() > 1 {
+        eprintln!("error: --trace needs a single suite, not --suite all\n{usage}");
+        std::process::exit(2);
+    }
+    let opts = BenchOpts { smoke, threads };
     for (name, default_out, run) in suites {
-        let json = run(smoke, threads);
+        let (json, trace) = run(&opts);
         let path = out_path.clone().unwrap_or_else(|| default_out.to_string());
         if let Err(e) = std::fs::write(&path, &json) {
             eprintln!("error: cannot write {path}: {e}");
             std::process::exit(1);
         }
         eprintln!("wrote {path} (suite {name})");
+        if let Some(tp) = &trace_path {
+            if let Err(e) = std::fs::write(tp, trace.to_chrome_json()) {
+                eprintln!("error: cannot write {tp}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("trace written to {tp} (load in Perfetto or chrome://tracing)");
+        }
+        if profile {
+            eprint!("{}", trace.summary());
+        }
         // Ignore EPIPE so `repro bench-json | head` exits cleanly after
         // the artifact is already on disk.
         let _ = std::io::Write::write_all(&mut std::io::stdout(), json.as_bytes());

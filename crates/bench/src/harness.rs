@@ -11,10 +11,39 @@
 //! * a positional CLI argument — substring filter on benchmark names
 //!   (`cargo bench --bench scaling_minimize -- layered`).
 
+use dscweaver_obs as obs;
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`] so bench files need one import.
 pub use std::hint::black_box;
+
+/// Shared configuration for the `repro bench-json` suites.
+#[derive(Clone, Debug, Default)]
+pub struct BenchOpts {
+    /// Restrict to the small cases with one sample each (the tier-1
+    /// smoke run; timings in this mode are not meaningful).
+    pub smoke: bool,
+    /// Worker threads for the parallel engine runs (`0` = auto).
+    pub threads: usize,
+}
+
+/// Renders a trace snapshot's per-phase totals as a JSON object
+/// (`{"minimize": 12.345, ...}` — milliseconds, stable ordering), the
+/// `"phases"` value attached to every bench-json case. Lines after the
+/// first are prefixed with `indent`.
+pub fn phases_json(snapshot: &obs::TraceSnapshot, indent: &str) -> String {
+    let totals = snapshot.phase_totals_ms();
+    if totals.is_empty() {
+        return "{}".to_string();
+    }
+    let mut out = String::from("{\n");
+    for (i, (name, ms)) in totals.iter().enumerate() {
+        out.push_str(&format!("{indent}  \"{name}\": {ms:.3}"));
+        out.push_str(if i + 1 == totals.len() { "\n" } else { ",\n" });
+    }
+    out.push_str(&format!("{indent}}}"));
+    out
+}
 
 /// Times `iters` invocations of `f`, returning the total wall time.
 pub fn time_iters<T>(iters: usize, mut f: impl FnMut() -> T) -> Duration {

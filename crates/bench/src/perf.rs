@@ -9,12 +9,13 @@
 //! (the sequential structural reference) on identical prepared inputs, and
 //! asserts the minimal sets agree before reporting any timing.
 
-use crate::harness::{black_box, median, sample};
+use crate::harness::{black_box, median, phases_json, sample, BenchOpts};
 use dscweaver_core::{
     merge, minimize_generic_baseline, minimize_generic_with, translate_services, EdgeOrder,
     EquivalenceMode, ExecConditions, MinimizeOptions,
 };
 use dscweaver_dscl::ConstraintSet;
+use dscweaver_obs as obs;
 use dscweaver_workloads::{fork_join, layered, purchasing_dependencies, LayeredParams};
 use std::time::Duration;
 
@@ -152,6 +153,8 @@ struct CaseReport {
     pool_dnfs: usize,
     pool_terms: usize,
     implies_hit_rate: f64,
+    implies_evictions: u64,
+    phases: String,
 }
 
 fn ms(d: Duration) -> f64 {
@@ -163,16 +166,21 @@ fn json_f(v: f64) -> String {
     format!("{v:.3}")
 }
 
-/// Runs the comparison suite and renders `BENCH_minimize.json`.
+/// Runs the comparison suite and renders `BENCH_minimize.json` plus the
+/// merged trace of the per-case instrumented runs (one optimized-engine
+/// run per case recorded through `dscweaver-obs`; the timed samples stay
+/// untraced so the recorder cannot skew them).
 ///
-/// `smoke` restricts to the small cases with one sample each — it exists
-/// so the tier-1 test suite can exercise the whole measurement path
-/// (prepare → both engines → agreement check → JSON rendering) in
+/// `opts.smoke` restricts to the small cases with one sample each — it
+/// exists so the tier-1 test suite can exercise the whole measurement
+/// path (prepare → both engines → agreement check → JSON rendering) in
 /// seconds; its timings are not meaningful.
-pub fn bench_minimize_json(smoke: bool, threads: usize) -> String {
+pub fn bench_minimize_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
+    let (smoke, threads) = (opts.smoke, opts.threads);
     let samples_new = if smoke { 1 } else { 5 };
     let samples_base = if smoke { 1 } else { 3 };
     let mut reports: Vec<CaseReport> = Vec::new();
+    let mut suite_trace = obs::TraceSnapshot::default();
     for case in minimize_cases(smoke) {
         let (asc, exec) = case.prepare();
         if smoke && asc.constraint_count() > 500 {
@@ -223,6 +231,12 @@ pub fn bench_minimize_json(smoke: bool, threads: usize) -> String {
             )
         }));
 
+        // One traced run of the optimized engine, outside the timed
+        // samples, for the per-phase breakdown and the suite trace.
+        let (_, case_trace) = obs::record_with(|| {
+            black_box(minimize_generic_with(&asc, &exec, case.mode, &case.order, &par).unwrap())
+        });
+
         let kept_n = res_new.kept();
         reports.push(CaseReport {
             name: case.name,
@@ -245,7 +259,10 @@ pub fn bench_minimize_json(smoke: bool, threads: usize) -> String {
             pool_dnfs: res_new.stats.pool_dnfs,
             pool_terms: res_new.stats.pool_terms,
             implies_hit_rate: res_new.stats.implies_hit_rate(),
+            implies_evictions: res_new.stats.implies_evictions,
+            phases: phases_json(&case_trace, "      "),
         });
+        suite_trace.merge(case_trace);
     }
 
     let mut out = String::new();
@@ -288,13 +305,18 @@ pub fn bench_minimize_json(smoke: bool, threads: usize) -> String {
         out.push_str(&format!("      \"pool_dnfs\": {},\n", r.pool_dnfs));
         out.push_str(&format!("      \"pool_terms\": {},\n", r.pool_terms));
         out.push_str(&format!(
-            "      \"implies_hit_rate\": {}\n",
+            "      \"implies_hit_rate\": {},\n",
             json_f(r.implies_hit_rate)
         ));
+        out.push_str(&format!(
+            "      \"implies_evictions\": {},\n",
+            r.implies_evictions
+        ));
+        out.push_str(&format!("      \"phases\": {}\n", r.phases));
         out.push_str(if i + 1 == reports.len() { "    }\n" } else { "    },\n" });
     }
     out.push_str("  ]\n}\n");
-    out
+    (out, suite_trace)
 }
 
 #[cfg(test)]

@@ -13,12 +13,13 @@
 //! Reports are canonicalized and asserted identical across all engines
 //! and thread counts before any timing is taken.
 
-use crate::harness::{black_box, median, sample};
+use crate::harness::{black_box, median, phases_json, sample, BenchOpts};
 use dscweaver_core::{ExecConditions, Weaver};
+use dscweaver_obs as obs;
 use dscweaver_dscl::ConstraintSet;
 use dscweaver_petri::{
     assignment_chooser, lower, run_to_quiescence_wavefront, validate, AssignmentFailure,
-    PreparedNet, ValidateOptions, ValidationReport,
+    FactorPolicy, PreparedNet, ValidateOptions, ValidationReport,
 };
 use dscweaver_workloads::{
     dense_conditional, disjoint_conditional, DenseConditionalParams, DisjointConditionalParams,
@@ -148,6 +149,7 @@ struct CaseReport {
     fresh_run_ms: f64,
     prepared_run_ms: f64,
     prepared_speedup: f64,
+    phases: String,
 }
 
 struct FactoredReport {
@@ -195,15 +197,20 @@ fn canon(r: &ValidationReport) -> (
     )
 }
 
-/// Runs the validation comparison suite and renders `BENCH_petri.json`.
+/// Runs the validation comparison suite and renders `BENCH_petri.json`
+/// plus the merged trace of the per-case instrumented runs (one parallel
+/// `validate` per case recorded through `dscweaver-obs`; the timed
+/// samples stay untraced so the recorder cannot skew them).
 ///
-/// `smoke` restricts to the small cases with one sample each so the
+/// `opts.smoke` restricts to the small cases with one sample each so the
 /// tier-1 test suite can exercise the full measurement path in seconds;
 /// its timings are not meaningful.
-pub fn bench_petri_json(smoke: bool, threads: usize) -> String {
+pub fn bench_petri_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
+    let (smoke, threads) = (opts.smoke, opts.threads);
     let samples_new = if smoke { 1 } else { 5 };
     let samples_base = if smoke { 1 } else { 3 };
     let mut reports: Vec<CaseReport> = Vec::new();
+    let mut suite_trace = obs::TraceSnapshot::default();
     for case in petri_cases(smoke) {
         let (cs, exec) = case.prepare();
         let base_opts = ValidateOptions {
@@ -235,6 +242,10 @@ pub fn bench_petri_json(smoke: bool, threads: usize) -> String {
         let t_par = median(&sample(samples_new, || {
             black_box(validate(&cs, &exec, &par_opts))
         }));
+
+        // One traced run of the parallel validator, outside the timed
+        // samples, for the per-phase breakdown and the suite trace.
+        let (_, case_trace) = obs::record_with(|| black_box(validate(&cs, &exec, &par_opts)));
 
         // Amortized prepared-engine constant: the first K assignments
         // replayed through one reused `NetSession` versus a fresh
@@ -306,7 +317,9 @@ pub fn bench_petri_json(smoke: bool, threads: usize) -> String {
             fresh_run_ms: ms(t_fresh) / k.max(1) as f64,
             prepared_run_ms: ms(t_prep) / k.max(1) as f64,
             prepared_speedup: t_fresh.as_secs_f64() / t_prep.as_secs_f64().max(1e-12),
+            phases: phases_json(&case_trace, "      "),
         });
+        suite_trace.merge(case_trace);
     }
 
     let mut factored: Vec<FactoredReport> = Vec::new();
@@ -315,11 +328,12 @@ pub fn bench_petri_json(smoke: bool, threads: usize) -> String {
         let out = Weaver::new().run(&ds).expect("acyclic workload");
         let full_opts = ValidateOptions {
             threads,
+            factor: FactorPolicy::Off,
             ..Default::default()
         };
         let fact_opts = ValidateOptions {
             threads,
-            factor_independent: true,
+            factor: FactorPolicy::On,
             ..Default::default()
         };
         let r_full = validate(&out.minimal, &out.exec, &full_opts);
@@ -396,9 +410,10 @@ pub fn bench_petri_json(smoke: bool, threads: usize) -> String {
             json_f(r.prepared_run_ms)
         ));
         out.push_str(&format!(
-            "      \"prepared_speedup\": {}\n",
+            "      \"prepared_speedup\": {},\n",
             json_f(r.prepared_speedup)
         ));
+        out.push_str(&format!("      \"phases\": {}\n", r.phases));
         out.push_str(if i + 1 == reports.len() { "    }\n" } else { "    },\n" });
     }
     out.push_str("  ],\n");
@@ -432,7 +447,7 @@ pub fn bench_petri_json(smoke: bool, threads: usize) -> String {
         out.push_str(if i + 1 == factored.len() { "    }\n" } else { "    },\n" });
     }
     out.push_str("  ]\n}\n");
-    out
+    (out, suite_trace)
 }
 
 #[cfg(test)]

@@ -14,9 +14,10 @@
 //! versus a fresh `simulate` — which rebuilds the prereq/dependency
 //! indexes — per run.
 
-use crate::harness::{black_box, median, sample};
+use crate::harness::{black_box, median, phases_json, sample, BenchOpts};
 use dscweaver_core::{merge, translate_services, ExecConditions};
 use dscweaver_dscl::ConstraintSet;
+use dscweaver_obs as obs;
 use dscweaver_scheduler::{simulate, simulate_rescan_baseline, PreparedSchedule, SimConfig};
 use dscweaver_workloads::{
     dense_conditional, fork_join, layered, DenseConditionalParams, LayeredParams,
@@ -128,6 +129,7 @@ struct CaseReport {
     fresh_replays_ms: f64,
     session_replays_ms: f64,
     session_speedup: f64,
+    phases: String,
 }
 
 fn ms(d: Duration) -> f64 {
@@ -138,15 +140,20 @@ fn json_f(v: f64) -> String {
     format!("{v:.3}")
 }
 
-/// Runs the scheduler comparison suite and renders `BENCH_scheduler.json`.
+/// Runs the scheduler comparison suite and renders `BENCH_scheduler.json`
+/// plus the merged trace of the per-case instrumented runs (one parallel
+/// `simulate` per case recorded through `dscweaver-obs`; the timed
+/// samples stay untraced so the recorder cannot skew them).
 ///
-/// `smoke` restricts to the small cases with one sample each so the
+/// `opts.smoke` restricts to the small cases with one sample each so the
 /// tier-1 test suite can exercise the full measurement path in seconds;
 /// its timings are not meaningful.
-pub fn bench_scheduler_json(smoke: bool, threads: usize) -> String {
+pub fn bench_scheduler_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
+    let (smoke, threads) = (opts.smoke, opts.threads);
     let samples_new = if smoke { 1 } else { 5 };
     let samples_base = if smoke { 1 } else { 3 };
     let mut reports: Vec<CaseReport> = Vec::new();
+    let mut suite_trace = obs::TraceSnapshot::default();
     for case in scheduler_cases(smoke) {
         let (asc, exec) = case.prepare();
         let config = SimConfig::default();
@@ -186,6 +193,10 @@ pub fn bench_scheduler_json(smoke: bool, threads: usize) -> String {
         let t_par = median(&sample(samples_new, || {
             black_box(simulate(&asc, &exec, &par_cfg))
         }));
+
+        // One traced run of the parallel engine, outside the timed
+        // samples, for the per-phase breakdown and the suite trace.
+        let (_, case_trace) = obs::record_with(|| black_box(simulate(&asc, &exec, &par_cfg)));
 
         // Amortized prepared-session constant: K oracle variants (bit
         // patterns over up to three guard domains; identical configs on
@@ -250,7 +261,9 @@ pub fn bench_scheduler_json(smoke: bool, threads: usize) -> String {
             fresh_replays_ms: ms(t_fresh_runs),
             session_replays_ms: ms(t_session_runs),
             session_speedup: t_fresh_runs.as_secs_f64() / t_session_runs.as_secs_f64().max(1e-12),
+            phases: phases_json(&case_trace, "      "),
         });
+        suite_trace.merge(case_trace);
     }
 
     let mut out = String::new();
@@ -297,13 +310,14 @@ pub fn bench_scheduler_json(smoke: bool, threads: usize) -> String {
             json_f(r.session_replays_ms)
         ));
         out.push_str(&format!(
-            "      \"session_speedup\": {}\n",
+            "      \"session_speedup\": {},\n",
             json_f(r.session_speedup)
         ));
+        out.push_str(&format!("      \"phases\": {}\n", r.phases));
         out.push_str(if i + 1 == reports.len() { "    }\n" } else { "    },\n" });
     }
     out.push_str("  ]\n}\n");
-    out
+    (out, suite_trace)
 }
 
 #[cfg(test)]

@@ -5,11 +5,16 @@
 //! Timings in this mode are meaningless (debug build, one sample) and are
 //! not asserted on.
 
+use dscweaver_bench::harness::BenchOpts;
 use dscweaver_bench::perf_petri::{bench_petri_json, petri_cases};
 
 #[test]
 fn bench_petri_json_smoke_runs_and_renders() {
-    let json = bench_petri_json(true, 2);
+    let _serial = dscweaver_obs::test_lock();
+    let (json, trace) = bench_petri_json(&BenchOpts {
+        smoke: true,
+        threads: 2,
+    });
     assert!(json.starts_with("{\n"));
     assert!(json.ends_with("}\n"));
     assert!(json.contains("\"artifact\": \"BENCH_petri\""));
@@ -32,9 +37,19 @@ fn bench_petri_json_smoke_runs_and_renders() {
         "\"fresh_run_ms\":",
         "\"prepared_run_ms\":",
         "\"prepared_speedup\":",
+        "\"phases\":",
     ] {
         assert_eq!(json.matches(field).count(), cases, "field {field}");
     }
+    // The per-phase breakdown covers the validator's span taxonomy, and
+    // the suite trace carries the merged instrumented runs.
+    assert!(json.contains("\"petri.validate\":"), "{json}");
+    assert!(json.contains("\"petri.assignments\":"), "{json}");
+    // threads=2 over ≥16 assignments spawns real workers, so the
+    // per-window worker phase shows up in the breakdown too.
+    assert!(json.contains("\"par.range.window\":"), "{json}");
+    assert!(!trace.is_empty());
+    assert!(trace.phase_totals_ms().contains_key("petri.lower"));
     // The factored-enumeration section on guard-independent workloads:
     // every entry reports both the full and the strictly smaller factored
     // assignment counts (the measurement path asserts matching verdicts).

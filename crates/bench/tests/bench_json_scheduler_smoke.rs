@@ -5,11 +5,16 @@
 //! well-formed. Timings in this mode are meaningless (debug build, one
 //! sample) and are not asserted on.
 
+use dscweaver_bench::harness::BenchOpts;
 use dscweaver_bench::perf_scheduler::{bench_scheduler_json, scheduler_cases};
 
 #[test]
 fn bench_scheduler_json_smoke_runs_and_renders() {
-    let json = bench_scheduler_json(true, 2);
+    let _serial = dscweaver_obs::test_lock();
+    let (json, trace) = bench_scheduler_json(&BenchOpts {
+        smoke: true,
+        threads: 2,
+    });
     assert!(json.starts_with("{\n"));
     assert!(json.ends_with("}\n"));
     assert!(json.contains("\"artifact\": \"BENCH_scheduler\""));
@@ -33,9 +38,15 @@ fn bench_scheduler_json_smoke_runs_and_renders() {
         "\"fresh_replays_ms\":",
         "\"session_replays_ms\":",
         "\"session_speedup\":",
+        "\"phases\":",
     ] {
         assert_eq!(json.matches(field).count(), cases, "field {field}");
     }
+    // The per-phase breakdown covers the scheduler's span taxonomy, and
+    // the suite trace carries the merged instrumented runs.
+    assert!(json.contains("\"scheduler.run\":"), "{json}");
+    assert!(!trace.is_empty());
+    assert!(trace.phase_totals_ms().contains_key("scheduler.prepare"));
     // Balanced braces/brackets — cheap well-formedness check without a
     // JSON parser dependency (no string values contain braces).
     assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -4,11 +4,16 @@
 //! rendered artifact is well-formed. Timings in this mode are meaningless
 //! (debug build, one sample) and are not asserted on.
 
+use dscweaver_bench::harness::BenchOpts;
 use dscweaver_bench::perf::{bench_minimize_json, minimize_cases};
 
 #[test]
 fn bench_json_smoke_runs_and_renders() {
-    let json = bench_minimize_json(true, 2);
+    let _serial = dscweaver_obs::test_lock();
+    let (json, trace) = bench_minimize_json(&BenchOpts {
+        smoke: true,
+        threads: 2,
+    });
     assert!(json.starts_with("{\n"));
     assert!(json.ends_with("}\n"));
     assert!(json.contains("\"artifact\": \"BENCH_minimize\""));
@@ -27,9 +32,17 @@ fn bench_json_smoke_runs_and_renders() {
         "\"pool_dnfs\":",
         "\"pool_terms\":",
         "\"implies_hit_rate\":",
+        "\"implies_evictions\":",
+        "\"phases\":",
     ] {
         assert_eq!(json.matches(field).count(), cases, "field {field}");
     }
+    // The per-phase breakdown covers the minimizer's span taxonomy, and
+    // the suite trace carries the merged instrumented runs.
+    assert!(json.contains("\"minimize.generic\":"), "{json}");
+    assert!(json.contains("\"minimize.greedy\":"), "{json}");
+    assert!(!trace.is_empty());
+    assert!(trace.phase_totals_ms().contains_key("minimize.closure"));
     // Balanced braces/brackets — cheap well-formedness check without a
     // JSON parser dependency (no string values contain braces).
     assert_eq!(json.matches('{').count(), json.matches('}').count());

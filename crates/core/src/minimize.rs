@@ -88,8 +88,9 @@ use dscweaver_dscl::{Condition, ConstraintSet, Origin, Relation, SyncEdge};
 use dscweaver_graph::annotated::{Dnf, Row};
 use dscweaver_graph::{
     effective_threads, find_cycle, par_map, topo_sort, BitSet, DiGraph, DnfId, DnfPool, EdgeId,
-    NodeId,
+    LruCache, NodeId,
 };
+use dscweaver_obs as obs;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// How closures are compared (Definitions 4–5). Ordered from most to
@@ -151,12 +152,14 @@ pub struct MinimizeOptions {
     /// `0` (the default) picks from available parallelism; `1` forces the
     /// fully sequential engine. The result is identical either way.
     pub threads: usize,
-    /// `DnfPool` size (distinct interned DNFs) past which `implies`
-    /// verdicts are answered by uncached structural comparison instead of
-    /// growing the memo table. Verdicts are pure, so the result is
-    /// identical either way; the threshold only bounds memory on
+    /// Capacity of the `implies` memo: at most this many verdicts stay
+    /// cached, with least-recently-used eviction past the bound
+    /// ([`dscweaver_graph::LruCache`]). Verdicts are pure, so the result
+    /// is identical for any limit; the bound only caps memory on
     /// adversarial inputs whose branch combinations mint exponentially
-    /// many distinct annotations. `0` disables the fallback.
+    /// many distinct annotations, and eviction degrades the hit rate
+    /// gracefully instead of cutting caching off entirely. `0` means
+    /// unbounded.
     pub pool_cache_limit: usize,
 }
 
@@ -169,8 +172,8 @@ impl Default for MinimizeOptions {
     }
 }
 
-/// Default [`MinimizeOptions::pool_cache_limit`]: ~1M interned DNFs. Far
-/// beyond anything the paper-scale workloads produce, so the fallback is
+/// Default [`MinimizeOptions::pool_cache_limit`]: ~1M memoized verdicts.
+/// Far beyond anything the paper-scale workloads produce, so eviction is
 /// effectively off unless a caller dials it down.
 pub const DEFAULT_POOL_CACHE_LIMIT: usize = 1 << 20;
 
@@ -220,9 +223,9 @@ pub struct MinimizeStats {
     pub implies_cache_hits: u64,
     /// `implies` queries computed structurally and then memoized.
     pub implies_cache_misses: u64,
-    /// `implies` queries computed structurally *without* memoization
-    /// because the pool had outgrown [`MinimizeOptions::pool_cache_limit`].
-    pub implies_uncached: u64,
+    /// Memoized verdicts evicted (least-recently-used first) because the
+    /// memo reached [`MinimizeOptions::pool_cache_limit`].
+    pub implies_evictions: u64,
 }
 
 impl MinimizeStats {
@@ -280,6 +283,7 @@ pub fn minimize_with(
     order: &EdgeOrder,
     opts: &MinimizeOptions,
 ) -> Result<MinimizeResult, MinimizeError> {
+    let _span = obs::span("minimize");
     // Fast path: with no conditional constraints, annotated closures
     // degenerate to plain reachability in every mode, and the minimal set
     // is the (unique) transitive reduction of the constraint DAG — no DNF
@@ -289,6 +293,7 @@ pub fn minimize_with(
         .happen_befores()
         .all(|r| matches!(r, Relation::HappenBefore { cond: None, .. }))
     {
+        let _span = obs::span("minimize.reduction");
         return minimize_unconditional_fast(cs, order);
     }
     minimize_generic_with(cs, exec, mode, order, opts)
@@ -408,14 +413,11 @@ struct Engine<'a> {
     /// edge deletion. Nodes sharing a level never depend on each other.
     level: Vec<usize>,
     /// Memoized `context ∧ old ⟹ new` verdicts, keyed by interned ids
-    /// (domains are fixed per run, so the verdict is too).
-    imp_cache: HashMap<(DnfId, DnfId, DnfId), bool>,
-    /// Pool size past which `implies` stops consulting/growing the memo
-    /// cache (0 = unlimited). See [`MinimizeOptions::pool_cache_limit`].
-    pool_cache_limit: usize,
+    /// (domains are fixed per run, so the verdict is too). Bounded to
+    /// [`MinimizeOptions::pool_cache_limit`] entries with LRU eviction.
+    imp_cache: LruCache<(DnfId, DnfId, DnfId), bool>,
     imp_hits: u64,
     imp_misses: u64,
-    imp_uncached: u64,
     /// Nodes whose rows changed / lost an out-edge since the last
     /// screening snapshot — invalidates precomputed screening rows.
     dirty_rows: HashSet<usize>,
@@ -473,11 +475,9 @@ impl<'a> Engine<'a> {
             removed: HashSet::new(),
             topo_pos,
             level,
-            imp_cache: HashMap::new(),
-            pool_cache_limit,
+            imp_cache: LruCache::new(pool_cache_limit),
             imp_hits: 0,
             imp_misses: 0,
-            imp_uncached: 0,
             dirty_rows: HashSet::new(),
             dirty_tails: HashSet::new(),
         };
@@ -546,20 +546,18 @@ impl<'a> Engine<'a> {
         self.uncond[n.index()] = urow;
     }
 
-    /// Memoized `ctx ∧ old ⟹ new` over interned formulas. Once the pool
-    /// outgrows `pool_cache_limit`, verdicts are computed structurally
-    /// without touching the cache — same answers, bounded memory.
+    /// Memoized `ctx ∧ old ⟹ new` over interned formulas. The memo is an
+    /// LRU bounded to `pool_cache_limit` verdicts: past the bound the
+    /// coldest entries are evicted, so memory stays bounded while the hit
+    /// rate degrades gracefully under churn — same answers either way.
     fn implies(&mut self, ctx: DnfId, old: DnfId, new: DnfId) -> bool {
         if old == new || old == DnfPool::<Condition>::EMPTY || ctx == DnfPool::<Condition>::EMPTY
         {
             return true;
         }
-        let cache_on = self.pool_cache_limit == 0 || self.pool.dnf_count() <= self.pool_cache_limit;
-        if cache_on {
-            if let Some(&b) = self.imp_cache.get(&(ctx, old, new)) {
-                self.imp_hits += 1;
-                return b;
-            }
+        if let Some(&b) = self.imp_cache.get(&(ctx, old, new)) {
+            self.imp_hits += 1;
+            return b;
         }
         let b = implies_under(
             self.pool.dnf(ctx),
@@ -567,12 +565,8 @@ impl<'a> Engine<'a> {
             self.pool.dnf(new),
             &self.cs.domains,
         );
-        if cache_on {
-            self.imp_misses += 1;
-            self.imp_cache.insert((ctx, old, new), b);
-        } else {
-            self.imp_uncached += 1;
-        }
+        self.imp_misses += 1;
+        self.imp_cache.insert((ctx, old, new), b);
         b
     }
 
@@ -583,7 +577,7 @@ impl<'a> Engine<'a> {
             pool_terms: self.pool.term_count(),
             implies_cache_hits: self.imp_hits,
             implies_cache_misses: self.imp_misses,
-            implies_uncached: self.imp_uncached,
+            implies_evictions: self.imp_cache.evictions(),
         }
     }
 
@@ -909,6 +903,9 @@ pub fn minimize_generic_with(
     order: &EdgeOrder,
     opts: &MinimizeOptions,
 ) -> Result<MinimizeResult, MinimizeError> {
+    let _span = obs::span_with("minimize.generic", || {
+        format!("relations={} threads={}", cs.relations.len(), opts.effective_threads())
+    });
     let sg = SyncGraph::build(cs);
     let g = &sg.graph;
     if let Some(cycle) = find_cycle(g) {
@@ -919,8 +916,11 @@ pub fn minimize_generic_with(
     let topo = topo_sort(g).expect("cycle-free graph must sort");
     let candidates = order_candidates(g, &sg, order);
     let threads = opts.effective_threads();
+    let closure_span = obs::span("minimize.closure");
     let mut eng = Engine::new(g, cs, exec, mode, threads, opts.pool_cache_limit, &topo);
+    drop(closure_span);
 
+    let greedy_span = obs::span_with("minimize.greedy", || format!("candidates={}", candidates.len()));
     let mut removed_rels: Vec<usize> = Vec::new();
     let mut checked = 0usize;
     let window = if threads > 1 { (threads * 4).max(8) } else { 1 };
@@ -962,6 +962,7 @@ pub fn minimize_generic_with(
         }
         k = end;
     }
+    drop(greedy_span);
 
     let removed_set: HashSet<usize> = removed_rels.iter().copied().collect();
     let minimal = SyncGraph::subset(cs, &|i| !removed_set.contains(&i));
@@ -969,11 +970,19 @@ pub fn minimize_generic_with(
         .iter()
         .map(|&i| cs.relations[i].clone())
         .collect();
+    let stats = eng.stats();
+    obs::counter_add("minimize.candidates_checked", checked as u64);
+    obs::counter_add("minimize.implies_cache_hits", stats.implies_cache_hits);
+    obs::counter_add("minimize.implies_cache_misses", stats.implies_cache_misses);
+    obs::counter_add("minimize.implies_evictions", stats.implies_evictions);
+    obs::gauge_set("minimize.pool_dnfs", stats.pool_dnfs as f64);
+    obs::gauge_set("minimize.pool_terms", stats.pool_terms as f64);
+    obs::gauge_set("minimize.implies_hit_rate", stats.implies_hit_rate());
     Ok(MinimizeResult {
         minimal,
         removed,
         candidates_checked: checked,
-        stats: eng.stats(),
+        stats,
     })
 }
 
@@ -1675,10 +1684,10 @@ mod tests {
     }
 
     #[test]
-    fn pool_cache_fallback_preserves_results_and_counts_uncached() {
-        // A tiny limit forces every implies verdict onto the uncached
-        // structural path; the minimal set must be unchanged and the
-        // telemetry must show the fallback engaged.
+    fn pool_cache_lru_eviction_preserves_results_and_counts_evictions() {
+        // A capacity-1 memo churns through LRU eviction on nearly every
+        // verdict; the minimal set must be unchanged and the telemetry
+        // must show the evictions.
         let mut cs = cs_with(
             &["g", "x", "y", "j"],
             vec![
@@ -1710,7 +1719,7 @@ mod tests {
             &MinimizeOptions::default(),
         )
         .unwrap();
-        let uncached = minimize_generic_with(
+        let evicting = minimize_generic_with(
             &cs,
             &exec,
             EquivalenceMode::ExecutionAware,
@@ -1721,16 +1730,18 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(kept_set(&cached), kept_set(&uncached));
+        assert_eq!(kept_set(&cached), kept_set(&evicting));
         assert!(cached.stats.pool_dnfs > 1);
-        assert_eq!(cached.stats.implies_uncached, 0);
-        assert!(uncached.stats.implies_uncached > 0);
-        assert_eq!(uncached.stats.implies_cache_hits, 0);
+        assert_eq!(cached.stats.implies_evictions, 0);
+        assert!(evicting.stats.implies_evictions > 0);
+        // The same verdict sequence was issued either way; eviction only
+        // converts would-be hits into recomputed misses.
         assert_eq!(
-            cached.stats.implies_cache_hits
-                + cached.stats.implies_cache_misses,
-            uncached.stats.implies_uncached,
+            cached.stats.implies_cache_hits + cached.stats.implies_cache_misses,
+            evicting.stats.implies_cache_hits + evicting.stats.implies_cache_misses,
             "same verdict sequence, different caching"
         );
+        assert!(evicting.stats.implies_cache_misses >= cached.stats.implies_cache_misses);
+        assert!(evicting.stats.implies_hit_rate() <= cached.stats.implies_hit_rate());
     }
 }

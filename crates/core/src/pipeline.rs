@@ -14,6 +14,7 @@ use crate::minimize::{
 };
 use crate::translate::{translate_services, TranslationReport};
 use dscweaver_dscl::{ConstraintError, ConstraintSet, Origin, Relation};
+use dscweaver_obs as obs;
 
 /// Pipeline configuration.
 #[derive(Clone, Debug, Default)]
@@ -84,14 +85,25 @@ impl Weaver {
 
     /// Runs the full specification-and-optimization pipeline.
     pub fn run(&self, ds: &DependencySet) -> Result<WeaverOutput, WeaverError> {
+        let _span = obs::span("weaver.run");
+        let merge_span = obs::span_with("weaver.merge", || {
+            format!("dependencies={}", ds.deps.len())
+        });
         let mut sc = merge(ds);
         let errors = sc.validate();
         if !errors.is_empty() {
             return Err(WeaverError::Validation(errors));
         }
         sc.desugar_happen_together();
-        let exec = ExecConditions::derive(&sc);
-        let (asc, translation) = translate_services(&sc);
+        drop(merge_span);
+        let exec = {
+            let _span = obs::span("weaver.exec_conditions");
+            ExecConditions::derive(&sc)
+        };
+        let (asc, translation) = {
+            let _span = obs::span("weaver.translate");
+            translate_services(&sc)
+        };
         let MinimizeResult {
             minimal, removed, ..
         } = minimize_with(

@@ -23,6 +23,8 @@
 //! * [`dom`] — dominators/post-dominators for control-dependence extraction.
 //! * [`matching`] — Hopcroft–Karp and exact maximum antichains (peak
 //!   concurrency of a schedule).
+//! * [`lru`] — a bounded least-recently-used map capping the minimizer's
+//!   `implies` memo (graceful hit-rate degradation past the limit).
 
 #![warn(missing_docs)]
 
@@ -33,6 +35,7 @@ pub mod digraph;
 pub mod dom;
 pub mod dot;
 pub mod intern;
+pub mod lru;
 pub mod matching;
 pub mod par;
 pub mod reduction;
@@ -42,6 +45,7 @@ pub mod visit;
 
 pub use annotated::{annotated_closure, AnnotatedClosure, Dnf, GuardSet, Row};
 pub use intern::{DnfId, DnfPool, TermId};
+pub use lru::LruCache;
 pub use bitset::BitSet;
 pub use closure::{transitive_closure, Closure};
 pub use digraph::{DiGraph, EdgeId, NodeId};

@@ -15,6 +15,13 @@
 //! `threads <= 1` or a tiny input never spawns at all, so sprinkling
 //! `par_map` on a cold path costs nothing.
 //!
+//! When the global `dscweaver-obs` recorder is on, each spawned worker
+//! tags itself with the stable `worker-{slot}` trace lane and wraps its
+//! chunk/window in a span (`par.map.chunk` / `par.range.window`), so a
+//! Chrome-trace export shows one row per pool slot with the fork/join
+//! structure of every parallel phase. Disabled, this is one relaxed
+//! atomic load per spawned worker.
+//!
 //! ```
 //! use dscweaver_graph::{par_map, par_ranges};
 //!
@@ -27,6 +34,8 @@
 //! assert_eq!(sums.len(), 3);
 //! assert_eq!(sums.iter().sum::<u64>(), 4950);
 //! ```
+
+use dscweaver_obs as obs;
 
 /// Resolves a user-facing thread knob: `0` picks the machine's available
 /// parallelism (capped at `cap` — the row/assignment work saturates well
@@ -55,11 +64,22 @@ pub fn par_map<T: Sync, R: Send>(
     let chunk = items.len().div_ceil(threads);
     let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
     std::thread::scope(|scope| {
-        for (ichunk, ochunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+        for (wslot, (ichunk, ochunk)) in
+            items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        {
             scope.spawn(move || {
-                for (item, slot) in ichunk.iter().zip(ochunk.iter_mut()) {
-                    *slot = Some(f(item));
+                let _lane = obs::worker_lane(wslot);
+                {
+                    let _span =
+                        obs::span_with("par.map.chunk", || format!("len={}", ichunk.len()));
+                    for (item, slot) in ichunk.iter().zip(ochunk.iter_mut()) {
+                        *slot = Some(f(item));
+                    }
                 }
+                // Flush inside the closure body: `thread::scope` only
+                // waits for the closure, not for thread teardown, so the
+                // TLS drop-flush could land after the scope returns.
+                obs::flush_thread();
             });
         }
     });
@@ -86,9 +106,17 @@ pub fn par_ranges<R: Send>(
     }
     let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(windows.len()).collect();
     std::thread::scope(|scope| {
-        for (w, slot) in windows.into_iter().zip(out.iter_mut()) {
+        for (wslot, (w, slot)) in windows.into_iter().zip(out.iter_mut()).enumerate() {
             scope.spawn(move || {
-                *slot = Some(f(w));
+                let _lane = obs::worker_lane(wslot);
+                {
+                    let _span =
+                        obs::span_with("par.range.window", || format!("{}..{}", w.start, w.end));
+                    *slot = Some(f(w));
+                }
+                // See par_map: flush before the scope's join point, not
+                // in thread teardown.
+                obs::flush_thread();
             });
         }
     });

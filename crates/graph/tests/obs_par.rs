@@ -1,0 +1,130 @@
+//! Recorder properties of the `par` worker pool: every worker window
+//! becomes a balanced span on its slot's stable `worker-N` lane, the
+//! recorded coverage reconstructs the input exactly, and recording never
+//! changes the computed results.
+
+use dscweaver_graph::{par_map, par_ranges};
+use dscweaver_obs as obs;
+use dscweaver_obs::EventKind;
+
+/// Replays each lane's Begin/End sequence, asserting the depth never goes
+/// negative and ends at zero, and returns the closed spans as
+/// `(lane, name, detail)`.
+fn balanced_spans(snap: &obs::TraceSnapshot) -> Vec<(u32, String, String)> {
+    let mut depth: std::collections::HashMap<u32, Vec<&str>> = std::collections::HashMap::new();
+    let mut closed = Vec::new();
+    let mut details: std::collections::HashMap<(u32, usize), String> =
+        std::collections::HashMap::new();
+    for e in snap.events() {
+        let stack = depth.entry(e.lane).or_default();
+        match e.kind {
+            EventKind::Begin => {
+                details.insert(
+                    (e.lane, stack.len()),
+                    e.detail.as_deref().unwrap_or("").to_string(),
+                );
+                stack.push(e.name);
+            }
+            EventKind::End => {
+                let name = stack.pop().unwrap_or_else(|| {
+                    panic!("End without Begin on lane {}", snap.lane_name(e.lane))
+                });
+                assert_eq!(name, e.name, "mismatched span nesting");
+                let detail = details.remove(&(e.lane, stack.len())).unwrap_or_default();
+                closed.push((e.lane, name.to_string(), detail));
+            }
+            EventKind::Instant => {}
+        }
+    }
+    for (lane, stack) in depth {
+        assert!(stack.is_empty(), "unclosed spans on lane {}", snap.lane_name(lane));
+    }
+    closed
+}
+
+#[test]
+fn par_map_records_balanced_worker_spans_for_every_thread_count() {
+    let _serial = obs::test_lock();
+    let items: Vec<u64> = (0..97).collect();
+    let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+    for threads in [1usize, 2, 3, 4, 8, 16] {
+        let (got, snap) = obs::record_with(|| par_map(threads, &items, &|x| *x * 3 + 1));
+        assert_eq!(got, expect, "threads {threads}: recording changed the result");
+        let spans = balanced_spans(&snap);
+        let chunks: Vec<&(u32, String, String)> =
+            spans.iter().filter(|(_, n, _)| n == "par.map.chunk").collect();
+        if threads <= 1 {
+            assert!(chunks.is_empty(), "sequential path must not spawn");
+            continue;
+        }
+        // One span per spawned chunk, each on a worker lane, and the
+        // recorded chunk lengths re-add to the input length.
+        assert!(!chunks.is_empty() && chunks.len() <= threads, "threads {threads}");
+        let mut covered = 0usize;
+        for (lane, _, detail) in &chunks {
+            assert!(
+                snap.lane_name(*lane).starts_with("worker-"),
+                "chunk span on lane {:?}",
+                snap.lane_name(*lane)
+            );
+            let len: usize = detail.strip_prefix("len=").unwrap().parse().unwrap();
+            covered += len;
+        }
+        assert_eq!(covered, items.len(), "threads {threads}: chunks must tile the input");
+    }
+}
+
+#[test]
+fn par_ranges_windows_tile_the_range_on_stable_worker_lanes() {
+    let _serial = obs::test_lock();
+    let n = 41usize;
+    let expect: Vec<Vec<usize>> = {
+        let seq = par_ranges(1, n, &|r| r.collect::<Vec<usize>>());
+        seq
+    };
+    let flat_expect: Vec<usize> = expect.iter().flatten().copied().collect();
+    for threads in [2usize, 3, 5, 8] {
+        let (got, snap) = obs::record_with(|| par_ranges(threads, n, &|r| r.collect::<Vec<usize>>()));
+        let flat: Vec<usize> = got.iter().flatten().copied().collect();
+        assert_eq!(flat, flat_expect, "threads {threads}: concatenation changed");
+        let spans = balanced_spans(&snap);
+        let mut windows: Vec<(usize, usize)> = spans
+            .iter()
+            .filter(|(_, name, _)| name == "par.range.window")
+            .map(|(lane, _, detail)| {
+                assert!(snap.lane_name(*lane).starts_with("worker-"));
+                let (s, e) = detail.split_once("..").unwrap();
+                (s.parse().unwrap(), e.parse().unwrap())
+            })
+            .collect();
+        windows.sort();
+        // The recorded windows tile 0..n contiguously and disjointly.
+        assert_eq!(windows.len(), threads.min(n));
+        assert_eq!(windows.first().unwrap().0, 0);
+        assert_eq!(windows.last().unwrap().1, n);
+        for w in windows.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "gap or overlap between windows");
+        }
+    }
+}
+
+/// Worker lanes are interned per slot: two sequential scopes reuse the
+/// same `worker-N` lane names instead of minting new lanes per scope.
+#[test]
+fn worker_lanes_are_reused_across_scopes() {
+    let _serial = obs::test_lock();
+    let items: Vec<u32> = (0..8).collect();
+    let (_, snap) = obs::record_with(|| {
+        par_map(2, &items, &|x| x + 1);
+        par_map(2, &items, &|x| x + 2);
+    });
+    let mut lanes: Vec<&str> = snap
+        .events()
+        .iter()
+        .filter(|e| e.name == "par.map.chunk")
+        .map(|e| snap.lane_name(e.lane))
+        .collect();
+    lanes.sort();
+    lanes.dedup();
+    assert_eq!(lanes, ["worker-0", "worker-1"]);
+}

@@ -1,0 +1,271 @@
+//! Drained trace data and its two sinks: Chrome trace-event JSON and a
+//! per-phase text summary.
+
+use crate::{Event, EventKind};
+use std::collections::{BTreeMap, HashMap};
+
+/// Everything one [`crate::take`] call drained from the recorder:
+/// timestamp-ordered events, the lane-name table, and the final
+/// counter/gauge values.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSnapshot {
+    events: Vec<Event>,
+    lanes: Vec<String>,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+}
+
+/// Aggregated wall time for one span name across every lane, from
+/// [`TraceSnapshot::phase_totals`]. `self_ns` excludes time spent in
+/// child spans on the same lane, so the self columns of a summary sum to
+/// (roughly) the traced wall time per lane.
+#[derive(Clone, Debug)]
+pub struct PhaseTotal {
+    /// Span name.
+    pub name: &'static str,
+    /// How many spans with this name closed (or were auto-closed).
+    pub count: u64,
+    /// Total inclusive nanoseconds.
+    pub total_ns: u64,
+    /// Total nanoseconds minus same-lane child span time.
+    pub self_ns: u64,
+}
+
+impl TraceSnapshot {
+    /// The byte-stable output of [`Self::to_chrome_json`] for an empty
+    /// snapshot — what a disabled recorder always produces.
+    pub const EMPTY_CHROME_JSON: &'static str = "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}";
+
+    pub(crate) fn from_parts(
+        events: Vec<Event>,
+        lanes: Vec<String>,
+        counters: BTreeMap<&'static str, u64>,
+        gauges: BTreeMap<&'static str, f64>,
+    ) -> Self {
+        Self { events, lanes, counters, gauges }
+    }
+
+    /// The recorded events, stably ordered by timestamp.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Resolves a lane index from [`Event::lane`] to its display name.
+    pub fn lane_name(&self, lane: u32) -> &str {
+        self.lanes.get(lane as usize).map(String::as_str).unwrap_or("?")
+    }
+
+    /// Final values of all monotonic counters.
+    pub fn counters(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counters
+    }
+
+    /// Final values of all gauges.
+    pub fn gauges(&self) -> &BTreeMap<&'static str, f64> {
+        &self.gauges
+    }
+
+    /// True when nothing was recorded (no events, counters, or gauges).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.counters.is_empty() && self.gauges.is_empty()
+    }
+
+    /// Folds another snapshot into this one: events are re-sorted into
+    /// one timeline, counters add, gauges take the other side's value.
+    /// Lane indices are interned in one global registry per process, so
+    /// snapshots taken in the same process merge consistently.
+    pub fn merge(&mut self, other: TraceSnapshot) {
+        self.events.extend(other.events);
+        self.events.sort_by_key(|e| e.ts_ns);
+        if other.lanes.len() > self.lanes.len() {
+            self.lanes = other.lanes;
+        }
+        for (name, v) in other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, v) in other.gauges {
+            self.gauges.insert(name, v);
+        }
+    }
+
+    /// Aggregates span durations by name, replaying each lane's
+    /// Begin/End stack. Spans still open at the end of the snapshot are
+    /// closed at the latest recorded timestamp; stray `End`s (from a
+    /// snapshot boundary crossing an open span) are ignored. Sorted by
+    /// total time, descending.
+    pub fn phase_totals(&self) -> Vec<PhaseTotal> {
+        let max_ts = self.events.iter().map(|e| e.ts_ns).max().unwrap_or(0);
+        // Per-lane stack of (name, start_ts, accumulated child time).
+        let mut stacks: HashMap<u32, Vec<(&'static str, u64, u64)>> = HashMap::new();
+        let mut agg: BTreeMap<&'static str, (u64, u64, u64)> = BTreeMap::new();
+        let close =
+            |agg: &mut BTreeMap<&'static str, (u64, u64, u64)>,
+             stack: &mut Vec<(&'static str, u64, u64)>,
+             name: &'static str,
+             start: u64,
+             child: u64,
+             end: u64| {
+                let dur = end.saturating_sub(start);
+                let entry = agg.entry(name).or_insert((0, 0, 0));
+                entry.0 += 1;
+                entry.1 += dur;
+                entry.2 += dur.saturating_sub(child);
+                if let Some(parent) = stack.last_mut() {
+                    parent.2 += dur;
+                }
+            };
+        for e in &self.events {
+            let stack = stacks.entry(e.lane).or_default();
+            match e.kind {
+                EventKind::Begin => stack.push((e.name, e.ts_ns, 0)),
+                EventKind::End => {
+                    if stack.last().is_some_and(|&(name, _, _)| name == e.name) {
+                        let (name, start, child) = stack.pop().unwrap();
+                        close(&mut agg, stack, name, start, child, e.ts_ns);
+                    }
+                }
+                EventKind::Instant => {}
+            }
+        }
+        for stack in stacks.values_mut() {
+            while let Some((name, start, child)) = stack.pop() {
+                close(&mut agg, stack, name, start, child, max_ts);
+            }
+        }
+        let mut out: Vec<PhaseTotal> = agg
+            .into_iter()
+            .map(|(name, (count, total_ns, self_ns))| PhaseTotal { name, count, total_ns, self_ns })
+            .collect();
+        out.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(b.name)));
+        out
+    }
+
+    /// Per-phase inclusive totals in milliseconds, keyed by span name —
+    /// the shape the bench artifacts embed as `"phases"`.
+    pub fn phase_totals_ms(&self) -> BTreeMap<&'static str, f64> {
+        self.phase_totals()
+            .into_iter()
+            .map(|t| (t.name, t.total_ns as f64 / 1e6))
+            .collect()
+    }
+
+    /// Serializes the snapshot in Chrome trace-event JSON (the
+    /// `{"traceEvents": [...]}` object format), loadable in Perfetto or
+    /// `chrome://tracing`. Lanes become threads of pid 1 via
+    /// `thread_name` metadata events; counters and gauges become `"C"`
+    /// events at the final timestamp. An empty snapshot serializes to
+    /// exactly [`Self::EMPTY_CHROME_JSON`].
+    pub fn to_chrome_json(&self) -> String {
+        let mut entries: Vec<String> = Vec::new();
+        let max_ts = self.events.iter().map(|e| e.ts_ns).max().unwrap_or(0);
+        let max_us = max_ts as f64 / 1000.0;
+        if !self.events.is_empty() {
+            let mut used: Vec<u32> = self.events.iter().map(|e| e.lane).collect();
+            used.sort_unstable();
+            used.dedup();
+            for lane in used {
+                entries.push(format!(
+                    "{{\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    esc(self.lane_name(lane))
+                ));
+            }
+            for e in &self.events {
+                let ph = match e.kind {
+                    EventKind::Begin => "B",
+                    EventKind::End => "E",
+                    EventKind::Instant => "i",
+                };
+                let ts = e.ts_ns as f64 / 1000.0;
+                let mut s = format!(
+                    "{{\"ph\":\"{ph}\",\"pid\":1,\"tid\":{},\"ts\":{ts:.3},\"name\":\"{}\"",
+                    e.lane,
+                    esc(e.name)
+                );
+                if e.kind == EventKind::Instant {
+                    s.push_str(",\"s\":\"t\"");
+                }
+                if let Some(d) = &e.detail {
+                    s.push_str(",\"args\":{\"detail\":\"");
+                    s.push_str(&esc(d));
+                    s.push_str("\"}");
+                }
+                s.push('}');
+                entries.push(s);
+            }
+        }
+        for (name, v) in &self.counters {
+            entries.push(format!(
+                "{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":{max_us:.3},\"name\":\"{}\",\
+                 \"args\":{{\"value\":{v}}}}}",
+                esc(name)
+            ));
+        }
+        for (name, v) in &self.gauges {
+            let v = if v.is_finite() { *v } else { 0.0 };
+            entries.push(format!(
+                "{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":{max_us:.3},\"name\":\"{}\",\
+                 \"args\":{{\"value\":{v}}}}}",
+                esc(name)
+            ));
+        }
+        let mut out = String::from("{\"traceEvents\":[");
+        out.push_str(&entries.join(","));
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Renders the per-phase table plus final counter/gauge values as
+    /// human-readable text (the `--profile` output).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let totals = self.phase_totals();
+        if !totals.is_empty() {
+            out.push_str(&format!(
+                "{:<28} {:>7} {:>12} {:>12}\n",
+                "phase", "count", "total ms", "self ms"
+            ));
+            for t in &totals {
+                out.push_str(&format!(
+                    "{:<28} {:>7} {:>12.3} {:>12.3}\n",
+                    t.name,
+                    t.count,
+                    t.total_ns as f64 / 1e6,
+                    t.self_ns as f64 / 1e6
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<32} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<32} {v:.3}\n"));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no trace data recorded)\n");
+        }
+        out
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

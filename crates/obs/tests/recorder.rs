@@ -1,0 +1,197 @@
+//! Recorder behaviour: span balance and nesting, disabled-path
+//! stability, counter/gauge registry, lanes, and the Chrome sink
+//! round-tripped through the in-repo JSON parser.
+
+use dscweaver_obs as obs;
+use dscweaver_obs::json::{self, Json};
+use dscweaver_obs::EventKind;
+
+#[test]
+fn disabled_recorder_records_nothing_and_is_byte_stable() {
+    let _serial = obs::test_lock();
+    obs::set_enabled(false);
+    drop(obs::take());
+
+    let span = obs::span("ignored");
+    obs::instant("ignored.instant");
+    obs::counter_add("ignored.counter", 7);
+    obs::gauge_set("ignored.gauge", 1.5);
+    let lane = obs::worker_lane(3);
+    obs::instant_with("ignored.detail", || panic!("detail must not be built when disabled"));
+    drop(lane);
+    drop(span);
+
+    let snap = obs::take();
+    assert!(snap.is_empty());
+    assert!(snap.events().is_empty());
+    assert!(snap.counters().is_empty());
+    assert!(snap.gauges().is_empty());
+    assert_eq!(snap.to_chrome_json(), obs::TraceSnapshot::EMPTY_CHROME_JSON);
+    // Byte-stable: a second empty snapshot serializes identically.
+    assert_eq!(obs::take().to_chrome_json(), obs::TraceSnapshot::EMPTY_CHROME_JSON);
+}
+
+#[test]
+fn spans_nest_and_balance_on_one_lane() {
+    let _serial = obs::test_lock();
+    let ((), snap) = obs::record_with(|| {
+        let _a = obs::span("a");
+        {
+            let _b = obs::span_with("b", || "x=1".to_string());
+            obs::instant("tick");
+        }
+        let _c = obs::span("c");
+    });
+
+    let begins = snap.events().iter().filter(|e| e.kind == EventKind::Begin).count();
+    let ends = snap.events().iter().filter(|e| e.kind == EventKind::End).count();
+    assert_eq!(begins, 3);
+    assert_eq!(ends, 3);
+
+    let totals = snap.phase_totals();
+    let names: Vec<&str> = totals.iter().map(|t| t.name).collect();
+    assert!(names.contains(&"a") && names.contains(&"b") && names.contains(&"c"));
+    let a = totals.iter().find(|t| t.name == "a").unwrap();
+    let b = totals.iter().find(|t| t.name == "b").unwrap();
+    let c = totals.iter().find(|t| t.name == "c").unwrap();
+    // Children are nested inside `a`, so a's total covers both and its
+    // self time excludes them.
+    assert!(a.total_ns >= b.total_ns + c.total_ns);
+    assert_eq!(a.self_ns, a.total_ns - b.total_ns - c.total_ns);
+    assert_eq!((a.count, b.count, c.count), (1, 1, 1));
+}
+
+#[test]
+fn span_opened_while_enabled_still_closes_after_disable() {
+    let _serial = obs::test_lock();
+    obs::set_enabled(true);
+    drop(obs::take());
+    let span = obs::span("toggled");
+    obs::set_enabled(false);
+    drop(span); // must still record End so the stack balances
+    obs::set_enabled(true);
+    let snap = obs::take();
+    obs::set_enabled(false);
+
+    let kinds: Vec<EventKind> = snap.events().iter().map(|e| e.kind).collect();
+    assert_eq!(kinds, vec![EventKind::Begin, EventKind::End]);
+    assert_eq!(snap.phase_totals().len(), 1);
+    assert_eq!(snap.phase_totals()[0].count, 1);
+}
+
+#[test]
+fn counters_accumulate_and_gauges_overwrite() {
+    let _serial = obs::test_lock();
+    let ((), snap) = obs::record_with(|| {
+        obs::counter_add("work.units", 2);
+        obs::counter_add("work.units", 5);
+        obs::gauge_set("rate", 0.25);
+        obs::gauge_set("rate", 0.75);
+    });
+    assert_eq!(snap.counters().get("work.units"), Some(&7));
+    assert_eq!(snap.gauges().get("rate"), Some(&0.75));
+    // take() drained the registry.
+    assert!(obs::take().is_empty());
+}
+
+#[test]
+fn worker_lanes_are_stable_across_scopes() {
+    let _serial = obs::test_lock();
+    let ((), snap) = obs::record_with(|| {
+        for _round in 0..2 {
+            std::thread::scope(|scope| {
+                for slot in 0..2 {
+                    scope.spawn(move || {
+                        let _lane = obs::worker_lane(slot);
+                        {
+                            let _s = obs::span("window");
+                        }
+                        // `thread::scope` does not wait for TLS teardown;
+                        // flush inside the closure like the pool does.
+                        obs::flush_thread();
+                    });
+                }
+            });
+        }
+    });
+    let mut lanes: Vec<&str> = snap
+        .events()
+        .iter()
+        .map(|e| snap.lane_name(e.lane))
+        .collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    // Two rounds reuse the same two lanes: no per-scope lane growth.
+    assert_eq!(lanes, vec!["worker-0", "worker-1"]);
+    let window = snap
+        .phase_totals()
+        .into_iter()
+        .find(|t| t.name == "window")
+        .unwrap();
+    assert_eq!(window.count, 4);
+}
+
+#[test]
+fn chrome_json_round_trips_through_parser() {
+    let _serial = obs::test_lock();
+    let ((), snap) = obs::record_with(|| {
+        let _outer = obs::span("outer");
+        let _inner = obs::span_with("inner", || "k=\"v\"\n".to_string());
+        obs::instant("mark");
+        obs::counter_add("n", 3);
+        obs::gauge_set("g", 1.5);
+    });
+    let text = snap.to_chrome_json();
+    let doc = json::parse(&text).expect("emitted trace must be valid JSON");
+    assert_eq!(doc.get("displayTimeUnit").and_then(Json::as_str), Some("ms"));
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+
+    let phases: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("ph").and_then(Json::as_str))
+        .collect();
+    assert!(phases.contains(&"M"), "thread_name metadata present");
+    assert!(phases.contains(&"B") && phases.contains(&"E") && phases.contains(&"i"));
+    assert!(phases.contains(&"C"), "counter events present");
+
+    // The escaped detail survives the round trip.
+    let inner = events
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("inner"))
+        .unwrap();
+    let detail = inner
+        .get("args")
+        .and_then(|a| a.get("detail"))
+        .and_then(Json::as_str)
+        .unwrap();
+    assert_eq!(detail, "k=\"v\"\n");
+
+    // Timestamps are in microseconds and non-decreasing.
+    let ts: Vec<f64> = events
+        .iter()
+        .filter(|e| matches!(e.get("ph").and_then(Json::as_str), Some("B" | "E")))
+        .filter_map(|e| e.get("ts").and_then(Json::as_num))
+        .collect();
+    assert!(ts.windows(2).all(|w| w[0] <= w[1]), "sorted: {ts:?}");
+}
+
+#[test]
+fn merge_combines_snapshots() {
+    let _serial = obs::test_lock();
+    let ((), mut first) = obs::record_with(|| {
+        let _s = obs::span("phase.one");
+        obs::counter_add("n", 1);
+    });
+    let ((), second) = obs::record_with(|| {
+        let _s = obs::span("phase.two");
+        obs::counter_add("n", 2);
+        obs::gauge_set("g", 4.0);
+    });
+    first.merge(second);
+    let names: Vec<&str> = first.phase_totals().iter().map(|t| t.name).collect();
+    assert!(names.contains(&"phase.one") && names.contains(&"phase.two"));
+    assert_eq!(first.counters().get("n"), Some(&3));
+    assert_eq!(first.gauges().get("g"), Some(&4.0));
+    let ts: Vec<u64> = first.events().iter().map(|e| e.ts_ns).collect();
+    assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+}

@@ -24,6 +24,7 @@ use crate::reach::{assignment_chooser, explore, explore_with, run_to_quiescence,
 use dscweaver_core::ExecConditions;
 use dscweaver_dscl::{ConstraintSet, SyncGraph};
 use dscweaver_graph::{effective_threads, find_cycle, par_ranges};
+use dscweaver_obs as obs;
 use std::collections::HashMap;
 
 /// Validation options.
@@ -48,15 +49,39 @@ pub struct ValidateOptions {
     /// `BENCH_petri.json` and the equivalence tests can measure the old
     /// engine through the same entry point.
     pub rescan_baseline: bool,
-    /// Enumerate independent guard groups separately (see
-    /// [`guard_groups`]): each group's assignment
+    /// When to enumerate independent guard groups separately (see
+    /// [`guard_groups`] and [`FactorPolicy`]): each group's assignment
     /// sub-space is checked with the other guards pinned to their first
     /// domain value, turning the multiplicative product of domain sizes
     /// into a sum over groups. The ok/not-ok verdict is unchanged
     /// (disjoint footprints cannot interact), but `assignments_checked`
     /// shrinks and failures report the pinned values for out-of-group
-    /// guards. Off by default so unfactored reports stay byte-stable.
-    pub factor_independent: bool,
+    /// guards. [`ValidationReport::factored`] records whether the split
+    /// actually happened.
+    pub factor: FactorPolicy,
+}
+
+/// Policy for splitting branch-assignment enumeration into independent
+/// guard groups ([`ValidateOptions::factor`]).
+///
+/// Factoring never changes the verdict — groups with disjoint downstream
+/// place-footprints cannot influence a common place — so the only reason
+/// to disable it is byte-stable comparison against the full
+/// multiplicative enumeration (equivalence tests, benchmarks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FactorPolicy {
+    /// Factor whenever [`guard_groups`] finds more than one group — the
+    /// default. (With a single group the factored plan covers every
+    /// guard, which is exactly the unfactored enumeration, so `Auto` and
+    /// `On` behave identically; the variant exists to document intent.)
+    #[default]
+    Auto,
+    /// Same runtime behaviour as `Auto`; spelled out for callers that
+    /// specifically request the factored path.
+    On,
+    /// Never factor: always enumerate the full multiplicative assignment
+    /// space, keeping reports byte-stable against the classic path.
+    Off,
 }
 
 impl Default for ValidateOptions {
@@ -67,7 +92,7 @@ impl Default for ValidateOptions {
             explore_states: 0,
             threads: 0,
             rescan_baseline: false,
-            factor_independent: false,
+            factor: FactorPolicy::Auto,
         }
     }
 }
@@ -101,9 +126,13 @@ pub struct ValidationReport {
     pub exploration: Option<Reachability>,
     /// Independence groups the enumeration was split into: `1` for the
     /// unfactored path (or no guards), the number of disjoint-footprint
-    /// groups when [`ValidateOptions::factor_independent`] is set, `0`
+    /// groups when [`ValidateOptions::factor`] allowed factoring, `0`
     /// when validation stopped at a structural conflict.
     pub guard_groups: usize,
+    /// Whether the enumeration actually ran factored (more than one
+    /// independent group under a non-`Off` [`FactorPolicy`]) — the
+    /// recorded auto-enable decision.
+    pub factored: bool,
     /// The full multiplicative assignment space (product of domain
     /// sizes, saturating); `assignments_checked` is below this when the
     /// cap truncated the enumeration or factoring shrank it.
@@ -129,9 +158,13 @@ pub fn validate(
     exec: &ExecConditions,
     opts: &ValidateOptions,
 ) -> ValidationReport {
+    let _span = obs::span_with("petri.validate", || {
+        format!("activities={} domains={}", cs.activities.len(), cs.domains.len())
+    });
     // Layer 1: structural conflicts.
     let sg = SyncGraph::build(cs);
     if let Some(cycle) = find_cycle(&sg.graph) {
+        obs::instant("petri.conflict_cycle");
         return ValidationReport {
             conflict_cycle: Some(
                 cycle
@@ -144,14 +177,19 @@ pub fn validate(
             failures: Vec::new(),
             exploration: None,
             guard_groups: 0,
+            factored: false,
             assignment_space: 0,
         };
     }
 
+    let lower_span = obs::span("petri.lower");
     let lowered = lower(cs, exec);
+    drop(lower_span);
     // Compile the wavefront tables once; every assignment run below
     // reuses them through a per-worker session.
+    let prepare_span = obs::span("petri.prepare");
     let prep = PreparedNet::new(&lowered.net);
+    drop(prepare_span);
 
     // Layer 2: per-assignment simulation.
     let guards: Vec<(&String, &Vec<String>)> = cs.domains.iter().collect();
@@ -165,10 +203,11 @@ pub fn validate(
     // vary, every other guard pinned to its first domain value. The
     // unfactored path is one plan over all guards — decoding a linear
     // index over it is exactly the original mixed-radix little-endian
-    // odometer. With `factor_independent`, one plan per disjoint-footprint
-    // group: sub-spaces sum instead of multiplying, and the verdict is
-    // unchanged because disjoint groups cannot influence a common place.
-    let plans: Vec<Vec<usize>> = if opts.factor_independent && guards.len() > 1 {
+    // odometer. Unless the policy is `Off`, one plan per
+    // disjoint-footprint group: sub-spaces sum instead of multiplying,
+    // and the verdict is unchanged because disjoint groups cannot
+    // influence a common place.
+    let plans: Vec<Vec<usize>> = if opts.factor != FactorPolicy::Off && guards.len() > 1 {
         let pos: HashMap<&str, usize> = guards
             .iter()
             .enumerate()
@@ -235,6 +274,9 @@ pub fn validate(
         }
     };
     let threads = effective_threads(opts.threads, 8);
+    let assignments_span = obs::span_with("petri.assignments", || {
+        format!("plans={} space={space} threads={threads}", plans.len())
+    });
     let mut checked = 0usize;
     let mut truncated = false;
     let mut failures: Vec<AssignmentFailure> = Vec::new();
@@ -265,9 +307,11 @@ pub fn validate(
         );
         checked += plan_to_check;
     }
+    drop(assignments_span);
 
     // Layer 3: optional interleaving exploration.
     let exploration = if opts.explore_states > 0 {
+        let _span = obs::span("petri.explore");
         Some(if opts.rescan_baseline {
             explore(&lowered.net, opts.explore_states)
         } else {
@@ -277,6 +321,14 @@ pub fn validate(
         None
     };
 
+    let factored = plans.len() > 1;
+    obs::counter_add("petri.assignments_checked", checked as u64);
+    obs::counter_add("petri.failures", failures.len() as u64);
+    if factored {
+        obs::counter_add("petri.factored_runs", 1);
+    }
+    obs::gauge_set("petri.guard_groups", plans.len() as f64);
+    obs::gauge_set("petri.assignment_space", space as f64);
     ValidationReport {
         conflict_cycle: None,
         assignments_checked: checked,
@@ -284,6 +336,7 @@ pub fn validate(
         failures,
         exploration,
         guard_groups: plans.len(),
+        factored,
         assignment_space: space,
     }
 }

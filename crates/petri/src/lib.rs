@@ -14,7 +14,7 @@
 //! wavefront's derived tables once and [`NetSession`] reuses scratch
 //! state across runs; [`guard_groups`] factors independent guards so
 //! [`validate`] can enumerate additive sub-spaces instead of the full
-//! multiplicative product (see [`ValidateOptions::factor_independent`]).
+//! multiplicative product (see [`ValidateOptions::factor`]).
 //!
 //! ```
 //! use dscweaver_core::ExecConditions;
@@ -53,7 +53,9 @@ pub mod net;
 pub mod prepared;
 pub mod reach;
 
-pub use analysis::{validate, validate_default, AssignmentFailure, ValidateOptions, ValidationReport};
+pub use analysis::{
+    validate, validate_default, AssignmentFailure, FactorPolicy, ValidateOptions, ValidationReport,
+};
 pub use invariants::{check_invariants, place_invariants, PlaceInvariant};
 pub use lower::{lower, ActivityNodes, LoweredNet, SKIP};
 pub use net::{ArcIn, ArcOut, Color, ColorFilter, Marking, Mode, Net, PlaceId, TransitionId};

@@ -26,6 +26,7 @@ use crate::trace::{EventKind, Time, Trace, TraceEvent};
 use dscweaver_core::ExecConditions;
 use dscweaver_dscl::{ActivityState, Condition, ConstraintSet, Relation, StateRef};
 use dscweaver_graph::{effective_threads, par_map};
+use dscweaver_obs as obs;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
 
 /// Below this agenda size a parallel evaluation batch costs more than it
@@ -301,6 +302,9 @@ impl<'a> PreparedSchedule<'a> {
     /// Derives the static indexes (prereq buckets, exclusive partners,
     /// agenda wake-lists) from `cs`/`exec`.
     pub fn new(cs: &'a ConstraintSet, exec: &'a ExecConditions) -> Self {
+        let _span = obs::span_with("scheduler.prepare", || {
+            format!("activities={} relations={}", cs.activities.len(), cs.relations.len())
+        });
         // Indexing.
         let mut start_prereqs: HashMap<&str, Vec<Prereq>> = HashMap::new();
         let mut finish_prereqs: HashMap<&str, Vec<Prereq>> = HashMap::new();
@@ -388,6 +392,7 @@ impl<'a> PreparedSchedule<'a> {
     /// One simulation run over the prepared indexes — the wavefront event
     /// loop of [`simulate`], minus the per-call index derivation.
     pub fn run(&self, config: &SimConfig) -> Schedule {
+        let _span = obs::span("scheduler.run");
         let cs = self.cs;
         let exec = self.exec;
         let start_prereqs = &self.start_prereqs;
@@ -604,6 +609,9 @@ impl<'a> PreparedSchedule<'a> {
             .filter(|a| !done.contains(a.as_str()))
             .cloned()
             .collect();
+        obs::counter_add("scheduler.constraint_checks", checks);
+        obs::counter_add("scheduler.stuck_activities", stuck.len() as u64);
+        obs::gauge_set("scheduler.makespan", trace.makespan() as f64);
         Schedule {
             trace,
             constraint_checks: checks,

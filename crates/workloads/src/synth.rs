@@ -359,6 +359,7 @@ pub fn service_mesh(n_services: usize, seed: u64) -> DependencySet {
 mod tests {
     use super::*;
     use dscweaver_core::{EquivalenceMode, ExecConditions, Weaver};
+    use dscweaver_petri::FactorPolicy;
 
     #[test]
     fn layered_is_deterministic_and_connected() {
@@ -447,16 +448,24 @@ mod tests {
         let ds = disjoint_conditional(&DisjointConditionalParams::default());
         let out = Weaver::new().run(&ds).unwrap();
         assert!(out.total_removed() >= 8, "removed {}", out.total_removed());
-        let full = dscweaver_petri::validate_default(&out.minimal, &out.exec);
+        let full = dscweaver_petri::validate(
+            &out.minimal,
+            &out.exec,
+            &dscweaver_petri::ValidateOptions {
+                factor: FactorPolicy::Off,
+                ..Default::default()
+            },
+        );
         assert!(full.ok(), "failures: {:?}", full.failures);
         assert_eq!(full.assignments_checked, 16);
         assert_eq!(full.guard_groups, 1);
+        assert!(!full.factored);
         assert_eq!(full.assignment_space, 16);
         let factored = dscweaver_petri::validate(
             &out.minimal,
             &out.exec,
             &dscweaver_petri::ValidateOptions {
-                factor_independent: true,
+                factor: FactorPolicy::On,
                 ..Default::default()
             },
         );

@@ -13,7 +13,8 @@ use dscweaver_core::Weaver;
 use dscweaver_dscl::{Condition, ConstraintSet, Relation, StateRef};
 use dscweaver_petri::{
     assignment_chooser, explore, explore_with, lower, run_to_quiescence,
-    run_to_quiescence_wavefront, validate, AssignmentFailure, ValidateOptions, ValidationReport,
+    run_to_quiescence_wavefront, validate, AssignmentFailure, FactorPolicy, ValidateOptions,
+    ValidationReport,
 };
 use dscweaver_prng::Rng;
 use dscweaver_workloads::{dense_conditional, fork_join, DenseConditionalParams};
@@ -110,6 +111,9 @@ fn failure_merge_order_is_lexicographic_and_thread_invariant() {
         &ValidateOptions {
             threads: 1,
             rescan_baseline: true,
+            // Pin the full 2^3 enumeration: the three ghost guards are
+            // provably independent, so auto-factoring would shrink it.
+            factor: FactorPolicy::Off,
             ..Default::default()
         },
     );
@@ -124,6 +128,7 @@ fn failure_merge_order_is_lexicographic_and_thread_invariant() {
                 &ValidateOptions {
                     threads,
                     rescan_baseline: rescan,
+                    factor: FactorPolicy::Off,
                     ..Default::default()
                 },
             );

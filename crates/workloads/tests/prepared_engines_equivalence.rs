@@ -8,7 +8,7 @@
 use dscweaver_core::{merge, translate_services, ExecConditions, Weaver};
 use dscweaver_petri::{
     assignment_chooser, guard_groups, lower, run_to_quiescence_wavefront, validate,
-    AssignmentFailure, PreparedNet, ValidateOptions, ValidationReport,
+    AssignmentFailure, FactorPolicy, PreparedNet, ValidateOptions, ValidationReport,
 };
 use dscweaver_scheduler::{simulate, PreparedSchedule, Schedule, SimConfig};
 use dscweaver_workloads::{
@@ -147,10 +147,18 @@ fn factored_validation_agrees_with_full_enumeration() {
     assert_eq!(groups.len(), 2, "two provably disjoint islands: {groups:?}");
     assert!(groups.iter().all(|g| g.len() == 3));
 
-    let full = validate(&out.minimal, &out.exec, &ValidateOptions::default());
+    let full = validate(
+        &out.minimal,
+        &out.exec,
+        &ValidateOptions {
+            factor: FactorPolicy::Off,
+            ..Default::default()
+        },
+    );
     assert!(full.ok(), "failures: {:?}", full.failures);
     assert_eq!(full.assignments_checked, 64); // 2^6
     assert_eq!(full.guard_groups, 1);
+    assert!(!full.factored);
 
     let mut first = None;
     for threads in [1usize, 2, 0] {
@@ -158,7 +166,7 @@ fn factored_validation_agrees_with_full_enumeration() {
             &out.minimal,
             &out.exec,
             &ValidateOptions {
-                factor_independent: true,
+                factor: FactorPolicy::On,
                 threads,
                 ..Default::default()
             },

@@ -13,8 +13,15 @@
 //! dependencies come from a DSCL file whose relations are merged in as
 //! `cooperation:`-tagged constraints. WSCL conversations are XML files
 //! with a binding spec `interaction=activity,...` after a colon.
+//!
+//! Observability (see `OBSERVABILITY.md`): `--trace <out.json>` records
+//! every pipeline phase and worker lane to a Chrome trace-event file
+//! (load it in Perfetto / `chrome://tracing`); `--profile` prints a
+//! per-phase wall-time summary to stderr. `--threads <n>` sets the
+//! worker-thread count for minimization, validation and execution.
 
 use dscweaver::core::{Dependency, DependencyKind, Endpoint, Weaver};
+use dscweaver::obs;
 use dscweaver::dscl::{parse_constraints, Relation, SyncGraph};
 use dscweaver::model::parse_process;
 use dscweaver::scheduler::SimConfig;
@@ -29,7 +36,10 @@ fn usage() -> ExitCode {
        [--wscl <conversation.xml>:<iid=activity,...>]...
        [--branch <guard=value>]...
        [--stage sc|asc|minimal]      (dot)
-       [--structured]                (bpel)"
+       [--structured]                (bpel)
+       [--threads <n>]               (0 = auto)
+       [--trace <out.json>]          (Chrome trace-event JSON)
+       [--profile]                   (per-phase summary on stderr)"
     );
     ExitCode::from(2)
 }
@@ -42,6 +52,9 @@ struct Args {
     branches: Vec<(String, String)>,
     stage: String,
     structured: bool,
+    threads: usize,
+    trace: Option<String>,
+    profile: bool,
 }
 
 fn parse_args() -> Option<Args> {
@@ -56,6 +69,9 @@ fn parse_args() -> Option<Args> {
         branches: Vec::new(),
         stage: "minimal".into(),
         structured: false,
+        threads: 0,
+        trace: None,
+        profile: false,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -72,6 +88,9 @@ fn parse_args() -> Option<Args> {
             }
             "--stage" => args.stage = argv.next()?,
             "--structured" => args.structured = true,
+            "--threads" => args.threads = argv.next()?.parse().ok()?,
+            "--trace" => args.trace = Some(argv.next()?),
+            "--profile" => args.profile = true,
             _ => return None,
         }
     }
@@ -135,14 +154,35 @@ fn run() -> Result<(), String> {
         sim.oracle.insert(g.clone(), v.clone());
     }
 
+    // Tracing/profiling wraps the whole vertical; the recorder costs one
+    // atomic load per probe when neither flag is given.
+    let recording = args.trace.is_some() || args.profile;
+    if recording {
+        obs::set_enabled(true);
+    }
     let out = weave(&VerticalInput {
         process: &process,
         conversations: &conversations,
         cooperation: &cooperation,
-        weaver: Weaver::new(),
+        weaver: Weaver {
+            threads: args.threads,
+            ..Weaver::new()
+        },
         sim,
     })
     .map_err(|e| e.to_string())?;
+    if recording {
+        obs::set_enabled(false);
+        let snapshot = obs::take();
+        if let Some(path) = &args.trace {
+            std::fs::write(path, snapshot.to_chrome_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("trace written to {path} (load in Perfetto or chrome://tracing)");
+        }
+        if args.profile {
+            eprint!("{}", snapshot.summary());
+        }
+    }
 
     match args.command.as_str() {
         "optimize" => {

@@ -23,6 +23,7 @@
 //! | [`dscl`] | `dscweaver-dscl` | the DSCL constraint language (§4.1) |
 //! | [`wscl`] | `dscweaver-wscl` | service conversations → service dependencies (§3.2) |
 //! | [`core`] | `dscweaver-core` | categorization, merge (§4.2), translation (§4.3), minimization (§4.4) |
+//! | [`obs`] | `dscweaver-obs` | zero-dependency tracing/metrics: phase spans, worker lanes, Chrome-trace export |
 //! | [`petri`] | `dscweaver-petri` | colored Petri nets, validation (§4.1) |
 //! | [`scheduler`] | `dscweaver-scheduler` | dataflow DES engine, constructs baseline, threaded executor |
 //! | [`bpel`] | `dscweaver-bpel` | BPEL generation, parsing, structure recovery |
@@ -47,6 +48,7 @@ pub use dscweaver_core as core;
 pub use dscweaver_dscl as dscl;
 pub use dscweaver_graph as graph;
 pub use dscweaver_model as model;
+pub use dscweaver_obs as obs;
 pub use dscweaver_pdg as pdg;
 pub use dscweaver_petri as petri;
 pub use dscweaver_scheduler as scheduler;

@@ -18,6 +18,7 @@
 
 use dscweaver_core::{Weaver, WeaverError, WeaverOutput};
 use dscweaver_dscl::ConstraintSet;
+use dscweaver_obs as obs;
 use dscweaver_model::Process;
 use dscweaver_petri::{validate, ValidateOptions, ValidationReport};
 use dscweaver_scheduler::{simulate, PreparedSchedule, Schedule, SimConfig};
@@ -159,8 +160,12 @@ pub fn assemble_dependencies(
 
 /// Runs the full vertical.
 pub fn weave(input: &VerticalInput<'_>) -> Result<VerticalOutput, VerticalError> {
-    let ds = assemble_dependencies(input.process, input.conversations, input.cooperation)
-        .map_err(VerticalError::Wscl)?;
+    let _span = obs::span_with("weave", || input.process.name.clone());
+    let ds = {
+        let _span = obs::span("weave.dependencies");
+        assemble_dependencies(input.process, input.conversations, input.cooperation)
+            .map_err(VerticalError::Wscl)?
+    };
     let weaver_out = input.weaver.run(&ds).map_err(VerticalError::Weaver)?;
     // The Weaver's thread knob drives validation and (unless the sim
     // config sets its own) the scheduler's guard-evaluation batches.
@@ -183,10 +188,18 @@ pub fn weave(input: &VerticalInput<'_>) -> Result<VerticalOutput, VerticalError>
     // satisfy the FULL merged SC, projected to internal activities (the
     // ASC before minimization, which carries every data/control/coop
     // constraint plus the translated service constraints).
-    let violations = schedule.trace.verify(&weaver_out.asc);
-    let conformance =
-        dscweaver_scheduler::check_all_conformance(&schedule.trace, input.conversations);
-    let bpel = dscweaver_bpel::emit_string(input.process, &weaver_out.minimal);
+    let violations = {
+        let _span = obs::span("weave.verify");
+        schedule.trace.verify(&weaver_out.asc)
+    };
+    let conformance = {
+        let _span = obs::span("weave.conformance");
+        dscweaver_scheduler::check_all_conformance(&schedule.trace, input.conversations)
+    };
+    let bpel = {
+        let _span = obs::span("bpel.emit");
+        dscweaver_bpel::emit_string(input.process, &weaver_out.minimal)
+    };
     Ok(VerticalOutput {
         weaver: weaver_out,
         validation,
@@ -205,6 +218,7 @@ pub fn weave_dependencies(
     weaver: &Weaver,
     sim: &SimConfig,
 ) -> Result<VerticalOutput, VerticalError> {
+    let _span = obs::span_with("weave", || process.name.clone());
     let weaver_out = weaver.run(ds).map_err(VerticalError::Weaver)?;
     let validation = validate(
         &weaver_out.minimal,
@@ -219,8 +233,14 @@ pub fn weave_dependencies(
         sim.threads = weaver.threads;
     }
     let schedule = PreparedSchedule::new(&weaver_out.minimal, &weaver_out.exec).run(&sim);
-    let violations = schedule.trace.verify(&weaver_out.asc);
-    let bpel = dscweaver_bpel::emit_string(process, &weaver_out.minimal);
+    let violations = {
+        let _span = obs::span("weave.verify");
+        schedule.trace.verify(&weaver_out.asc)
+    };
+    let bpel = {
+        let _span = obs::span("bpel.emit");
+        dscweaver_bpel::emit_string(process, &weaver_out.minimal)
+    };
     Ok(VerticalOutput {
         weaver: weaver_out,
         validation,

@@ -122,6 +122,67 @@ fn bpel_and_dot_outputs() {
     }
 }
 
+/// `dscw run --trace` must emit Chrome trace-event JSON that the in-repo
+/// parser accepts, with nested phase spans, worker lanes, and counter
+/// samples — the Perfetto-loadable artifact promised by OBSERVABILITY.md.
+#[test]
+fn run_with_trace_emits_valid_chrome_trace() {
+    let proc_path = write_tmp("mini3.proc", PROC);
+    let trace_path = write_tmp("mini3.trace.json", "");
+    let out = bin()
+        .args(["run", proc_path.to_str().unwrap()])
+        .args(["--branch", "gate=T"])
+        .args(["--trace", trace_path.to_str().unwrap()])
+        .args(["--profile", "--threads", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("trace written to"), "{stderr}");
+    assert!(stderr.contains("phase"), "profile summary missing: {stderr}");
+    assert!(stderr.contains("weave"), "{stderr}");
+
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let doc = dscweaver::obs::json::parse(&text).expect("trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let ph = |e: &dscweaver::obs::json::Json| {
+        e.get("ph").and_then(|v| v.as_str()).unwrap_or("").to_string()
+    };
+    let name = |e: &dscweaver::obs::json::Json| {
+        e.get("name").and_then(|v| v.as_str()).unwrap_or("").to_string()
+    };
+
+    // Balanced B/E pairs and at least three distinct nested phases.
+    let begins: Vec<String> = events.iter().filter(|e| ph(e) == "B").map(&name).collect();
+    let ends = events.iter().filter(|e| ph(e) == "E").count();
+    assert_eq!(begins.len(), ends, "unbalanced spans");
+    for phase in ["weave", "weaver.run", "minimize", "petri.validate", "scheduler.run"] {
+        assert!(begins.iter().any(|n| n == phase), "missing span {phase}: {begins:?}");
+    }
+
+    // Thread-name metadata includes the main lane and at least one worker
+    // lane (threads=2 over two branch assignments spawns real workers).
+    let lanes: Vec<String> = events
+        .iter()
+        .filter(|e| ph(e) == "M")
+        .filter_map(|e| e.get("args")?.get("name")?.as_str().map(str::to_string))
+        .collect();
+    assert!(lanes.iter().any(|l| l == "main"), "{lanes:?}");
+    assert!(lanes.iter().any(|l| l.starts_with("worker-")), "{lanes:?}");
+
+    // Counter samples ride along as 'C' events.
+    let counters: Vec<String> = events.iter().filter(|e| ph(e) == "C").map(&name).collect();
+    assert!(
+        counters.iter().any(|c| c == "petri.assignments_checked"),
+        "{counters:?}"
+    );
+}
+
 #[test]
 fn errors_are_reported() {
     // Missing file.
