@@ -150,6 +150,9 @@ struct CaseReport {
     new_par_ms: f64,
     speedup_seq: f64,
     speedup_par: f64,
+    closure_seq_ms: f64,
+    closure_par_ms: f64,
+    closure_speedup: f64,
     pool_dnfs: usize,
     pool_terms: usize,
     implies_hit_rate: f64,
@@ -159,6 +162,12 @@ struct CaseReport {
 
 fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
+}
+
+/// Total milliseconds recorded under phase `name` in a trace (0 when the
+/// phase never ran).
+fn phase_ms(snapshot: &obs::TraceSnapshot, name: &str) -> f64 {
+    snapshot.phase_totals_ms().get(name).copied().unwrap_or(0.0)
 }
 
 fn json_f(v: f64) -> String {
@@ -231,11 +240,19 @@ pub fn bench_minimize_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
             )
         }));
 
-        // One traced run of the optimized engine, outside the timed
-        // samples, for the per-phase breakdown and the suite trace.
+        // Traced runs of the optimized engine, outside the timed samples:
+        // one at threads=1 (the sequential interned-closure path) and one
+        // at the suite thread count (the level-parallel path). The phase
+        // totals give the closure-build comparison; the parallel trace
+        // also backs the per-case phase breakdown and the suite trace.
+        let (_, seq_trace) = obs::record_with(|| {
+            black_box(minimize_generic_with(&asc, &exec, case.mode, &case.order, &seq).unwrap())
+        });
         let (_, case_trace) = obs::record_with(|| {
             black_box(minimize_generic_with(&asc, &exec, case.mode, &case.order, &par).unwrap())
         });
+        let closure_seq_ms = phase_ms(&seq_trace, "minimize.closure");
+        let closure_par_ms = phase_ms(&case_trace, "minimize.closure");
 
         let kept_n = res_new.kept();
         reports.push(CaseReport {
@@ -256,6 +273,9 @@ pub fn bench_minimize_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
             new_par_ms: ms(t_par),
             speedup_seq: t_base.as_secs_f64() / t_seq.as_secs_f64().max(1e-12),
             speedup_par: t_base.as_secs_f64() / t_par.as_secs_f64().max(1e-12),
+            closure_seq_ms,
+            closure_par_ms,
+            closure_speedup: closure_seq_ms / closure_par_ms.max(1e-9),
             pool_dnfs: res_new.stats.pool_dnfs,
             pool_terms: res_new.stats.pool_terms,
             implies_hit_rate: res_new.stats.implies_hit_rate(),
@@ -301,6 +321,18 @@ pub fn bench_minimize_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
         out.push_str(&format!(
             "      \"speedup_par\": {},\n",
             json_f(r.speedup_par)
+        ));
+        out.push_str(&format!(
+            "      \"closure_seq_ms\": {},\n",
+            json_f(r.closure_seq_ms)
+        ));
+        out.push_str(&format!(
+            "      \"closure_par_ms\": {},\n",
+            json_f(r.closure_par_ms)
+        ));
+        out.push_str(&format!(
+            "      \"closure_speedup\": {},\n",
+            json_f(r.closure_speedup)
         ));
         out.push_str(&format!("      \"pool_dnfs\": {},\n", r.pool_dnfs));
         out.push_str(&format!("      \"pool_terms\": {},\n", r.pool_terms));

@@ -27,6 +27,9 @@ fn bench_json_smoke_runs_and_renders() {
         "\"baseline_ms\":",
         "\"new_seq_ms\":",
         "\"new_par_ms\":",
+        "\"closure_seq_ms\":",
+        "\"closure_par_ms\":",
+        "\"closure_speedup\":",
         "\"constraints_in\":",
         "\"redundancy\":",
         "\"pool_dnfs\":",

@@ -131,11 +131,17 @@ pub fn dnf_and(a: &Dnf<Condition>, b: &Dnf<Condition>) -> Dnf<Condition> {
     out
 }
 
-/// Evaluates a DNF under a guard assignment.
-fn eval(d: &Dnf<Condition>, assignment: &BTreeMap<&str, &str>) -> bool {
+/// Evaluates a DNF under a guard assignment, given as a name-sorted slice
+/// (a handful of guards at most, so lookup is a linear scan — no per-step
+/// map allocation on the Definition-4 hot path).
+fn eval(d: &Dnf<Condition>, assignment: &[(&str, &str)]) -> bool {
     d.terms().iter().any(|term| {
-        term.iter()
-            .all(|c| assignment.get(c.on.as_str()) == Some(&c.value.as_str()))
+        term.iter().all(|c| {
+            assignment
+                .iter()
+                .find(|&&(g, _)| g == c.on.as_str())
+                .is_some_and(|&(_, v)| v == c.value.as_str())
+        })
     })
 }
 
@@ -197,14 +203,15 @@ pub fn implies_under(
         return false;
     }
 
-    // Odometer enumeration.
+    // Odometer enumeration over one in-place assignment vector — each
+    // step rewrites only the positions that ticked, instead of
+    // re-collecting a fresh map per assignment.
     let mut idx = vec![0usize; guard_values.len()];
+    let mut assignment: Vec<(&str, &str)> = guard_values
+        .iter()
+        .map(|(g, vals)| (*g, vals[0]))
+        .collect();
     loop {
-        let assignment: BTreeMap<&str, &str> = guard_values
-            .iter()
-            .zip(&idx)
-            .map(|((g, vals), &i)| (*g, vals[i]))
-            .collect();
         if eval(context, &assignment) && eval(old, &assignment) && !eval(new, &assignment) {
             return false;
         }
@@ -216,9 +223,11 @@ pub fn implies_under(
             }
             idx[pos] += 1;
             if idx[pos] < guard_values[pos].1.len() {
+                assignment[pos].1 = guard_values[pos].1[idx[pos]];
                 break;
             }
             idx[pos] = 0;
+            assignment[pos].1 = guard_values[pos].1[0];
             pos += 1;
         }
     }

@@ -86,9 +86,12 @@ use crate::exec::{dnf_and, implies_under, ExecConditions};
 use dscweaver_dscl::sync_graph::{SyncGraph, SyncNode};
 use dscweaver_dscl::{Condition, ConstraintSet, Origin, Relation, SyncEdge};
 use dscweaver_graph::annotated::{Dnf, Row};
+use dscweaver_graph::iclosure::{
+    compose_interned_row, interned_closure, irow_get, IRow, RowScratch,
+};
 use dscweaver_graph::{
     effective_threads, find_cycle, par_map, topo_sort, BitSet, DiGraph, DnfId, DnfPool, EdgeId,
-    LruCache, NodeId,
+    LruCache, NodeId, TermId,
 };
 use dscweaver_obs as obs;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -310,35 +313,13 @@ pub fn minimize_generic(
     minimize_generic_with(cs, exec, mode, order, &MinimizeOptions::default())
 }
 
-/// An interned closure row: `(target node index, annotation id)` sorted by
-/// target. Equality is bitwise — the pool guarantees structurally equal
-/// DNFs share an id.
-type IRow = Vec<(u32, DnfId)>;
-
-/// The annotation with which `t` is reached in an interned row.
-fn irow_get(row: &IRow, t: u32) -> Option<DnfId> {
-    row.binary_search_by_key(&t, |&(k, _)| k)
-        .ok()
-        .map(|i| row[i].1)
-}
+// `IRow` (the interned closure row) and `irow_get` now live in
+// `dscweaver_graph::iclosure`, next to the level-parallel builder that
+// produces them.
 
 /// Interns a structurally composed row.
 fn intern_row(pool: &mut DnfPool<Condition>, srow: Vec<(u32, Dnf<Condition>)>) -> IRow {
     srow.into_iter().map(|(t, d)| (t, pool.intern(&d))).collect()
-}
-
-/// `acc[t] ∪= d` through the pool.
-fn upsert(pool: &mut DnfPool<Condition>, acc: &mut BTreeMap<u32, DnfId>, t: u32, d: DnfId) {
-    use std::collections::btree_map::Entry;
-    match acc.entry(t) {
-        Entry::Occupied(mut o) => {
-            let u = pool.union(*o.get(), d);
-            *o.get_mut() = u;
-        }
-        Entry::Vacant(v) => {
-            v.insert(d);
-        }
-    }
 }
 
 /// Structural row composition against a read-only snapshot — safe to run
@@ -403,6 +384,14 @@ struct Engine<'a> {
     irows: Vec<IRow>,
     /// Interned execution condition per node (services: always).
     exec_ids: Vec<DnfId>,
+    /// Direct-edge annotation id per edge index (`ALWAYS` when
+    /// unconditional) — interned once so the greedy loop's row
+    /// recompositions never hash a guard value.
+    edge_gdnf: Vec<DnfId>,
+    /// Singleton guard term per edge index (`None` when unconditional).
+    edge_term: Vec<Option<TermId>>,
+    /// Dense per-row accumulator reused across recompositions.
+    scratch: RowScratch,
     /// Reachability over all live edges / over unconditional live edges.
     closure: Vec<BitSet>,
     uncond: Vec<BitSet>,
@@ -462,14 +451,42 @@ impl<'a> Engine<'a> {
             };
         }
 
+        // The initial annotated closure, built directly in interned form
+        // and level-parallel on the worker pool (bit-identical for every
+        // thread count — see `dscweaver_graph::iclosure`).
+        let lvl_span = obs::span("minimize.closure.levels");
+        let (irows, cstats) =
+            interned_closure(g, &|_, w: &SyncEdge| w.cond.clone(), &mut pool, threads)
+                .expect("cycle-free graph must close");
+        drop(lvl_span);
+        obs::counter_add("minimize.closure.rows_composed", cstats.rows as u64);
+        obs::counter_add("minimize.closure.pool_hits", cstats.pool_hits);
+        obs::counter_add("minimize.closure.pool_misses", cstats.pool_misses);
+        obs::counter_add("minimize.closure.minted_dnfs", cstats.minted as u64);
+
+        // Per-edge guard tables for the greedy loop's recompositions
+        // (every term/dnf below is already interned, so these are hits).
+        let ebound = g.edge_bound();
+        let mut edge_gdnf = vec![DnfPool::<Condition>::ALWAYS; ebound];
+        let mut edge_term = vec![None; ebound];
+        for e in g.edge_ids() {
+            if let Some(c) = &g.edge_weight(e).cond {
+                edge_term[e.index()] = Some(pool.intern_term(&vec![c.clone()]));
+                edge_gdnf[e.index()] = pool.of_guard(Some(c));
+            }
+        }
+
         let mut eng = Engine {
             g,
             cs,
             mode,
             threads,
             pool,
-            irows: vec![Vec::new(); bound],
+            irows,
             exec_ids,
+            edge_gdnf,
+            edge_term,
+            scratch: RowScratch::new(bound),
             closure: vec![BitSet::new(bound); bound],
             uncond: vec![BitSet::new(bound); bound],
             removed: HashSet::new(),
@@ -481,11 +498,9 @@ impl<'a> Engine<'a> {
             dirty_rows: HashSet::new(),
             dirty_tails: HashSet::new(),
         };
-        // One reverse-topological pass builds the interned annotated
-        // closure and both bitset skeletons.
-        let none: HashMap<usize, IRow> = HashMap::new();
+        // One reverse-topological pass derives both bitset skeletons
+        // (cheap unions — never the closure bottleneck).
         for &n in topo.iter().rev() {
-            eng.irows[n.index()] = eng.compose_interned(n, None, &none);
             eng.rebuild_bitset_row(n);
         }
         eng
@@ -493,6 +508,8 @@ impl<'a> Engine<'a> {
 
     /// Recomputes the interned row of `n`, excluding `skip` and all
     /// removed edges. Successor rows come from `fresh` when present.
+    /// Runs on the shared dense-scratch composer with the pre-interned
+    /// per-edge guard tables — no maps, no guard hashing in the loop.
     fn compose_interned(
         &mut self,
         n: NodeId,
@@ -500,27 +517,29 @@ impl<'a> Engine<'a> {
         fresh: &HashMap<usize, IRow>,
     ) -> IRow {
         let g = self.g;
-        let mut acc: BTreeMap<u32, DnfId> = BTreeMap::new();
-        for e in g.out_edges(n) {
-            if Some(e) == skip || self.removed.contains(&e) {
-                continue;
+        let (pool, scratch, irows, removed) = (
+            &mut self.pool,
+            &mut self.scratch,
+            &self.irows,
+            &self.removed,
+        );
+        let (edge_gdnf, edge_term) = (&self.edge_gdnf, &self.edge_term);
+        let adj = g.out_edges(n).filter_map(|e| {
+            if Some(e) == skip || removed.contains(&e) {
+                return None;
             }
             let (_, m) = g.endpoints(e);
-            let guard = &g.edge_weight(e).cond;
-            let gid = self.pool.of_guard(guard.as_ref());
-            upsert(&mut self.pool, &mut acc, m.index() as u32, gid);
-            let mi = m.index();
-            let mrow_len = fresh.get(&mi).unwrap_or(&self.irows[mi]).len();
-            for k in 0..mrow_len {
-                let (t, did) = match fresh.get(&mi) {
-                    Some(r) => r[k],
-                    None => self.irows[mi][k],
-                };
-                let composed = self.pool.compose(did, guard.as_ref());
-                upsert(&mut self.pool, &mut acc, t, composed);
-            }
-        }
-        acc.into_iter().collect()
+            Some((
+                m.index() as u32,
+                edge_gdnf[e.index()],
+                edge_term[e.index()],
+            ))
+        });
+        compose_interned_row(pool, scratch, adj, |m| {
+            fresh
+                .get(&(m as usize))
+                .unwrap_or(&irows[m as usize])
+        })
     }
 
     /// Rebuilds `closure[n]` and `uncond[n]` from the live out-edges.

@@ -41,6 +41,49 @@ impl Closure {
     }
 }
 
+/// The SCC condensation view shared by every closure builder's cyclic
+/// fallback — one entry point, so a cyclic input can never produce a
+/// `CycleError` on one closure path and a condensed answer on another.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// Component index per node index (`usize::MAX` for tombstones).
+    pub comp_of: Vec<usize>,
+    /// Members per component, in reverse topological order of the
+    /// condensation: every successor component precedes its predecessors,
+    /// so one forward sweep over `comps` sees finished successors.
+    pub comps: Vec<Vec<NodeId>>,
+    /// True when the component is cyclic — more than one member, or a
+    /// single member with a self-loop. Exactly these components admit
+    /// self-reachability in the strict closure.
+    pub cyclic: Vec<bool>,
+}
+
+/// Condenses `g` into its strongly connected components (see
+/// [`Condensation`] for the invariants downstream sweeps rely on).
+pub fn condense<N, E>(g: &DiGraph<N, E>) -> Condensation {
+    let comps = tarjan_scc(g);
+    let mut comp_of = vec![usize::MAX; g.node_bound()];
+    for (c, members) in comps.iter().enumerate() {
+        for &n in members {
+            comp_of[n.index()] = c;
+        }
+    }
+    let cyclic = comps
+        .iter()
+        .map(|members| {
+            members.len() > 1
+                || members
+                    .iter()
+                    .any(|&n| g.successors(n).any(|m| m == n))
+        })
+        .collect();
+    Condensation {
+        comp_of,
+        comps,
+        cyclic,
+    }
+}
+
 /// Computes the strict transitive closure.
 ///
 /// For DAGs a single reverse-topological pass suffices; cyclic graphs fall
@@ -70,36 +113,27 @@ pub fn transitive_closure<N, E>(g: &DiGraph<N, E>) -> Closure {
             }
         }
         Err(_) => {
-            // Cyclic graphs: condense to strongly connected components and
-            // make a single pass over them. `tarjan_scc` emits components
-            // in reverse topological order of the condensation (every
-            // successor component is finished first), so one sweep
-            // suffices — no whole-graph fixpoint iteration.
-            let sccs = tarjan_scc(g);
-            let mut comp_of = vec![usize::MAX; bound];
-            for (c, members) in sccs.iter().enumerate() {
-                for &n in members {
-                    comp_of[n.index()] = c;
-                }
-            }
-            let mut comp_rows: Vec<BitSet> = Vec::with_capacity(sccs.len());
-            for (c, members) in sccs.iter().enumerate() {
+            // Cyclic graphs: condense via the shared entry point and make
+            // a single pass over the components. `comps` arrive in reverse
+            // topological order of the condensation (every successor
+            // component is finished first), so one sweep suffices — no
+            // whole-graph fixpoint iteration.
+            let cond = condense(g);
+            let mut comp_rows: Vec<BitSet> = Vec::with_capacity(cond.comps.len());
+            for (c, members) in cond.comps.iter().enumerate() {
                 let mut acc = BitSet::new(bound);
-                let mut internal_edge = false;
                 for &n in members {
                     for m in g.successors(n) {
-                        if comp_of[m.index()] == c {
-                            internal_edge = true;
-                        } else {
+                        if cond.comp_of[m.index()] != c {
                             acc.insert(m.index());
-                            acc.union_with(&comp_rows[comp_of[m.index()]]);
+                            acc.union_with(&comp_rows[cond.comp_of[m.index()]]);
                         }
                     }
                 }
                 // A nontrivial component (or a self-loop) reaches all of
                 // its own members, itself included — the strict closure
                 // admits self-reachability exactly on cycles.
-                if members.len() > 1 || internal_edge {
+                if cond.cyclic[c] {
                     for &n in members {
                         acc.insert(n.index());
                     }

@@ -1,0 +1,126 @@
+//! A fast, non-cryptographic hasher for the workspace's hot memo tables.
+//!
+//! The interning pool and the minimizer's caches key on tiny tuples of
+//! `u32` ids and look them up millions of times per closure build; the
+//! standard library's SipHash dominates those probes. This is the
+//! multiply-rotate construction used by rustc (`FxHasher`), implemented
+//! in-repo because the build runs with zero network access. All keys are
+//! trusted internal values, so HashDoS resistance is irrelevant here.
+//!
+//! ```
+//! use dscweaver_graph::fx::FxHashMap;
+//!
+//! let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+//! m.insert((1, 2), 3);
+//! assert_eq!(m.get(&(1, 2)), Some(&3));
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-style multiply-rotate hasher. Deterministic (no random
+/// state), so iteration-order-sensitive callers must still sort.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            self.add(u64::from_le_bytes(bytes[..8].try_into().unwrap()));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            self.add(u64::from(u32::from_le_bytes(bytes[..4].try_into().unwrap())));
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_distinguishing() {
+        let h = |f: &dyn Fn(&mut FxHasher)| {
+            let mut x = FxHasher::default();
+            f(&mut x);
+            x.finish()
+        };
+        assert_eq!(h(&|x| x.write_u64(7)), h(&|x| x.write_u64(7)));
+        assert_ne!(h(&|x| x.write_u64(7)), h(&|x| x.write_u64(8)));
+        assert_ne!(
+            h(&|x| {
+                x.write_u32(1);
+                x.write_u32(2)
+            }),
+            h(&|x| {
+                x.write_u32(2);
+                x.write_u32(1)
+            })
+        );
+    }
+
+    #[test]
+    fn map_roundtrip_with_tuple_and_string_keys() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for a in 0..50u32 {
+            for b in 0..50u32 {
+                m.insert((a, b), a * 100 + b);
+            }
+        }
+        assert_eq!(m.len(), 2500);
+        assert_eq!(m.get(&(13, 37)), Some(&1337));
+
+        let mut s: FxHashMap<String, usize> = FxHashMap::default();
+        for i in 0..100 {
+            s.insert(format!("key-{i}"), i);
+        }
+        assert_eq!(s.get("key-42"), Some(&42));
+    }
+}

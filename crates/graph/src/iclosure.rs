@@ -1,0 +1,692 @@
+//! Interned, level-parallel condition-annotated closure (Definition 3).
+//!
+//! [`crate::annotated::annotated_closure`] builds structural [`Dnf`] rows
+//! and leaves interning to the caller — every annotation is materialized,
+//! cloned through `BTreeMap` accumulators, and hashed again when the
+//! minimizer pools it. This module builds the same closure **directly in
+//! interned form**: rows are sorted `(target, DnfId)` vectors from the
+//! start, every union/compose goes through the pool's memo tables, and
+//! the per-row accumulator is a dense scratch array instead of an ordered
+//! map. On top of that, the DAG is swept level by level (longest path to
+//! a sink), and wide levels fan out to the [`crate::par`] worker pool:
+//! a node's row only reads rows of strictly smaller levels, so levels
+//! are natural barriers.
+//!
+//! Workers never lock the pool. Each worker runs against a read-only
+//! snapshot ([`DnfPool::peek_compose`] / [`DnfPool::peek_union`] /
+//! [`DnfPool::lookup`]) and *mints* formulas the snapshot lacks into a
+//! thread-local delta pool with provisional ids. The main thread merges
+//! the deltas window by window in [`crate::par::par_ranges`] order, which
+//! makes the global id numbering — and therefore every produced row,
+//! bit for bit — identical for every thread count, including the fully
+//! sequential path.
+//!
+//! Cyclic inputs: [`interned_closure`] mirrors `annotated_closure` and
+//! returns the [`CycleError`] untouched (the optimizer treats cycles as
+//! specification conflicts), while [`interned_closure_condensed`] falls
+//! back to the shared SCC condensation ([`crate::closure::condense`]) and
+//! a per-component least fixpoint, exactly like
+//! [`crate::annotated::annotated_closure_condensed`].
+//!
+//! ```
+//! use dscweaver_graph::{interned_closure, irow_get, DiGraph, DnfPool};
+//!
+//! // The paper's running example: a1 → a2 →_T a3 → a4.
+//! let mut g: DiGraph<(), Option<(u32, bool)>> = DiGraph::new();
+//! let a1 = g.add_node(());
+//! let a2 = g.add_node(());
+//! let a3 = g.add_node(());
+//! let a4 = g.add_node(());
+//! g.add_edge(a1, a2, None);
+//! g.add_edge(a2, a3, Some((a2.0, true)));
+//! g.add_edge(a3, a4, None);
+//!
+//! let mut pool = DnfPool::new();
+//! let (rows, stats) = interned_closure(&g, &|_, w: &Option<(u32, bool)>| *w, &mut pool, 1)
+//!     .expect("acyclic");
+//! // a1+ = {a2, a3(T@a2), a4(T@a2)}: a2 unconditionally, the rest guarded.
+//! assert_eq!(rows[a1.index()].len(), 3);
+//! let a2_id = irow_get(&rows[a1.index()], a2.0).unwrap();
+//! assert!(pool.dnf(a2_id).is_always());
+//! let a4_id = irow_get(&rows[a1.index()], a4.0).unwrap();
+//! assert_eq!(pool.dnf(a4_id).terms(), &[vec![(a2.0, true)]]);
+//! assert_eq!(stats.rows, 4);
+//! ```
+
+use crate::annotated::{Dnf, GuardFn};
+use crate::closure::condense;
+use crate::digraph::DiGraph;
+use crate::fx::FxHashMap;
+use crate::intern::{DnfId, DnfPool, TermId};
+use crate::par::par_ranges;
+use crate::topo::{topo_sort, CycleError};
+use dscweaver_obs as obs;
+
+/// An interned closure row: `(target node index, annotation id)` sorted by
+/// target. With all rows drawn from one pool, row equality is bitwise.
+pub type IRow = Vec<(u32, DnfId)>;
+
+/// The annotation with which `t` is reached in an interned row.
+pub fn irow_get(row: &IRow, t: u32) -> Option<DnfId> {
+    row.binary_search_by_key(&t, |&(k, _)| k)
+        .ok()
+        .map(|i| row[i].1)
+}
+
+/// Build telemetry returned by the interned closure engines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClosureStats {
+    /// Rows composed (live nodes swept).
+    pub rows: usize,
+    /// Topological levels the sweep was batched into (0 for the
+    /// condensed fallback, which runs per-component instead).
+    pub levels: usize,
+    /// Distinct DNFs the build added to the pool.
+    pub minted: usize,
+    /// Memo hits across all union/compose operations, worker-local
+    /// probes included.
+    pub pool_hits: u64,
+    /// Memo misses (structural computations), worker-local included.
+    pub pool_misses: u64,
+}
+
+/// Sentinel for "target untouched" in the dense accumulator.
+const NONE: u32 = u32::MAX;
+
+/// Minimum level width before the sweep fans out to worker threads —
+/// below this the scope setup costs more than the rows.
+const PAR_LEVEL_MIN: usize = 8;
+
+/// Reusable dense accumulator for composing one row: `acc[t]` holds the
+/// running annotation id of target `t` (or an internal sentinel), and
+/// `touched` remembers which slots to harvest and reset. Allocate once
+/// per thread, reuse for every row.
+pub struct RowScratch {
+    acc: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl RowScratch {
+    /// A scratch sized for node indices `< bound`.
+    pub fn new(bound: usize) -> Self {
+        RowScratch {
+            acc: vec![NONE; bound],
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// Id-level DNF operations a row composition needs. Implemented by the
+/// owning-pool path (sequential) and the frozen-snapshot path (workers).
+trait IdOps<G> {
+    fn compose(&mut self, a: DnfId, t: Option<TermId>) -> DnfId;
+    fn union(&mut self, a: DnfId, b: DnfId) -> DnfId;
+}
+
+struct MainOps<'p, G> {
+    pool: &'p mut DnfPool<G>,
+}
+
+impl<G: Ord + Clone + std::hash::Hash> IdOps<G> for MainOps<'_, G> {
+    #[inline]
+    fn compose(&mut self, a: DnfId, t: Option<TermId>) -> DnfId {
+        match t {
+            None => a,
+            Some(t) => self.pool.compose_term(a, t),
+        }
+    }
+
+    #[inline]
+    fn union(&mut self, a: DnfId, b: DnfId) -> DnfId {
+        self.pool.union(a, b)
+    }
+}
+
+/// Worker-side ops against a read-only pool snapshot. Formulas the
+/// snapshot lacks are minted with provisional ids `>= base`; the main
+/// thread re-interns them in discovery order, which keeps the global
+/// numbering identical to the sequential sweep.
+struct FrozenOps<'p, G> {
+    pool: &'p DnfPool<G>,
+    base: u32,
+    minted: Vec<Dnf<G>>,
+    minted_ids: FxHashMap<Dnf<G>, u32>,
+    compose_local: FxHashMap<(u32, u32), u32>,
+    union_local: FxHashMap<(u32, u32), u32>,
+    new_compose: Vec<(u32, u32, u32)>,
+    new_union: Vec<(u32, u32, u32)>,
+    hits: u64,
+    misses: u64,
+}
+
+/// What a worker hands back for the deterministic merge.
+struct FrozenParts<G> {
+    base: u32,
+    minted: Vec<Dnf<G>>,
+    new_compose: Vec<(u32, u32, u32)>,
+    new_union: Vec<(u32, u32, u32)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<'p, G: Ord + Clone + std::hash::Hash> FrozenOps<'p, G> {
+    fn new(pool: &'p DnfPool<G>) -> Self {
+        FrozenOps {
+            pool,
+            base: pool.dnf_count() as u32,
+            minted: Vec::new(),
+            minted_ids: FxHashMap::default(),
+            compose_local: FxHashMap::default(),
+            union_local: FxHashMap::default(),
+            new_compose: Vec::new(),
+            new_union: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn resolve(&self, id: DnfId) -> &Dnf<G> {
+        if id.0 >= self.base {
+            &self.minted[(id.0 - self.base) as usize]
+        } else {
+            self.pool.dnf(id)
+        }
+    }
+
+    /// Local intern: dedupe against the shared pool first, then against
+    /// formulas already minted on this worker.
+    fn mint(&mut self, d: Dnf<G>) -> DnfId {
+        if let Some(id) = self.pool.lookup(&d) {
+            return id;
+        }
+        if let Some(&id) = self.minted_ids.get(&d) {
+            return DnfId(id);
+        }
+        let id = self.base + self.minted.len() as u32;
+        self.minted_ids.insert(d.clone(), id);
+        self.minted.push(d);
+        DnfId(id)
+    }
+
+    fn into_parts(self) -> FrozenParts<G> {
+        FrozenParts {
+            base: self.base,
+            minted: self.minted,
+            new_compose: self.new_compose,
+            new_union: self.new_union,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+}
+
+impl<G: Ord + Clone + std::hash::Hash> IdOps<G> for FrozenOps<'_, G> {
+    fn compose(&mut self, a: DnfId, t: Option<TermId>) -> DnfId {
+        let Some(t) = t else { return a };
+        // Compose arguments always come from finished (global) rows.
+        debug_assert!(a.0 < self.base);
+        if let Some(r) = self.pool.peek_compose(a, t) {
+            self.hits += 1;
+            return r;
+        }
+        if let Some(&r) = self.compose_local.get(&(a.0, t.0)) {
+            self.hits += 1;
+            return DnfId(r);
+        }
+        self.misses += 1;
+        let out = {
+            let g = &self.pool.term(t)[0];
+            let mut out = Dnf::empty();
+            self.resolve(a).compose_into(Some(g), &mut out);
+            out
+        };
+        let r = self.mint(out);
+        self.compose_local.insert((a.0, t.0), r.0);
+        self.new_compose.push((a.0, t.0, r.0));
+        r
+    }
+
+    fn union(&mut self, a: DnfId, b: DnfId) -> DnfId {
+        if a.0 < self.base && b.0 < self.base {
+            if let Some(r) = self.pool.peek_union(a, b) {
+                self.hits += 1;
+                return r;
+            }
+        } else if a == b {
+            return a;
+        }
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        if let Some(&r) = self.union_local.get(&key) {
+            self.hits += 1;
+            return DnfId(r);
+        }
+        self.misses += 1;
+        let mut out = self.resolve(a).clone();
+        out.union_with(self.resolve(b));
+        let r = self.mint(out);
+        self.union_local.insert(key, r.0);
+        self.new_union.push((key.0, key.1, r.0));
+        r
+    }
+}
+
+impl RowScratch {
+    /// `acc[t] ∪= d` with a dense slot per target.
+    #[inline]
+    fn upsert<G, O: IdOps<G>>(&mut self, ops: &mut O, t: u32, d: DnfId) {
+        let slot = &mut self.acc[t as usize];
+        if *slot == NONE {
+            *slot = d.0;
+            self.touched.push(t);
+        } else if *slot != d.0 {
+            *slot = ops.union(DnfId(*slot), d).0;
+        }
+    }
+
+    /// Harvests the accumulated row (sorted by target) and resets the
+    /// touched slots for reuse.
+    fn harvest(&mut self) -> IRow {
+        self.touched.sort_unstable();
+        let row: IRow = self
+            .touched
+            .iter()
+            .map(|&t| (t, DnfId(self.acc[t as usize])))
+            .collect();
+        for &t in &self.touched {
+            self.acc[t as usize] = NONE;
+        }
+        self.touched.clear();
+        row
+    }
+}
+
+/// Per-edge view the sweep composes from: `(target index, direct-edge
+/// annotation id, guard term id if conditional)`. The direct id and the
+/// term are interned up front on the main thread, so the hot loop never
+/// hashes a guard value.
+type Adj = Vec<Vec<(u32, DnfId, Option<TermId>)>>;
+
+/// Pre-interns every edge guard (deterministic node/edge order) and
+/// builds the per-node adjacency view.
+fn build_adj<N, E, G: Ord + Clone + std::hash::Hash>(
+    g: &DiGraph<N, E>,
+    guard_of: &impl GuardFn<E, G>,
+    pool: &mut DnfPool<G>,
+) -> Adj {
+    let mut adj: Adj = vec![Vec::new(); g.node_bound()];
+    for n in g.node_ids() {
+        let out = &mut adj[n.index()];
+        for e in g.out_edges(n) {
+            let (_, m) = g.endpoints(e);
+            match guard_of.guard(e, g.edge_weight(e)) {
+                None => out.push((m.0, DnfPool::<G>::ALWAYS, None)),
+                Some(gv) => {
+                    let t = pool.intern_term(&vec![gv.clone()]);
+                    let d = pool.of_guard(Some(&gv));
+                    out.push((m.0, d, Some(t)));
+                }
+            }
+        }
+    }
+    adj
+}
+
+/// Composes one row from an adjacency view:
+/// `row(n) = ⋃_{n →g m} ({m: g} ∪ g ⊗ row_of(m))`.
+fn compose_row_ops<'r, G, O: IdOps<G>>(
+    ops: &mut O,
+    scratch: &mut RowScratch,
+    adj: impl IntoIterator<Item = (u32, DnfId, Option<TermId>)>,
+    row_of: impl Fn(u32) -> &'r IRow,
+) -> IRow {
+    debug_assert!(scratch.touched.is_empty());
+    for (m, direct, t) in adj {
+        scratch.upsert(ops, m, direct);
+        for &(tt, did) in row_of(m) {
+            let composed = ops.compose(did, t);
+            scratch.upsert(ops, tt, composed);
+        }
+    }
+    scratch.harvest()
+}
+
+/// Composes one interned row against an owning pool — the sequential
+/// building block, shared with the minimizer's greedy recomputation
+/// (which feeds it a filtered adjacency and an overlay `row_of`).
+///
+/// `row_of(m)` must already be the finished row of `m`.
+pub fn compose_interned_row<'r, G, A, F>(
+    pool: &mut DnfPool<G>,
+    scratch: &mut RowScratch,
+    adj: A,
+    row_of: F,
+) -> IRow
+where
+    G: Ord + Clone + std::hash::Hash,
+    A: IntoIterator<Item = (u32, DnfId, Option<TermId>)>,
+    F: Fn(u32) -> &'r IRow,
+{
+    let mut ops = MainOps { pool };
+    compose_row_ops(&mut ops, scratch, adj, row_of)
+}
+
+/// Computes the condition-annotated closure of a **DAG** directly in
+/// interned form, level-parallel over `threads` workers (`<= 1` is fully
+/// sequential). Rows are indexed by node index (tombstone slots hold
+/// empty rows) and are **bit-identical for every thread count** — the
+/// worker deltas are merged in deterministic window order, so even the
+/// pool's id numbering matches the sequential sweep.
+///
+/// Returns the cycle error untouched for cyclic inputs, mirroring
+/// [`crate::annotated::annotated_closure`]; use
+/// [`interned_closure_condensed`] for the SCC fallback.
+pub fn interned_closure<N: Sync, E: Sync, G>(
+    g: &DiGraph<N, E>,
+    guard_of: &(impl GuardFn<E, G> + Sync),
+    pool: &mut DnfPool<G>,
+    threads: usize,
+) -> Result<(Vec<IRow>, ClosureStats), CycleError>
+where
+    G: Ord + Clone + std::hash::Hash + Send + Sync,
+{
+    let order = topo_sort(g)?;
+    Ok(closure_by_levels(g, guard_of, pool, threads, &order))
+}
+
+/// The DAG sweep: group nodes by longest-path-to-sink level, process
+/// levels ascending, fan wide levels out to the pool.
+fn closure_by_levels<N: Sync, E: Sync, G>(
+    g: &DiGraph<N, E>,
+    guard_of: &(impl GuardFn<E, G> + Sync),
+    pool: &mut DnfPool<G>,
+    threads: usize,
+    order: &[crate::digraph::NodeId],
+) -> (Vec<IRow>, ClosureStats)
+where
+    G: Ord + Clone + std::hash::Hash + Send + Sync,
+{
+    let bound = g.node_bound();
+    let dnfs_before = pool.dnf_count();
+    let hits_before = pool.ops_hits();
+    let misses_before = pool.ops_misses();
+    let adj = build_adj(g, guard_of, pool);
+
+    // Longest-path-to-sink levels: successors always sit on strictly
+    // smaller levels, so a level only reads finished rows.
+    let mut level = vec![0usize; bound];
+    let mut max_level = 0usize;
+    for &n in order.iter().rev() {
+        let l = adj[n.index()]
+            .iter()
+            .map(|&(m, _, _)| level[m as usize] + 1)
+            .max()
+            .unwrap_or(0);
+        level[n.index()] = l;
+        max_level = max_level.max(l);
+    }
+    let mut levels: Vec<Vec<u32>> = vec![Vec::new(); max_level + 1];
+    for &n in order {
+        levels[level[n.index()]].push(n.0);
+    }
+    for nodes in &mut levels {
+        nodes.sort_unstable();
+    }
+
+    let mut rows: Vec<IRow> = vec![Vec::new(); bound];
+    let mut stats = ClosureStats {
+        rows: order.len(),
+        levels: levels.len(),
+        ..ClosureStats::default()
+    };
+    let mut scratch = RowScratch::new(bound);
+    for (li, nodes) in levels.iter().enumerate() {
+        let _span = obs::span_with("closure.level", || {
+            format!("level={li} nodes={}", nodes.len())
+        });
+        if threads > 1 && nodes.len() >= PAR_LEVEL_MIN {
+            let pool_snap: &DnfPool<G> = &*pool;
+            let rows_snap: &[IRow] = &rows;
+            let results = par_ranges(threads, nodes.len(), &|r| {
+                let mut ops = FrozenOps::new(pool_snap);
+                let mut scratch = RowScratch::new(bound);
+                let wrows: Vec<IRow> = r
+                    .map(|i| {
+                        let n = nodes[i] as usize;
+                        compose_row_ops(&mut ops, &mut scratch, adj[n].iter().copied(), |m| {
+                            &rows_snap[m as usize]
+                        })
+                    })
+                    .collect();
+                (wrows, ops.into_parts())
+            });
+            // Deterministic merge: windows in order, each worker's mints
+            // re-interned in discovery order (first occurrence wins), so
+            // the numbering equals the sequential sweep's.
+            let mut cursor = 0usize;
+            for (wrows, parts) in results {
+                let remap: Vec<DnfId> = parts.minted.iter().map(|d| pool.intern(d)).collect();
+                let fix = |id: DnfId| -> DnfId {
+                    if id.0 >= parts.base {
+                        remap[(id.0 - parts.base) as usize]
+                    } else {
+                        id
+                    }
+                };
+                for wrow in wrows {
+                    let n = nodes[cursor] as usize;
+                    cursor += 1;
+                    rows[n] = wrow.into_iter().map(|(t, d)| (t, fix(d))).collect();
+                }
+                for (a, t, r) in parts.new_compose {
+                    pool.note_compose(fix(DnfId(a)), TermId(t), fix(DnfId(r)));
+                }
+                for (a, b, r) in parts.new_union {
+                    pool.note_union(fix(DnfId(a)), fix(DnfId(b)), fix(DnfId(r)));
+                }
+                stats.pool_hits += parts.hits;
+                stats.pool_misses += parts.misses;
+            }
+        } else {
+            let mut ops = MainOps { pool: &mut *pool };
+            for &n in nodes {
+                let row = {
+                    let rows_snap: &[IRow] = &rows;
+                    compose_row_ops(&mut ops, &mut scratch, adj[n as usize].iter().copied(), |m| {
+                        &rows_snap[m as usize]
+                    })
+                };
+                rows[n as usize] = row;
+            }
+        }
+    }
+
+    stats.minted = pool.dnf_count() - dnfs_before;
+    stats.pool_hits += pool.ops_hits() - hits_before;
+    stats.pool_misses += pool.ops_misses() - misses_before;
+    (rows, stats)
+}
+
+/// [`interned_closure`] with the shared SCC-condensation fallback instead
+/// of a `CycleError`: cyclic components are solved by a per-component
+/// least fixpoint over the same interned composition (sequential — the
+/// condensed path is a diagnostic route, not a hot one). On acyclic
+/// inputs this is exactly the level sweep.
+pub fn interned_closure_condensed<N: Sync, E: Sync, G>(
+    g: &DiGraph<N, E>,
+    guard_of: &(impl GuardFn<E, G> + Sync),
+    pool: &mut DnfPool<G>,
+    threads: usize,
+) -> (Vec<IRow>, ClosureStats)
+where
+    G: Ord + Clone + std::hash::Hash + Send + Sync,
+{
+    if let Ok(out) = interned_closure(g, guard_of, pool, threads) {
+        return out;
+    }
+    let bound = g.node_bound();
+    let dnfs_before = pool.dnf_count();
+    let hits_before = pool.ops_hits();
+    let misses_before = pool.ops_misses();
+    let adj = build_adj(g, guard_of, pool);
+    let cond = condense(g);
+
+    let mut rows: Vec<IRow> = vec![Vec::new(); bound];
+    let mut scratch = RowScratch::new(bound);
+    let mut ops = MainOps { pool };
+    let mut rows_composed = 0usize;
+    for (c, members) in cond.comps.iter().enumerate() {
+        if !cond.cyclic[c] {
+            let n = members[0].index();
+            let row = {
+                let rows_snap: &[IRow] = &rows;
+                compose_row_ops(&mut ops, &mut scratch, adj[n].iter().copied(), |m| {
+                    &rows_snap[m as usize]
+                })
+            };
+            rows[n] = row;
+            rows_composed += 1;
+            continue;
+        }
+        // Monotone fixpoint on the finite lattice of minimal guard-set
+        // antichains: coverage only grows, so iteration terminates.
+        loop {
+            let mut changed = false;
+            for &n in members {
+                let ni = n.index();
+                let row = {
+                    let rows_snap: &[IRow] = &rows;
+                    compose_row_ops(&mut ops, &mut scratch, adj[ni].iter().copied(), |m| {
+                        &rows_snap[m as usize]
+                    })
+                };
+                rows_composed += 1;
+                if row != rows[ni] {
+                    rows[ni] = row;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    let pool = ops.pool;
+    let stats = ClosureStats {
+        rows: rows_composed,
+        levels: 0,
+        minted: pool.dnf_count() - dnfs_before,
+        pool_hits: pool.ops_hits() - hits_before,
+        pool_misses: pool.ops_misses() - misses_before,
+    };
+    (rows, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotated::annotated_closure;
+    use crate::digraph::EdgeId;
+
+    type G = (u32, bool);
+
+    fn guard_of() -> impl Fn(EdgeId, &Option<G>) -> Option<G> + Sync {
+        |_, w: &Option<G>| *w
+    }
+
+    /// Resolves interned rows to structural `(target, Dnf)` pairs.
+    fn resolve(pool: &DnfPool<G>, rows: &[IRow]) -> Vec<Vec<(u32, Dnf<G>)>> {
+        rows.iter()
+            .map(|r| r.iter().map(|&(t, d)| (t, pool.dnf(d).clone())).collect())
+            .collect()
+    }
+
+    fn diamond() -> DiGraph<(), Option<G>> {
+        let mut g: DiGraph<(), Option<G>> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, Some((a.0, true)));
+        g.add_edge(a, c, Some((a.0, false)));
+        g.add_edge(b, d, None);
+        g.add_edge(c, d, None);
+        g
+    }
+
+    #[test]
+    fn matches_structural_closure() {
+        let g = diamond();
+        let mut pool = DnfPool::new();
+        let (rows, stats) = interned_closure(&g, &guard_of(), &mut pool, 1).unwrap();
+        let structural = annotated_closure(&g, &guard_of()).unwrap();
+        for (ni, srow) in structural.rows().iter().enumerate() {
+            let expect: Vec<(u32, Dnf<G>)> =
+                srow.iter().map(|(t, d)| (t.0, d.clone())).collect();
+            let got: Vec<(u32, Dnf<G>)> = rows[ni]
+                .iter()
+                .map(|&(t, d)| (t, pool.dnf(d).clone()))
+                .collect();
+            assert_eq!(got, expect, "row {ni}");
+        }
+        assert_eq!(stats.rows, 4);
+        assert!(stats.levels >= 3);
+    }
+
+    #[test]
+    fn cycle_is_reported() {
+        let mut g: DiGraph<(), Option<G>> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, None);
+        g.add_edge(b, a, None);
+        let mut pool = DnfPool::new();
+        assert!(interned_closure(&g, &guard_of(), &mut pool, 1).is_err());
+    }
+
+    #[test]
+    fn condensed_fallback_solves_cycles() {
+        // a ⇄ b (cyclic), both reaching c.
+        let mut g: DiGraph<(), Option<G>> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, None);
+        g.add_edge(b, a, None);
+        g.add_edge(b, c, Some((b.0, true)));
+        let mut pool = DnfPool::new();
+        let (rows, _) = interned_closure_condensed(&g, &guard_of(), &mut pool, 1);
+        // a reaches itself (through the cycle), b, and c (guarded).
+        assert!(irow_get(&rows[a.index()], a.0).is_some());
+        assert!(pool
+            .dnf(irow_get(&rows[a.index()], b.0).unwrap())
+            .is_always());
+        assert_eq!(
+            pool.dnf(irow_get(&rows[a.index()], c.0).unwrap()).terms(),
+            &[vec![(b.0, true)]]
+        );
+    }
+
+    #[test]
+    fn rows_identical_across_thread_counts() {
+        // Wide fork-join so the parallel path actually engages.
+        let mut g: DiGraph<(), Option<G>> = DiGraph::new();
+        let src = g.add_node(());
+        let sink = g.add_node(());
+        for i in 0..40u32 {
+            let mid = g.add_node(());
+            let guard = (i % 3 == 0).then_some((src.0, i % 2 == 0));
+            g.add_edge(src, mid, guard);
+            g.add_edge(mid, sink, None);
+        }
+        let mut pool1 = DnfPool::new();
+        let (rows1, _) = interned_closure(&g, &guard_of(), &mut pool1, 1).unwrap();
+        for threads in [2usize, 4, 8] {
+            let mut pool_t = DnfPool::new();
+            let (rows_t, _) = interned_closure(&g, &guard_of(), &mut pool_t, threads).unwrap();
+            assert_eq!(rows_t, rows1, "threads={threads}");
+            assert_eq!(pool_t.dnf_count(), pool1.dnf_count(), "threads={threads}");
+            assert_eq!(resolve(&pool_t, &rows_t), resolve(&pool1, &rows1));
+        }
+    }
+}

@@ -16,7 +16,7 @@
 //! `&mut`.
 
 use crate::annotated::{Dnf, GuardSet};
-use std::collections::HashMap;
+use crate::fx::FxHashMap;
 
 /// Id of an interned guard-set (conjunction term).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -33,18 +33,20 @@ pub struct DnfId(pub u32);
 #[derive(Clone, Debug)]
 pub struct DnfPool<G> {
     terms: Vec<GuardSet<G>>,
-    term_ids: HashMap<GuardSet<G>, TermId>,
+    term_ids: FxHashMap<GuardSet<G>, TermId>,
     /// Canonical term-id vector per DNF (sorted by id — deterministic,
     /// therefore a valid hash-cons key).
     dnf_keys: Vec<Vec<TermId>>,
-    dnf_ids: HashMap<Vec<TermId>, DnfId>,
+    dnf_ids: FxHashMap<Vec<TermId>, DnfId>,
     /// Structural form per DNF, for `&self` resolution.
     dnf_structs: Vec<Dnf<G>>,
-    union_memo: HashMap<(DnfId, DnfId), DnfId>,
-    and_memo: HashMap<(DnfId, DnfId), DnfId>,
+    union_memo: FxHashMap<(DnfId, DnfId), DnfId>,
+    and_memo: FxHashMap<(DnfId, DnfId), DnfId>,
     /// `compose(dnf, guard)` keyed by the guard's singleton term id.
-    compose_memo: HashMap<(DnfId, TermId), DnfId>,
-    guard_dnf_memo: HashMap<TermId, DnfId>,
+    compose_memo: FxHashMap<(DnfId, TermId), DnfId>,
+    guard_dnf_memo: FxHashMap<TermId, DnfId>,
+    ops_hits: u64,
+    ops_misses: u64,
 }
 
 impl<G: Ord + Clone + std::hash::Hash> Default for DnfPool<G> {
@@ -63,14 +65,16 @@ impl<G: Ord + Clone + std::hash::Hash> DnfPool<G> {
     pub fn new() -> Self {
         let mut pool = DnfPool {
             terms: Vec::new(),
-            term_ids: HashMap::new(),
+            term_ids: FxHashMap::default(),
             dnf_keys: Vec::new(),
-            dnf_ids: HashMap::new(),
+            dnf_ids: FxHashMap::default(),
             dnf_structs: Vec::new(),
-            union_memo: HashMap::new(),
-            and_memo: HashMap::new(),
-            compose_memo: HashMap::new(),
-            guard_dnf_memo: HashMap::new(),
+            union_memo: FxHashMap::default(),
+            and_memo: FxHashMap::default(),
+            compose_memo: FxHashMap::default(),
+            guard_dnf_memo: FxHashMap::default(),
+            ops_hits: 0,
+            ops_misses: 0,
         };
         let e = pool.intern(&Dnf::empty());
         let a = pool.intern(&Dnf::always());
@@ -127,6 +131,71 @@ impl<G: Ord + Clone + std::hash::Hash> DnfPool<G> {
         &self.dnf_structs[id.0 as usize]
     }
 
+    /// Read-only lookup of an already-interned guard-set. Returns `None`
+    /// (without mutating the pool) when the term was never interned.
+    pub fn lookup_term(&self, gs: &GuardSet<G>) -> Option<TermId> {
+        self.term_ids.get(gs).copied()
+    }
+
+    /// Read-only lookup of an already-interned DNF. Worker threads use
+    /// this to dedupe freshly computed rows against the shared pool
+    /// before minting thread-local ids.
+    pub fn lookup(&self, d: &Dnf<G>) -> Option<DnfId> {
+        let mut key = Vec::with_capacity(d.terms().len());
+        for t in d.terms() {
+            key.push(self.lookup_term(t)?);
+        }
+        key.sort_unstable();
+        self.dnf_ids.get(&key).copied()
+    }
+
+    /// Read-only probe of the compose memo (`&self`, worker-safe).
+    /// Identity/absorption short-circuits are applied; `None` means the
+    /// pair was never computed on the owning thread.
+    pub fn peek_compose(&self, a: DnfId, t: TermId) -> Option<DnfId> {
+        if a == Self::EMPTY {
+            return Some(Self::EMPTY);
+        }
+        self.compose_memo.get(&(a, t)).copied()
+    }
+
+    /// Read-only probe of the union memo (`&self`, worker-safe).
+    pub fn peek_union(&self, a: DnfId, b: DnfId) -> Option<DnfId> {
+        if a == b || b == Self::EMPTY {
+            return Some(a);
+        }
+        if a == Self::EMPTY {
+            return Some(b);
+        }
+        if a == Self::ALWAYS || b == Self::ALWAYS {
+            return Some(Self::ALWAYS);
+        }
+        self.union_memo.get(&(a.min(b), a.max(b))).copied()
+    }
+
+    /// Records a compose result discovered off-pool (e.g. by a worker's
+    /// thread-local delta pool) so later sequential calls hit the memo.
+    /// The ids must all be valid in this pool.
+    pub fn note_compose(&mut self, a: DnfId, t: TermId, r: DnfId) {
+        self.compose_memo.insert((a, t), r);
+    }
+
+    /// Records a union result discovered off-pool; see [`Self::note_compose`].
+    pub fn note_union(&mut self, a: DnfId, b: DnfId, r: DnfId) {
+        self.union_memo.insert((a.min(b), a.max(b)), r);
+    }
+
+    /// Memo hits across `union`/`and`/`compose` since construction
+    /// (identity short-circuits are not counted).
+    pub fn ops_hits(&self) -> u64 {
+        self.ops_hits
+    }
+
+    /// Structural (memo-miss) computations across `union`/`and`/`compose`.
+    pub fn ops_misses(&self) -> u64 {
+        self.ops_misses
+    }
+
     /// True if `id` is the empty (unreachable) DNF.
     pub fn is_empty(&self, id: DnfId) -> bool {
         id == Self::EMPTY
@@ -166,8 +235,10 @@ impl<G: Ord + Clone + std::hash::Hash> DnfPool<G> {
         }
         let key = (a.min(b), a.max(b));
         if let Some(&id) = self.union_memo.get(&key) {
+            self.ops_hits += 1;
             return id;
         }
+        self.ops_misses += 1;
         let mut out = self.dnf(a).clone();
         out.union_with(self.dnf(b));
         let id = self.intern(&out);
@@ -188,8 +259,10 @@ impl<G: Ord + Clone + std::hash::Hash> DnfPool<G> {
         }
         let key = (a.min(b), a.max(b));
         if let Some(&id) = self.and_memo.get(&key) {
+            self.ops_hits += 1;
             return id;
         }
+        self.ops_misses += 1;
         let mut out = Dnf::empty();
         for ta in self.dnf(a).terms() {
             for tb in self.dnf(b).terms() {
@@ -211,12 +284,26 @@ impl<G: Ord + Clone + std::hash::Hash> DnfPool<G> {
             return Self::EMPTY;
         }
         let t = self.intern_term(&vec![g.clone()]);
+        self.compose_term(a, t)
+    }
+
+    /// [`Self::compose`] addressed by an already-interned singleton guard
+    /// term — the closure engine pre-interns every edge guard once and
+    /// then composes by id only, skipping the per-call term hash.
+    pub fn compose_term(&mut self, a: DnfId, t: TermId) -> DnfId {
+        if a == Self::EMPTY {
+            return Self::EMPTY;
+        }
         let key = (a, t);
         if let Some(&id) = self.compose_memo.get(&key) {
+            self.ops_hits += 1;
             return id;
         }
+        self.ops_misses += 1;
+        debug_assert_eq!(self.terms[t.0 as usize].len(), 1, "guard terms are singletons");
+        let g = self.terms[t.0 as usize][0].clone();
         let mut out = Dnf::empty();
-        self.dnf(a).compose_into(Some(g), &mut out);
+        self.dnf(a).compose_into(Some(&g), &mut out);
         let id = self.intern(&out);
         self.compose_memo.insert(key, id);
         id

@@ -23,8 +23,11 @@
 //! * [`dom`] — dominators/post-dominators for control-dependence extraction.
 //! * [`matching`] — Hopcroft–Karp and exact maximum antichains (peak
 //!   concurrency of a schedule).
+//! * [`iclosure`] — Definition 3 built **directly in interned form**,
+//!   level-parallel on the [`par`] pool (the minimizer's closure engine).
 //! * [`lru`] — a bounded least-recently-used map capping the minimizer's
 //!   `implies` memo (graceful hit-rate degradation past the limit).
+//! * [`fx`] — the fast multiply-rotate hasher behind every memo table.
 
 #![warn(missing_docs)]
 
@@ -34,6 +37,8 @@ pub mod closure;
 pub mod digraph;
 pub mod dom;
 pub mod dot;
+pub mod fx;
+pub mod iclosure;
 pub mod intern;
 pub mod lru;
 pub mod matching;
@@ -43,11 +48,18 @@ pub mod scc;
 pub mod topo;
 pub mod visit;
 
-pub use annotated::{annotated_closure, AnnotatedClosure, Dnf, GuardSet, Row};
+pub use annotated::{
+    annotated_closure, annotated_closure_condensed, AnnotatedClosure, Dnf, GuardSet, Row,
+};
+pub use fx::{FxHashMap, FxHashSet, FxHasher};
+pub use iclosure::{
+    compose_interned_row, interned_closure, interned_closure_condensed, irow_get, ClosureStats,
+    IRow, RowScratch,
+};
 pub use intern::{DnfId, DnfPool, TermId};
 pub use lru::LruCache;
 pub use bitset::BitSet;
-pub use closure::{transitive_closure, Closure};
+pub use closure::{condense, transitive_closure, Closure, Condensation};
 pub use digraph::{DiGraph, EdgeId, NodeId};
 pub use dom::{dominators, Dominators};
 pub use dot::{to_dot, EdgeStyle, NodeStyle};

@@ -22,7 +22,7 @@
 //! assert_eq!(cache.evictions(), 1);
 //! ```
 
-use std::collections::HashMap;
+use crate::fx::FxHashMap;
 use std::hash::Hash;
 
 const NIL: u32 = u32::MAX;
@@ -38,7 +38,7 @@ struct Slot<K, V> {
 /// eviction. `capacity == 0` means unbounded (no eviction ever), keeping
 /// the pre-existing "0 = no limit" knob convention.
 pub struct LruCache<K, V> {
-    map: HashMap<K, u32>,
+    map: FxHashMap<K, u32>,
     slots: Vec<Slot<K, V>>,
     head: u32,
     tail: u32,
@@ -51,7 +51,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// (`0` = unbounded).
     pub fn new(capacity: usize) -> Self {
         Self {
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             slots: Vec::new(),
             head: NIL,
             tail: NIL,

@@ -3,7 +3,7 @@
 //! recorded coverage reconstructs the input exactly, and recording never
 //! changes the computed results.
 
-use dscweaver_graph::{par_map, par_ranges};
+use dscweaver_graph::{interned_closure, par_map, par_ranges, DiGraph, DnfPool};
 use dscweaver_obs as obs;
 use dscweaver_obs::EventKind;
 
@@ -106,6 +106,78 @@ fn par_ranges_windows_tile_the_range_on_stable_worker_lanes() {
             assert_eq!(w[0].1, w[1].0, "gap or overlap between windows");
         }
     }
+}
+
+/// The level-parallel interned-closure build records one balanced
+/// `closure.level` span per topological level on the main lane, and each
+/// fanned-out level's `par.range.window` spans land on worker lanes and
+/// tile the level — which only works because the pool workers flush
+/// their thread-local buffers (`obs::flush_thread`) before the scope's
+/// join point, so a snapshot taken right after the build sees them.
+#[test]
+fn interned_closure_levels_record_balanced_parallel_lanes() {
+    let _serial = obs::test_lock();
+    // Wide layered DAG: every layer is past the engine's parallel
+    // threshold (8 nodes), so every non-sink level fans out.
+    let (width, depth) = (12usize, 4usize);
+    let mut g: DiGraph<(), Option<u8>> = DiGraph::new();
+    let layers: Vec<Vec<_>> = (0..depth)
+        .map(|_| (0..width).map(|_| g.add_node(())).collect())
+        .collect();
+    for d in 0..depth - 1 {
+        for (i, &a) in layers[d].iter().enumerate() {
+            for (j, &b) in layers[d + 1].iter().enumerate() {
+                if (i + j) % 2 == 0 {
+                    g.add_edge(a, b, Some(((i + j) % 3) as u8));
+                }
+            }
+        }
+    }
+    let threads = 4usize;
+    let mut plain_pool: DnfPool<u8> = DnfPool::new();
+    let (plain_rows, _) =
+        interned_closure(&g, &|_, w: &Option<u8>| *w, &mut plain_pool, threads).unwrap();
+
+    let mut pool: DnfPool<u8> = DnfPool::new();
+    let ((rows, _), snap) = obs::record_with(|| {
+        interned_closure(&g, &|_, w: &Option<u8>| *w, &mut pool, threads).unwrap()
+    });
+    assert_eq!(rows, plain_rows, "recording changed the rows");
+
+    let spans = balanced_spans(&snap);
+    // One `closure.level` span per level, on the main lane, whose node
+    // counts re-add to the whole graph.
+    let levels: Vec<&(u32, String, String)> =
+        spans.iter().filter(|(_, n, _)| n == "closure.level").collect();
+    assert_eq!(levels.len(), depth, "one span per topological level");
+    let mut swept = 0usize;
+    for (lane, _, detail) in &levels {
+        assert_eq!(snap.lane_name(*lane), "main", "level spans stay on main");
+        let nodes: usize = detail.split("nodes=").nth(1).unwrap().parse().unwrap();
+        swept += nodes;
+    }
+    assert_eq!(swept, width * depth, "levels must sweep every node");
+    // Each fanned-out level contributes `threads` windows on worker
+    // lanes; together they tile each level's width exactly.
+    let windows: Vec<(usize, usize)> = spans
+        .iter()
+        .filter(|(_, name, _)| name == "par.range.window")
+        .map(|(lane, _, detail)| {
+            assert!(
+                snap.lane_name(*lane).starts_with("worker-"),
+                "window span on lane {:?}",
+                snap.lane_name(*lane)
+            );
+            let (s, e) = detail.split_once("..").unwrap();
+            (s.parse().unwrap(), e.parse().unwrap())
+        })
+        .collect();
+    assert_eq!(windows.len(), depth * threads, "windows per fanned-out level");
+    for &(s, e) in &windows {
+        assert!(s < e && e <= width, "window {s}..{e} exceeds the level");
+    }
+    let covered: usize = windows.iter().map(|&(s, e)| e - s).sum();
+    assert_eq!(covered, width * depth, "windows must tile every level");
 }
 
 /// Worker lanes are interned per slot: two sequential scopes reuse the

@@ -167,8 +167,9 @@ pub fn weave(input: &VerticalInput<'_>) -> Result<VerticalOutput, VerticalError>
             .map_err(VerticalError::Wscl)?
     };
     let weaver_out = input.weaver.run(&ds).map_err(VerticalError::Weaver)?;
-    // The Weaver's thread knob drives validation and (unless the sim
-    // config sets its own) the scheduler's guard-evaluation batches.
+    // The Weaver's thread knob drives the minimizer (including the
+    // level-parallel interned closure build), validation and (unless the
+    // sim config sets its own) the scheduler's guard-evaluation batches.
     let validation = validate(
         &weaver_out.minimal,
         &weaver_out.exec,
