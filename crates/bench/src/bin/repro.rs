@@ -8,7 +8,8 @@
 //!
 //! The `bench-json` subcommand instead runs the old-vs-new engine
 //! comparisons and writes the machine-readable artifacts
-//! (`BENCH_minimize.json`, `BENCH_petri.json`, `BENCH_scheduler.json`):
+//! (`BENCH_minimize.json`, `BENCH_petri.json`, `BENCH_scheduler.json`,
+//! `BENCH_evolve.json`):
 //!
 //! ```sh
 //! cargo run --release -p dscweaver-bench --bin repro -- bench-json                   # minimize
@@ -25,7 +26,7 @@ fn bench_json(args: &[String]) {
     // Strict parsing: a typo'd flag must not silently drop `--smoke` and
     // turn a 2-second path check into the multi-minute full suite.
     let usage =
-        "usage: repro bench-json [--suite minimize|petri|scheduler|all] [--smoke] [--out PATH] [--threads N] [--trace PATH] [--profile]";
+        "usage: repro bench-json [--suite minimize|petri|scheduler|evolve|all] [--smoke] [--out PATH] [--threads N] [--trace PATH] [--profile]";
     let mut smoke = false;
     let mut suite = "minimize".to_string();
     let mut out_path: Option<String> = None;
@@ -38,9 +39,11 @@ fn bench_json(args: &[String]) {
             "--smoke" => smoke = true,
             "--profile" => profile = true,
             "--suite" => match it.next().map(String::as_str) {
-                Some(s @ ("minimize" | "petri" | "scheduler" | "all")) => suite = s.to_string(),
+                Some(s @ ("minimize" | "petri" | "scheduler" | "evolve" | "all")) => {
+                    suite = s.to_string()
+                }
                 _ => {
-                    eprintln!("error: --suite requires minimize|petri|scheduler|all\n{usage}");
+                    eprintln!("error: --suite requires minimize|petri|scheduler|evolve|all\n{usage}");
                     std::process::exit(2);
                 }
             },
@@ -80,6 +83,7 @@ fn bench_json(args: &[String]) {
             "BENCH_scheduler.json",
             exp::perf_scheduler::bench_scheduler_json,
         )],
+        "evolve" => vec![("evolve", "BENCH_evolve.json", exp::perf_evolve::bench_evolve_json)],
         _ => vec![
             ("minimize", "BENCH_minimize.json", exp::perf::bench_minimize_json),
             ("petri", "BENCH_petri.json", exp::perf_petri::bench_petri_json),
@@ -88,6 +92,7 @@ fn bench_json(args: &[String]) {
                 "BENCH_scheduler.json",
                 exp::perf_scheduler::bench_scheduler_json,
             ),
+            ("evolve", "BENCH_evolve.json", exp::perf_evolve::bench_evolve_json),
         ],
     };
     if out_path.is_some() && suites.len() > 1 {

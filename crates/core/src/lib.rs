@@ -14,6 +14,7 @@ pub mod exec;
 pub mod merge;
 pub mod minimize;
 pub mod pipeline;
+pub mod reweave;
 pub mod translate;
 pub mod witness;
 
@@ -27,5 +28,6 @@ pub use minimize::{
     MinimizeOptions, MinimizeResult, MinimizeStats,
 };
 pub use pipeline::{Weaver, WeaverError, WeaverOutput};
+pub use reweave::{ReweavePath, ReweaveReport, WeaveSession};
 pub use translate::{translate_services, TranslationReport};
 pub use witness::{explain_removals, RemovalWitness};

@@ -354,7 +354,7 @@ fn compose_structural(
 }
 
 /// Sorts removal candidates according to `order`.
-fn order_candidates(
+pub(crate) fn order_candidates(
     g: &DiGraph<SyncNode, SyncEdge>,
     sg: &SyncGraph,
     order: &EdgeOrder,
@@ -373,17 +373,40 @@ fn order_candidates(
     candidates
 }
 
-/// All mutable state of the optimized greedy loop.
-struct Engine<'a> {
-    g: &'a DiGraph<SyncNode, SyncEdge>,
+/// Interns every node's execution condition (service nodes: always).
+fn intern_exec(
+    g: &DiGraph<SyncNode, SyncEdge>,
+    exec: &ExecConditions,
+    pool: &mut DnfPool<Condition>,
+) -> Vec<DnfId> {
+    let mut exec_ids = vec![DnfPool::<Condition>::ALWAYS; g.node_bound()];
+    for n in g.node_ids() {
+        exec_ids[n.index()] = match g.weight(n) {
+            SyncNode::State(s) => pool.intern(&exec.of(&s.activity)),
+            SyncNode::Service(_) => DnfPool::<Condition>::ALWAYS,
+        };
+    }
+    exec_ids
+}
+
+/// All mutable state of the optimized greedy loop. Crate-visible so the
+/// re-weave session ([`crate::reweave`]) can drive the same engine over a
+/// delta-updated closure.
+pub(crate) struct Engine<'a> {
+    pub(crate) g: &'a DiGraph<SyncNode, SyncEdge>,
     cs: &'a ConstraintSet,
     mode: EquivalenceMode,
-    threads: usize,
-    pool: DnfPool<Condition>,
+    /// Worker threads for screening/recomputation. The re-weave session
+    /// pins this to 1 after construction: the slow path's parallel branch
+    /// interns only final rows (not intermediates), which is
+    /// result-identical but numbers the pool differently per thread
+    /// count, and the session fingerprints its pool.
+    pub(crate) threads: usize,
+    pub(crate) pool: DnfPool<Condition>,
     /// Interned annotated-closure rows, by node index.
-    irows: Vec<IRow>,
+    pub(crate) irows: Vec<IRow>,
     /// Interned execution condition per node (services: always).
-    exec_ids: Vec<DnfId>,
+    pub(crate) exec_ids: Vec<DnfId>,
     /// Direct-edge annotation id per edge index (`ALWAYS` when
     /// unconditional) — interned once so the greedy loop's row
     /// recompositions never hash a guard value.
@@ -393,9 +416,13 @@ struct Engine<'a> {
     /// Dense per-row accumulator reused across recompositions.
     scratch: RowScratch,
     /// Reachability over all live edges / over unconditional live edges.
-    closure: Vec<BitSet>,
-    uncond: Vec<BitSet>,
-    removed: HashSet<EdgeId>,
+    /// Crate-visible so the re-weave session can persist both skeletons in
+    /// its memo and patch only the rows a delta update changed (a bitset
+    /// row is exactly the support of the interned row, so an unchanged
+    /// row pins an unchanged skeleton row).
+    pub(crate) closure: Vec<BitSet>,
+    pub(crate) uncond: Vec<BitSet>,
+    pub(crate) removed: HashSet<EdgeId>,
     topo_pos: Vec<usize>,
     /// Longest-path distance to a sink on the original graph — strictly
     /// decreasing along every edge, so it stays a valid schedule under
@@ -409,8 +436,49 @@ struct Engine<'a> {
     imp_misses: u64,
     /// Nodes whose rows changed / lost an out-edge since the last
     /// screening snapshot — invalidates precomputed screening rows.
-    dirty_rows: HashSet<usize>,
-    dirty_tails: HashSet<usize>,
+    pub(crate) dirty_rows: HashSet<usize>,
+    pub(crate) dirty_tails: HashSet<usize>,
+    /// Copy-on-write log of pre-greedy rows: when set, the first slow-path
+    /// commit that overwrites a row stashes the original here. The
+    /// re-weave session restores these afterwards so its memo keeps the
+    /// *initial* closure (what the next delta update expects) without
+    /// cloning the whole row table up front.
+    pub(crate) row_undo: Option<HashMap<usize, IRow>>,
+    /// Copy-on-write log of pre-greedy bitset skeleton rows, mirroring
+    /// `row_undo`: the first slow-path repair that touches a node stashes
+    /// its `(closure, uncond)` pair here, so the re-weave session can
+    /// store skeletons matching the restored initial rows.
+    pub(crate) skeleton_undo: Option<HashMap<usize, (BitSet, BitSet)>>,
+}
+
+/// How one greedy step was decided — recorded by the re-weave session so
+/// a later run can replay verdicts whose inputs provably did not change.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Decision {
+    /// Accepted by the same-guard prefilter (tail row provably unchanged).
+    AcceptPrefilter,
+    /// Rejected without composing a row: no alternate path (and, under
+    /// execution-aware mode, the lost annotation was not vacuous).
+    RejectCheap,
+    /// Accepted because the recomposed tail row came out identical.
+    AcceptRowUnchanged,
+    /// Rejected because the recomposed tail row is not covered.
+    RejectNotCovered,
+    /// Accepted through the slow path (ancestor rows recomputed and
+    /// swapped in).
+    AcceptSlow,
+    /// Rejected during the slow path's ancestor coverage recheck.
+    RejectSlow,
+}
+
+impl Decision {
+    /// Did this verdict remove the candidate?
+    pub(crate) fn removed(self) -> bool {
+        matches!(
+            self,
+            Decision::AcceptPrefilter | Decision::AcceptRowUnchanged | Decision::AcceptSlow
+        )
+    }
 }
 
 /// Minimum same-level batch size before ancestor recomputation fans out to
@@ -418,7 +486,7 @@ struct Engine<'a> {
 const PAR_BATCH_MIN: usize = 8;
 
 impl<'a> Engine<'a> {
-    fn new(
+    pub(crate) fn new(
         g: &'a DiGraph<SyncNode, SyncEdge>,
         cs: &'a ConstraintSet,
         exec: &ExecConditions,
@@ -426,6 +494,67 @@ impl<'a> Engine<'a> {
         threads: usize,
         pool_cache_limit: usize,
         topo: &[NodeId],
+    ) -> Engine<'a> {
+        let mut pool = DnfPool::new();
+        let exec_ids = intern_exec(g, exec, &mut pool);
+
+        // The initial annotated closure, built directly in interned form
+        // and level-parallel on the worker pool (bit-identical for every
+        // thread count — see `dscweaver_graph::iclosure`).
+        let lvl_span = obs::span("minimize.closure.levels");
+        let (irows, cstats) =
+            interned_closure(g, &|_, w: &SyncEdge| w.cond.clone(), &mut pool, threads)
+                .expect("cycle-free graph must close");
+        drop(lvl_span);
+        obs::counter_add("minimize.closure.rows_composed", cstats.rows as u64);
+        obs::counter_add("minimize.closure.pool_hits", cstats.pool_hits);
+        obs::counter_add("minimize.closure.pool_misses", cstats.pool_misses);
+        obs::counter_add("minimize.closure.minted_dnfs", cstats.minted as u64);
+
+        Engine::assemble(g, cs, mode, threads, pool_cache_limit, topo, pool, exec_ids, irows, None)
+    }
+
+    /// Builds an engine around an externally supplied interned closure —
+    /// the re-weave path, where `pool` and `irows` come from a previous
+    /// run's memo, delta-updated in place. Execution conditions are
+    /// interned into the supplied pool (pure hits unless they changed,
+    /// and the session detects changes by comparing the resulting ids).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn with_closure(
+        g: &'a DiGraph<SyncNode, SyncEdge>,
+        cs: &'a ConstraintSet,
+        exec: &ExecConditions,
+        mode: EquivalenceMode,
+        threads: usize,
+        pool_cache_limit: usize,
+        topo: &[NodeId],
+        mut pool: DnfPool<Condition>,
+        irows: Vec<IRow>,
+        skeletons: Option<(Vec<BitSet>, Vec<BitSet>, Vec<usize>)>,
+    ) -> Engine<'a> {
+        let exec_ids = intern_exec(g, exec, &mut pool);
+        Engine::assemble(
+            g, cs, mode, threads, pool_cache_limit, topo, pool, exec_ids, irows, skeletons,
+        )
+    }
+
+    /// Shared back half of construction: derived tables and the bitset
+    /// skeleton pass over an already-built closure. When `skeletons` is
+    /// supplied (previous run's skeletons plus the node indices whose
+    /// rows changed), only the dirty rows are rebuilt — every clean row's
+    /// skeleton is pinned by its unchanged interned row.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        g: &'a DiGraph<SyncNode, SyncEdge>,
+        cs: &'a ConstraintSet,
+        mode: EquivalenceMode,
+        threads: usize,
+        pool_cache_limit: usize,
+        topo: &[NodeId],
+        mut pool: DnfPool<Condition>,
+        exec_ids: Vec<DnfId>,
+        irows: Vec<IRow>,
+        skeletons: Option<(Vec<BitSet>, Vec<BitSet>, Vec<usize>)>,
     ) -> Engine<'a> {
         let bound = g.node_bound();
         let mut topo_pos = vec![usize::MAX; bound];
@@ -442,28 +571,6 @@ impl<'a> Engine<'a> {
             level[n.index()] = l;
         }
 
-        let mut pool = DnfPool::new();
-        let mut exec_ids = vec![DnfPool::<Condition>::ALWAYS; bound];
-        for n in g.node_ids() {
-            exec_ids[n.index()] = match g.weight(n) {
-                SyncNode::State(s) => pool.intern(&exec.of(&s.activity)),
-                SyncNode::Service(_) => DnfPool::<Condition>::ALWAYS,
-            };
-        }
-
-        // The initial annotated closure, built directly in interned form
-        // and level-parallel on the worker pool (bit-identical for every
-        // thread count — see `dscweaver_graph::iclosure`).
-        let lvl_span = obs::span("minimize.closure.levels");
-        let (irows, cstats) =
-            interned_closure(g, &|_, w: &SyncEdge| w.cond.clone(), &mut pool, threads)
-                .expect("cycle-free graph must close");
-        drop(lvl_span);
-        obs::counter_add("minimize.closure.rows_composed", cstats.rows as u64);
-        obs::counter_add("minimize.closure.pool_hits", cstats.pool_hits);
-        obs::counter_add("minimize.closure.pool_misses", cstats.pool_misses);
-        obs::counter_add("minimize.closure.minted_dnfs", cstats.minted as u64);
-
         // Per-edge guard tables for the greedy loop's recompositions
         // (every term/dnf below is already interned, so these are hits).
         let ebound = g.edge_bound();
@@ -476,6 +583,14 @@ impl<'a> Engine<'a> {
             }
         }
 
+        let (closure, uncond, dirty) = match skeletons {
+            Some((c, u, dirty)) => (c, u, Some(dirty)),
+            None => (
+                vec![BitSet::new(bound); bound],
+                vec![BitSet::new(bound); bound],
+                None,
+            ),
+        };
         let mut eng = Engine {
             g,
             cs,
@@ -487,8 +602,8 @@ impl<'a> Engine<'a> {
             edge_gdnf,
             edge_term,
             scratch: RowScratch::new(bound),
-            closure: vec![BitSet::new(bound); bound],
-            uncond: vec![BitSet::new(bound); bound],
+            closure,
+            uncond,
             removed: HashSet::new(),
             topo_pos,
             level,
@@ -497,11 +612,30 @@ impl<'a> Engine<'a> {
             imp_misses: 0,
             dirty_rows: HashSet::new(),
             dirty_tails: HashSet::new(),
+            row_undo: None,
+            skeleton_undo: None,
         };
-        // One reverse-topological pass derives both bitset skeletons
-        // (cheap unions — never the closure bottleneck).
-        for &n in topo.iter().rev() {
-            eng.rebuild_bitset_row(n);
+        match dirty {
+            // One reverse-topological pass derives both bitset skeletons
+            // (cheap unions — never the closure bottleneck).
+            None => {
+                for &n in topo.iter().rev() {
+                    eng.rebuild_bitset_row(n);
+                }
+            }
+            // Incremental: rebuild only the changed rows, deepest first,
+            // so each rebuild reads already-current successor skeletons.
+            Some(dirty) => {
+                let mut is_dirty = vec![false; bound];
+                for &i in &dirty {
+                    is_dirty[i] = true;
+                }
+                for &n in topo.iter().rev() {
+                    if is_dirty[n.index()] {
+                        eng.rebuild_bitset_row(n);
+                    }
+                }
+            }
         }
         eng
     }
@@ -590,7 +724,7 @@ impl<'a> Engine<'a> {
     }
 
     /// Telemetry snapshot for [`MinimizeResult::stats`].
-    fn stats(&self) -> MinimizeStats {
+    pub(crate) fn stats(&self) -> MinimizeStats {
         MinimizeStats {
             pool_dnfs: self.pool.dnf_count(),
             pool_terms: self.pool.term_count(),
@@ -642,6 +776,18 @@ impl<'a> Engine<'a> {
     fn repair_bitsets_after_removal(&mut self, affected: &[NodeId], v: NodeId, cand_uncond: bool) {
         let g = self.g;
         let vi = v.index();
+        // Copy-on-write for the re-weave session: stash each affected
+        // node's pre-repair skeleton pair once (mirrors `row_undo`).
+        {
+            let (undo, closure, uncond) = (&mut self.skeleton_undo, &self.closure, &self.uncond);
+            if let Some(undo) = undo.as_mut() {
+                for &n in affected {
+                    let ni = n.index();
+                    undo.entry(ni)
+                        .or_insert_with(|| (closure[ni].clone(), uncond[ni].clone()));
+                }
+            }
+        }
         let mut maybe_lost: Vec<usize> = self.closure[vi].iter().collect();
         maybe_lost.push(vi);
         let mut maybe_lost_u: Vec<usize> = Vec::new();
@@ -687,7 +833,7 @@ impl<'a> Engine<'a> {
     /// through unconditional edges, replays every annotation the candidate
     /// contributed — the row of `u` (hence the whole closure) is provably
     /// unchanged, so the removal is pure redundancy.
-    fn prefilter_accept(&self, cand: EdgeId, u: NodeId, v: NodeId) -> bool {
+    pub(crate) fn prefilter_accept(&self, cand: EdgeId, u: NodeId, v: NodeId) -> bool {
         let g = self.g;
         let guard_c = &g.edge_weight(cand).cond;
         for oe in g.out_edges(u) {
@@ -710,7 +856,7 @@ impl<'a> Engine<'a> {
     /// out of `u`'s row entirely. (On a DAG no path from a sibling head
     /// can route back through the candidate edge, so the closure queried
     /// *with* the candidate still answers this exactly.)
-    fn has_alternate_path(&self, cand: EdgeId, u: NodeId, v: NodeId) -> bool {
+    pub(crate) fn has_alternate_path(&self, cand: EdgeId, u: NodeId, v: NodeId) -> bool {
         let g = self.g;
         g.out_edges(u).any(|oe| {
             oe != cand && !self.removed.contains(&oe) && {
@@ -830,6 +976,17 @@ impl<'a> Engine<'a> {
     /// One greedy step: decide `cand` and mutate state on acceptance.
     /// `pre` is an optional screening row (structural, snapshot-composed).
     fn try_remove(&mut self, cand: EdgeId, pre: Option<Vec<(u32, Dnf<Condition>)>>) -> bool {
+        self.try_remove_classified(cand, pre).removed()
+    }
+
+    /// [`Engine::try_remove`] with the decision class exposed — the
+    /// re-weave session records these to know which verdicts it may
+    /// replay on the next run.
+    pub(crate) fn try_remove_classified(
+        &mut self,
+        cand: EdgeId,
+        pre: Option<Vec<(u32, Dnf<Condition>)>>,
+    ) -> Decision {
         let g = self.g;
         let (u, v) = g.endpoints(cand);
         let ui = u.index();
@@ -838,12 +995,14 @@ impl<'a> Engine<'a> {
             // Row of u provably unchanged — no closure maintenance needed.
             self.removed.insert(cand);
             self.dirty_tails.insert(ui);
-            return true;
+            return Decision::AcceptPrefilter;
         }
 
         if !self.has_alternate_path(cand, u, v) {
             match self.mode {
-                EquivalenceMode::Strict | EquivalenceMode::Reachability => return false,
+                EquivalenceMode::Strict | EquivalenceMode::Reachability => {
+                    return Decision::RejectCheap
+                }
                 EquivalenceMode::ExecutionAware => {
                     // v is lost from u's row entirely; salvageable only if
                     // the annotation was vacuous under the execution
@@ -852,7 +1011,7 @@ impl<'a> Engine<'a> {
                         .expect("candidate edge target must be in tail row");
                     let ctx = self.pool.and(self.exec_ids[ui], self.exec_ids[v.index()]);
                     if !self.implies(ctx, old_v, DnfPool::<Condition>::EMPTY) {
-                        return false;
+                        return Decision::RejectCheap;
                     }
                 }
             }
@@ -866,10 +1025,10 @@ impl<'a> Engine<'a> {
         if new_u == self.irows[ui] {
             self.removed.insert(cand);
             self.dirty_tails.insert(ui);
-            return true;
+            return Decision::AcceptRowUnchanged;
         }
         if !self.covered(ui, &new_u) {
-            return false;
+            return Decision::RejectNotCovered;
         }
 
         // Slow path (rare): u's row weakened but stays covered — every
@@ -889,7 +1048,7 @@ impl<'a> Engine<'a> {
                 self.covered(ni, &row)
             };
             if !ok {
-                return false;
+                return Decision::RejectSlow;
             }
         }
 
@@ -903,11 +1062,17 @@ impl<'a> Engine<'a> {
         for (ni, row) in fresh {
             if self.irows[ni] != row {
                 self.dirty_rows.insert(ni);
+                if let Some(undo) = &mut self.row_undo {
+                    if !undo.contains_key(&ni) {
+                        let old = std::mem::take(&mut self.irows[ni]);
+                        undo.insert(ni, old);
+                    }
+                }
             }
             self.irows[ni] = row;
         }
         self.repair_bitsets_after_removal(&affected, v, cand_uncond);
-        true
+        Decision::AcceptSlow
     }
 }
 

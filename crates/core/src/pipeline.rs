@@ -83,9 +83,15 @@ impl Weaver {
         Weaver::default()
     }
 
-    /// Runs the full specification-and-optimization pipeline.
-    pub fn run(&self, ds: &DependencySet) -> Result<WeaverOutput, WeaverError> {
-        let _span = obs::span("weaver.run");
+    /// The specification front half of [`Weaver::run`] — merge,
+    /// validation, desugaring, execution conditions, service translation.
+    /// Shared with the re-weave session ([`crate::reweave`]), which diffs
+    /// the resulting ASC against its previous one before minimizing.
+    pub(crate) fn prepare(
+        &self,
+        ds: &DependencySet,
+    ) -> Result<(ConstraintSet, ExecConditions, ConstraintSet, TranslationReport), WeaverError>
+    {
         let merge_span = obs::span_with("weaver.merge", || {
             format!("dependencies={}", ds.deps.len())
         });
@@ -104,6 +110,20 @@ impl Weaver {
             let _span = obs::span("weaver.translate");
             translate_services(&sc)
         };
+        Ok((sc, exec, asc, translation))
+    }
+
+    /// Opens a re-weave session around this configuration: the first
+    /// [`crate::reweave::WeaveSession::weave`] call runs the full
+    /// pipeline, subsequent calls re-weave incrementally.
+    pub fn session(&self) -> crate::reweave::WeaveSession {
+        crate::reweave::WeaveSession::new(self.clone())
+    }
+
+    /// Runs the full specification-and-optimization pipeline.
+    pub fn run(&self, ds: &DependencySet) -> Result<WeaverOutput, WeaverError> {
+        let _span = obs::span("weaver.run");
+        let (sc, exec, asc, translation) = self.prepare(ds)?;
         let MinimizeResult {
             minimal, removed, ..
         } = minimize_with(

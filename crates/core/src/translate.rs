@@ -45,6 +45,14 @@ pub struct TranslationReport {
 /// Translates `cs` into an ASC: external nodes spliced out, bridging
 /// constraints added. HappenTogether sugar must be desugared first.
 pub fn translate_services(cs: &ConstraintSet) -> (ConstraintSet, TranslationReport) {
+    // No external services ⇒ no service chains to splice, no relations to
+    // drop, no bridges: the ASC is the SC verbatim. Skipping the graph
+    // build here keeps pure-activity processes (the common case for the
+    // synthetic workloads and for incremental re-weaves) from paying for
+    // a translation pass that cannot do anything.
+    if cs.services.is_empty() {
+        return (cs.clone(), TranslationReport::default());
+    }
     let sg = SyncGraph::build(cs);
     let mut report = TranslationReport::default();
 

@@ -12,8 +12,7 @@
 use crate::constraint::ConstraintSet;
 use crate::relation::{Origin, Relation};
 use crate::state::{ActivityState, Condition, StateRef};
-use dscweaver_graph::{DiGraph, EdgeId, NodeId};
-use std::collections::HashMap;
+use dscweaver_graph::{DiGraph, EdgeId, FxHashMap, NodeId};
 
 /// A node of the synchronization graph.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -75,8 +74,12 @@ impl SyncEdge {
 pub struct SyncGraph {
     /// The underlying graph.
     pub graph: DiGraph<SyncNode, SyncEdge>,
-    state_idx: HashMap<(String, ActivityState), NodeId>,
-    service_idx: HashMap<String, NodeId>,
+    // One entry per activity with its `[S, R, F]` node ids: resolving a
+    // `StateRef` is a single borrowed-`&str` hash lookup plus an index,
+    // with no per-lookup allocation (`build` resolves two endpoints per
+    // relation, so this is on the hot path of every pipeline run).
+    state_idx: FxHashMap<String, [NodeId; 3]>,
+    service_idx: FxHashMap<String, NodeId>,
 }
 
 impl SyncGraph {
@@ -88,30 +91,28 @@ impl SyncGraph {
             cs.activities.len() * 3 + cs.services.len(),
             cs.activities.len() * 2 + cs.relations.len(),
         );
-        let mut state_idx = HashMap::new();
-        let mut service_idx = HashMap::new();
+        let mut state_idx = FxHashMap::default();
+        let mut service_idx = FxHashMap::default();
 
         for a in &cs.activities {
-            let mut prev: Option<NodeId> = None;
-            for st in ActivityState::ALL {
-                let n = graph.add_node(SyncNode::State(StateRef {
+            let ids = ActivityState::ALL.map(|st| {
+                graph.add_node(SyncNode::State(StateRef {
                     activity: a.clone(),
                     state: st,
-                }));
-                state_idx.insert((a.clone(), st), n);
-                if let Some(p) = prev {
-                    graph.add_edge(
-                        p,
-                        n,
-                        SyncEdge {
-                            cond: None,
-                            origin: Origin::Other,
-                            kind: EdgeKind::Lifecycle,
-                        },
-                    );
-                }
-                prev = Some(n);
+                }))
+            });
+            for w in ids.windows(2) {
+                graph.add_edge(
+                    w[0],
+                    w[1],
+                    SyncEdge {
+                        cond: None,
+                        origin: Origin::Other,
+                        kind: EdgeKind::Lifecycle,
+                    },
+                );
             }
+            state_idx.insert(a.clone(), ids);
         }
         for s in &cs.services {
             let n = graph.add_node(SyncNode::Service(s.clone()));
@@ -153,14 +154,14 @@ impl SyncGraph {
     /// meaningless on services and ignored).
     pub fn resolve(&self, s: &StateRef) -> Option<NodeId> {
         self.state_idx
-            .get(&(s.activity.clone(), s.state))
-            .or_else(|| self.service_idx.get(&s.activity))
-            .copied()
+            .get(s.activity.as_str())
+            .map(|ids| ids[s.state as usize])
+            .or_else(|| self.service_idx.get(s.activity.as_str()).copied())
     }
 
     /// The node for an internal activity's state.
     pub fn state_node(&self, activity: &str, state: ActivityState) -> Option<NodeId> {
-        self.state_idx.get(&(activity.to_string(), state)).copied()
+        self.state_idx.get(activity).map(|ids| ids[state as usize])
     }
 
     /// The node for an external service.
@@ -215,7 +216,13 @@ impl SyncGraph {
     /// the optimizer never touches). Node declarations and domains carry
     /// over unchanged.
     pub fn subset(cs: &ConstraintSet, keep: &dyn Fn(usize) -> bool) -> ConstraintSet {
-        let mut out = cs.clone();
+        // Clone the declarations but not the relations `cs.clone()` would
+        // bring along only to be overwritten — on large sets the relations
+        // are by far the heaviest part.
+        let mut out = ConstraintSet::new(cs.name.clone());
+        out.activities = cs.activities.clone();
+        out.services = cs.services.clone();
+        out.domains = cs.domains.clone();
         out.relations = cs
             .relations
             .iter()

@@ -53,8 +53,8 @@ pub use annotated::{
 };
 pub use fx::{FxHashMap, FxHashSet, FxHasher};
 pub use iclosure::{
-    compose_interned_row, interned_closure, interned_closure_condensed, irow_get, ClosureStats,
-    IRow, RowScratch,
+    compose_interned_row, interned_closure, interned_closure_condensed, interned_closure_delta,
+    irow_get, ClosureStats, DeltaClosureStats, IRow, RowScratch,
 };
 pub use intern::{DnfId, DnfPool, TermId};
 pub use lru::LruCache;

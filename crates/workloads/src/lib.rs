@@ -7,11 +7,13 @@
 #![warn(missing_docs)]
 
 pub mod deployment;
+pub mod evolve;
 pub mod purchasing;
 pub mod scenarios;
 pub mod synth;
 
 pub use deployment::{deployment_dependencies, deployment_process};
+pub use evolve::{edit_burst, EditProfile};
 pub use scenarios::{loan_dependencies, loan_process, quotes_dependencies, quotes_process, settlement_constraints};
 pub use purchasing::{
     purchasing_conversations, purchasing_cooperation, purchasing_dependencies,

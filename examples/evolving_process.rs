@@ -3,9 +3,14 @@
 //! over-specifying necessary constraints or invalidating existing ones."
 //!
 //! With dependencies as first-class citizens, evolution is a set edit:
-//! push or retain dependencies, re-run the optimizer, and the scheme —
-//! including its BPEL realization — follows. This example walks the
-//! Purchasing process through three revisions.
+//! push or retain dependencies, re-weave, and the scheme — including its
+//! BPEL realization — follows. This example walks the Purchasing process
+//! through three revisions using the incremental [`ReweaveSession`]: the
+//! session diffs each revision against the previous one and pays only
+//! for what the edit reaches, while a from-scratch weave of every
+//! revision is timed alongside for comparison (the outputs are
+//! identical by construction — the session falls back to a full rebuild
+//! whenever the edit is too disruptive to apply incrementally).
 //!
 //! ```sh
 //! cargo run --example evolving_process
@@ -13,7 +18,9 @@
 
 use dscweaver::core::{Dependency, Weaver};
 use dscweaver::scheduler::{simulate, SimConfig};
+use dscweaver::vertical::ReweaveSession;
 use dscweaver::workloads::{purchasing_dependencies, purchasing_process};
+use std::time::Instant;
 
 fn summarize(label: &str, out: &dscweaver::core::WeaverOutput) {
     let sim = SimConfig {
@@ -30,21 +37,52 @@ fn summarize(label: &str, out: &dscweaver::core::WeaverOutput) {
     );
 }
 
+/// Weaves one revision through the session (timed) and from scratch
+/// (timed), prints the comparison, and returns the fresh output.
+fn reweave(
+    session: &mut ReweaveSession,
+    label: &str,
+    ds: &dscweaver::core::DependencySet,
+) -> dscweaver::core::WeaverOutput {
+    let weaver = Weaver::new();
+    let t0 = Instant::now();
+    let fresh = weaver.run(ds).expect("revision weaves");
+    let fresh_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let rep = session.reweave(ds).expect("session weaves");
+    let delta_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    summarize(label, &fresh);
+    println!(
+        "  {:<32} fresh {fresh_ms:.2} ms | session {delta_ms:.2} ms | path {:?} | rows recomputed {} | verdicts reused {}/{}",
+        "", rep.path, rep.rows_recomputed, rep.candidates_reused, rep.candidates_total
+    );
+
+    // The session's scheme is always identical to the fresh weave's.
+    let render = |o: &dscweaver::core::WeaverOutput| {
+        let mut v: Vec<String> = o.minimal.happen_befores().map(|r| r.to_string()).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(render(session.output().expect("output")), render(&fresh));
+    fresh
+}
+
 fn main() {
     let process = purchasing_process();
+    let mut session = ReweaveSession::new(&Weaver::new());
 
     // Revision 1: the paper's Table 1.
     let v1 = purchasing_dependencies();
-    let out1 = Weaver::new().run(&v1).expect("sound");
-    summarize("v1 (paper's Table 1)", &out1);
+    let out1 = reweave(&mut session, "v1 (paper's Table 1)", &v1);
 
     // Revision 2: a new business rule arrives — production may only begin
     // after the credit card settles a second authorization hold, i.e.
     // invProduction_po must wait for recPurchase_oi. One line:
     let mut v2 = v1.clone();
     v2.push(Dependency::cooperation("recPurchase_oi", "invProduction_po"));
-    let out2 = Weaver::new().run(&v2).expect("still sound");
-    summarize("v2 (+production gating rule)", &out2);
+    let out2 = reweave(&mut session, "v2 (+production gating rule)", &v2);
     assert!(out2
         .minimal
         .happen_befores()
@@ -56,8 +94,7 @@ fn main() {
     let mut v3 = v1.clone();
     v3.deps
         .retain(|d| !(d.from.name == "Purchase_1" && d.to.name == "Purchase_2"));
-    let out3 = Weaver::new().run(&v3).expect("still sound");
-    summarize("v3 (stateless Purchase ports)", &out3);
+    let out3 = reweave(&mut session, "v3 (stateless Purchase ports)", &v3);
     assert!(
         !out3
             .minimal
@@ -77,12 +114,17 @@ fn main() {
         );
     }
 
-    // And a bad edit is rejected with a pinpointed conflict, not silent
-    // misbehavior:
-    let mut bad = v1.clone();
+    // And a bad edit is rejected with a pinpointed conflict — leaving the
+    // session's last good revision (v3) intact and re-weavable:
+    let mut bad = v3.clone();
     bad.push(Dependency::cooperation("replyClient_oi", "invShip_po"));
-    match Weaver::new().run(&bad) {
+    match session.reweave(&bad) {
         Err(e) => println!("\nbad revision rejected:\n  {e}"),
         Ok(_) => unreachable!("cycle expected"),
     }
+    let rep = session.reweave(&v3).expect("session state survived the bad edit");
+    println!(
+        "after rejection, v3 re-weaves via {:?} ({} rows recomputed)",
+        rep.path, rep.rows_recomputed
+    );
 }

@@ -67,5 +67,5 @@ pub mod prelude {
     pub use crate::dscl::{ActivityState, Condition, ConstraintSet, Origin, Relation, StateRef};
     pub use crate::model::{parse_process, Activity, Construct, Process};
     pub use crate::scheduler::{simulate, SimConfig};
-    pub use crate::vertical::{weave, VerticalOutput};
+    pub use crate::vertical::{weave, ReweaveSession, VerticalOutput};
 }
