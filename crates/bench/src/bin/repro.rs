@@ -26,7 +26,7 @@ fn bench_json(args: &[String]) {
     // Strict parsing: a typo'd flag must not silently drop `--smoke` and
     // turn a 2-second path check into the multi-minute full suite.
     let usage =
-        "usage: repro bench-json [--suite minimize|petri|scheduler|evolve|all] [--smoke] [--out PATH] [--threads N] [--trace PATH] [--profile]";
+        "usage: repro bench-json [--suite minimize|petri|scheduler|evolve|monitor|all] [--smoke] [--out PATH] [--threads N] [--trace PATH] [--profile]";
     let mut smoke = false;
     let mut suite = "minimize".to_string();
     let mut out_path: Option<String> = None;
@@ -39,11 +39,11 @@ fn bench_json(args: &[String]) {
             "--smoke" => smoke = true,
             "--profile" => profile = true,
             "--suite" => match it.next().map(String::as_str) {
-                Some(s @ ("minimize" | "petri" | "scheduler" | "evolve" | "all")) => {
+                Some(s @ ("minimize" | "petri" | "scheduler" | "evolve" | "monitor" | "all")) => {
                     suite = s.to_string()
                 }
                 _ => {
-                    eprintln!("error: --suite requires minimize|petri|scheduler|evolve|all\n{usage}");
+                    eprintln!("error: --suite requires minimize|petri|scheduler|evolve|monitor|all\n{usage}");
                     std::process::exit(2);
                 }
             },
@@ -84,6 +84,11 @@ fn bench_json(args: &[String]) {
             exp::perf_scheduler::bench_scheduler_json,
         )],
         "evolve" => vec![("evolve", "BENCH_evolve.json", exp::perf_evolve::bench_evolve_json)],
+        "monitor" => vec![(
+            "monitor",
+            "BENCH_monitor.json",
+            exp::perf_monitor::bench_monitor_json,
+        )],
         _ => vec![
             ("minimize", "BENCH_minimize.json", exp::perf::bench_minimize_json),
             ("petri", "BENCH_petri.json", exp::perf_petri::bench_petri_json),
@@ -93,6 +98,11 @@ fn bench_json(args: &[String]) {
                 exp::perf_scheduler::bench_scheduler_json,
             ),
             ("evolve", "BENCH_evolve.json", exp::perf_evolve::bench_evolve_json),
+            (
+                "monitor",
+                "BENCH_monitor.json",
+                exp::perf_monitor::bench_monitor_json,
+            ),
         ],
     };
     if out_path.is_some() && suites.len() > 1 {

@@ -10,6 +10,7 @@ pub mod experiments;
 pub mod harness;
 pub mod perf;
 pub mod perf_evolve;
+pub mod perf_monitor;
 pub mod perf_petri;
 pub mod perf_scheduler;
 

@@ -1,0 +1,315 @@
+//! Fleet-scale streaming-monitor throughput: the machine-readable
+//! `BENCH_monitor.json` artifact written by `repro bench-json --suite
+//! monitor`.
+//!
+//! Each fleet generates one deterministic interleaved event log
+//! (`dscweaver_workloads::eventlog`, whole fleet live from the first
+//! round to the last, injected violation rates scaled so every fleet
+//! carries a few dozen dirty instances), computes the post-hoc oracle
+//! verdicts once, and then sweeps `(batch, threads)` ingest
+//! configurations. Every configuration is gated before timing: its
+//! sorted verdict stream must equal the oracle and the whole fleet must
+//! retire. Timed samples then measure pure ingest (pre-sized monitor
+//! state built outside the timer) and report events/sec, ns/event and
+//! resident bytes per live instance.
+
+use crate::harness::{black_box, median, phases_json, BenchOpts};
+use dscweaver_obs as obs;
+use dscweaver_scheduler::{oracle_verdicts, MonitorConfig, MonitorState, MonitorStats, Verdict};
+use dscweaver_workloads::eventlog::{
+    event_log, monitor_fixture, EventLogParams, MonitorFixture, MonitorScenarioParams,
+};
+use std::time::{Duration, Instant};
+
+/// One monitor-benchmark sweep: a fleet size plus the batch sizes and
+/// thread counts to cross.
+pub struct MonitorCase {
+    /// Fleet size (concurrent live instances — the generator keeps every
+    /// instance live for the whole stream).
+    pub fleet: u32,
+    /// Ingest batch sizes to sweep.
+    pub batches: Vec<usize>,
+    /// Worker thread counts to sweep.
+    pub threads: Vec<usize>,
+}
+
+/// The monitor suite. Smoke keeps one small fleet so tier-1 tests can
+/// exercise the full path (generation, oracle gate, timing, rendering)
+/// in seconds; the full suite scales to a million concurrent instances.
+pub fn monitor_cases(smoke: bool) -> Vec<MonitorCase> {
+    if smoke {
+        return vec![MonitorCase {
+            fleet: 500,
+            batches: vec![64, 512],
+            threads: vec![1, 2],
+        }];
+    }
+    [10_000u32, 100_000, 1_000_000]
+        .into_iter()
+        .map(|fleet| MonitorCase {
+            fleet,
+            batches: vec![1024, 16_384, 65_536],
+            threads: vec![1, 2, 4],
+        })
+        .collect()
+}
+
+/// The shared workload shape: small per-instance program (10 activities,
+/// 20 events per instance) so fleet size, not program size, dominates.
+fn scenario() -> MonitorScenarioParams {
+    MonitorScenarioParams {
+        width: 2,
+        depth: 3,
+        redundant: 4,
+        exclusive_pairs: 1,
+        conversations: 1,
+        seed: 41,
+    }
+}
+
+/// Per-kind injection rate targeting ~20 dirty instances per kind
+/// regardless of fleet size (capped for tiny smoke fleets).
+fn rate_for(fleet: u32) -> f64 {
+    (20.0 / fleet as f64).min(0.04)
+}
+
+struct CaseReport {
+    fleet: u32,
+    batch: usize,
+    threads: usize,
+    events: usize,
+    ingest_ms: f64,
+    events_per_sec: f64,
+    ns_per_event: f64,
+    bytes_per_instance: f64,
+    stats: MonitorStats,
+}
+
+struct FleetReport {
+    fleet: u32,
+    events: usize,
+    injected_ordering: usize,
+    injected_exclusive: usize,
+    injected_conversation: usize,
+    oracle_verdicts: usize,
+    phases: String,
+}
+
+fn json_f(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+fn run_chunked(
+    f: &MonitorFixture,
+    events: &[dscweaver_scheduler::MonitorEvent],
+    fleet: u32,
+    batch: usize,
+    threads: usize,
+    collect: bool,
+) -> (Vec<Verdict>, MonitorStats, Duration) {
+    let mut state = MonitorState::new(
+        &f.program,
+        &MonitorConfig {
+            threads,
+            shards: 0,
+            capacity: fleet as usize,
+        },
+    );
+    let mut verdicts = Vec::new();
+    let t0 = Instant::now();
+    for chunk in events.chunks(batch) {
+        let v = state.ingest(chunk);
+        if collect {
+            verdicts.extend(v);
+        } else {
+            black_box(v.len());
+        }
+    }
+    let elapsed = t0.elapsed();
+    (verdicts, state.stats(), elapsed)
+}
+
+/// Runs the monitor suite and renders `BENCH_monitor.json` plus the
+/// merged trace of one instrumented ingest pass per fleet (the timed
+/// samples stay untraced so the recorder cannot skew them).
+pub fn bench_monitor_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
+    let smoke = opts.smoke;
+    let samples = if smoke { 1 } else { 3 };
+    let fixture = monitor_fixture(&scenario());
+    let mut fleets: Vec<FleetReport> = Vec::new();
+    let mut cases: Vec<CaseReport> = Vec::new();
+    let mut suite_trace = obs::TraceSnapshot::default();
+
+    for case in monitor_cases(smoke) {
+        let rate = rate_for(case.fleet);
+        let log = event_log(
+            &fixture.program,
+            &fixture.base,
+            &EventLogParams {
+                instances: case.fleet,
+                seed: 97 + u64::from(case.fleet),
+                ordering_rate: rate,
+                exclusive_rate: rate,
+                conversation_rate: rate,
+                ..EventLogParams::default()
+            },
+        );
+        assert!(log.injected_total() > 0, "fleet {} got no injections", case.fleet);
+        // One oracle per fleet; every (batch, threads) configuration is
+        // pinned to it before its timing samples run.
+        let oracle = oracle_verdicts(
+            &fixture.program,
+            &fixture.cs,
+            &fixture.conversations,
+            &log.events,
+        );
+        assert!(!oracle.is_empty());
+
+        for &threads in &case.threads {
+            for &batch in &case.batches {
+                // Correctness gate (also serves as the warm-up pass).
+                let (mut got, stats, _) =
+                    run_chunked(&fixture, &log.events, case.fleet, batch, threads, true);
+                got.sort();
+                assert_eq!(
+                    got, oracle,
+                    "fleet {} batch {batch} threads {threads}: verdicts diverge from oracle",
+                    case.fleet
+                );
+                assert_eq!(stats.live, 0, "whole fleet must retire");
+                assert_eq!(stats.retired, u64::from(case.fleet));
+                assert_eq!(stats.peak_live, case.fleet as usize);
+
+                let mut times: Vec<Duration> = (0..samples)
+                    .map(|_| {
+                        run_chunked(&fixture, &log.events, case.fleet, batch, threads, false).2
+                    })
+                    .collect();
+                times.sort();
+                let t = median(&times);
+                let secs = t.as_secs_f64().max(1e-12);
+                cases.push(CaseReport {
+                    fleet: case.fleet,
+                    batch,
+                    threads,
+                    events: log.events.len(),
+                    ingest_ms: secs * 1e3,
+                    events_per_sec: log.events.len() as f64 / secs,
+                    ns_per_event: secs * 1e9 / log.events.len() as f64,
+                    bytes_per_instance: stats.bytes as f64 / stats.peak_live.max(1) as f64,
+                    stats,
+                });
+            }
+        }
+
+        // One traced pass per fleet for the phase breakdown.
+        let (_, fleet_trace) = obs::record_with(|| {
+            black_box(run_chunked(
+                &fixture,
+                &log.events,
+                case.fleet,
+                *case.batches.last().unwrap(),
+                *case.threads.first().unwrap(),
+                false,
+            ))
+        });
+        fleets.push(FleetReport {
+            fleet: case.fleet,
+            events: log.events.len(),
+            injected_ordering: log.injected_ordering.len(),
+            injected_exclusive: log.injected_exclusive.len(),
+            injected_conversation: log.injected_conversation.len(),
+            oracle_verdicts: oracle.len(),
+            phases: phases_json(&fleet_trace, "      "),
+        });
+        suite_trace.merge(fleet_trace);
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"artifact\": \"BENCH_monitor\",\n");
+    out.push_str("  \"description\": \"streaming conformance monitor ingest throughput over generated multi-instance logs; per (fleet, batch, threads) configuration the sorted verdict stream is pinned to the post-hoc oracle before timing\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!(
+        "  \"program_activities\": {},\n",
+        fixture.program.n_activities()
+    ));
+    out.push_str(&format!(
+        "  \"events_per_instance\": {},\n",
+        fixture.program.events_per_instance()
+    ));
+    out.push_str("  \"fleets\": [\n");
+    for (i, r) in fleets.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"fleet\": {},\n", r.fleet));
+        out.push_str(&format!("      \"events\": {},\n", r.events));
+        out.push_str(&format!(
+            "      \"injected_ordering\": {},\n",
+            r.injected_ordering
+        ));
+        out.push_str(&format!(
+            "      \"injected_exclusive\": {},\n",
+            r.injected_exclusive
+        ));
+        out.push_str(&format!(
+            "      \"injected_conversation\": {},\n",
+            r.injected_conversation
+        ));
+        out.push_str(&format!(
+            "      \"oracle_verdicts\": {},\n",
+            r.oracle_verdicts
+        ));
+        out.push_str(&format!("      \"phases\": {}\n", r.phases));
+        out.push_str(if i + 1 == fleets.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"cases\": [\n");
+    for (i, r) in cases.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"fleet\": {},\n", r.fleet));
+        out.push_str(&format!("      \"batch\": {},\n", r.batch));
+        out.push_str(&format!("      \"threads\": {},\n", r.threads));
+        out.push_str(&format!("      \"events\": {},\n", r.events));
+        out.push_str(&format!("      \"ingest_ms\": {},\n", json_f(r.ingest_ms)));
+        out.push_str(&format!(
+            "      \"events_per_sec\": {},\n",
+            json_f(r.events_per_sec)
+        ));
+        out.push_str(&format!(
+            "      \"ns_per_event\": {},\n",
+            json_f(r.ns_per_event)
+        ));
+        out.push_str(&format!(
+            "      \"bytes_per_instance\": {},\n",
+            json_f(r.bytes_per_instance)
+        ));
+        out.push_str(&format!("      \"peak_live\": {},\n", r.stats.peak_live));
+        out.push_str(&format!("      \"retired\": {},\n", r.stats.retired));
+        out.push_str(&format!("      \"slab_rows\": {},\n", r.stats.slab_rows));
+        out.push_str(&format!("      \"verdicts\": {}\n", r.stats.verdicts));
+        out.push_str(if i + 1 == cases.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ]\n}\n");
+    (out, suite_trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_is_small_and_full_suite_hits_a_million() {
+        let smoke = monitor_cases(true);
+        assert_eq!(smoke.len(), 1);
+        assert!(smoke[0].fleet <= 1000);
+        let full = monitor_cases(false);
+        assert!(full.iter().any(|c| c.fleet == 1_000_000));
+    }
+
+    #[test]
+    fn injection_rate_keeps_absolute_counts_stable() {
+        assert!(rate_for(500) <= 0.04 + f64::EPSILON);
+        let big = rate_for(1_000_000);
+        assert!((big * 1_000_000.0 - 20.0).abs() < 1e-9);
+    }
+}

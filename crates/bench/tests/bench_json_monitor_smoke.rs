@@ -1,0 +1,63 @@
+//! Tier-1 smoke run of the `repro bench-json --suite monitor` measurement
+//! path: generates the small fleet's interleaved log, gates every
+//! (batch, threads) configuration against the post-hoc oracle (asserted
+//! inside `bench_monitor_json`), and checks the rendered artifact is
+//! well-formed. Timings in this mode are meaningless (debug build, one
+//! sample) and are not asserted on.
+
+use dscweaver_bench::harness::BenchOpts;
+use dscweaver_bench::perf_monitor::{bench_monitor_json, monitor_cases};
+
+#[test]
+fn bench_json_monitor_smoke_runs_and_renders() {
+    let _serial = dscweaver_obs::test_lock();
+    let (json, trace) = bench_monitor_json(&BenchOpts {
+        smoke: true,
+        threads: 0,
+    });
+    assert!(json.starts_with("{\n"));
+    assert!(json.ends_with("}\n"));
+    assert!(json.contains("\"artifact\": \"BENCH_monitor\""));
+    assert!(json.contains("\"smoke\": true"));
+    assert!(json.contains("\"fleet\": 500"));
+    // One fleet row; 2 batches × 2 threads = 4 case rows, each carrying
+    // the full field set exactly once.
+    assert_eq!(json.matches("\"injected_ordering\":").count(), 1);
+    let rows = json.matches("\"events_per_sec\":").count();
+    assert_eq!(rows, 4, "smoke sweeps 2 batches x 2 thread counts: {json}");
+    for field in [
+        "\"batch\":",
+        "\"threads\":",
+        "\"ingest_ms\":",
+        "\"ns_per_event\":",
+        "\"bytes_per_instance\":",
+        "\"peak_live\":",
+        "\"retired\":",
+        "\"slab_rows\":",
+        "\"verdicts\":",
+    ] {
+        assert_eq!(json.matches(field).count(), rows, "field {field}");
+    }
+    // The whole fleet stayed live until the final round and then retired.
+    assert_eq!(json.matches("\"peak_live\": 500").count(), rows);
+    assert_eq!(json.matches("\"retired\": 500").count(), rows);
+    // The traced pass recorded the ingest phase spans.
+    assert!(!trace.is_empty());
+    assert!(
+        trace.phase_totals_ms().contains_key("monitor.ingest"),
+        "{:?}",
+        trace.phase_totals_ms()
+    );
+    // Balanced braces/brackets — cheap well-formedness check without a
+    // JSON parser dependency (no string values contain braces).
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
+
+#[test]
+fn full_suite_reaches_a_million_concurrent_instances() {
+    let full = monitor_cases(false);
+    let big = full.iter().find(|c| c.fleet == 1_000_000).unwrap();
+    assert_eq!(big.batches, vec![1024, 16_384, 65_536]);
+    assert_eq!(big.threads, vec![1, 2, 4]);
+}

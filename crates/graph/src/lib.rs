@@ -64,7 +64,7 @@ pub use digraph::{DiGraph, EdgeId, NodeId};
 pub use dom::{dominators, Dominators};
 pub use dot::{to_dot, EdgeStyle, NodeStyle};
 pub use matching::{hopcroft_karp, max_antichain};
-pub use par::{effective_threads, par_map, par_ranges};
+pub use par::{effective_threads, par_map, par_ranges, par_shards};
 pub use reduction::{redundant_edges, transitive_reduction};
 pub use scc::{condensation, find_cycle, has_cycle, tarjan_scc};
 pub use topo::{critical_path, layers, max_layer_width, topo_sort, CycleError};

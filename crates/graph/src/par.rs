@@ -125,6 +125,54 @@ pub fn par_ranges<R: Send>(
         .collect()
 }
 
+/// Chunked parallel map over *mutable* shards: each worker owns a
+/// contiguous chunk of `shards` exclusively for the duration of the call,
+/// so shard state can be advanced in place without locks. The per-shard
+/// results come back in shard order regardless of the thread count, which
+/// keeps a positional merge deterministic — the streaming conformance
+/// monitor relies on this for its batch-ingest fan-out. `f` receives the
+/// shard's index alongside the shard so workers can look up read-only
+/// side tables (e.g. per-shard routing lists) without capturing them
+/// mutably.
+///
+/// Falls back to a plain sequential loop for `threads <= 1` or a single
+/// shard; like [`par_map`], the result is bit-identical either way.
+pub fn par_shards<T: Send, R: Send>(
+    threads: usize,
+    shards: &mut [T],
+    f: &(impl Fn(usize, &mut T) -> R + Sync),
+) -> Vec<R> {
+    if threads <= 1 || shards.len() <= 1 {
+        return shards.iter_mut().enumerate().map(|(i, s)| f(i, s)).collect();
+    }
+    let chunk = shards.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(shards.len()).collect();
+    std::thread::scope(|scope| {
+        for (wslot, (ichunk, ochunk)) in
+            shards.chunks_mut(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        {
+            scope.spawn(move || {
+                let _lane = obs::worker_lane(wslot);
+                {
+                    let _span =
+                        obs::span_with("par.shard.chunk", || format!("len={}", ichunk.len()));
+                    for (i, (shard, slot)) in
+                        ichunk.iter_mut().zip(ochunk.iter_mut()).enumerate()
+                    {
+                        *slot = Some(f(wslot * chunk + i, shard));
+                    }
+                }
+                // See par_map: flush before the scope's join point, not
+                // in thread teardown.
+                obs::flush_thread();
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
 /// The contiguous window layout used by [`par_ranges`]: `min(threads, n)`
 /// windows covering `0..n`, sizes differing by at most one, remainder on
 /// the leading windows. Empty for `n == 0`.
@@ -164,6 +212,22 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(4, &empty, &|&x| x).is_empty());
         assert_eq!(par_map(4, &[7u32], &|&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_shards_mutates_in_place_and_merges_in_shard_order() {
+        for threads in [0usize, 1, 2, 3, 7, 64] {
+            let mut shards: Vec<Vec<u64>> = (0..9).map(|i| vec![i]).collect();
+            let sums = par_shards(threads, &mut shards, &|i, s: &mut Vec<u64>| {
+                s.push(i as u64 * 10);
+                s.iter().sum::<u64>()
+            });
+            let expect: Vec<u64> = (0..9u64).map(|i| i + i * 10).collect();
+            assert_eq!(sums, expect, "threads {threads}");
+            for (i, s) in shards.iter().enumerate() {
+                assert_eq!(s, &vec![i as u64, i as u64 * 10], "shard {i} mutated once");
+            }
+        }
     }
 
     #[test]

@@ -15,40 +15,70 @@
 //! starts (the process observes the reply).
 
 use crate::trace::{Trace, Violation};
-use dscweaver_dscl::StateRef;
+use dscweaver_dscl::ActivityState;
 use dscweaver_wscl::{Conversation, InteractionKind, ServiceBinding};
+use std::collections::HashMap;
+
+/// The process-side occurrence point of an interaction: which activity,
+/// and which life-cycle edge of it, marks the interaction as having
+/// happened. A `Receive` interaction (service input port) occurs when the
+/// bound *invoke* activity **finishes** (the request is on the wire); a
+/// `Send` interaction (callback) occurs when the bound *receive* activity
+/// **starts** (the process observes the reply). `None` when the
+/// interaction is unknown or unbound.
+///
+/// This mapping is the single source of truth shared by the post-hoc
+/// checker below and the streaming monitor's program compiler
+/// (`crate::monitor`), so the two can never drift apart.
+pub fn occurrence_point<'a>(
+    conv: &Conversation,
+    binding: &'a ServiceBinding,
+    interaction_id: &str,
+) -> Option<(&'a str, ActivityState)> {
+    let interaction = conv.interaction(interaction_id)?;
+    match interaction.kind {
+        InteractionKind::Receive => binding
+            .invokers
+            .get(interaction_id)
+            .map(|act| (act.as_str(), ActivityState::Finish)),
+        InteractionKind::Send => binding
+            .receivers
+            .get(interaction_id)
+            .map(|act| (act.as_str(), ActivityState::Start)),
+    }
+}
 
 /// Checks one conversation against a trace. Interactions whose bound
 /// activity was skipped (dead path) or never bound are treated as
 /// not-occurred; transitions involving them are vacuous.
+///
+/// Occurrences are resolved once per interaction id up front — not once
+/// per transition endpoint — so a conversation with many transitions over
+/// few interactions costs one trace scan per interaction and zero
+/// allocations per transition.
 pub fn check_conformance(
     trace: &Trace,
     conv: &Conversation,
     binding: &ServiceBinding,
 ) -> Vec<Violation> {
-    let occurrence = |interaction_id: &str| -> Option<(u64, u64)> {
-        let interaction = conv.interaction(interaction_id)?;
-        match interaction.kind {
-            InteractionKind::Receive => {
-                let act = binding.invokers.get(interaction_id)?;
-                if trace.skipped(act) {
-                    return None;
-                }
-                trace.occurrence(&StateRef::finish(act.clone()))
+    // Memoized occurrence per interaction id for this (trace, conv) pair.
+    let mut occ: HashMap<&str, Option<(u64, u64)>> =
+        HashMap::with_capacity(conv.interactions.len());
+    for i in &conv.interactions {
+        let t = occurrence_point(conv, binding, &i.id).and_then(|(act, state)| {
+            if trace.skipped(act) {
+                return None;
             }
-            InteractionKind::Send => {
-                let act = binding.receivers.get(interaction_id)?;
-                if trace.skipped(act) {
-                    return None;
-                }
-                trace.occurrence(&StateRef::start(act.clone()))
-            }
-        }
-    };
+            trace.occurrence_of(act, state)
+        });
+        occ.insert(i.id.as_str(), t);
+    }
+    let occurrence =
+        |interaction_id: &str| -> Option<(u64, u64)> { *occ.get(interaction_id)? };
 
     let mut violations = Vec::new();
     for (x, y) in &conv.transitions {
-        if let (Some(tx), Some(ty)) = (occurrence(x), occurrence(y)) {
+        if let (Some(tx), Some(ty)) = (occurrence(x.as_str()), occurrence(y.as_str())) {
             if tx > ty {
                 violations.push(Violation {
                     relation: format!("{}: {x} -> {y}", conv.name),

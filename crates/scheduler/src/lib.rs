@@ -46,10 +46,15 @@
 pub mod conformance;
 pub mod constructs;
 pub mod engine;
+pub mod monitor;
 pub mod threaded;
 pub mod trace;
 
-pub use conformance::{check_all_conformance, check_conformance};
+pub use conformance::{check_all_conformance, check_conformance, occurrence_point};
+pub use monitor::{
+    oracle_verdicts, InstanceId, MonitorConfig, MonitorError, MonitorEvent, MonitorPhase,
+    MonitorProgram, MonitorState, MonitorStats, Verdict, VerdictKind,
+};
 pub use constructs::{structural_constraints, StructuralError};
 pub use engine::{
     simulate, simulate_rescan_baseline, DurationModel, PreparedSchedule, Schedule, SimConfig,

@@ -60,12 +60,19 @@ impl Trace {
     /// three states at its skip event (dead-path semantics: the skip *is*
     /// the resolution).
     pub fn occurrence(&self, s: &StateRef) -> Option<(Time, u64)> {
+        self.occurrence_of(&s.activity, s.state)
+    }
+
+    /// [`Trace::occurrence`] without the `StateRef`: callers that resolve
+    /// many states of borrowed activity names (conformance checking, the
+    /// streaming monitor's oracle) avoid cloning a `String` per lookup.
+    pub fn occurrence_of(&self, activity: &str, state: ActivityState) -> Option<(Time, u64)> {
         self.events.iter().find_map(|e| {
-            if e.activity != s.activity {
+            if e.activity != activity {
                 return None;
             }
             let hit = matches!(
-                (e.kind, s.state),
+                (e.kind, state),
                 (EventKind::Start, ActivityState::Start | ActivityState::Run)
                     | (EventKind::Finish, ActivityState::Finish)
                     | (EventKind::Skip, _)

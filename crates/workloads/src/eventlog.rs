@@ -1,0 +1,486 @@
+//! Deterministic multi-instance event-log generation for the streaming
+//! conformance monitor.
+//!
+//! Three pieces:
+//!
+//! * [`monitor_scenario`] — a parameterized guard-free process family
+//!   (layered grid with column chains and redundant forward edges, plus
+//!   standalone Exclusive pairs and WSCL conversations over grid columns)
+//!   whose every activity executes, so a single simulated trace yields a
+//!   complete per-instance event template;
+//! * [`base_sequence`] — projects one conformant [`Trace`] to the
+//!   per-instance `(activity, phase)` template the generator replays;
+//! * [`event_log`] — interleaves `instances` copies of the template into
+//!   one stream (per-round shuffled instance order, so the whole fleet is
+//!   live from the first round to the last) and *injects* violations at
+//!   configurable per-instance rates: ordering swaps (a HappenBefore
+//!   consumer moved before its producer), exclusive co-fires (the later
+//!   partner's start moved inside the earlier partner's run interval) and
+//!   conversation inversions (`y`'s occurrence moved before `x`'s).
+//!
+//! Everything is seeded through `dscweaver-prng`: same parameters, same
+//! stream, bit for bit. Injections preserve per-activity life-cycle order
+//! (a finish dragged past its own start pulls the start along), so
+//! generated streams always satisfy the monitor's well-formedness
+//! precondition; an injection may violate *more* than it targets (moving
+//! an event disturbs every constraint it participates in), which is fine —
+//! the oracle and the monitor agree on the superset, and the injection
+//! records only guarantee recall of the targeted kind.
+
+use dscweaver_core::ExecConditions;
+use dscweaver_dscl::{ConstraintSet, Origin, Relation, StateRef};
+use dscweaver_graph::FxHashMap;
+use dscweaver_prng::Rng;
+use dscweaver_scheduler::{
+    simulate, EventKind, InstanceId, MonitorEvent, MonitorPhase, MonitorProgram, SimConfig, Trace,
+};
+use dscweaver_wscl::{Conversation, ServiceBinding};
+
+/// Shape of the monitor workload process.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorScenarioParams {
+    /// Grid columns.
+    pub width: usize,
+    /// Grid layers (column chains run `src → n0_c → … → sink`).
+    pub depth: usize,
+    /// Extra random forward edges across the grid.
+    pub redundant: usize,
+    /// Standalone Exclusive activity pairs hanging off `src`.
+    pub exclusive_pairs: usize,
+    /// WSCL conversations, one per leading grid column (each needs
+    /// `depth >= 3`: two invokes then a callback receive down a column).
+    pub conversations: usize,
+    /// Seed for the redundant-edge layout.
+    pub seed: u64,
+}
+
+impl Default for MonitorScenarioParams {
+    fn default() -> Self {
+        MonitorScenarioParams {
+            width: 3,
+            depth: 4,
+            redundant: 6,
+            exclusive_pairs: 1,
+            conversations: 1,
+            seed: 1,
+        }
+    }
+}
+
+/// Builds the scenario's constraint set and bound conversations. The
+/// process is guard-free and acyclic: every activity executes, and the
+/// engine's Exclusive deferral serializes the exclusive pairs, so the
+/// simulated base trace is conformant by construction.
+pub fn monitor_scenario(
+    p: &MonitorScenarioParams,
+) -> (ConstraintSet, Vec<(Conversation, ServiceBinding)>) {
+    let width = p.width.max(1);
+    let depth = p.depth.max(1);
+    let mut cs = ConstraintSet::new("monitor_scenario");
+    let grid = |l: usize, w: usize| format!("n{l}_{w}");
+    cs.add_activity("src");
+    cs.add_activity("sink");
+    for l in 0..depth {
+        for w in 0..width {
+            cs.add_activity(grid(l, w));
+        }
+    }
+    let before = |cs: &mut ConstraintSet, from: String, to: String| {
+        cs.push(Relation::before(
+            StateRef::finish(from),
+            StateRef::start(to),
+            Origin::Data,
+        ));
+    };
+    for w in 0..width {
+        before(&mut cs, "src".into(), grid(0, w));
+        for l in 1..depth {
+            before(&mut cs, grid(l - 1, w), grid(l, w));
+        }
+        before(&mut cs, grid(depth - 1, w), "sink".into());
+    }
+    let mut rng = Rng::seed_from_u64(p.seed);
+    if depth >= 2 {
+        for _ in 0..p.redundant {
+            let l1 = rng.random_range(depth - 1);
+            let l2 = l1 + 1 + rng.random_range(depth - 1 - l1);
+            let w1 = rng.random_range(width);
+            let w2 = rng.random_range(width);
+            before(&mut cs, grid(l1, w1), grid(l2, w2));
+        }
+    }
+    for i in 0..p.exclusive_pairs {
+        let (a, b) = (format!("ex{i}a"), format!("ex{i}b"));
+        for e in [&a, &b] {
+            cs.add_activity(e.clone());
+            before(&mut cs, "src".into(), e.clone());
+            before(&mut cs, e.clone(), "sink".into());
+        }
+        cs.push(Relation::Exclusive {
+            a: StateRef::run(a),
+            b: StateRef::run(b),
+            origin: Origin::Cooperation,
+        });
+    }
+    let mut conversations = Vec::new();
+    if depth >= 3 {
+        for c in 0..p.conversations.min(width) {
+            conversations.push((
+                Conversation::new(format!("Conv{c}"))
+                    .receive("port1", "Request")
+                    .receive("port2", "Confirm")
+                    .send("callback", "Result")
+                    .transition("port1", "port2")
+                    .transition("port2", "callback"),
+                ServiceBinding::new()
+                    .invoke("port1", &grid(0, c))
+                    .invoke("port2", &grid(1, c))
+                    .receive("callback", &grid(2, c)),
+            ));
+        }
+    }
+    (cs, conversations)
+}
+
+/// A compiled, simulated monitor workload: everything the benchmarks,
+/// tests and the `dscw monitor` replay need in one place.
+pub struct MonitorFixture {
+    /// The scenario's constraint set.
+    pub cs: ConstraintSet,
+    /// Bound conversations.
+    pub conversations: Vec<(Conversation, ServiceBinding)>,
+    /// The compiled monitor program.
+    pub program: MonitorProgram,
+    /// The conformant per-instance event template.
+    pub base: Vec<(u16, MonitorPhase)>,
+}
+
+/// Builds [`monitor_scenario`], simulates it once and compiles the
+/// monitor program plus the base event template.
+pub fn monitor_fixture(p: &MonitorScenarioParams) -> MonitorFixture {
+    let (cs, conversations) = monitor_scenario(p);
+    let exec = ExecConditions::derive(&cs);
+    let schedule = simulate(&cs, &exec, &SimConfig::default());
+    assert!(schedule.completed(), "scenario must execute to completion");
+    let program =
+        MonitorProgram::compile(&cs, &conversations).expect("scenario fits monitor limits");
+    let base = base_sequence(&program, &schedule.trace).expect("conformant skip-free trace");
+    MonitorFixture {
+        cs,
+        conversations,
+        program,
+        base,
+    }
+}
+
+/// Projects a trace's commit order onto the program's activity ids as a
+/// per-instance event template. Skip events for activities *outside* the
+/// program are dropped (dead paths projected away); a skipped program
+/// activity, an unknown executed activity or an incomplete trace is an
+/// error.
+pub fn base_sequence(
+    program: &MonitorProgram,
+    trace: &Trace,
+) -> Result<Vec<(u16, MonitorPhase)>, String> {
+    let mut out = Vec::with_capacity(program.events_per_instance() as usize);
+    for e in &trace.events {
+        let phase = match e.kind {
+            EventKind::Start => MonitorPhase::Start,
+            EventKind::Finish => MonitorPhase::Finish,
+            EventKind::Skip => {
+                if program.act_id(&e.activity).is_some() {
+                    return Err(format!(
+                        "activity '{}' was skipped; monitor streams must be skip-free",
+                        e.activity
+                    ));
+                }
+                continue;
+            }
+        };
+        let Some(act) = program.act_id(&e.activity) else {
+            return Err(format!(
+                "executed activity '{}' is not in the monitor program",
+                e.activity
+            ));
+        };
+        out.push((act, phase));
+    }
+    if out.len() != program.events_per_instance() as usize {
+        return Err(format!(
+            "incomplete base sequence: {} events, expected {}",
+            out.len(),
+            program.events_per_instance()
+        ));
+    }
+    Ok(out)
+}
+
+/// Event-log generation knobs. Rates are per-instance probabilities of
+/// receiving one injected violation of that kind (independent draws, so
+/// one instance can carry several kinds).
+#[derive(Clone, Copy, Debug)]
+pub struct EventLogParams {
+    /// Fleet size.
+    pub instances: u32,
+    /// First instance id (cohort offset — lets callers stream several
+    /// disjoint fleets through one monitor to exercise slab recycling).
+    pub first_instance: u32,
+    /// PRNG seed (injection choices and interleaving order).
+    pub seed: u64,
+    /// Ordering-swap injection rate.
+    pub ordering_rate: f64,
+    /// Exclusive co-fire injection rate.
+    pub exclusive_rate: f64,
+    /// Conversation-inversion injection rate.
+    pub conversation_rate: f64,
+}
+
+impl Default for EventLogParams {
+    fn default() -> Self {
+        EventLogParams {
+            instances: 1000,
+            first_instance: 0,
+            seed: 42,
+            ordering_rate: 0.0,
+            exclusive_rate: 0.0,
+            conversation_rate: 0.0,
+        }
+    }
+}
+
+/// A generated stream plus the injection ground truth.
+pub struct GeneratedLog {
+    /// The interleaved event stream.
+    pub events: Vec<MonitorEvent>,
+    /// Instances that received an ordering swap.
+    pub injected_ordering: Vec<InstanceId>,
+    /// Instances that received an exclusive co-fire.
+    pub injected_exclusive: Vec<InstanceId>,
+    /// Instances that received a conversation inversion.
+    pub injected_conversation: Vec<InstanceId>,
+}
+
+impl GeneratedLog {
+    /// Total injections across kinds.
+    pub fn injected_total(&self) -> usize {
+        self.injected_ordering.len()
+            + self.injected_exclusive.len()
+            + self.injected_conversation.len()
+    }
+}
+
+/// Position of a point in an instance sequence.
+fn pos_of(seq: &[(u16, MonitorPhase)], program: &MonitorProgram, point: u32) -> Option<usize> {
+    seq.iter()
+        .position(|&(a, ph)| program.point_of(a, ph) == point)
+}
+
+/// Moves the event at `from` to position `to` (`to < from`), dragging the
+/// activity's start along when moving its finish would cross it — the
+/// stream stays life-cycle well-formed per activity.
+fn move_event_before(seq: &mut Vec<(u16, MonitorPhase)>, from: usize, to: usize) {
+    debug_assert!(to < from);
+    let (act, phase) = seq.remove(from);
+    if phase == MonitorPhase::Finish {
+        if let Some(ps) = seq
+            .iter()
+            .position(|&(a, ph)| a == act && ph == MonitorPhase::Start)
+        {
+            if ps >= to {
+                seq.remove(ps);
+                seq.insert(to, (act, MonitorPhase::Start));
+                seq.insert(to + 1, (act, MonitorPhase::Finish));
+                return;
+            }
+        }
+    }
+    seq.insert(to, (act, phase));
+}
+
+/// Generates one deterministic interleaved stream. All `instances`
+/// instances are live for the whole stream (round-based emission: round
+/// `r` carries every instance's `r`-th event, instance order reshuffled
+/// per round), so peak concurrency equals the fleet size and every
+/// instance retires in the final round.
+pub fn event_log(
+    program: &MonitorProgram,
+    base: &[(u16, MonitorPhase)],
+    params: &EventLogParams,
+) -> GeneratedLog {
+    let epi = base.len();
+    assert_eq!(
+        epi as u32,
+        program.events_per_instance(),
+        "base template must cover every activity's start and finish"
+    );
+    let mut rng = Rng::seed_from_u64(params.seed);
+    let ordering_pairs = program.ordering_pairs();
+    let exclusive_pairs = program.exclusive_pairs();
+    let conversation_pairs = program.conversation_pairs();
+
+    let mut special: FxHashMap<InstanceId, Vec<(u16, MonitorPhase)>> = FxHashMap::default();
+    let mut injected_ordering = Vec::new();
+    let mut injected_exclusive = Vec::new();
+    let mut injected_conversation = Vec::new();
+
+    for i in 0..params.instances {
+        let id = params.first_instance + i;
+        // Fixed draw sequence per instance keeps the stream deterministic
+        // for any pair-table contents.
+        let hit_ord = rng.random_bool(params.ordering_rate);
+        let hit_exc = rng.random_bool(params.exclusive_rate);
+        let hit_conv = rng.random_bool(params.conversation_rate);
+        if !(hit_ord || hit_exc || hit_conv) {
+            continue;
+        }
+        let mut seq = base.to_vec();
+        if hit_ord && !ordering_pairs.is_empty() {
+            let (producer, consumer) = ordering_pairs[rng.random_range(ordering_pairs.len())];
+            let (pp, pc) = (
+                pos_of(&seq, program, producer).expect("producer in template"),
+                pos_of(&seq, program, consumer).expect("consumer in template"),
+            );
+            if pp < pc {
+                move_event_before(&mut seq, pc, pp);
+                injected_ordering.push(id);
+            }
+        }
+        if hit_exc && !exclusive_pairs.is_empty() {
+            let (a, b) = exclusive_pairs[rng.random_range(exclusive_pairs.len())];
+            let sa = pos_of(&seq, program, program.point_of(a, MonitorPhase::Start))
+                .expect("member start in template");
+            let sb = pos_of(&seq, program, program.point_of(b, MonitorPhase::Start))
+                .expect("member start in template");
+            let (first, second) = (sa.min(sb), sa.max(sb));
+            if first + 1 < second {
+                move_event_before(&mut seq, second, first + 1);
+            }
+            injected_exclusive.push(id);
+        }
+        if hit_conv && !conversation_pairs.is_empty() {
+            let (px, py) = conversation_pairs[rng.random_range(conversation_pairs.len())];
+            let (x, y) = (
+                pos_of(&seq, program, px).expect("x occurrence in template"),
+                pos_of(&seq, program, py).expect("y occurrence in template"),
+            );
+            if x < y {
+                move_event_before(&mut seq, y, x);
+                injected_conversation.push(id);
+            }
+        }
+        special.insert(id, seq);
+    }
+
+    let mut ids: Vec<InstanceId> = (0..params.instances)
+        .map(|i| params.first_instance + i)
+        .collect();
+    let mut events = Vec::with_capacity(epi * params.instances as usize);
+    for round in 0..epi {
+        rng.shuffle(&mut ids);
+        for &id in &ids {
+            let (act, phase) = special.get(&id).map_or(base[round], |s| s[round]);
+            events.push(MonitorEvent {
+                instance: id,
+                act,
+                phase,
+            });
+        }
+    }
+    GeneratedLog {
+        events,
+        injected_ordering,
+        injected_exclusive,
+        injected_conversation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_deterministic_and_complete() {
+        let p = MonitorScenarioParams::default();
+        let f1 = monitor_fixture(&p);
+        let f2 = monitor_fixture(&p);
+        assert_eq!(f1.base, f2.base);
+        // 2 + width*depth grid + 2 per exclusive pair activities.
+        assert_eq!(f1.program.n_activities(), 2 + 3 * 4 + 2);
+        assert_eq!(f1.base.len() as u32, f1.program.events_per_instance());
+        assert_eq!(f1.conversations.len(), 1);
+        assert!(!f1.program.ordering_pairs().is_empty());
+        assert_eq!(f1.program.exclusive_pairs().len(), 1);
+        assert_eq!(f1.program.conversation_pairs().len(), 2);
+    }
+
+    #[test]
+    fn clean_log_interleaves_whole_fleet() {
+        let f = monitor_fixture(&MonitorScenarioParams::default());
+        let log = event_log(
+            &f.program,
+            &f.base,
+            &EventLogParams {
+                instances: 50,
+                ..EventLogParams::default()
+            },
+        );
+        assert_eq!(log.events.len(), 50 * f.base.len());
+        assert_eq!(log.injected_total(), 0);
+        // Round structure: each consecutive block of 50 events carries
+        // every instance exactly once.
+        for round in log.events.chunks(50) {
+            let mut ids: Vec<u32> = round.iter().map(|e| e.instance).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..50).collect::<Vec<_>>());
+        }
+        // Same params, same stream.
+        let log2 = event_log(
+            &f.program,
+            &f.base,
+            &EventLogParams {
+                instances: 50,
+                ..EventLogParams::default()
+            },
+        );
+        assert_eq!(log.events, log2.events);
+    }
+
+    #[test]
+    fn injections_are_recorded_and_life_cycle_well_formed() {
+        let f = monitor_fixture(&MonitorScenarioParams::default());
+        let log = event_log(
+            &f.program,
+            &f.base,
+            &EventLogParams {
+                instances: 200,
+                seed: 7,
+                ordering_rate: 0.3,
+                exclusive_rate: 0.3,
+                conversation_rate: 0.3,
+                ..EventLogParams::default()
+            },
+        );
+        assert!(!log.injected_ordering.is_empty());
+        assert!(!log.injected_exclusive.is_empty());
+        assert!(!log.injected_conversation.is_empty());
+        // Every instance's stream keeps start-before-finish per activity.
+        let mut per: FxHashMap<u32, Vec<(u16, MonitorPhase)>> = FxHashMap::default();
+        for e in &log.events {
+            per.entry(e.instance).or_default().push((e.act, e.phase));
+        }
+        for (id, seq) in per {
+            assert_eq!(seq.len(), f.base.len());
+            for act in 0..f.program.n_activities() as u16 {
+                let s = seq
+                    .iter()
+                    .position(|&(a, p)| a == act && p == MonitorPhase::Start)
+                    .unwrap();
+                let fin = seq
+                    .iter()
+                    .position(|&(a, p)| a == act && p == MonitorPhase::Finish)
+                    .unwrap();
+                assert!(s < fin, "instance {id} act {act}: start after finish");
+            }
+        }
+    }
+}

@@ -7,12 +7,17 @@
 #![warn(missing_docs)]
 
 pub mod deployment;
+pub mod eventlog;
 pub mod evolve;
 pub mod purchasing;
 pub mod scenarios;
 pub mod synth;
 
 pub use deployment::{deployment_dependencies, deployment_process};
+pub use eventlog::{
+    base_sequence, event_log, monitor_fixture, monitor_scenario, EventLogParams, GeneratedLog,
+    MonitorFixture, MonitorScenarioParams,
+};
 pub use evolve::{edit_burst, EditProfile};
 pub use scenarios::{loan_dependencies, loan_process, quotes_dependencies, quotes_process, settlement_constraints};
 pub use purchasing::{

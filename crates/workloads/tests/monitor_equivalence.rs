@@ -1,0 +1,178 @@
+//! Property tests pinning the streaming monitor to the post-hoc oracle:
+//! the verdict stream over a generated multi-instance log must be
+//! bit-identical across thread counts and batch sizes, and must equal
+//! `oracle_verdicts` (per-instance `Trace::verify` + `verify_exclusives`
+//! + `check_all_conformance`). Also exercises slab recycling across
+//! disjoint instance cohorts: retired rows are reused with no verdict
+//! leakage into clean instances.
+
+use dscweaver_scheduler::{
+    oracle_verdicts, MonitorConfig, MonitorState, Verdict, VerdictKind,
+};
+use dscweaver_workloads::eventlog::{
+    event_log, monitor_fixture, EventLogParams, MonitorFixture, MonitorScenarioParams,
+};
+
+fn run_monitor(
+    f: &MonitorFixture,
+    events: &[dscweaver_scheduler::MonitorEvent],
+    threads: usize,
+    shards: usize,
+    batch: usize,
+) -> (Vec<Verdict>, dscweaver_scheduler::MonitorStats) {
+    let mut state = MonitorState::new(
+        &f.program,
+        &MonitorConfig {
+            threads,
+            shards,
+            capacity: 0,
+        },
+    );
+    let mut verdicts = Vec::new();
+    for chunk in events.chunks(batch.max(1)) {
+        verdicts.extend(state.ingest(chunk));
+    }
+    (verdicts, state.stats())
+}
+
+#[test]
+fn verdicts_match_oracle_across_threads_and_batches() {
+    for seed in [3u64, 11] {
+        let f = monitor_fixture(&MonitorScenarioParams {
+            seed,
+            ..MonitorScenarioParams::default()
+        });
+        let log = event_log(
+            &f.program,
+            &f.base,
+            &EventLogParams {
+                instances: 300,
+                seed: seed * 1000 + 1,
+                ordering_rate: 0.06,
+                exclusive_rate: 0.05,
+                conversation_rate: 0.05,
+                ..EventLogParams::default()
+            },
+        );
+        assert!(log.injected_total() > 0, "seed {seed}: no injections");
+        let oracle = oracle_verdicts(&f.program, &f.cs, &f.conversations, &log.events);
+        assert!(!oracle.is_empty(), "seed {seed}: oracle found nothing");
+
+        let (reference, _) = run_monitor(&f, &log.events, 1, 1, log.events.len());
+        let mut sorted = reference.clone();
+        sorted.sort();
+        if sorted != oracle {
+            let only_mon: Vec<_> = sorted.iter().filter(|v| !oracle.contains(v)).collect();
+            let only_ora: Vec<_> = oracle.iter().filter(|v| !sorted.contains(v)).collect();
+            panic!(
+                "seed {seed}: monitor {} vs oracle {} verdicts; monitor-only {only_mon:#?} oracle-only {only_ora:#?}",
+                sorted.len(),
+                oracle.len()
+            );
+        }
+
+        for threads in [1usize, 2, 4, 8] {
+            for batch in [64usize, 997, 16 * 1024, log.events.len()] {
+                let (got, stats) = run_monitor(&f, &log.events, threads, 0, batch);
+                assert_eq!(
+                    got, reference,
+                    "seed {seed}: verdict stream differs at threads={threads} batch={batch}"
+                );
+                assert_eq!(stats.live, 0, "whole fleet must retire");
+                assert_eq!(stats.retired, 300);
+                assert_eq!(stats.events, log.events.len() as u64);
+            }
+        }
+
+        // Recall: every injected instance surfaces with the targeted kind.
+        let has = |id: u32, kind: VerdictKind| {
+            reference
+                .iter()
+                .any(|v| v.instance == id && v.kind == kind)
+        };
+        for &id in &log.injected_ordering {
+            assert!(has(id, VerdictKind::Ordering), "seed {seed}: missed ordering on {id}");
+        }
+        for &id in &log.injected_exclusive {
+            assert!(has(id, VerdictKind::Exclusive), "seed {seed}: missed exclusive on {id}");
+        }
+        for &id in &log.injected_conversation {
+            assert!(
+                has(id, VerdictKind::Conversation),
+                "seed {seed}: missed conversation on {id}"
+            );
+        }
+        // Precision on clean instances: no verdict names an instance that
+        // received no injection.
+        let mut dirty: Vec<u32> = log
+            .injected_ordering
+            .iter()
+            .chain(&log.injected_exclusive)
+            .chain(&log.injected_conversation)
+            .copied()
+            .collect();
+        dirty.sort_unstable();
+        dirty.dedup();
+        for v in &reference {
+            assert!(
+                dirty.binary_search(&v.instance).is_ok(),
+                "seed {seed}: verdict on clean instance {}: {v:?}",
+                v.instance
+            );
+        }
+    }
+}
+
+#[test]
+fn slab_rows_are_recycled_across_cohorts_without_leakage() {
+    let f = monitor_fixture(&MonitorScenarioParams::default());
+    let cohort = 40u32;
+    let mut state = MonitorState::new(
+        &f.program,
+        &MonitorConfig {
+            threads: 1,
+            shards: 1,
+            capacity: 0,
+        },
+    );
+    // Cohort 0 is dirty; cohorts 1 and 2 reuse its retired rows and must
+    // stay silent — stale counters, bitsets or watermarks would show up
+    // as verdicts here.
+    for wave in 0u32..3 {
+        let log = event_log(
+            &f.program,
+            &f.base,
+            &EventLogParams {
+                instances: cohort,
+                first_instance: wave * cohort,
+                seed: 5 + wave as u64,
+                ordering_rate: if wave == 0 { 0.5 } else { 0.0 },
+                exclusive_rate: if wave == 0 { 0.5 } else { 0.0 },
+                conversation_rate: if wave == 0 { 0.5 } else { 0.0 },
+                ..EventLogParams::default()
+            },
+        );
+        let mut verdicts = Vec::new();
+        for chunk in log.events.chunks(128) {
+            verdicts.extend(state.ingest(chunk));
+        }
+        if wave == 0 {
+            assert!(!verdicts.is_empty(), "dirty cohort must trip the monitor");
+        } else {
+            assert!(
+                verdicts.is_empty(),
+                "recycled rows leaked state into wave {wave}: {verdicts:?}"
+            );
+        }
+        let stats = state.stats();
+        assert_eq!(stats.live, 0);
+        assert_eq!(stats.retired, u64::from((wave + 1) * cohort));
+        // Rows allocated for wave 0 cover every later wave.
+        assert!(
+            stats.slab_rows <= cohort as usize,
+            "slab grew past one cohort: {} rows",
+            stats.slab_rows
+        );
+    }
+    assert_eq!(state.stats().peak_live, cohort as usize);
+}

@@ -7,6 +7,7 @@
 //! dscw bpel      <process.proc> [--structured] [...]
 //! dscw dot       <process.proc> [--stage sc|asc|minimal] [...]
 //! dscw figures   <process.proc> [...]
+//! dscw monitor   <process.proc> [--instances N] [--batch N] [--seed N] [--violate RATE] [...]
 //! ```
 //!
 //! The process is a `.proc` DSL file (see `dscweaver-model`). Cooperation
@@ -25,18 +26,22 @@ use dscweaver::obs;
 use dscweaver::dscl::{parse_constraints, Relation, SyncGraph};
 use dscweaver::model::parse_process;
 use dscweaver::scheduler::SimConfig;
-use dscweaver::vertical::{weave, VerticalInput};
+use dscweaver::vertical::{monitor_replay, weave, MonitorReplayConfig, VerticalInput};
 use dscweaver::wscl::{from_xml, ServiceBinding};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dscw <optimize|validate|run|bpel|dot|figures> <process.proc>
+        "usage: dscw <optimize|validate|run|bpel|dot|figures|monitor> <process.proc>
        [--coop <constraints.dscl>]
        [--wscl <conversation.xml>:<iid=activity,...>]...
        [--branch <guard=value>]...
        [--stage sc|asc|minimal]      (dot)
        [--structured]                (bpel)
+       [--instances <n>]             (monitor: fleet size, default 1000)
+       [--batch <n>]                 (monitor: ingest batch, default 1024)
+       [--seed <n>]                  (monitor: generator seed)
+       [--violate <rate>]            (monitor: per-kind injection rate)
        [--threads <n>]               (0 = auto)
        [--trace <out.json>]          (Chrome trace-event JSON)
        [--profile]                   (per-phase summary on stderr)"
@@ -52,6 +57,10 @@ struct Args {
     branches: Vec<(String, String)>,
     stage: String,
     structured: bool,
+    instances: u32,
+    batch: usize,
+    seed: u64,
+    violate: f64,
     threads: usize,
     trace: Option<String>,
     profile: bool,
@@ -69,6 +78,10 @@ fn parse_args() -> Option<Args> {
         branches: Vec::new(),
         stage: "minimal".into(),
         structured: false,
+        instances: 1000,
+        batch: 1024,
+        seed: 42,
+        violate: 0.01,
         threads: 0,
         trace: None,
         profile: false,
@@ -88,6 +101,10 @@ fn parse_args() -> Option<Args> {
             }
             "--stage" => args.stage = argv.next()?,
             "--structured" => args.structured = true,
+            "--instances" => args.instances = argv.next()?.parse().ok()?,
+            "--batch" => args.batch = argv.next()?.parse().ok()?,
+            "--seed" => args.seed = argv.next()?.parse().ok()?,
+            "--violate" => args.violate = argv.next()?.parse().ok()?,
             "--threads" => args.threads = argv.next()?.parse().ok()?,
             "--trace" => args.trace = Some(argv.next()?),
             "--profile" => args.profile = true,
@@ -171,6 +188,24 @@ fn run() -> Result<(), String> {
         sim,
     })
     .map_err(|e| e.to_string())?;
+    // The monitor replay runs inside the recording window so --trace and
+    // --profile cover its ingest spans too.
+    let monitor_report = if args.command == "monitor" {
+        Some(monitor_replay(
+            &out,
+            &conversations,
+            &MonitorReplayConfig {
+                instances: args.instances,
+                batch: args.batch,
+                seed: args.seed,
+                rate: args.violate,
+                threads: args.threads,
+                verify: true,
+            },
+        )?)
+    } else {
+        None
+    };
     if recording {
         obs::set_enabled(false);
         let snapshot = obs::take();
@@ -243,6 +278,9 @@ fn run() -> Result<(), String> {
             println!("{}", dscweaver::model::render_flowchart(&process));
             println!("{}", dscweaver::model::render_constructs(&process));
             println!("{}", SyncGraph::build(&out.weaver.minimal).render());
+        }
+        "monitor" => {
+            print!("{}", monitor_report.expect("computed above").render());
         }
         other => return Err(format!("unknown command '{other}'")),
     }

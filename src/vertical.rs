@@ -288,6 +288,173 @@ impl ReweaveSession {
     }
 }
 
+/// Configuration for [`monitor_replay`]: fan one executed vertical out
+/// into a fleet of live instances and stream them through the
+/// `scheduler::monitor` engine.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorReplayConfig {
+    /// Fleet size (all instances stay live for the whole stream).
+    pub instances: u32,
+    /// Ingest batch size.
+    pub batch: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Per-kind violation injection rate (ordering, exclusive and
+    /// conversation injections each drawn independently at this rate).
+    pub rate: f64,
+    /// Monitor worker threads (`0` = auto).
+    pub threads: usize,
+    /// Pin the verdict stream to the post-hoc oracle (one `Trace::verify`
+    /// + conformance pass per instance — linear in fleet size).
+    pub verify: bool,
+}
+
+impl Default for MonitorReplayConfig {
+    fn default() -> Self {
+        MonitorReplayConfig {
+            instances: 1000,
+            batch: 1024,
+            seed: 42,
+            rate: 0.01,
+            threads: 0,
+            verify: true,
+        }
+    }
+}
+
+/// What [`monitor_replay`] measured.
+pub struct MonitorReplayReport {
+    /// Fleet size.
+    pub instances: u32,
+    /// Events streamed.
+    pub events: usize,
+    /// Injected violations across kinds (an instance may carry several).
+    pub injected: usize,
+    /// Ingest wall time in milliseconds.
+    pub ingest_ms: f64,
+    /// Ingest throughput.
+    pub events_per_sec: f64,
+    /// Monitor state after the stream drained.
+    pub stats: dscweaver_scheduler::MonitorStats,
+    /// The verdicts, sorted by `(instance, kind, relation)`.
+    pub verdicts: Vec<dscweaver_scheduler::Verdict>,
+}
+
+impl MonitorReplayReport {
+    /// A human-readable summary (verdicts capped at ten lines).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "monitor: {} instances x {} events each = {} events\n",
+            self.instances,
+            self.events / (self.instances.max(1) as usize),
+            self.events
+        ));
+        out.push_str(&format!(
+            "ingest:  {:.1} ms | {:.0} events/sec | {:.0} bytes/instance | peak live {}\n",
+            self.ingest_ms,
+            self.events_per_sec,
+            self.stats.bytes as f64 / self.stats.peak_live.max(1) as f64,
+            self.stats.peak_live
+        ));
+        out.push_str(&format!(
+            "fleet:   {} injected, {} retired, {} slab rows, {} verdicts\n",
+            self.injected, self.stats.retired, self.stats.slab_rows, self.stats.verdicts
+        ));
+        for v in self.verdicts.iter().take(10) {
+            out.push_str(&format!(
+                "  #{} {:?}: {}\n",
+                v.instance, v.kind, v.relation
+            ));
+        }
+        if self.verdicts.len() > 10 {
+            out.push_str(&format!("  ... {} more\n", self.verdicts.len() - 10));
+        }
+        out
+    }
+}
+
+/// Streams a fleet of instances of an executed vertical through the
+/// online conformance monitor: compiles the vertical's full contract (the
+/// ASC plus its WSCL conversations, projected to the activities the
+/// schedule actually executed) into a monitor program, replays the
+/// executed trace as the per-instance event template, injects violations
+/// at the configured rate and ingests the interleaved stream. With
+/// `verify` set, the sorted verdict stream is checked against the
+/// post-hoc oracle before the report is returned.
+pub fn monitor_replay(
+    out: &VerticalOutput,
+    conversations: &[(Conversation, ServiceBinding)],
+    cfg: &MonitorReplayConfig,
+) -> Result<MonitorReplayReport, String> {
+    use dscweaver_scheduler::{EventKind, MonitorConfig, MonitorProgram, MonitorState};
+    use dscweaver_workloads::eventlog::{base_sequence, event_log, EventLogParams};
+
+    let _span = obs::span("monitor.replay");
+    // Project the contract to what actually ran: dead-path activities are
+    // dropped, and the compiler's tolerance then skips every relation,
+    // exclusive or conversation interaction touching them (the same
+    // vacuousness the post-hoc checkers apply).
+    let mut cs = out.weaver.asc.clone();
+    cs.activities = out
+        .schedule
+        .trace
+        .events
+        .iter()
+        .filter(|e| e.kind != EventKind::Skip)
+        .map(|e| e.activity.clone())
+        .collect();
+    let program = MonitorProgram::compile(&cs, conversations).map_err(|e| e.to_string())?;
+    let base = base_sequence(&program, &out.schedule.trace)?;
+    let log = event_log(
+        &program,
+        &base,
+        &EventLogParams {
+            instances: cfg.instances.max(1),
+            seed: cfg.seed,
+            ordering_rate: cfg.rate,
+            exclusive_rate: cfg.rate,
+            conversation_rate: cfg.rate,
+            ..EventLogParams::default()
+        },
+    );
+    let mut state = MonitorState::new(
+        &program,
+        &MonitorConfig {
+            threads: cfg.threads,
+            shards: 0,
+            capacity: cfg.instances as usize,
+        },
+    );
+    let mut verdicts = Vec::new();
+    let t0 = std::time::Instant::now();
+    for chunk in log.events.chunks(cfg.batch.max(1)) {
+        verdicts.extend(state.ingest(chunk));
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-12);
+    verdicts.sort();
+    if cfg.verify {
+        let oracle =
+            dscweaver_scheduler::oracle_verdicts(&program, &cs, conversations, &log.events);
+        if verdicts != oracle {
+            return Err(format!(
+                "monitor verdicts diverge from the post-hoc oracle: {} vs {}",
+                verdicts.len(),
+                oracle.len()
+            ));
+        }
+    }
+    Ok(MonitorReplayReport {
+        instances: cfg.instances.max(1),
+        events: log.events.len(),
+        injected: log.injected_total(),
+        ingest_ms: secs * 1e3,
+        events_per_sec: log.events.len() as f64 / secs,
+        stats: state.stats(),
+        verdicts,
+    })
+}
+
 /// The structural (Figure-2 style) baseline for the same process, run on
 /// the same engine — used for concurrency comparisons.
 pub fn baseline_schedule(

@@ -183,6 +183,37 @@ fn run_with_trace_emits_valid_chrome_trace() {
     );
 }
 
+/// `dscw monitor` fans the executed vertical out into a fleet of live
+/// instances, streams them through the online monitor with injected
+/// violations, and pins the verdict stream to the post-hoc oracle (the
+/// replay fails hard on divergence). The switch makes one branch dead, so
+/// this also covers the skip-projection path: the monitor program is
+/// compiled over executed activities only.
+#[test]
+fn monitor_streams_a_fleet_and_pins_the_oracle() {
+    let proc_path = write_tmp("mini4.proc", PROC);
+    let coop_path = write_tmp("mini4.dscl", COOP);
+    let wscl_path = write_tmp("credit4.xml", WSCL);
+    let wscl_arg = format!("{}:check=invCheck,auth=recAuth", wscl_path.display());
+    let out = bin()
+        .args(["monitor", proc_path.to_str().unwrap()])
+        .args(["--coop", coop_path.to_str().unwrap()])
+        .args(["--wscl", &wscl_arg])
+        .args(["--branch", "gate=T"])
+        .args(["--instances", "200", "--batch", "128", "--violate", "0.1", "--seed", "9"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("monitor: 200 instances"), "{text}");
+    assert!(text.contains("peak live 200"), "{text}");
+    assert!(text.contains("200 retired"), "{text}");
+    // At a 10% per-kind rate some of the 200 instances must be dirty and
+    // produce verdict lines.
+    assert!(!text.contains(" 0 verdicts"), "{text}");
+    assert!(text.contains("Ordering:") || text.contains("Conversation:"), "{text}");
+}
+
 #[test]
 fn errors_are_reported() {
     // Missing file.
