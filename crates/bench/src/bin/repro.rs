@@ -26,7 +26,7 @@ fn bench_json(args: &[String]) {
     // Strict parsing: a typo'd flag must not silently drop `--smoke` and
     // turn a 2-second path check into the multi-minute full suite.
     let usage =
-        "usage: repro bench-json [--suite minimize|petri|scheduler|evolve|monitor|all] [--smoke] [--out PATH] [--threads N] [--trace PATH] [--profile]";
+        "usage: repro bench-json [--suite minimize|petri|scheduler|evolve|monitor|serve|all] [--smoke] [--out PATH] [--threads N] [--trace PATH] [--profile]";
     let mut smoke = false;
     let mut suite = "minimize".to_string();
     let mut out_path: Option<String> = None;
@@ -39,11 +39,12 @@ fn bench_json(args: &[String]) {
             "--smoke" => smoke = true,
             "--profile" => profile = true,
             "--suite" => match it.next().map(String::as_str) {
-                Some(s @ ("minimize" | "petri" | "scheduler" | "evolve" | "monitor" | "all")) => {
-                    suite = s.to_string()
-                }
+                Some(
+                    s @ ("minimize" | "petri" | "scheduler" | "evolve" | "monitor" | "serve"
+                    | "all"),
+                ) => suite = s.to_string(),
                 _ => {
-                    eprintln!("error: --suite requires minimize|petri|scheduler|evolve|monitor|all\n{usage}");
+                    eprintln!("error: --suite requires minimize|petri|scheduler|evolve|monitor|serve|all\n{usage}");
                     std::process::exit(2);
                 }
             },
@@ -89,6 +90,7 @@ fn bench_json(args: &[String]) {
             "BENCH_monitor.json",
             exp::perf_monitor::bench_monitor_json,
         )],
+        "serve" => vec![("serve", "BENCH_serve.json", exp::perf_serve::bench_serve_json)],
         _ => vec![
             ("minimize", "BENCH_minimize.json", exp::perf::bench_minimize_json),
             ("petri", "BENCH_petri.json", exp::perf_petri::bench_petri_json),
@@ -103,6 +105,7 @@ fn bench_json(args: &[String]) {
                 "BENCH_monitor.json",
                 exp::perf_monitor::bench_monitor_json,
             ),
+            ("serve", "BENCH_serve.json", exp::perf_serve::bench_serve_json),
         ],
     };
     if out_path.is_some() && suites.len() > 1 {

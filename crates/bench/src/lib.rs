@@ -13,5 +13,6 @@ pub mod perf_evolve;
 pub mod perf_monitor;
 pub mod perf_petri;
 pub mod perf_scheduler;
+pub mod perf_serve;
 
 pub use experiments::*;

@@ -1,0 +1,254 @@
+//! Weaver-daemon serving throughput: the machine-readable
+//! `BENCH_serve.json` artifact written by `repro bench-json --suite
+//! serve`.
+//!
+//! The workload is a population of distinct processes (10k+ in the full
+//! suite), each a small guarded diamond with unique activity names, served
+//! through the daemon's request path (`service::handle` over a shared
+//! `Registry` — the transport framing is exercised by the serve crate's
+//! TCP tests and excluded here so the numbers measure serving, not socket
+//! juggling). Every (population, threads) configuration runs one **cold**
+//! pass (every request compiles and caches) and one **warm** pass (every
+//! request hits the prepared-artifact cache), reporting sustained req/s
+//! and per-request p50/p99 latency for each. Correctness is gated before
+//! timing: a sample of cold, warm and one-shot response bodies must be
+//! bit-identical, and the cache counters must account for every request.
+
+use crate::harness::{black_box, phases_json, BenchOpts};
+use dscweaver_graph::par_map;
+use dscweaver_obs as obs;
+use dscweaver_serve::registry::Registry;
+use dscweaver_serve::service::{handle, oneshot, Request};
+use std::time::{Duration, Instant};
+
+/// One serving sweep: a process-population size plus the server thread
+/// counts to cross.
+pub struct ServeCase {
+    /// Number of distinct processes in the population.
+    pub processes: usize,
+    /// Server worker-thread counts to sweep.
+    pub threads: Vec<usize>,
+}
+
+/// The serve suite. Smoke keeps the population small so tier-1 tests can
+/// exercise the full path in seconds; the full suite serves 10k distinct
+/// processes per thread configuration.
+pub fn serve_cases(smoke: bool) -> Vec<ServeCase> {
+    if smoke {
+        return vec![ServeCase {
+            processes: 150,
+            threads: vec![1, 2],
+        }];
+    }
+    vec![ServeCase {
+        processes: 10_000,
+        threads: vec![1, 4],
+    }]
+}
+
+/// The i-th distinct process: a guarded diamond (switch on a written
+/// variable, two cases, a join) with names unique to the index, so every
+/// request carries a different content hash.
+pub fn proc_text(i: usize) -> String {
+    format!(
+        "process p{i} {{\n var s{i}; var v{i};\n sequence {{\n  assign init{i} writes s{i};\n  switch g{i} reads s{i} {{\n   case T {{ assign x{i} writes v{i}; }}\n   case F {{ assign y{i} writes v{i}; }}\n  }}\n  assign j{i} reads v{i};\n }}\n}}"
+    )
+}
+
+struct PassReport {
+    processes: usize,
+    threads: usize,
+    phase: &'static str,
+    requests: usize,
+    wall_ms: f64,
+    req_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+fn json_f(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let ix = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[ix].as_secs_f64() * 1e6
+}
+
+/// Serves every request once, in parallel across `threads` workers, and
+/// returns (wall time, sorted per-request latencies, response bodies).
+fn run_pass(
+    reg: &Registry,
+    requests: &[Request],
+    threads: usize,
+) -> (Duration, Vec<Duration>, Vec<String>) {
+    let t0 = Instant::now();
+    let results: Vec<(Duration, String)> = par_map(threads, requests, &|req| {
+        let t = Instant::now();
+        let response = handle(reg, req);
+        (t.elapsed(), response.body)
+    });
+    let wall = t0.elapsed();
+    let mut lats: Vec<Duration> = results.iter().map(|(d, _)| *d).collect();
+    lats.sort();
+    let bodies = results.into_iter().map(|(_, b)| b).collect();
+    (wall, lats, bodies)
+}
+
+/// Runs the serve suite and renders `BENCH_serve.json` plus the merged
+/// trace of one small instrumented pass (the timed passes stay untraced
+/// so the recorder cannot skew them).
+pub fn bench_serve_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
+    let smoke = opts.smoke;
+    let mut passes: Vec<PassReport> = Vec::new();
+    let mut speedups: Vec<(usize, usize, f64)> = Vec::new();
+
+    for case in serve_cases(smoke) {
+        let texts: Vec<String> = (0..case.processes).map(proc_text).collect();
+        let requests: Vec<Request> = texts
+            .iter()
+            .map(|t| Request::Weave { text: t.clone() })
+            .collect();
+        // One-shot reference bodies for the correctness gate (a spread of
+        // the population, not just the head).
+        let gate_ix: Vec<usize> = (0..case.processes.min(7))
+            .map(|k| k * case.processes / case.processes.min(7).max(1))
+            .map(|i| i.min(case.processes - 1))
+            .collect();
+        let references: Vec<(usize, String)> = gate_ix
+            .iter()
+            .map(|&i| (i, oneshot(&requests[i], 1).body))
+            .collect();
+
+        let thread_list = if opts.threads > 0 {
+            vec![opts.threads]
+        } else {
+            case.threads.clone()
+        };
+        for &threads in &thread_list {
+            let reg = Registry::new(case.processes, threads);
+            let (cold_wall, cold_lats, cold_bodies) = run_pass(&reg, &requests, threads);
+            let stats = reg.stats();
+            assert_eq!(
+                stats.misses as usize, case.processes,
+                "cold pass must miss once per distinct process"
+            );
+            let (warm_wall, warm_lats, warm_bodies) = run_pass(&reg, &requests, threads);
+            let stats = reg.stats();
+            assert_eq!(
+                stats.hits as usize, case.processes,
+                "warm pass must hit once per distinct process"
+            );
+            // Correctness gate: cold, warm and one-shot bodies are
+            // bit-identical for the sampled processes.
+            for (i, reference) in &references {
+                assert_eq!(&cold_bodies[*i], reference, "cold body {i} diverged");
+                assert_eq!(&warm_bodies[*i], reference, "warm body {i} diverged");
+            }
+
+            let mut push = |phase: &'static str, wall: Duration, lats: &[Duration], hits, misses| {
+                let secs = wall.as_secs_f64().max(1e-12);
+                passes.push(PassReport {
+                    processes: case.processes,
+                    threads,
+                    phase,
+                    requests: requests.len(),
+                    wall_ms: secs * 1e3,
+                    req_per_sec: requests.len() as f64 / secs,
+                    p50_us: percentile_us(lats, 0.50),
+                    p99_us: percentile_us(lats, 0.99),
+                    cache_hits: hits,
+                    cache_misses: misses,
+                });
+            };
+            push("cold", cold_wall, &cold_lats, 0, case.processes as u64);
+            push("warm", warm_wall, &warm_lats, case.processes as u64, 0);
+
+            let speedup = cold_wall.as_secs_f64() / warm_wall.as_secs_f64().max(1e-12);
+            assert!(
+                speedup >= 5.0,
+                "warm serving must be at least 5x faster than cold \
+                 ({} processes, {threads} threads: {speedup:.1}x)",
+                case.processes
+            );
+            speedups.push((case.processes, threads, speedup));
+        }
+    }
+
+    // One small traced pass for the serve.* phase breakdown.
+    let (_, trace) = obs::record_with(|| {
+        let reg = Registry::new(64, 1);
+        for i in 0..50 {
+            black_box(handle(
+                &reg,
+                &Request::Weave {
+                    text: proc_text(i % 25),
+                },
+            ));
+        }
+        black_box(reg.stats())
+    });
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"artifact\": \"BENCH_serve\",\n");
+    out.push_str("  \"description\": \"weaver-daemon serving throughput over a population of distinct processes; per (processes, threads) configuration one cold pass (every request compiles and caches) and one warm pass (every request hits the prepared-artifact cache), with cold/warm/one-shot response bodies gated bit-identical before timing\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"passes\": [\n");
+    for (i, r) in passes.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"processes\": {},\n", r.processes));
+        out.push_str(&format!("      \"threads\": {},\n", r.threads));
+        out.push_str(&format!("      \"phase\": \"{}\",\n", r.phase));
+        out.push_str(&format!("      \"requests\": {},\n", r.requests));
+        out.push_str(&format!("      \"wall_ms\": {},\n", json_f(r.wall_ms)));
+        out.push_str(&format!(
+            "      \"req_per_sec\": {},\n",
+            json_f(r.req_per_sec)
+        ));
+        out.push_str(&format!("      \"p50_us\": {},\n", json_f(r.p50_us)));
+        out.push_str(&format!("      \"p99_us\": {},\n", json_f(r.p99_us)));
+        out.push_str(&format!("      \"cache_hits\": {},\n", r.cache_hits));
+        out.push_str(&format!("      \"cache_misses\": {}\n", r.cache_misses));
+        out.push_str(if i + 1 == passes.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"warm_over_cold\": [\n");
+    for (i, (processes, threads, speedup)) in speedups.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"processes\": {processes}, \"threads\": {threads}, \"speedup\": {} }}{}\n",
+            json_f(*speedup),
+            if i + 1 == speedups.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"phases\": {}\n", phases_json(&trace, "  ")));
+    out.push_str("}\n");
+    (out, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_is_small_and_full_suite_hits_ten_thousand() {
+        let smoke = serve_cases(true);
+        assert_eq!(smoke.len(), 1);
+        assert!(smoke[0].processes <= 1000);
+        assert!(serve_cases(false).iter().any(|c| c.processes >= 10_000));
+    }
+
+    #[test]
+    fn process_population_is_distinct() {
+        use dscweaver_serve::content_hash;
+        let hashes: std::collections::HashSet<u64> =
+            (0..100).map(|i| content_hash(&proc_text(i))).collect();
+        assert_eq!(hashes.len(), 100);
+    }
+}

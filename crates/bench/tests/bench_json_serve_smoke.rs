@@ -1,0 +1,65 @@
+//! Tier-1 smoke run of the `repro bench-json --suite serve` measurement
+//! path: serves the small process population cold and warm through the
+//! daemon's request handler, gates cold/warm/one-shot response bodies
+//! bit-identical (asserted inside `bench_serve_json`), and checks the
+//! rendered artifact is well-formed. Timings in this mode are meaningless
+//! (debug build) and are not asserted on — except the warm-over-cold
+//! speedup, which must clear 5x even here because warm requests skip the
+//! whole compile pipeline.
+
+use dscweaver_bench::harness::BenchOpts;
+use dscweaver_bench::perf_serve::{bench_serve_json, serve_cases};
+
+#[test]
+fn bench_json_serve_smoke_runs_and_renders() {
+    let _serial = dscweaver_obs::test_lock();
+    let (json, trace) = bench_serve_json(&BenchOpts {
+        smoke: true,
+        threads: 0,
+    });
+    assert!(json.starts_with("{\n"));
+    assert!(json.ends_with("}\n"));
+    assert!(json.contains("\"artifact\": \"BENCH_serve\""));
+    assert!(json.contains("\"smoke\": true"));
+    // One population × 2 thread counts × {cold, warm} = 4 pass rows, each
+    // carrying the full field set exactly once.
+    let rows = json.matches("\"req_per_sec\":").count();
+    assert_eq!(rows, 4, "smoke sweeps 2 thread counts x cold/warm: {json}");
+    for field in [
+        "\"processes\":",
+        "\"threads\":",
+        "\"phase\":",
+        "\"requests\":",
+        "\"wall_ms\":",
+        "\"p50_us\":",
+        "\"p99_us\":",
+        "\"cache_hits\":",
+        "\"cache_misses\":",
+    ] {
+        assert!(
+            json.matches(field).count() >= rows,
+            "field {field}: {json}"
+        );
+    }
+    assert_eq!(json.matches("\"phase\": \"cold\"").count(), 2);
+    assert_eq!(json.matches("\"phase\": \"warm\"").count(), 2);
+    // One speedup row per thread count.
+    assert_eq!(json.matches("\"speedup\":").count(), 2);
+    // The traced pass recorded the serve.* request phases.
+    assert!(!trace.is_empty());
+    let phases = trace.phase_totals_ms();
+    for span in ["serve.lookup", "serve.compile", "serve.run"] {
+        assert!(phases.contains_key(span), "{span} missing: {phases:?}");
+    }
+    // Balanced braces/brackets — cheap well-formedness check without a
+    // JSON parser dependency (no string values contain braces).
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
+
+#[test]
+fn full_suite_serves_ten_thousand_distinct_processes() {
+    let full = serve_cases(false);
+    let big = full.iter().find(|c| c.processes >= 10_000).unwrap();
+    assert_eq!(big.threads, vec![1, 4]);
+}

@@ -266,6 +266,17 @@ impl WeaveSession {
         self.state.as_ref().map(|s| &s.output)
     }
 
+    /// A shareable frozen snapshot of the session's hash-consing pool
+    /// after the last successful weave (`None` before the first). The
+    /// snapshot is immutable and cheap to clone across threads; the
+    /// session keeps its own live pool, so later re-weaves do not
+    /// invalidate handed-out snapshots.
+    pub fn frozen_pool(&self) -> Option<dscweaver_graph::FrozenDnfPool<Condition>> {
+        self.state
+            .as_ref()
+            .map(|s| s.memo.pool.clone().freeze())
+    }
+
     /// Weaves `ds`, reusing the previous weave's state when the diff
     /// allows. Results are always identical to a fresh [`Weaver::run`];
     /// the report says which path produced them and what it cost.

@@ -1,6 +1,7 @@
 //! Interned, level-parallel condition-annotated closure (Definition 3).
 //!
-//! [`crate::annotated::annotated_closure`] builds structural [`Dnf`] rows
+//! [`crate::annotated::annotated_closure`] builds structural
+//! [`Dnf`](crate::annotated::Dnf) rows
 //! and leaves interning to the caller — every annotation is materialized,
 //! cloned through `BTreeMap` accumulators, and hashed again when the
 //! minimizer pools it. This module builds the same closure **directly in
@@ -53,11 +54,10 @@
 //! assert_eq!(stats.rows, 4);
 //! ```
 
-use crate::annotated::{Dnf, GuardFn};
+use crate::annotated::GuardFn;
 use crate::closure::condense;
 use crate::digraph::DiGraph;
-use crate::fx::FxHashMap;
-use crate::intern::{DnfId, DnfPool, TermId};
+use crate::intern::{DnfId, DnfPool, SnapshotOps, TermId};
 use crate::par::par_ranges;
 use crate::topo::{topo_sort, CycleError};
 use dscweaver_obs as obs;
@@ -142,131 +142,21 @@ impl<G: Ord + Clone + std::hash::Hash> IdOps<G> for MainOps<'_, G> {
     }
 }
 
-/// Worker-side ops against a read-only pool snapshot. Formulas the
-/// snapshot lacks are minted with provisional ids `>= base`; the main
-/// thread re-interns them in discovery order, which keeps the global
-/// numbering identical to the sequential sweep.
-struct FrozenOps<'p, G> {
-    pool: &'p DnfPool<G>,
-    base: u32,
-    minted: Vec<Dnf<G>>,
-    minted_ids: FxHashMap<Dnf<G>, u32>,
-    compose_local: FxHashMap<(u32, u32), u32>,
-    union_local: FxHashMap<(u32, u32), u32>,
-    new_compose: Vec<(u32, u32, u32)>,
-    new_union: Vec<(u32, u32, u32)>,
-    hits: u64,
-    misses: u64,
-}
-
-/// What a worker hands back for the deterministic merge.
-struct FrozenParts<G> {
-    base: u32,
-    minted: Vec<Dnf<G>>,
-    new_compose: Vec<(u32, u32, u32)>,
-    new_union: Vec<(u32, u32, u32)>,
-    hits: u64,
-    misses: u64,
-}
-
-impl<'p, G: Ord + Clone + std::hash::Hash> FrozenOps<'p, G> {
-    fn new(pool: &'p DnfPool<G>) -> Self {
-        FrozenOps {
-            pool,
-            base: pool.dnf_count() as u32,
-            minted: Vec::new(),
-            minted_ids: FxHashMap::default(),
-            compose_local: FxHashMap::default(),
-            union_local: FxHashMap::default(),
-            new_compose: Vec::new(),
-            new_union: Vec::new(),
-            hits: 0,
-            misses: 0,
-        }
-    }
-
-    fn resolve(&self, id: DnfId) -> &Dnf<G> {
-        if id.0 >= self.base {
-            &self.minted[(id.0 - self.base) as usize]
-        } else {
-            self.pool.dnf(id)
-        }
-    }
-
-    /// Local intern: dedupe against the shared pool first, then against
-    /// formulas already minted on this worker.
-    fn mint(&mut self, d: Dnf<G>) -> DnfId {
-        if let Some(id) = self.pool.lookup(&d) {
-            return id;
-        }
-        if let Some(&id) = self.minted_ids.get(&d) {
-            return DnfId(id);
-        }
-        let id = self.base + self.minted.len() as u32;
-        self.minted_ids.insert(d.clone(), id);
-        self.minted.push(d);
-        DnfId(id)
-    }
-
-    fn into_parts(self) -> FrozenParts<G> {
-        FrozenParts {
-            base: self.base,
-            minted: self.minted,
-            new_compose: self.new_compose,
-            new_union: self.new_union,
-            hits: self.hits,
-            misses: self.misses,
-        }
-    }
-}
-
-impl<G: Ord + Clone + std::hash::Hash> IdOps<G> for FrozenOps<'_, G> {
+/// Worker-side ops against a read-only pool snapshot — now the
+/// first-class [`SnapshotOps`] overlay from [`crate::intern`]: formulas
+/// the snapshot lacks are minted with provisional ids `>= base`, and the
+/// main thread re-interns them in discovery order
+/// ([`DnfPool::absorb`]), which keeps the global numbering identical to
+/// the sequential sweep.
+impl<G: Ord + Clone + std::hash::Hash> IdOps<G> for SnapshotOps<'_, G> {
+    #[inline]
     fn compose(&mut self, a: DnfId, t: Option<TermId>) -> DnfId {
-        let Some(t) = t else { return a };
-        // Compose arguments always come from finished (global) rows.
-        debug_assert!(a.0 < self.base);
-        if let Some(r) = self.pool.peek_compose(a, t) {
-            self.hits += 1;
-            return r;
-        }
-        if let Some(&r) = self.compose_local.get(&(a.0, t.0)) {
-            self.hits += 1;
-            return DnfId(r);
-        }
-        self.misses += 1;
-        let out = {
-            let g = &self.pool.term(t)[0];
-            let mut out = Dnf::empty();
-            self.resolve(a).compose_into(Some(g), &mut out);
-            out
-        };
-        let r = self.mint(out);
-        self.compose_local.insert((a.0, t.0), r.0);
-        self.new_compose.push((a.0, t.0, r.0));
-        r
+        SnapshotOps::compose(self, a, t)
     }
 
+    #[inline]
     fn union(&mut self, a: DnfId, b: DnfId) -> DnfId {
-        if a.0 < self.base && b.0 < self.base {
-            if let Some(r) = self.pool.peek_union(a, b) {
-                self.hits += 1;
-                return r;
-            }
-        } else if a == b {
-            return a;
-        }
-        let key = (a.0.min(b.0), a.0.max(b.0));
-        if let Some(&r) = self.union_local.get(&key) {
-            self.hits += 1;
-            return DnfId(r);
-        }
-        self.misses += 1;
-        let mut out = self.resolve(a).clone();
-        out.union_with(self.resolve(b));
-        let r = self.mint(out);
-        self.union_local.insert(key, r.0);
-        self.new_union.push((key.0, key.1, r.0));
-        r
+        SnapshotOps::union(self, a, b)
     }
 }
 
@@ -489,7 +379,7 @@ where
     if threads > 1 && nodes.len() >= PAR_LEVEL_MIN {
         let pool_snap: &DnfPool<G> = &*pool;
         let results = par_ranges(threads, nodes.len(), &|r| {
-            let mut ops = FrozenOps::new(pool_snap);
+            let mut ops = SnapshotOps::new(pool_snap);
             let mut scratch = RowScratch::new(bound);
             let wrows: Vec<IRow> = r
                 .map(|i| {
@@ -506,25 +396,12 @@ where
         // the numbering equals the sequential sweep's.
         let mut out: Vec<IRow> = Vec::with_capacity(nodes.len());
         for (wrows, parts) in results {
-            let remap: Vec<DnfId> = parts.minted.iter().map(|d| pool.intern(d)).collect();
-            let fix = |id: DnfId| -> DnfId {
-                if id.0 >= parts.base {
-                    remap[(id.0 - parts.base) as usize]
-                } else {
-                    id
-                }
-            };
+            *worker_hits += parts.hits();
+            *worker_misses += parts.misses();
+            let remap = pool.absorb(parts);
             for wrow in wrows {
-                out.push(wrow.into_iter().map(|(t, d)| (t, fix(d))).collect());
+                out.push(wrow.into_iter().map(|(t, d)| (t, remap.fix(d))).collect());
             }
-            for (a, t, r) in parts.new_compose {
-                pool.note_compose(fix(DnfId(a)), TermId(t), fix(DnfId(r)));
-            }
-            for (a, b, r) in parts.new_union {
-                pool.note_union(fix(DnfId(a)), fix(DnfId(b)), fix(DnfId(r)));
-            }
-            *worker_hits += parts.hits;
-            *worker_misses += parts.misses;
         }
         out
     } else {
@@ -748,7 +625,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::annotated::annotated_closure;
+    use crate::annotated::{annotated_closure, Dnf};
     use crate::digraph::EdgeId;
 
     type G = (u32, bool);

@@ -17,6 +17,7 @@
 
 use crate::annotated::{Dnf, GuardSet};
 use crate::fx::FxHashMap;
+use std::sync::Arc;
 
 /// Id of an interned guard-set (conjunction term).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -308,6 +309,312 @@ impl<G: Ord + Clone + std::hash::Hash> DnfPool<G> {
         self.compose_memo.insert(key, id);
         id
     }
+
+    /// Consumes the pool into an immutable, `Arc`-shared snapshot that any
+    /// number of threads can read concurrently. Every id interned so far
+    /// stays valid (and resolves to the same formula) in the snapshot.
+    pub fn freeze(self) -> FrozenDnfPool<G> {
+        FrozenDnfPool {
+            pool: Arc::new(self),
+        }
+    }
+
+    /// Merges the provisional mints and memo discoveries of one
+    /// [`SnapshotOps`] overlay back into this pool, in discovery order.
+    ///
+    /// Re-interning in discovery order (first occurrence wins) is what
+    /// makes the level-parallel closure's pool numbering bit-identical to
+    /// the sequential sweep: callers absorb worker overlays in a fixed
+    /// window order, so the id each minted formula receives is independent
+    /// of thread scheduling. The returned [`PoolRemap`] translates the
+    /// overlay's provisional ids (`>= base`) to their final pool ids.
+    ///
+    /// The overlay must have been built against a pool whose first
+    /// `parts.base()` ids agree with this one — in the common case, this
+    /// very pool, or a snapshot of it.
+    pub fn absorb(&mut self, parts: SnapshotParts<G>) -> PoolRemap {
+        let remap = PoolRemap {
+            base: parts.base,
+            map: parts.minted.iter().map(|d| self.intern(d)).collect(),
+        };
+        for (a, t, r) in parts.new_compose {
+            self.note_compose(remap.fix(DnfId(a)), TermId(t), remap.fix(DnfId(r)));
+        }
+        for (a, b, r) in parts.new_union {
+            self.note_union(remap.fix(DnfId(a)), remap.fix(DnfId(b)), remap.fix(DnfId(r)));
+        }
+        remap
+    }
+}
+
+/// An immutable, reference-counted snapshot of a [`DnfPool`], safe to
+/// share across request/worker threads (`Clone` is an `Arc` bump).
+///
+/// This is the first-class form of the snapshot pattern the level-parallel
+/// closure proved out: readers resolve ids, probe memos, and look up
+/// formulas with no locking, because nothing can mutate the pool anymore.
+/// Threads that need to *create* formulas layer a [`SnapshotOps`] overlay
+/// on top and later [`DnfPool::absorb`] it into a mutable pool.
+///
+/// ```
+/// use dscweaver_graph::{Dnf, DnfPool};
+///
+/// let mut pool: DnfPool<u32> = DnfPool::new();
+/// let id = pool.intern(&Dnf::term(vec![1, 2]));
+/// let frozen = pool.freeze();
+/// let reader = frozen.clone(); // hand this to another thread
+/// assert_eq!(reader.dnf(id), &Dnf::term(vec![1, 2]));
+/// assert_eq!(reader.lookup(&Dnf::term(vec![1, 2])), Some(id));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FrozenDnfPool<G> {
+    pool: Arc<DnfPool<G>>,
+}
+
+impl<G: Ord + Clone + std::hash::Hash> FrozenDnfPool<G> {
+    /// The read-only pool behind the snapshot.
+    pub fn as_pool(&self) -> &DnfPool<G> {
+        &self.pool
+    }
+
+    /// Number of distinct DNFs interned at freeze time.
+    pub fn dnf_count(&self) -> usize {
+        self.pool.dnf_count()
+    }
+
+    /// Number of distinct guard-set terms interned at freeze time.
+    pub fn term_count(&self) -> usize {
+        self.pool.term_count()
+    }
+
+    /// The structural DNF behind an id.
+    pub fn dnf(&self, id: DnfId) -> &Dnf<G> {
+        self.pool.dnf(id)
+    }
+
+    /// The guard-set behind a term id.
+    pub fn term(&self, id: TermId) -> &GuardSet<G> {
+        self.pool.term(id)
+    }
+
+    /// Read-only lookup of an already-interned DNF.
+    pub fn lookup(&self, d: &Dnf<G>) -> Option<DnfId> {
+        self.pool.lookup(d)
+    }
+
+    /// Read-only lookup of an already-interned guard-set.
+    pub fn lookup_term(&self, gs: &GuardSet<G>) -> Option<TermId> {
+        self.pool.lookup_term(gs)
+    }
+
+    /// A fresh mutable pool with identical contents and numbering —
+    /// the escape hatch for paths that must intern (e.g. an incremental
+    /// re-weave seeded from a frozen cache entry).
+    pub fn thaw(&self) -> DnfPool<G> {
+        (*self.pool).clone()
+    }
+
+    /// A write overlay for one worker/request thread: reads hit this
+    /// snapshot, new formulas get provisional ids. See [`SnapshotOps`].
+    pub fn overlay(&self) -> SnapshotOps<'_, G> {
+        SnapshotOps::new(&self.pool)
+    }
+}
+
+/// A thread-local write overlay over a read-only pool (or pool snapshot).
+///
+/// Reads (`resolve`, memo probes) go to the underlying pool without
+/// synchronization; formulas the pool lacks are *minted* with provisional
+/// ids `>= base` (where `base` is the pool's `dnf_count()` at overlay
+/// creation) and recorded together with every memo discovery. The owner
+/// of a mutable pool later calls [`DnfPool::absorb`] on
+/// [`SnapshotOps::into_parts`] to merge the overlay deterministically —
+/// absorbing overlays in a fixed order yields the same pool numbering as
+/// a fully sequential run, which is what lets the closure engines (and
+/// the serve registry) share one pool across threads while staying
+/// bit-identical at any thread count.
+pub struct SnapshotOps<'p, G> {
+    pool: &'p DnfPool<G>,
+    base: u32,
+    minted: Vec<Dnf<G>>,
+    minted_ids: FxHashMap<Dnf<G>, u32>,
+    compose_local: FxHashMap<(u32, u32), u32>,
+    union_local: FxHashMap<(u32, u32), u32>,
+    new_compose: Vec<(u32, u32, u32)>,
+    new_union: Vec<(u32, u32, u32)>,
+    hits: u64,
+    misses: u64,
+}
+
+/// What one [`SnapshotOps`] overlay hands back for the deterministic
+/// merge: the minted formulas in discovery order plus the memo entries
+/// discovered while composing, ready for [`DnfPool::absorb`].
+pub struct SnapshotParts<G> {
+    base: u32,
+    minted: Vec<Dnf<G>>,
+    new_compose: Vec<(u32, u32, u32)>,
+    new_union: Vec<(u32, u32, u32)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<G> SnapshotParts<G> {
+    /// The pool size the overlay was created at — provisional ids start
+    /// here.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Memo hits observed by the overlay (pool probes and local).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Structural computations the overlay had to perform.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// Translates an overlay's provisional ids to final pool ids after
+/// [`DnfPool::absorb`]. Ids below the overlay base pass through.
+pub struct PoolRemap {
+    base: u32,
+    map: Vec<DnfId>,
+}
+
+impl PoolRemap {
+    /// Final pool id for `id` (identity below the overlay base).
+    pub fn fix(&self, id: DnfId) -> DnfId {
+        if id.0 >= self.base {
+            self.map[(id.0 - self.base) as usize]
+        } else {
+            id
+        }
+    }
+}
+
+impl<'p, G: Ord + Clone + std::hash::Hash> SnapshotOps<'p, G> {
+    /// An overlay over `pool` with provisional ids starting at the pool's
+    /// current `dnf_count()`.
+    pub fn new(pool: &'p DnfPool<G>) -> Self {
+        SnapshotOps {
+            pool,
+            base: pool.dnf_count() as u32,
+            minted: Vec::new(),
+            minted_ids: FxHashMap::default(),
+            compose_local: FxHashMap::default(),
+            union_local: FxHashMap::default(),
+            new_compose: Vec::new(),
+            new_union: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// First provisional id this overlay mints.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// The structural DNF behind a pool id or a provisional id minted by
+    /// this overlay.
+    pub fn resolve(&self, id: DnfId) -> &Dnf<G> {
+        if id.0 >= self.base {
+            &self.minted[(id.0 - self.base) as usize]
+        } else {
+            self.pool.dnf(id)
+        }
+    }
+
+    /// Local intern: dedupe against the shared pool first, then against
+    /// formulas already minted on this overlay.
+    pub fn mint(&mut self, d: Dnf<G>) -> DnfId {
+        if let Some(id) = self.pool.lookup(&d) {
+            return id;
+        }
+        if let Some(&id) = self.minted_ids.get(&d) {
+            return DnfId(id);
+        }
+        let id = self.base + self.minted.len() as u32;
+        self.minted_ids.insert(d.clone(), id);
+        self.minted.push(d);
+        DnfId(id)
+    }
+
+    /// Overlay analogue of [`DnfPool::compose_term`] (with `None` as the
+    /// identity). `a` must be a pool id, not a provisional one — closure
+    /// compositions always read finished (global) rows.
+    pub fn compose(&mut self, a: DnfId, t: Option<TermId>) -> DnfId {
+        let Some(t) = t else { return a };
+        debug_assert!(a.0 < self.base);
+        if let Some(r) = self.pool.peek_compose(a, t) {
+            self.hits += 1;
+            return r;
+        }
+        if let Some(&r) = self.compose_local.get(&(a.0, t.0)) {
+            self.hits += 1;
+            return DnfId(r);
+        }
+        self.misses += 1;
+        let out = {
+            let g = &self.pool.term(t)[0];
+            let mut out = Dnf::empty();
+            self.resolve(a).compose_into(Some(g), &mut out);
+            out
+        };
+        let r = self.mint(out);
+        self.compose_local.insert((a.0, t.0), r.0);
+        self.new_compose.push((a.0, t.0, r.0));
+        r
+    }
+
+    /// Overlay analogue of [`DnfPool::union`]; either operand may be
+    /// provisional.
+    pub fn union(&mut self, a: DnfId, b: DnfId) -> DnfId {
+        if a.0 < self.base && b.0 < self.base {
+            if let Some(r) = self.pool.peek_union(a, b) {
+                self.hits += 1;
+                return r;
+            }
+        } else if a == b {
+            return a;
+        }
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        if let Some(&r) = self.union_local.get(&key) {
+            self.hits += 1;
+            return DnfId(r);
+        }
+        self.misses += 1;
+        let mut out = self.resolve(a).clone();
+        out.union_with(self.resolve(b));
+        let r = self.mint(out);
+        self.union_local.insert(key, r.0);
+        self.new_union.push((key.0, key.1, r.0));
+        r
+    }
+
+    /// Memo hits so far (pool probes and overlay-local).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Structural computations so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Finishes the overlay for [`DnfPool::absorb`].
+    pub fn into_parts(self) -> SnapshotParts<G> {
+        SnapshotParts {
+            base: self.base,
+            minted: self.minted,
+            new_compose: self.new_compose,
+            new_union: self.new_union,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -384,6 +691,85 @@ mod tests {
             pool.compose(DnfPool::<u32>::EMPTY, Some(&7)),
             DnfPool::<u32>::EMPTY
         );
+    }
+
+    /// The frozen-snapshot satellite regression: driving the same
+    /// operations through a single-owner pool and through a
+    /// `SnapshotOps` overlay (absorbed in discovery order) must produce
+    /// bit-identical pool numbering — ids, counts, and resolutions.
+    #[test]
+    fn snapshot_overlay_numbering_matches_single_owner() {
+        // Single-owner reference path.
+        let mut own: DnfPool<u32> = DnfPool::new();
+        let seed_a = own.intern(&Dnf::term(vec![1]));
+        let seed_b = own.intern(&Dnf::term(vec![2]));
+        let t7 = own.intern_term(&vec![7]);
+        let mut own_results = Vec::new();
+        own_results.push(own.union(seed_a, seed_b));
+        own_results.push(own.compose_term(seed_a, t7));
+        own_results.push(own.union(own_results[0], own_results[1]));
+
+        // Snapshot path: same seeds, then the same ops through an
+        // overlay over a frozen snapshot, absorbed back into a thawed
+        // mutable pool.
+        let mut base: DnfPool<u32> = DnfPool::new();
+        let sa = base.intern(&Dnf::term(vec![1]));
+        let sb = base.intern(&Dnf::term(vec![2]));
+        let st7 = base.intern_term(&vec![7]);
+        assert_eq!((sa, sb, st7), (seed_a, seed_b, t7));
+        let frozen = base.freeze();
+        let mut ops = frozen.overlay();
+        let mut snap_results = Vec::new();
+        snap_results.push(ops.union(sa, sb));
+        snap_results.push(ops.compose(sa, Some(st7)));
+        snap_results.push(ops.union(snap_results[0], snap_results[1]));
+        assert!(ops.misses() >= 3, "all three ops are fresh");
+        let parts = ops.into_parts();
+        let mut merged = frozen.thaw();
+        let remap = merged.absorb(parts);
+        let snap_fixed: Vec<DnfId> = snap_results.iter().map(|&d| remap.fix(d)).collect();
+
+        assert_eq!(snap_fixed, own_results, "id numbering must match");
+        assert_eq!(merged.dnf_count(), own.dnf_count());
+        assert_eq!(merged.term_count(), own.term_count());
+        for id in 0..own.dnf_count() as u32 {
+            assert_eq!(merged.dnf(DnfId(id)), own.dnf(DnfId(id)), "dnf {id}");
+        }
+        // Absorb also carried the memos: re-running the ops on the merged
+        // pool is all hits, no new ids.
+        let before = merged.dnf_count();
+        let h0 = merged.ops_hits();
+        assert_eq!(merged.union(sa, sb), own_results[0]);
+        assert_eq!(merged.compose_term(sa, st7), own_results[1]);
+        assert_eq!(merged.dnf_count(), before);
+        assert_eq!(merged.ops_hits(), h0 + 2);
+    }
+
+    /// Concurrent readers of one frozen snapshot resolve identical
+    /// formulas — the read-mostly sharing contract the serve registry
+    /// relies on.
+    #[test]
+    fn frozen_pool_shared_across_threads() {
+        let mut pool: DnfPool<u32> = DnfPool::new();
+        let ids: Vec<DnfId> = (0..16u32).map(|i| pool.intern(&Dnf::term(vec![i]))).collect();
+        let frozen = pool.freeze();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let reader = frozen.clone();
+                let ids = ids.clone();
+                std::thread::spawn(move || {
+                    ids.iter()
+                        .map(|&id| reader.dnf(id).clone())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            let got = h.join().expect("reader thread");
+            for (i, d) in got.iter().enumerate() {
+                assert_eq!(d, &Dnf::term(vec![i as u32]));
+            }
+        }
     }
 
     #[test]

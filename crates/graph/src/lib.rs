@@ -56,7 +56,7 @@ pub use iclosure::{
     compose_interned_row, interned_closure, interned_closure_condensed, interned_closure_delta,
     irow_get, ClosureStats, DeltaClosureStats, IRow, RowScratch,
 };
-pub use intern::{DnfId, DnfPool, TermId};
+pub use intern::{DnfId, DnfPool, FrozenDnfPool, PoolRemap, SnapshotOps, SnapshotParts, TermId};
 pub use lru::LruCache;
 pub use bitset::BitSet;
 pub use closure::{condense, transitive_closure, Closure, Condensation};

@@ -19,13 +19,116 @@
 //!    and that every terminal marking is final.
 
 use crate::lower::{lower, LoweredNet};
-use crate::prepared::{guard_groups, PreparedNet};
+use crate::prepared::{guard_groups, PreparedNet, WavefrontTables};
 use crate::reach::{assignment_chooser, explore, explore_with, run_to_quiescence, Reachability};
 use dscweaver_core::ExecConditions;
 use dscweaver_dscl::{ConstraintSet, SyncGraph};
 use dscweaver_graph::{effective_threads, find_cycle, par_ranges};
 use dscweaver_obs as obs;
 use std::collections::HashMap;
+
+/// The cacheable compile half of validation: everything derivable from
+/// the constraint set alone — conflict check, lowered net, wavefront
+/// tables, guard-independence groups, and the domain table the
+/// enumeration walks. Owns all of it (no borrowed lifetimes), so a
+/// long-running daemon can keep one per cached process and replay
+/// [`CompiledValidation::run`] per request; [`validate`] is exactly
+/// `compile` + `run`, and the reports are bit-identical.
+#[derive(Debug)]
+pub struct CompiledValidation {
+    conflict_cycle: Option<Vec<String>>,
+    /// `None` when a structural conflict stops validation before lowering.
+    net: Option<CompiledNet>,
+    /// `(guard, domain values)` in `cs.domains` (sorted) order.
+    domains: Vec<(String, Vec<String>)>,
+}
+
+#[derive(Debug)]
+struct CompiledNet {
+    lowered: LoweredNet,
+    tables: WavefrontTables,
+    /// Disjoint-footprint guard groups (computed when there is more than
+    /// one guard; otherwise empty and never consulted).
+    groups: Vec<Vec<String>>,
+}
+
+impl CompiledValidation {
+    /// Compiles the validation artifacts for a desugared, service-free
+    /// constraint set: structural conflict check, then (if conflict-free)
+    /// the lowered net, its wavefront tables, and the guard groups.
+    pub fn compile(cs: &ConstraintSet, exec: &ExecConditions) -> Self {
+        let sg = SyncGraph::build(cs);
+        if let Some(cycle) = find_cycle(&sg.graph) {
+            obs::instant("petri.conflict_cycle");
+            return CompiledValidation {
+                conflict_cycle: Some(
+                    cycle
+                        .iter()
+                        .map(|&n| sg.graph.weight(n).label())
+                        .collect(),
+                ),
+                net: None,
+                domains: Vec::new(),
+            };
+        }
+        let lower_span = obs::span("petri.lower");
+        let lowered = lower(cs, exec);
+        drop(lower_span);
+        // Compile the wavefront tables once; every assignment run below
+        // reuses them through a per-worker session.
+        let prepare_span = obs::span("petri.prepare");
+        let tables = WavefrontTables::derive(&lowered.net);
+        drop(prepare_span);
+        let groups = if cs.domains.len() > 1 {
+            guard_groups(&lowered, cs)
+        } else {
+            Vec::new()
+        };
+        CompiledValidation {
+            conflict_cycle: None,
+            net: Some(CompiledNet {
+                lowered,
+                tables,
+                groups,
+            }),
+            domains: cs
+                .domains
+                .iter()
+                .map(|(g, d)| (g.clone(), d.clone()))
+                .collect(),
+        }
+    }
+
+    /// The structural conflict cycle, if compilation found one.
+    pub fn conflict_cycle(&self) -> Option<&[String]> {
+        self.conflict_cycle.as_deref()
+    }
+
+    /// The lowered net (absent when a conflict stopped compilation).
+    pub fn lowered(&self) -> Option<&LoweredNet> {
+        self.net.as_ref().map(|c| &c.lowered)
+    }
+
+    /// Runs the run half — assignment enumeration and optional
+    /// exploration — against the compiled artifacts. Bit-identical to
+    /// [`validate`] with the same options.
+    pub fn run(&self, opts: &ValidateOptions) -> ValidationReport {
+        if let Some(cycle) = &self.conflict_cycle {
+            return ValidationReport {
+                conflict_cycle: Some(cycle.clone()),
+                assignments_checked: 0,
+                assignments_truncated: false,
+                failures: Vec::new(),
+                exploration: None,
+                guard_groups: 0,
+                factored: false,
+                assignment_space: 0,
+            };
+        }
+        let compiled = self.net.as_ref().expect("conflict-free compile has a net");
+        run_compiled(compiled, &self.domains, opts)
+    }
+}
 
 /// Validation options.
 #[derive(Clone, Debug)]
@@ -153,6 +256,10 @@ impl ValidationReport {
 }
 
 /// Validates a desugared, service-free constraint set.
+///
+/// Exactly [`CompiledValidation::compile`] followed by
+/// [`CompiledValidation::run`] — split out so a daemon can cache the
+/// compile half per process and pay only the run half per request.
 pub fn validate(
     cs: &ConstraintSet,
     exec: &ExecConditions,
@@ -161,38 +268,21 @@ pub fn validate(
     let _span = obs::span_with("petri.validate", || {
         format!("activities={} domains={}", cs.activities.len(), cs.domains.len())
     });
-    // Layer 1: structural conflicts.
-    let sg = SyncGraph::build(cs);
-    if let Some(cycle) = find_cycle(&sg.graph) {
-        obs::instant("petri.conflict_cycle");
-        return ValidationReport {
-            conflict_cycle: Some(
-                cycle
-                    .iter()
-                    .map(|&n| sg.graph.weight(n).label())
-                    .collect(),
-            ),
-            assignments_checked: 0,
-            assignments_truncated: false,
-            failures: Vec::new(),
-            exploration: None,
-            guard_groups: 0,
-            factored: false,
-            assignment_space: 0,
-        };
-    }
+    CompiledValidation::compile(cs, exec).run(opts)
+}
 
-    let lower_span = obs::span("petri.lower");
-    let lowered = lower(cs, exec);
-    drop(lower_span);
-    // Compile the wavefront tables once; every assignment run below
-    // reuses them through a per-worker session.
-    let prepare_span = obs::span("petri.prepare");
-    let prep = PreparedNet::new(&lowered.net);
-    drop(prepare_span);
+/// The run half over compiled artifacts: assignment enumeration (layer 2)
+/// and optional interleaving exploration (layer 3).
+fn run_compiled(
+    compiled: &CompiledNet,
+    domains: &[(String, Vec<String>)],
+    opts: &ValidateOptions,
+) -> ValidationReport {
+    let lowered = &compiled.lowered;
+    let prep = PreparedNet::with_tables(&lowered.net, &compiled.tables);
 
     // Layer 2: per-assignment simulation.
-    let guards: Vec<(&String, &Vec<String>)> = cs.domains.iter().collect();
+    let guards: Vec<(&String, &Vec<String>)> = domains.iter().map(|(g, d)| (g, d)).collect();
     let space: usize = guards
         .iter()
         .map(|(_, d)| d.len().max(1))
@@ -213,7 +303,8 @@ pub fn validate(
             .enumerate()
             .map(|(i, (g, _))| (g.as_str(), i))
             .collect();
-        guard_groups(&lowered, cs)
+        compiled
+            .groups
             .iter()
             .map(|group| {
                 let mut ix: Vec<usize> = group.iter().map(|g| pos[g.as_str()]).collect();
@@ -393,6 +484,65 @@ mod tests {
         let report = validate_default(&cs, &exec);
         assert!(report.ok(), "{report:#?}");
         assert_eq!(report.assignments_checked, 2);
+    }
+
+    #[test]
+    fn compiled_validation_replays_identically() {
+        // One compile, many runs: every run must equal a fresh validate().
+        let mut cs = ConstraintSet::new("replay");
+        for a in ["g", "x", "y", "j"] {
+            cs.add_activity(a);
+        }
+        cs.add_domain("g", vec!["T".into(), "F".into()]);
+        cs.push(Relation::before_if(
+            StateRef::finish("g"),
+            StateRef::start("x"),
+            Condition::new("g", "T"),
+            Origin::Control,
+        ));
+        cs.push(Relation::before_if(
+            StateRef::finish("g"),
+            StateRef::start("y"),
+            Condition::new("g", "F"),
+            Origin::Control,
+        ));
+        cs.push(Relation::before(
+            StateRef::finish("x"),
+            StateRef::start("j"),
+            Origin::Data,
+        ));
+        let exec = exec_of(&cs);
+        let compiled = CompiledValidation::compile(&cs, &exec);
+        for opts in [
+            ValidateOptions::default(),
+            ValidateOptions {
+                factor: FactorPolicy::Off,
+                explore_states: 5_000,
+                ..Default::default()
+            },
+        ] {
+            let fresh = validate(&cs, &exec, &opts);
+            for _ in 0..2 {
+                let cached = compiled.run(&opts);
+                assert_eq!(cached.ok(), fresh.ok());
+                assert_eq!(cached.assignments_checked, fresh.assignments_checked);
+                assert_eq!(cached.guard_groups, fresh.guard_groups);
+                assert_eq!(cached.factored, fresh.factored);
+                assert_eq!(cached.assignment_space, fresh.assignment_space);
+                assert!(cached.failures.is_empty());
+                match (&cached.exploration, &fresh.exploration) {
+                    (None, None) => {}
+                    (Some(c), Some(f)) => {
+                        assert_eq!(c.states, f.states);
+                        assert_eq!(c.truncated, f.truncated);
+                        assert_eq!(c.terminal, f.terminal);
+                        assert_eq!(c.fired, f.fired);
+                        assert_eq!(c.max_place_tokens, f.max_place_tokens);
+                    }
+                    _ => panic!("exploration presence must match"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -54,12 +54,13 @@ pub mod prepared;
 pub mod reach;
 
 pub use analysis::{
-    validate, validate_default, AssignmentFailure, FactorPolicy, ValidateOptions, ValidationReport,
+    validate, validate_default, AssignmentFailure, CompiledValidation, FactorPolicy,
+    ValidateOptions, ValidationReport,
 };
 pub use invariants::{check_invariants, place_invariants, PlaceInvariant};
 pub use lower::{lower, ActivityNodes, LoweredNet, SKIP};
 pub use net::{ArcIn, ArcOut, Color, ColorFilter, Marking, Mode, Net, PlaceId, TransitionId};
-pub use prepared::{guard_groups, NetSession, PreparedNet};
+pub use prepared::{guard_groups, NetSession, PreparedNet, WavefrontTables};
 pub use reach::{
     assignment_chooser, explore, explore_with, run_to_quiescence, run_to_quiescence_wavefront,
     Reachability, Run,

@@ -27,13 +27,15 @@ use dscweaver_dscl::ConstraintSet;
 use dscweaver_graph::BitSet;
 use std::collections::{BTreeSet, HashMap};
 
-/// A net with the wavefront simulator's derived tables computed once.
+/// The wavefront simulator's derived tables, owned and lifetime-free —
+/// the cacheable "compile half" of a [`PreparedNet`].
 ///
-/// Borrows the net immutably, so one `PreparedNet` can be shared across
-/// worker threads, each holding its own [`NetSession`].
-#[derive(Debug)]
-pub struct PreparedNet<'n> {
-    net: &'n Net,
+/// Splitting the tables from the net reference lets a long-lived registry
+/// (the serve daemon's warm-artifact cache) store them next to the owned
+/// net and rebuild a borrowing [`PreparedNet`] per request with
+/// [`PreparedNet::with_tables`] at zero derivation cost.
+#[derive(Clone, Debug)]
+pub struct WavefrontTables {
     /// `consumers[p]` = transitions with an input arc on place `p` in any
     /// mode, ascending.
     consumers: Vec<Vec<u32>>,
@@ -42,9 +44,9 @@ pub struct PreparedNet<'n> {
     distinct: Vec<Vec<bool>>,
 }
 
-impl<'n> PreparedNet<'n> {
-    /// Derives the consumer and distinct-input-place tables.
-    pub fn new(net: &'n Net) -> Self {
+impl WavefrontTables {
+    /// Derives the consumer and distinct-input-place tables from a net.
+    pub fn derive(net: &Net) -> Self {
         let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); net.places.len()];
         let mut distinct: Vec<Vec<bool>> = Vec::with_capacity(net.transitions.len());
         for (ti, tr) in net.transitions.iter().enumerate() {
@@ -64,10 +66,41 @@ impl<'n> PreparedNet<'n> {
                 consumers[p as usize].push(ti as u32);
             }
         }
-        PreparedNet {
-            net,
+        WavefrontTables {
             consumers,
             distinct,
+        }
+    }
+}
+
+/// A net with the wavefront simulator's derived tables computed once.
+///
+/// Borrows the net immutably, so one `PreparedNet` can be shared across
+/// worker threads, each holding its own [`NetSession`]. The tables are
+/// either derived on the spot ([`PreparedNet::new`]) or borrowed from a
+/// cached [`WavefrontTables`] ([`PreparedNet::with_tables`]); behaviour
+/// is identical.
+#[derive(Debug)]
+pub struct PreparedNet<'n> {
+    net: &'n Net,
+    tables: std::borrow::Cow<'n, WavefrontTables>,
+}
+
+impl<'n> PreparedNet<'n> {
+    /// Derives the consumer and distinct-input-place tables.
+    pub fn new(net: &'n Net) -> Self {
+        PreparedNet {
+            net,
+            tables: std::borrow::Cow::Owned(WavefrontTables::derive(net)),
+        }
+    }
+
+    /// Wraps a net and its pre-derived tables without re-deriving. The
+    /// tables must come from [`WavefrontTables::derive`] on this same net.
+    pub fn with_tables(net: &'n Net, tables: &'n WavefrontTables) -> Self {
+        PreparedNet {
+            net,
+            tables: std::borrow::Cow::Borrowed(tables),
         }
     }
 
@@ -133,7 +166,7 @@ impl NetSession<'_, '_> {
                 let tid = TransitionId(t);
                 let enabled: Vec<usize> = (0..net.transitions[t as usize].modes.len())
                     .filter(|&mi| {
-                        first_binding(net, &self.marking, tid, mi, self.prep.distinct[t as usize][mi])
+                        first_binding(net, &self.marking, tid, mi, self.prep.tables.distinct[t as usize][mi])
                             .is_some()
                     })
                     .collect();
@@ -155,7 +188,7 @@ impl NetSession<'_, '_> {
                     }
                 };
                 let binding =
-                    first_binding(net, &self.marking, tid, mode, self.prep.distinct[t as usize][mode])
+                    first_binding(net, &self.marking, tid, mode, self.prep.tables.distinct[t as usize][mode])
                         .expect("chosen mode is enabled");
                 net.fire_in_place(&mut self.marking, tid, mode, &binding);
                 trace.push((tid, net.transitions[t as usize].modes[mode].label.clone()));
@@ -165,7 +198,7 @@ impl NetSession<'_, '_> {
                 // enabledness. The fired transition itself stays dirty —
                 // the next sweep re-checks it, as the rescan would.
                 for arc in &net.transitions[t as usize].modes[mode].outputs {
-                    for &c in &self.prep.consumers[arc.place.0 as usize] {
+                    for &c in &self.prep.tables.consumers[arc.place.0 as usize] {
                         self.dirty.insert(c);
                     }
                 }

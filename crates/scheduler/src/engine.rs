@@ -216,8 +216,9 @@ struct Eval {
 #[allow(clippy::too_many_arguments)]
 fn eval_activity(
     a: &str,
-    start_prereqs: &HashMap<&str, Vec<Prereq>>,
-    finish_prereqs: &HashMap<&str, Vec<Prereq>>,
+    i: usize,
+    start_prereqs: &[Vec<Prereq>],
+    finish_prereqs: &[Vec<Prereq>],
     exec: &ExecConditions,
     resolved: &HashMap<StateRef, (Time, u64)>,
     outcome: &HashMap<&str, GuardOutcome>,
@@ -231,7 +232,7 @@ fn eval_activity(
         return Eval { act: Act::None, checks };
     }
     if finish_blocked.contains(a) {
-        let ok = finish_prereqs[a]
+        let ok = finish_prereqs[i]
             .iter()
             .all(|p| prereq_satisfied(p, resolved, outcome, &mut checks));
         let act = if ok { Act::Unblock } else { Act::None };
@@ -240,7 +241,7 @@ fn eval_activity(
     if started.contains(a) {
         return Eval { act: Act::None, checks };
     }
-    let starts_ok = start_prereqs[a]
+    let starts_ok = start_prereqs[i]
         .iter()
         .all(|p| prereq_satisfied(p, resolved, outcome, &mut checks));
     if !starts_ok {
@@ -253,7 +254,7 @@ fn eval_activity(
             // Skip also waits for finish-side prerequisites (skip events
             // are ordered after everything the activity would have waited
             // for).
-            let fin_ok = finish_prereqs[a]
+            let fin_ok = finish_prereqs[i]
                 .iter()
                 .all(|p| prereq_satisfied(p, resolved, outcome, &mut checks));
             let act = if fin_ok { Act::Skip } else { Act::None };
@@ -273,80 +274,73 @@ fn wake_all(list: Option<&Vec<usize>>, dirty: &mut BTreeSet<usize>, tainted: &mu
     }
 }
 
-/// A constraint set compiled for repeated simulation: the prereq indexes,
-/// exclusive-partner sets and agenda wake-lists
-/// (`dep_state`/`dep_guard`/`excl_ix`) derived once and reused across runs
-/// with different branch oracles, durations, worker limits and thread
-/// counts — the monitoring-replay workload, where one ASC is simulated
-/// many times.
+/// The owned, lifetime-free compile half of a [`PreparedSchedule`]: the
+/// prereq buckets, exclusive-partner lists and agenda wake-lists, all
+/// keyed by **activity index** (position in the constraint set's sorted
+/// `activities`) instead of borrowed `&str` keys.
 ///
-/// [`simulate`] is exactly `PreparedSchedule::new(cs, exec).run(config)`,
-/// so every session run is bit-identical to the fresh-build path by
-/// construction (and pinned by the `prepared_engines_equivalence`
-/// property tests); preparing once just amortizes the index derivation.
-#[derive(Debug)]
-pub struct PreparedSchedule<'a> {
-    cs: &'a ConstraintSet,
-    exec: &'a ExecConditions,
-    start_prereqs: HashMap<&'a str, Vec<Prereq>>,
-    finish_prereqs: HashMap<&'a str, Vec<Prereq>>,
-    exclusive: HashMap<&'a str, Vec<&'a str>>,
-    acts: Vec<&'a str>,
-    act_ix: HashMap<&'a str, usize>,
+/// Because nothing here borrows the constraint set, a long-lived registry
+/// (the serve daemon's warm-artifact cache) can store one `ScheduleTables`
+/// per cached process next to its owned `ConstraintSet`/`ExecConditions`
+/// and rebuild a borrowing [`PreparedSchedule`] per request with
+/// [`PreparedSchedule::with_tables`] at zero derivation cost.
+#[derive(Clone, Debug)]
+pub struct ScheduleTables {
+    /// Prereq buckets by activity index, relations-order within a bucket.
+    start_prereqs: Vec<Vec<Prereq>>,
+    finish_prereqs: Vec<Vec<Prereq>>,
+    /// Who watches which state / guard (agenda wake-lists).
     dep_state: HashMap<StateRef, Vec<usize>>,
     dep_guard: HashMap<String, Vec<usize>>,
+    /// Exclusive partners by activity index.
     excl_ix: Vec<Vec<usize>>,
 }
 
-impl<'a> PreparedSchedule<'a> {
+impl ScheduleTables {
     /// Derives the static indexes (prereq buckets, exclusive partners,
-    /// agenda wake-lists) from `cs`/`exec`.
-    pub fn new(cs: &'a ConstraintSet, exec: &'a ExecConditions) -> Self {
+    /// agenda wake-lists) from `cs`/`exec`. Deterministic: activities are
+    /// walked in sorted order and relations in declaration order.
+    pub fn derive(cs: &ConstraintSet, exec: &ExecConditions) -> Self {
         let _span = obs::span_with("scheduler.prepare", || {
             format!("activities={} relations={}", cs.activities.len(), cs.relations.len())
         });
+        let acts: Vec<&str> = cs.activities.iter().map(String::as_str).collect();
+        let act_ix: HashMap<&str, usize> = acts.iter().enumerate().map(|(i, a)| (*a, i)).collect();
         // Indexing.
-        let mut start_prereqs: HashMap<&str, Vec<Prereq>> = HashMap::new();
-        let mut finish_prereqs: HashMap<&str, Vec<Prereq>> = HashMap::new();
-        for a in &cs.activities {
-            start_prereqs.insert(a, Vec::new());
-            finish_prereqs.insert(a, Vec::new());
-        }
+        let mut start_prereqs: Vec<Vec<Prereq>> = vec![Vec::new(); acts.len()];
+        let mut finish_prereqs: Vec<Vec<Prereq>> = vec![Vec::new(); acts.len()];
         for r in &cs.relations {
             if let Relation::HappenBefore { from, to, cond, .. } = r {
+                let Some(&i) = act_ix.get(to.activity.as_str()) else {
+                    continue;
+                };
                 let p = Prereq {
                     producer: from.clone(),
                     cond: cond.clone(),
                 };
-                let bucket = match to.state {
-                    ActivityState::Start | ActivityState::Run => &mut start_prereqs,
-                    ActivityState::Finish => &mut finish_prereqs,
-                };
-                if let Some(v) = bucket.get_mut(to.activity.as_str()) {
-                    v.push(p);
+                match to.state {
+                    ActivityState::Start | ActivityState::Run => start_prereqs[i].push(p),
+                    ActivityState::Finish => finish_prereqs[i].push(p),
                 }
             }
         }
-        // Exclusive partner sets.
-        let mut exclusive: HashMap<&str, Vec<&str>> = HashMap::new();
+        // Exclusive partner lists.
+        let mut excl_ix: Vec<Vec<usize>> = vec![Vec::new(); acts.len()];
         for (x, y) in cs.exclusives() {
-            exclusive
-                .entry(x.activity.as_str())
-                .or_default()
-                .push(y.activity.as_str());
-            exclusive
-                .entry(y.activity.as_str())
-                .or_default()
-                .push(x.activity.as_str());
+            if let (Some(&i), Some(&j)) = (
+                act_ix.get(x.activity.as_str()),
+                act_ix.get(y.activity.as_str()),
+            ) {
+                excl_ix[i].push(j);
+                excl_ix[j].push(i);
+            }
         }
 
         // Agenda bookkeeping: who watches which state / guard.
-        let acts: Vec<&str> = cs.activities.iter().map(String::as_str).collect();
-        let act_ix: HashMap<&str, usize> = acts.iter().enumerate().map(|(i, a)| (*a, i)).collect();
         let mut dep_state: HashMap<StateRef, Vec<usize>> = HashMap::new();
         let mut dep_guard: HashMap<String, Vec<usize>> = HashMap::new();
         for (i, a) in acts.iter().enumerate() {
-            for p in start_prereqs[a].iter().chain(finish_prereqs[a].iter()) {
+            for p in start_prereqs[i].iter().chain(finish_prereqs[i].iter()) {
                 dep_state.entry(p.producer.clone()).or_default().push(i);
                 if let Some(c) = &p.cond {
                     dep_guard.entry(c.on.clone()).or_default().push(i);
@@ -361,26 +355,69 @@ impl<'a> PreparedSchedule<'a> {
                 }
             }
         }
-        let excl_ix: Vec<Vec<usize>> = acts
-            .iter()
-            .map(|a| {
-                exclusive
-                    .get(a)
-                    .map(|ps| ps.iter().map(|p| act_ix[p]).collect())
-                    .unwrap_or_default()
-            })
-            .collect();
-        PreparedSchedule {
-            cs,
-            exec,
+        ScheduleTables {
             start_prereqs,
             finish_prereqs,
-            exclusive,
-            acts,
-            act_ix,
             dep_state,
             dep_guard,
             excl_ix,
+        }
+    }
+}
+
+/// A constraint set compiled for repeated simulation: the prereq indexes,
+/// exclusive-partner sets and agenda wake-lists
+/// (`dep_state`/`dep_guard`/`excl_ix`) derived once (see
+/// [`ScheduleTables`]) and reused across runs with different branch
+/// oracles, durations, worker limits and thread counts — the
+/// monitoring-replay workload, where one ASC is simulated many times.
+///
+/// [`simulate`] is exactly `PreparedSchedule::new(cs, exec).run(config)`,
+/// so every session run is bit-identical to the fresh-build path by
+/// construction (and pinned by the `prepared_engines_equivalence`
+/// property tests); preparing once just amortizes the index derivation.
+#[derive(Debug)]
+pub struct PreparedSchedule<'a> {
+    cs: &'a ConstraintSet,
+    exec: &'a ExecConditions,
+    tables: std::borrow::Cow<'a, ScheduleTables>,
+    acts: Vec<&'a str>,
+    act_ix: HashMap<&'a str, usize>,
+}
+
+impl<'a> PreparedSchedule<'a> {
+    /// Derives the static indexes (prereq buckets, exclusive partners,
+    /// agenda wake-lists) from `cs`/`exec`.
+    pub fn new(cs: &'a ConstraintSet, exec: &'a ExecConditions) -> Self {
+        let tables = ScheduleTables::derive(cs, exec);
+        Self::assemble(cs, exec, std::borrow::Cow::Owned(tables))
+    }
+
+    /// Wraps `cs`/`exec` and pre-derived tables without re-deriving. The
+    /// tables must come from [`ScheduleTables::derive`] on this same
+    /// `cs`/`exec` pair; runs are then bit-identical to the
+    /// [`PreparedSchedule::new`] path.
+    pub fn with_tables(
+        cs: &'a ConstraintSet,
+        exec: &'a ExecConditions,
+        tables: &'a ScheduleTables,
+    ) -> Self {
+        Self::assemble(cs, exec, std::borrow::Cow::Borrowed(tables))
+    }
+
+    fn assemble(
+        cs: &'a ConstraintSet,
+        exec: &'a ExecConditions,
+        tables: std::borrow::Cow<'a, ScheduleTables>,
+    ) -> Self {
+        let acts: Vec<&str> = cs.activities.iter().map(String::as_str).collect();
+        let act_ix: HashMap<&str, usize> = acts.iter().enumerate().map(|(i, a)| (*a, i)).collect();
+        PreparedSchedule {
+            cs,
+            exec,
+            tables,
+            acts,
+            act_ix,
         }
     }
 
@@ -395,14 +432,14 @@ impl<'a> PreparedSchedule<'a> {
         let _span = obs::span("scheduler.run");
         let cs = self.cs;
         let exec = self.exec;
-        let start_prereqs = &self.start_prereqs;
-        let finish_prereqs = &self.finish_prereqs;
-        let exclusive = &self.exclusive;
+        let tables: &ScheduleTables = self.tables.as_ref();
+        let start_prereqs = tables.start_prereqs.as_slice();
+        let finish_prereqs = tables.finish_prereqs.as_slice();
         let acts = &self.acts;
         let act_ix = &self.act_ix;
-        let dep_state = &self.dep_state;
-        let dep_guard = &self.dep_guard;
-        let excl_ix = &self.excl_ix;
+        let dep_state = &tables.dep_state;
+        let dep_guard = &tables.dep_guard;
+        let excl_ix = &tables.excl_ix;
         let threads = effective_threads(config.threads, 8);
 
         // Dynamic state.
@@ -446,7 +483,7 @@ impl<'a> PreparedSchedule<'a> {
                         (
                             i,
                             eval_activity(
-                                acts[i], start_prereqs, finish_prereqs, exec, &resolved,
+                                acts[i], i, start_prereqs, finish_prereqs, exec, &resolved,
                                 &outcome, &started, &done, &running, &finish_blocked,
                             ),
                         )
@@ -466,7 +503,7 @@ impl<'a> PreparedSchedule<'a> {
                     let ev = match pre.get(&i) {
                         Some(ev) if !tainted.contains(&i) => *ev,
                         _ => eval_activity(
-                            a, start_prereqs, finish_prereqs, exec, &resolved, &outcome,
+                            a, i, start_prereqs, finish_prereqs, exec, &resolved, &outcome,
                             &started, &done, &running, &finish_blocked,
                         ),
                     };
@@ -497,10 +534,7 @@ impl<'a> PreparedSchedule<'a> {
                         Act::Start => {
                             // Exclusive: defer while a partner is running; the
                             // partner's finish re-arms us.
-                            if exclusive
-                                .get(a)
-                                .is_some_and(|ps| ps.iter().any(|p| running.contains(p)))
-                            {
+                            if excl_ix[i].iter().any(|&j| running.contains(acts[j])) {
                                 dirty.remove(&i);
                                 continue;
                             }
@@ -580,7 +614,7 @@ impl<'a> PreparedSchedule<'a> {
                 .map(String::as_str)
                 .expect("finish of unknown activity");
             // Finish-side prerequisites may defer the completion.
-            let ok = finish_prereqs[a_ref]
+            let ok = finish_prereqs[act_ix[a_ref]]
                 .iter()
                 .all(|p| prereq_satisfied(p, &resolved, &outcome, &mut checks));
             if ok {
@@ -1184,6 +1218,56 @@ mod tests {
         for s in &runs[1..] {
             assert_eq!(format!("{:?}", s.trace), format!("{:?}", runs[0].trace));
             assert_eq!(s.constraint_checks, runs[0].constraint_checks);
+        }
+    }
+
+    #[test]
+    fn detached_tables_run_is_bit_identical() {
+        // The serve registry path: derive ScheduleTables once, store them
+        // detached from any borrow, and rebuild a PreparedSchedule per
+        // request. Runs must match the owning path exactly.
+        let mut cs = ConstraintSet::new("detached");
+        for a in ["g", "x", "y", "j", "p", "q"] {
+            cs.add_activity(a);
+        }
+        cs.add_domain("g", vec!["T".into(), "F".into()]);
+        cs.push(Relation::before_if(
+            StateRef::finish("g"),
+            StateRef::start("x"),
+            Condition::new("g", "T"),
+            Origin::Control,
+        ));
+        cs.push(Relation::before_if(
+            StateRef::finish("g"),
+            StateRef::start("y"),
+            Condition::new("g", "F"),
+            Origin::Control,
+        ));
+        cs.push(before("x", "j"));
+        cs.push(before("y", "j"));
+        cs.push(Relation::Exclusive {
+            a: StateRef::run("p"),
+            b: StateRef::run("q"),
+            origin: Origin::Cooperation,
+        });
+        let exec = ExecConditions::derive(&cs);
+        let tables = ScheduleTables::derive(&cs, &exec);
+        for value in ["T", "F"] {
+            for threads in [1usize, 2] {
+                let mut cfg = SimConfig::default();
+                cfg.oracle.insert("g".into(), value.into());
+                cfg.durations.set("p", 3);
+                cfg.threads = threads;
+                let owned = PreparedSchedule::new(&cs, &exec).run(&cfg);
+                let detached = PreparedSchedule::with_tables(&cs, &exec, &tables).run(&cfg);
+                assert_eq!(
+                    format!("{:?}", detached.trace),
+                    format!("{:?}", owned.trace),
+                    "trace diverged (oracle {value}, threads {threads})"
+                );
+                assert_eq!(detached.constraint_checks, owned.constraint_checks);
+                assert_eq!(detached.stuck, owned.stuck);
+            }
         }
     }
 }

@@ -57,7 +57,8 @@ pub use monitor::{
 };
 pub use constructs::{structural_constraints, StructuralError};
 pub use engine::{
-    simulate, simulate_rescan_baseline, DurationModel, PreparedSchedule, Schedule, SimConfig,
+    simulate, simulate_rescan_baseline, DurationModel, PreparedSchedule, Schedule, ScheduleTables,
+    SimConfig,
 };
 pub use threaded::{execute_threaded, ThreadedRun};
 pub use trace::{EventKind, Time, Trace, TraceEvent, Violation};

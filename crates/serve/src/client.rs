@@ -1,0 +1,88 @@
+//! A tiny blocking HTTP client for the daemon — used by the equivalence
+//! tests, the bench suite and the `SERVING.md` examples. One request per
+//! connection, matching the daemon's `Connection: close` framing.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A daemon reply as seen on the wire.
+#[derive(Clone, Debug)]
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header name/value pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl Reply {
+    /// First header value with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The daemon's `X-Cache` disposition (`hit` / `miss` / `none`).
+    pub fn cache(&self) -> &str {
+        self.header("x-cache").unwrap_or("none")
+    }
+}
+
+/// Sends one request and reads the whole reply. `target` is the path plus
+/// any query string (e.g. `/v1/simulate?branch=g:T`).
+pub fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> std::io::Result<Reply> {
+    let mut stream = TcpStream::connect(addr)?;
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_reply(&raw)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed reply"))
+}
+
+/// `POST` convenience.
+pub fn post(addr: SocketAddr, target: &str, body: &str) -> std::io::Result<Reply> {
+    request(addr, "POST", target, body)
+}
+
+/// `GET` convenience.
+pub fn get(addr: SocketAddr, target: &str) -> std::io::Result<Reply> {
+    request(addr, "GET", target, "")
+}
+
+fn parse_reply(raw: &str) -> Option<Reply> {
+    let (head, body) = raw.split_once("\r\n\r\n")?;
+    let mut lines = head.lines();
+    let status: u16 = lines.next()?.split_whitespace().nth(1)?.parse().ok()?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Some(Reply {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_reply() {
+        let raw = "HTTP/1.1 200 OK\r\nX-Cache: hit\r\ncontent-length: 2\r\n\r\n{}";
+        let reply = parse_reply(raw).unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.cache(), "hit");
+        assert_eq!(reply.body, "{}");
+    }
+}

@@ -1,0 +1,234 @@
+//! A minimal HTTP/1.1 reader/writer, in the spirit of `dscweaver-xml`:
+//! just enough of the protocol for the weaver daemon's wire format —
+//! request line, headers, `Content-Length` bodies — with no external
+//! dependencies. Requests and responses are `Connection: close`; the
+//! daemon answers exactly one request per connection.
+
+use std::io::{BufRead, Write};
+
+/// Largest request body the daemon accepts, in bytes. Oversized requests
+/// are rejected with `413 Payload Too Large` before the body is read.
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// A parsed HTTP request: method, split target, headers and body.
+#[derive(Clone, Debug)]
+pub struct HttpRequest {
+    /// Request method, upper-case as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The path component of the request target, before any `?`.
+    pub path: String,
+    /// Decoded query parameters in order of appearance. Splitting is
+    /// plain `&`/`=` — the daemon's parameter values (`g=T` branch picks,
+    /// hexadecimal hashes) never need percent-encoding.
+    pub query: Vec<(String, String)>,
+    /// Header name/value pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First header value with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All query values for the given key, in order.
+    pub fn query_all(&self, key: &str) -> Vec<&str> {
+        self.query
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// First query value for the given key.
+    pub fn query_first(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// What went wrong while reading a request. Carries the HTTP status the
+/// daemon should answer with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpError {
+    /// Response status code (400, 413, ...).
+    pub status: u16,
+    /// Human-readable reason, sent in the error body.
+    pub message: String,
+}
+
+impl HttpError {
+    fn bad(message: impl Into<String>) -> HttpError {
+        HttpError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one HTTP/1.1 request from `stream`.
+///
+/// ```
+/// use dscweaver_serve::http::read_request;
+/// let raw = b"POST /v1/weave?x=1 HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi";
+/// let req = read_request(&mut &raw[..]).unwrap();
+/// assert_eq!(req.method, "POST");
+/// assert_eq!(req.path, "/v1/weave");
+/// assert_eq!(req.query_first("x"), Some("1"));
+/// assert_eq!(req.body, b"hi");
+/// ```
+pub fn read_request(stream: &mut impl BufRead) -> Result<HttpRequest, HttpError> {
+    let mut line = String::new();
+    stream
+        .read_line(&mut line)
+        .map_err(|e| HttpError::bad(format!("read error: {e}")))?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::bad("empty request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::bad("missing request target"))?
+        .to_string();
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.clone(), ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut hl = String::new();
+        stream
+            .read_line(&mut hl)
+            .map_err(|e| HttpError::bad(format!("read error: {e}")))?;
+        let hl = hl.trim_end();
+        if hl.is_empty() {
+            break;
+        }
+        let Some((name, value)) = hl.split_once(':') else {
+            return Err(HttpError::bad(format!("malformed header '{hl}'")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::bad("bad content-length"))?;
+        }
+        headers.push((name, value));
+    }
+    if content_length > MAX_BODY {
+        return Err(HttpError {
+            status: 413,
+            message: format!("body of {content_length} bytes exceeds the {MAX_BODY} cap"),
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    std::io::Read::read_exact(stream, &mut body)
+        .map_err(|e| HttpError::bad(format!("short body: {e}")))?;
+    Ok(HttpRequest {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// The standard reason phrase for the status codes the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one HTTP/1.1 response with the given extra headers and body,
+/// always `Connection: close` and `Content-Type: application/json`.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (n, v) in extra_headers {
+        out.push_str(n);
+        out.push_str(": ");
+        out.push_str(v);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    stream.write_all(out.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_request_with_query_and_body() {
+        let raw =
+            b"POST /v1/simulate?branch=g:T&branch=h:F HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/simulate");
+        assert_eq!(req.query_all("branch"), vec!["g:T", "h:F"]);
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_oversized_and_malformed() {
+        let raw = format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY + 1);
+        let err = read_request(&mut raw.as_bytes()).unwrap_err();
+        assert_eq!(err.status, 413);
+        let raw = b"POST / HTTP/1.1\r\nnocolon\r\n\r\n";
+        assert_eq!(read_request(&mut &raw[..]).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let mut buf = Vec::new();
+        write_response(&mut buf, 200, &[("x-cache", "hit")], "{}").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("x-cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,68 @@
+//! # dscweaver-serve
+//!
+//! Weaver-as-a-service: a zero-dependency, multi-tenant daemon (`dscw
+//! serve`) that accepts weave / validate / simulate / re-weave requests
+//! over a minimal std-only HTTP/1.1 transport and serves them from a
+//! **warm prepared-artifact cache**.
+//!
+//! Each distinct submitted process (keyed by the FNV-1a content hash of
+//! its `.proc` text) is compiled once into a [`registry::ProcessEntry`]:
+//! the woven [`dscweaver_core::WeaverOutput`], a frozen hash-consing pool
+//! snapshot ([`dscweaver_graph::FrozenDnfPool`]), the Petri-net
+//! validation compile half ([`dscweaver_petri::CompiledValidation`]), the
+//! scheduler's derived indexes ([`dscweaver_scheduler::ScheduleTables`])
+//! and a live re-weave session. Entries are shared across request threads
+//! (`Arc`) and evicted LRU. Warm requests skip every compile stage; the
+//! cached run halves are pinned bit-identical to the fresh one-shot paths
+//! by the component crates' equivalence tests, and response bodies never
+//! depend on cache state (the `X-Cache` header carries hit/miss).
+//!
+//! Serving a request without any networking:
+//!
+//! ```
+//! use dscweaver_serve::registry::Registry;
+//! use dscweaver_serve::service::{handle, oneshot, CacheStatus, Request};
+//!
+//! let proc_text = "process P {\n var x;\n sequence { assign a writes x; assign b reads x; }\n}";
+//! let reg = Registry::new(16, 1);
+//! let req = Request::Weave { text: proc_text.into() };
+//! let cold = handle(&reg, &req);          // compiles, caches
+//! let warm = handle(&reg, &req);          // served from the cache
+//! assert_eq!(cold.cache, CacheStatus::Miss);
+//! assert_eq!(warm.cache, CacheStatus::Hit);
+//! // Bodies are identical across cold, warm and the one-shot reference.
+//! assert_eq!(cold.body, warm.body);
+//! assert_eq!(cold.body, oneshot(&req, 1).body);
+//! ```
+//!
+//! The full daemon over TCP (ephemeral port):
+//!
+//! ```
+//! use dscweaver_serve::{client, server::{ServeConfig, Server}};
+//!
+//! let server = Server::start(&ServeConfig::default()).unwrap();
+//! let proc_text = "process P {\n var x;\n sequence { assign a writes x; assign b reads x; }\n}";
+//! let first = client::post(server.addr(), "/v1/weave", proc_text).unwrap();
+//! let second = client::post(server.addr(), "/v1/weave", proc_text).unwrap();
+//! assert_eq!(first.status, 200);
+//! assert_eq!(first.cache(), "miss");
+//! assert_eq!(second.cache(), "hit");
+//! assert_eq!(first.body, second.body);
+//! server.shutdown();
+//! ```
+//!
+//! See `SERVING.md` for the wire protocol reference and operations guide.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod registry;
+pub mod server;
+pub mod service;
+
+pub use client::Reply;
+pub use http::{HttpError, HttpRequest};
+pub use registry::{content_hash, ProcessEntry, Registry, RegistryStats};
+pub use server::{ServeConfig, Server};
+pub use service::{handle, oneshot, CacheStatus, Request, Response};

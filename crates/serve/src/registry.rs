@@ -1,0 +1,323 @@
+//! The shared prepared-artifact registry: one [`ProcessEntry`] per
+//! distinct submitted process, keyed by FNV-1a content hash and evicted
+//! LRU (`dscweaver_graph::lru`).
+//!
+//! An entry is everything the compile half of the pipeline produces,
+//! cached in run-many form: the woven [`WeaverOutput`], the frozen
+//! hash-consing pool snapshot ([`FrozenDnfPool`]), the Petri-net
+//! validation compile half ([`CompiledValidation`]), the scheduler's
+//! derived indexes ([`ScheduleTables`]) and a live [`WeaveSession`] for
+//! incremental re-weaves. Warm requests skip every compile stage and go
+//! straight to the run halves, which are pinned bit-identical to the
+//! fresh-build paths by the component crates' equivalence tests.
+
+use dscweaver_core::{
+    DependencySet, ReweaveReport, WeaveSession, Weaver, WeaverOutput,
+};
+use dscweaver_dscl::Condition;
+use dscweaver_graph::{lru::LruCache, FrozenDnfPool};
+use dscweaver_model::{parse_process, Process};
+use dscweaver_obs as obs;
+use dscweaver_petri::{CompiledValidation, ValidateOptions, ValidationReport};
+use dscweaver_scheduler::{PreparedSchedule, Schedule, ScheduleTables, SimConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over the raw bytes of the submitted process text — the cache
+/// key. The same 64-bit FNV family the re-weave session fingerprints use.
+///
+/// ```
+/// use dscweaver_serve::registry::content_hash;
+/// assert_eq!(content_hash("x"), content_hash("x"));
+/// assert_ne!(content_hash("x"), content_hash("y"));
+/// ```
+pub fn content_hash(text: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in text.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The prepared artifacts for one distinct process, built once on a cache
+/// miss and shared read-only (`Arc`) across request threads.
+pub struct ProcessEntry {
+    /// Content hash of the submitted text (the cache key).
+    pub hash: u64,
+    /// The parsed process.
+    pub process: Process,
+    /// The extracted dependency set the weave ran on.
+    pub dependencies: DependencySet,
+    /// The full optimization output (SC, ASC, minimal set, exec
+    /// conditions).
+    pub output: WeaverOutput,
+    /// The session fingerprint of the weave (bit-stable across thread
+    /// counts; identical for the daemon and one-shot paths).
+    pub fingerprint: u64,
+    compiled: CompiledValidation,
+    tables: ScheduleTables,
+    pool: FrozenDnfPool<Condition>,
+    session: Mutex<WeaveSession>,
+}
+
+impl ProcessEntry {
+    /// The specification front half alone: parse and validate the process
+    /// text, then extract its data/control dependency set — what a
+    /// re-weave revision needs before it reaches a session.
+    pub fn build_dependencies(text: &str) -> Result<DependencySet, String> {
+        let process = parse_process(text).map_err(|e| format!("parse error: {e}"))?;
+        let problems = process.validate();
+        if !problems.is_empty() {
+            let msgs: Vec<String> = problems.iter().map(|p| p.to_string()).collect();
+            return Err(format!("process does not validate: {}", msgs.join("; ")));
+        }
+        Ok(dscweaver_pdg::extract(
+            &process,
+            dscweaver_pdg::ExtractOptions {
+                data: true,
+                control: true,
+                services_from_decls: false,
+            },
+        ))
+    }
+
+    /// Compiles the full entry from submitted process text: parse →
+    /// dependency extraction → weave → validation/scheduler compile
+    /// halves. Runs under a `serve.compile` span.
+    pub fn build(text: &str, threads: usize) -> Result<ProcessEntry, String> {
+        let hash = content_hash(text);
+        let _span = obs::span_with("serve.compile", || format!("hash={hash:016x}"));
+        let process = parse_process(text).map_err(|e| format!("parse error: {e}"))?;
+        let problems = process.validate();
+        if !problems.is_empty() {
+            let msgs: Vec<String> = problems.iter().map(|p| p.to_string()).collect();
+            return Err(format!("process does not validate: {}", msgs.join("; ")));
+        }
+        let dependencies = dscweaver_pdg::extract(
+            &process,
+            dscweaver_pdg::ExtractOptions {
+                data: true,
+                control: true,
+                services_from_decls: false,
+            },
+        );
+        let mut session = Weaver {
+            threads,
+            ..Weaver::new()
+        }
+        .session();
+        let report = session
+            .weave(&dependencies)
+            .map_err(|e| format!("weave error: {e}"))?;
+        let output = session.output().expect("successful weave has output").clone();
+        let pool = session.frozen_pool().expect("successful weave has a pool");
+        let compiled = CompiledValidation::compile(&output.minimal, &output.exec);
+        let tables = ScheduleTables::derive(&output.minimal, &output.exec);
+        Ok(ProcessEntry {
+            hash,
+            process,
+            dependencies,
+            output,
+            fingerprint: report.fingerprint,
+            compiled,
+            tables,
+            pool,
+            session: Mutex::new(session),
+        })
+    }
+
+    /// Runs the cached validation compile half. Bit-identical to a fresh
+    /// `petri::validate` on the minimal set.
+    pub fn validate(&self, threads: usize) -> ValidationReport {
+        self.compiled.run(&ValidateOptions {
+            threads,
+            ..Default::default()
+        })
+    }
+
+    /// Simulates the minimal set on the cached scheduler indexes.
+    /// Bit-identical to a fresh `PreparedSchedule::new(..).run(..)`.
+    pub fn simulate(&self, branches: &[(String, String)], threads: usize) -> Schedule {
+        let mut sim = SimConfig {
+            threads,
+            ..SimConfig::default()
+        };
+        for (g, v) in branches {
+            sim.oracle.insert(g.clone(), v.clone());
+        }
+        PreparedSchedule::with_tables(&self.output.minimal, &self.output.exec, &self.tables)
+            .run(&sim)
+    }
+
+    /// Advances this entry's live re-weave session to a new dependency
+    /// revision, paying the incremental (delta) cost when the diff
+    /// allows. Results are always identical to a fresh weave of the
+    /// revision.
+    pub fn reweave(&self, ds: &DependencySet) -> Result<ReweaveReport, String> {
+        let mut session = self.session.lock().expect("session lock poisoned");
+        session.weave(ds).map_err(|e| format!("weave error: {e}"))
+    }
+
+    /// The frozen hash-consing pool snapshot of the weave — shareable
+    /// across threads, with pool numbering identical to the single-owner
+    /// path.
+    pub fn pool(&self) -> &FrozenDnfPool<Condition> {
+        &self.pool
+    }
+}
+
+/// Counters the registry exposes via `/v1/stats`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Entries currently cached.
+    pub entries: usize,
+    /// LRU capacity.
+    pub capacity: usize,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Requests currently being served.
+    pub in_flight: u64,
+}
+
+/// The shared, thread-safe artifact cache. Lookups are keyed by
+/// [`content_hash`]; misses compile outside the cache lock, so concurrent
+/// misses on *different* processes compile in parallel. Two racing misses
+/// on the *same* process both compile and the later insert wins —
+/// harmless, because entries for the same text are deterministic.
+/// Failed compiles (parse errors, conflicts) are not cached.
+pub struct Registry {
+    inner: Mutex<LruCache<u64, Arc<ProcessEntry>>>,
+    threads: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+impl Registry {
+    /// A registry evicting beyond `capacity` entries, compiling and
+    /// running with the given worker-thread count (`0` = auto).
+    pub fn new(capacity: usize, threads: usize) -> Registry {
+        Registry {
+            inner: Mutex::new(LruCache::new(capacity.max(1))),
+            threads,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+        }
+    }
+
+    /// The worker-thread knob requests run with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Looks up an already-cached entry by hash without building.
+    pub fn get(&self, hash: u64) -> Option<Arc<ProcessEntry>> {
+        let mut cache = self.inner.lock().expect("registry lock poisoned");
+        cache.get(&hash).cloned()
+    }
+
+    /// The hit-or-compile path every process-keyed request goes through.
+    /// Returns the entry plus whether it was served from the cache.
+    pub fn lookup_or_build(&self, text: &str) -> Result<(Arc<ProcessEntry>, bool), String> {
+        let hash = content_hash(text);
+        {
+            let _span = obs::span_with("serve.lookup", || format!("hash={hash:016x}"));
+            let mut cache = self.inner.lock().expect("registry lock poisoned");
+            if let Some(entry) = cache.get(&hash) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::counter_add("serve.cache_hits", 1);
+                return Ok((entry.clone(), true));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::counter_add("serve.cache_misses", 1);
+        let entry = Arc::new(ProcessEntry::build(text, self.threads)?);
+        let mut cache = self.inner.lock().expect("registry lock poisoned");
+        let before = cache.evictions();
+        cache.insert(hash, entry.clone());
+        let evicted = cache.evictions() - before;
+        if evicted > 0 {
+            obs::counter_add("serve.evictions", evicted);
+        }
+        Ok((entry, false))
+    }
+
+    /// Marks a request entering service; pair with [`Registry::leave`].
+    pub fn enter(&self) -> u64 {
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        obs::gauge_set("serve.in_flight", now as f64);
+        now
+    }
+
+    /// Marks a request leaving service.
+    pub fn leave(&self) {
+        let now = self.in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
+        obs::gauge_set("serve.in_flight", now as f64);
+    }
+
+    /// A consistent snapshot of the cache counters.
+    pub fn stats(&self) -> RegistryStats {
+        let cache = self.inner.lock().expect("registry lock poisoned");
+        RegistryStats {
+            entries: cache.len(),
+            capacity: cache.capacity(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: cache.evictions(),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROC: &str = "process P {\n var x;\n sequence { assign a writes x; assign b reads x; }\n}";
+
+    #[test]
+    fn lookup_compiles_then_hits() {
+        let reg = Registry::new(4, 1);
+        let (first, hit1) = reg.lookup_or_build(PROC).unwrap();
+        assert!(!hit1);
+        let (second, hit2) = reg.lookup_or_build(PROC).unwrap();
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = reg.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn eviction_recompiles_and_matches() {
+        let reg = Registry::new(1, 1);
+        let (first, _) = reg.lookup_or_build(PROC).unwrap();
+        // A second distinct process evicts the first (capacity 1).
+        let other = PROC.replace("process P", "process Q");
+        reg.lookup_or_build(&other).unwrap();
+        assert_eq!(reg.stats().evictions, 1);
+        assert!(reg.get(first.hash).is_none());
+        // Re-requesting recompiles to identical artifacts.
+        let (again, hit) = reg.lookup_or_build(PROC).unwrap();
+        assert!(!hit);
+        assert_eq!(again.hash, first.hash);
+        assert_eq!(again.fingerprint, first.fingerprint);
+        assert_eq!(again.output.minimal.to_dscl(), first.output.minimal.to_dscl());
+        assert_eq!(again.pool().dnf_count(), first.pool().dnf_count());
+    }
+
+    #[test]
+    fn bad_process_is_an_error_not_a_cache_entry() {
+        let reg = Registry::new(4, 1);
+        assert!(reg.lookup_or_build("process {").is_err());
+        assert_eq!(reg.stats().entries, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! The TCP daemon: a std-only HTTP/1.1 listener in front of
+//! [`crate::service::handle`].
+//!
+//! The accept loop batches ready connections (admission batching) and
+//! fans each batch into `dscweaver_graph::par` workers, so a burst of
+//! concurrent clients is served in parallel while a quiet socket costs
+//! one short poll per tick. Per-request observability: `serve.accept`,
+//! `serve.parse`, `serve.lookup`/`serve.compile` (in the registry),
+//! `serve.run` and `serve.respond` spans, plus the `serve.requests`,
+//! `serve.cache_hits`, `serve.cache_misses` and `serve.evictions`
+//! counters and the `serve.in_flight` gauge.
+
+use crate::http::{read_request, write_response, HttpError};
+use crate::registry::Registry;
+use crate::service::{handle, parse, Response};
+use dscweaver_graph::par_map;
+use dscweaver_obs as obs;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Port to bind on 127.0.0.1 (`0` = ephemeral, kernel-assigned).
+    pub port: u16,
+    /// Worker threads for request fan-out and pipeline internals
+    /// (`0` = auto).
+    pub threads: usize,
+    /// Prepared-artifact cache capacity (entries; LRU beyond it).
+    pub cache_capacity: usize,
+    /// Most connections admitted into one parallel batch.
+    pub batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            port: 0,
+            threads: 0,
+            cache_capacity: 1024,
+            batch: 64,
+        }
+    }
+}
+
+/// A running daemon: listener thread plus shared registry. Dropping the
+/// handle without [`Server::shutdown`] leaves the thread running for the
+/// process lifetime — call `shutdown` for an orderly stop.
+pub struct Server {
+    addr: SocketAddr,
+    registry: Arc<Registry>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:port` and starts the accept loop on a background
+    /// thread.
+    pub fn start(config: &ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let registry = Arc::new(Registry::new(config.cache_capacity, config.threads));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let registry = registry.clone();
+            let stop = stop.clone();
+            let threads = config.threads;
+            let batch_cap = config.batch.max(1);
+            std::thread::spawn(move || accept_loop(listener, registry, stop, threads, batch_cap))
+        };
+        Ok(Server {
+            addr,
+            registry,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (`127.0.0.1:<port>`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared artifact registry (for stats or in-process requests).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Stops the accept loop and joins the listener thread. In-flight
+    /// batches finish first.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    stop: Arc<AtomicBool>,
+    threads: usize,
+    batch_cap: usize,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        // Admission batching: drain everything already queued on the
+        // socket (up to the cap) into one batch, then serve the batch in
+        // parallel. An empty poll sleeps briefly instead of spinning.
+        let mut batch: Vec<TcpStream> = Vec::new();
+        while batch.len() < batch_cap {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    obs::counter_add("serve.requests", 1);
+                    let _span = obs::span("serve.accept");
+                    batch.push(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        if batch.is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        par_map(threads_for(threads, batch.len()), &batch, &|stream| {
+            serve_connection(stream, &registry);
+        });
+    }
+}
+
+/// Worker count for one admission batch: the configured knob, bounded by
+/// the batch size (no idle forks for small batches).
+fn threads_for(threads: usize, batch_len: usize) -> usize {
+    dscweaver_graph::effective_threads(threads, 8).min(batch_len.max(1))
+}
+
+fn serve_connection(stream: &TcpStream, registry: &Registry) {
+    // `Read`/`Write` are implemented for `&TcpStream`, so the shared
+    // borrow from the batch slice is enough.
+    let mut stream = stream;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let response = {
+        let _span = obs::span("serve.parse");
+        read_request(&mut BufReader::new(stream)).and_then(|http| parse(&http))
+    };
+    let response = match response {
+        Ok(request) => handle(registry, &request),
+        Err(HttpError { status, message }) => Response::error(status, &message),
+    };
+    let _span = obs::span("serve.respond");
+    let _ = write_response(
+        &mut stream,
+        response.status,
+        &[("x-cache", response.cache.as_str())],
+        &response.body,
+    );
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}

@@ -1,0 +1,416 @@
+//! The daemon's request semantics, factored out of the transport: a typed
+//! [`Request`], a pure [`handle`] over a shared [`Registry`], and the
+//! [`oneshot`] reference path.
+//!
+//! `handle` is the single implementation both the TCP server and the
+//! one-shot path call, so a daemon response body is bit-identical to the
+//! one-shot body for the same request **by construction**; the cold/warm
+//! distinction only changes which compile work runs, and the cached run
+//! halves are pinned bit-identical to the fresh paths by the component
+//! crates' equivalence tests. Cache status is reported out-of-band (the
+//! `X-Cache` header), never in the body.
+
+use crate::http::{HttpError, HttpRequest};
+use crate::registry::{content_hash, ProcessEntry, Registry};
+use dscweaver_obs as obs;
+
+/// A typed daemon request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `POST /v1/weave` — weave the submitted process text to its minimal
+    /// constraint set.
+    Weave {
+        /// The `.proc` process text.
+        text: String,
+    },
+    /// `POST /v1/validate` — Petri-net validation of the minimal set.
+    Validate {
+        /// The `.proc` process text.
+        text: String,
+    },
+    /// `POST /v1/simulate?branch=g:V...` — execute the minimal set on the
+    /// dataflow engine under the given branch oracle.
+    Simulate {
+        /// The `.proc` process text.
+        text: String,
+        /// Branch oracle picks, `guard → value`.
+        branches: Vec<(String, String)>,
+    },
+    /// `POST /v1/reweave?base=HASH` — advance the cached re-weave session
+    /// of the `base` process to the submitted revision.
+    Reweave {
+        /// The revised `.proc` process text.
+        text: String,
+        /// Content hash of the previously woven base process.
+        base: u64,
+    },
+    /// `GET /v1/stats` — cache counters.
+    Stats,
+    /// `GET /healthz` — liveness probe.
+    Health,
+}
+
+/// Cache disposition of a response, carried out-of-band as the `X-Cache`
+/// header so response bodies stay identical across cold and warm serves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from a cached entry.
+    Hit,
+    /// Compiled on this request.
+    Miss,
+    /// Not a process-keyed request (stats, health, errors).
+    None,
+}
+
+impl CacheStatus {
+    /// The `X-Cache` header value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::None => "none",
+        }
+    }
+}
+
+/// A daemon response: HTTP status, cache disposition, JSON body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Cache disposition (header-only; never part of the body).
+    pub cache: CacheStatus,
+    /// JSON body.
+    pub body: String,
+}
+
+impl Response {
+    pub(crate) fn error(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            cache: CacheStatus::None,
+            body: format!("{{\"error\":{}}}", json_str(message)),
+        }
+    }
+}
+
+/// JSON string literal with the escapes the daemon's payloads need.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Maps a parsed HTTP request onto the typed [`Request`].
+pub fn parse(req: &HttpRequest) -> Result<Request, HttpError> {
+    let body = || {
+        String::from_utf8(req.body.clone()).map_err(|_| HttpError {
+            status: 400,
+            message: "body is not valid UTF-8".into(),
+        })
+    };
+    let post = |ok: bool| {
+        if ok {
+            Ok(())
+        } else {
+            Err(HttpError {
+                status: 405,
+                message: "method not allowed".into(),
+            })
+        }
+    };
+    match req.path.as_str() {
+        "/v1/weave" => {
+            post(req.method == "POST")?;
+            Ok(Request::Weave { text: body()? })
+        }
+        "/v1/validate" => {
+            post(req.method == "POST")?;
+            Ok(Request::Validate { text: body()? })
+        }
+        "/v1/simulate" => {
+            post(req.method == "POST")?;
+            let mut branches = Vec::new();
+            for pick in req.query_all("branch") {
+                let Some((g, v)) = pick.split_once(':') else {
+                    return Err(HttpError {
+                        status: 400,
+                        message: format!("bad branch '{pick}' (want guard:value)"),
+                    });
+                };
+                branches.push((g.to_string(), v.to_string()));
+            }
+            Ok(Request::Simulate {
+                text: body()?,
+                branches,
+            })
+        }
+        "/v1/reweave" => {
+            post(req.method == "POST")?;
+            let base = req.query_first("base").ok_or_else(|| HttpError {
+                status: 400,
+                message: "reweave needs ?base=<hash of the previously woven process>".into(),
+            })?;
+            let base = u64::from_str_radix(base, 16).map_err(|_| HttpError {
+                status: 400,
+                message: "base is not a hexadecimal hash".into(),
+            })?;
+            Ok(Request::Reweave { text: body()?, base })
+        }
+        "/v1/stats" => Ok(Request::Stats),
+        "/healthz" => Ok(Request::Health),
+        other => Err(HttpError {
+            status: 404,
+            message: format!("no such endpoint '{other}'"),
+        }),
+    }
+}
+
+fn weave_body(entry: &ProcessEntry) -> String {
+    let out = &entry.output;
+    format!(
+        "{{\"hash\":\"{:016x}\",\"process\":{},\"dependencies\":{},\"sc\":{},\"asc\":{},\"minimal\":{},\"removed\":{},\"fingerprint\":\"{:016x}\",\"minimal_dscl\":{}}}",
+        entry.hash,
+        json_str(&entry.process.name),
+        out.dependencies.deps.len(),
+        out.sc.constraint_count(),
+        out.asc.constraint_count(),
+        out.minimal.constraint_count(),
+        out.removed.len(),
+        entry.fingerprint,
+        json_str(&out.minimal.to_dscl()),
+    )
+}
+
+fn served(hit: bool, body: String) -> Response {
+    Response {
+        status: 200,
+        cache: if hit { CacheStatus::Hit } else { CacheStatus::Miss },
+        body,
+    }
+}
+
+/// Serves one typed request against the shared registry. This is the
+/// whole daemon semantics; the TCP server only adds transport framing.
+pub fn handle(reg: &Registry, req: &Request) -> Response {
+    reg.enter();
+    let response = handle_inner(reg, req);
+    reg.leave();
+    response
+}
+
+fn handle_inner(reg: &Registry, req: &Request) -> Response {
+    let _span = obs::span_with("serve.run", || format!("{req:?}"));
+    match req {
+        Request::Weave { text } => match reg.lookup_or_build(text) {
+            Ok((entry, hit)) => served(hit, weave_body(&entry)),
+            Err(e) => Response::error(400, &e),
+        },
+        Request::Validate { text } => match reg.lookup_or_build(text) {
+            Ok((entry, hit)) => {
+                let report = entry.validate(reg.threads());
+                let body = format!(
+                    "{{\"hash\":\"{:016x}\",\"ok\":{},\"assignments_checked\":{},\"assignments_truncated\":{},\"guard_groups\":{},\"failures\":{}}}",
+                    entry.hash,
+                    report.ok(),
+                    report.assignments_checked,
+                    report.assignments_truncated,
+                    report.guard_groups,
+                    report.failures.len(),
+                );
+                served(hit, body)
+            }
+            Err(e) => Response::error(400, &e),
+        },
+        Request::Simulate { text, branches } => match reg.lookup_or_build(text) {
+            Ok((entry, hit)) => {
+                let schedule = entry.simulate(branches, reg.threads());
+                let events: Vec<String> = schedule
+                    .trace
+                    .events
+                    .iter()
+                    .map(|e| {
+                        format!(
+                            "{{\"t\":{},\"seq\":{},\"kind\":\"{:?}\",\"activity\":{}}}",
+                            e.time,
+                            e.seq,
+                            e.kind,
+                            json_str(&e.activity)
+                        )
+                    })
+                    .collect();
+                let stuck: Vec<String> = schedule.stuck.iter().map(|s| json_str(s)).collect();
+                let body = format!(
+                    "{{\"hash\":\"{:016x}\",\"makespan\":{},\"constraint_checks\":{},\"completed\":{},\"stuck\":[{}],\"events\":[{}]}}",
+                    entry.hash,
+                    schedule.trace.makespan(),
+                    schedule.constraint_checks,
+                    schedule.completed(),
+                    stuck.join(","),
+                    events.join(","),
+                );
+                served(hit, body)
+            }
+            Err(e) => Response::error(400, &e),
+        },
+        Request::Reweave { text, base } => {
+            let Some(entry) = reg.get(*base) else {
+                return Response::error(
+                    400,
+                    &format!("unknown base {base:016x} (weave it first, or it was evicted)"),
+                );
+            };
+            let revised = match crate::registry::ProcessEntry::build_dependencies(text) {
+                Ok(ds) => ds,
+                Err(e) => return Response::error(400, &e),
+            };
+            match entry.reweave(&revised) {
+                Ok(report) => {
+                    let (path, reason) = match &report.path {
+                        dscweaver_core::ReweavePath::Initial => ("initial", String::new()),
+                        dscweaver_core::ReweavePath::Delta => ("delta", String::new()),
+                        dscweaver_core::ReweavePath::Fallback(r) => ("fallback", r.clone()),
+                    };
+                    let body = format!(
+                        "{{\"hash\":\"{:016x}\",\"base\":\"{:016x}\",\"path\":\"{}\",\"reason\":{},\"rows_recomputed\":{},\"rows_changed\":{},\"candidates_total\":{},\"candidates_rescreened\":{},\"candidates_reused\":{},\"fingerprint\":\"{:016x}\"}}",
+                        content_hash(text),
+                        base,
+                        path,
+                        json_str(&reason),
+                        report.rows_recomputed,
+                        report.rows_changed,
+                        report.candidates_total,
+                        report.candidates_rescreened,
+                        report.candidates_reused,
+                        report.fingerprint,
+                    );
+                    Response {
+                        status: 200,
+                        cache: CacheStatus::Hit,
+                        body,
+                    }
+                }
+                Err(e) => Response::error(400, &e),
+            }
+        }
+        Request::Stats => {
+            let s = reg.stats();
+            Response {
+                status: 200,
+                cache: CacheStatus::None,
+                body: format!(
+                    "{{\"entries\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\"in_flight\":{}}}",
+                    s.entries, s.capacity, s.hits, s.misses, s.evictions, s.in_flight
+                ),
+            }
+        }
+        Request::Health => Response {
+            status: 200,
+            cache: CacheStatus::None,
+            body: "{\"ok\":true}".into(),
+        },
+    }
+}
+
+/// The one-shot reference path: serve `req` against a fresh single-entry
+/// registry, exactly as `dscw` would for a single invocation. Daemon
+/// response bodies are pinned bit-identical to this path (same `handle`,
+/// cache status kept out of the body).
+pub fn oneshot(req: &Request, threads: usize) -> Response {
+    let reg = Registry::new(1, threads);
+    handle(&reg, req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROC: &str = "process P {\n var x;\n sequence { assign a writes x; assign b reads x; }\n}";
+
+    #[test]
+    fn weave_body_is_cache_invariant() {
+        let reg = Registry::new(4, 1);
+        let req = Request::Weave { text: PROC.into() };
+        let cold = handle(&reg, &req);
+        let warm = handle(&reg, &req);
+        assert_eq!(cold.status, 200);
+        assert_eq!(cold.cache, CacheStatus::Miss);
+        assert_eq!(warm.cache, CacheStatus::Hit);
+        assert_eq!(cold.body, warm.body, "cold and warm bodies must be identical");
+        assert_eq!(cold.body, oneshot(&req, 1).body);
+    }
+
+    #[test]
+    fn parse_routes_and_rejects() {
+        let http = HttpRequest {
+            method: "POST".into(),
+            path: "/v1/simulate".into(),
+            query: vec![("branch".into(), "g:T".into())],
+            headers: vec![],
+            body: b"x".to_vec(),
+        };
+        assert_eq!(
+            parse(&http).unwrap(),
+            Request::Simulate {
+                text: "x".into(),
+                branches: vec![("g".into(), "T".into())]
+            }
+        );
+        let bad = HttpRequest {
+            method: "GET".into(),
+            path: "/v1/weave".into(),
+            query: vec![],
+            headers: vec![],
+            body: vec![],
+        };
+        assert_eq!(parse(&bad).unwrap_err().status, 405);
+        let missing = HttpRequest {
+            method: "GET".into(),
+            path: "/nope".into(),
+            query: vec![],
+            headers: vec![],
+            body: vec![],
+        };
+        assert_eq!(parse(&missing).unwrap_err().status, 404);
+    }
+
+    #[test]
+    fn reweave_needs_a_cached_base() {
+        let reg = Registry::new(4, 1);
+        let missing = handle(
+            &reg,
+            &Request::Reweave {
+                text: PROC.into(),
+                base: 0xdead_beef,
+            },
+        );
+        assert_eq!(missing.status, 400);
+        let (entry, _) = reg.lookup_or_build(PROC).unwrap();
+        let ok = handle(
+            &reg,
+            &Request::Reweave {
+                text: PROC.into(),
+                base: entry.hash,
+            },
+        );
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        assert!(ok.body.contains("\"path\":\"delta\""), "{}", ok.body);
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

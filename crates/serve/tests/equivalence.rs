@@ -1,0 +1,150 @@
+//! Daemon ↔ one-shot equivalence: every response body the daemon produces
+//! must be bit-identical to the one-shot reference for the same request —
+//! across cold and warm cache states, concurrent clients, server thread
+//! counts and LRU eviction.
+
+use dscweaver_serve::client;
+use dscweaver_serve::registry::Registry;
+use dscweaver_serve::server::{ServeConfig, Server};
+use dscweaver_serve::service::{handle, oneshot, Request};
+
+/// A small family of distinct processes: a guarded diamond per index, so
+/// weave, validation (two assignments) and simulation all have work.
+fn proc_text(i: usize) -> String {
+    format!(
+        "process p{i} {{\n var s{i}; var v{i};\n sequence {{\n  assign init{i} writes s{i};\n  switch g{i} reads s{i} {{\n   case T {{ assign x{i} writes v{i}; }}\n   case F {{ assign y{i} writes v{i}; }}\n  }}\n  assign j{i} reads v{i};\n }}\n}}"
+    )
+}
+
+fn requests_for(text: &str) -> Vec<(&'static str, Request)> {
+    vec![
+        (
+            "weave",
+            Request::Weave {
+                text: text.to_string(),
+            },
+        ),
+        (
+            "validate",
+            Request::Validate {
+                text: text.to_string(),
+            },
+        ),
+        (
+            "simulate",
+            Request::Simulate {
+                text: text.to_string(),
+                branches: vec![("g0".into(), "T".into())],
+            },
+        ),
+    ]
+}
+
+#[test]
+fn daemon_matches_oneshot_cold_warm_and_threads() {
+    let text = proc_text(0);
+    for threads in [1usize, 2, 4, 8] {
+        let reg = Registry::new(8, threads);
+        for (name, req) in requests_for(&text) {
+            let reference = oneshot(&req, 1).body;
+            let cold = handle(&reg, &req);
+            let warm = handle(&reg, &req);
+            assert_eq!(cold.status, 200, "{name}: {}", cold.body);
+            assert_eq!(
+                cold.body, reference,
+                "{name} cold body diverged at {threads} threads"
+            );
+            assert_eq!(
+                warm.body, reference,
+                "{name} warm body diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_clients_get_identical_bodies() {
+    let server = Server::start(&ServeConfig {
+        threads: 4,
+        cache_capacity: 64,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+    let texts: Vec<String> = (0..6).map(proc_text).collect();
+    let references: Vec<String> = texts
+        .iter()
+        .map(|t| {
+            oneshot(
+                &Request::Weave {
+                    text: t.to_string(),
+                },
+                1,
+            )
+            .body
+        })
+        .collect();
+    // Two full passes of concurrent clients: the first is all-cold, the
+    // second all-warm. Bodies must match the one-shot reference in both.
+    for pass in 0..2 {
+        let handles: Vec<_> = texts
+            .iter()
+            .cloned()
+            .map(|t| std::thread::spawn(move || client::post(addr, "/v1/weave", &t).unwrap()))
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let reply = h.join().unwrap();
+            assert_eq!(reply.status, 200, "pass {pass}: {}", reply.body);
+            assert_eq!(reply.body, references[i], "pass {pass}, client {i}");
+        }
+    }
+    let stats = client::get(addr, "/v1/stats").unwrap();
+    assert!(stats.body.contains("\"misses\":6"), "{}", stats.body);
+    assert!(stats.body.contains("\"hits\":6"), "{}", stats.body);
+    server.shutdown();
+}
+
+#[test]
+fn eviction_recompiles_to_identical_responses() {
+    // Capacity 2: requesting a third distinct process evicts the first.
+    let reg = Registry::new(2, 1);
+    let req0 = Request::Weave { text: proc_text(0) };
+    let first = handle(&reg, &req0);
+    handle(&reg, &Request::Weave { text: proc_text(1) });
+    handle(&reg, &Request::Weave { text: proc_text(2) });
+    assert_eq!(reg.stats().evictions, 1);
+    // Re-requesting the evicted process recompiles (miss) to the exact
+    // same body.
+    let again = handle(&reg, &req0);
+    assert_eq!(again.cache, dscweaver_serve::CacheStatus::Miss);
+    assert_eq!(again.body, first.body);
+}
+
+#[test]
+fn daemon_reweave_fingerprint_matches_single_owner_weave() {
+    // The frozen-pool satellite at the serve level: a re-weave served by
+    // the daemon's cached session must land on the same session
+    // fingerprint (which hashes the pool numbering) as a single-owner
+    // session fed the same revisions.
+    let base = proc_text(0);
+    let revised = base.replace(
+        "assign j0 reads v0;",
+        "assign j0 reads v0;\n  assign k0 reads v0;",
+    );
+    assert_ne!(base, revised);
+
+    // Daemon path.
+    let reg = Registry::new(8, 2);
+    let (entry, _) = reg.lookup_or_build(&base).unwrap();
+    let ds = dscweaver_serve::ProcessEntry::build_dependencies(&revised).unwrap();
+    let daemon_report = entry.reweave(&ds).unwrap();
+
+    // Single-owner path.
+    let mut session = dscweaver_core::Weaver::new().session();
+    let ds0 = dscweaver_serve::ProcessEntry::build_dependencies(&base).unwrap();
+    session.weave(&ds0).unwrap();
+    let owner_report = session.weave(&ds).unwrap();
+
+    assert_eq!(daemon_report.fingerprint, owner_report.fingerprint);
+    assert_eq!(daemon_report.path, owner_report.path);
+}

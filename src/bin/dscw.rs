@@ -8,6 +8,7 @@
 //! dscw dot       <process.proc> [--stage sc|asc|minimal] [...]
 //! dscw figures   <process.proc> [...]
 //! dscw monitor   <process.proc> [--instances N] [--batch N] [--seed N] [--violate RATE] [...]
+//! dscw serve     [--port N] [--threads N] [--cache N] [--batch N] [--trace out.json] [--profile]
 //! ```
 //!
 //! The process is a `.proc` DSL file (see `dscweaver-model`). Cooperation
@@ -32,7 +33,9 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dscw <optimize|validate|run|bpel|dot|figures|monitor> <process.proc>
+        "usage: dscw serve [--port <n>] [--threads <n>] [--cache <entries>] [--batch <n>]
+       [--duration <secs>] [--trace <out.json>] [--profile]
+       dscw <optimize|validate|run|bpel|dot|figures|monitor> <process.proc>
        [--coop <constraints.dscl>]
        [--wscl <conversation.xml>:<iid=activity,...>]...
        [--branch <guard=value>]...
@@ -114,7 +117,89 @@ fn parse_args() -> Option<Args> {
     Some(args)
 }
 
+/// `dscw serve`: bind the daemon and serve. Without `--duration` it
+/// blocks until the process is killed; with `--duration <secs>` it stops
+/// after that long, which is also when `--trace`/`--profile` flush (a
+/// killed daemon writes no trace — give recorded runs a finite duration).
+fn run_serve(mut argv: impl Iterator<Item = String>) -> Result<(), String> {
+    use dscweaver::serve::{ServeConfig, Server};
+    let mut config = ServeConfig::default();
+    let mut trace: Option<String> = None;
+    let mut profile = false;
+    let mut duration: u64 = 0;
+    while let Some(flag) = argv.next() {
+        let mut next = |what: &str| {
+            argv.next()
+                .ok_or_else(|| format!("--{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--port" => config.port = next("port")?.parse().map_err(|e| format!("bad port: {e}"))?,
+            "--threads" => {
+                config.threads = next("threads")?
+                    .parse()
+                    .map_err(|e| format!("bad thread count: {e}"))?
+            }
+            "--cache" => {
+                config.cache_capacity = next("cache")?
+                    .parse()
+                    .map_err(|e| format!("bad cache capacity: {e}"))?
+            }
+            "--batch" => {
+                config.batch = next("batch")?
+                    .parse()
+                    .map_err(|e| format!("bad batch size: {e}"))?
+            }
+            "--duration" => {
+                duration = next("duration")?
+                    .parse()
+                    .map_err(|e| format!("bad duration: {e}"))?
+            }
+            "--trace" => trace = Some(next("trace")?),
+            "--profile" => profile = true,
+            _ => return Err("bad arguments".into()),
+        }
+    }
+    let recording = trace.is_some() || profile;
+    if recording {
+        obs::set_enabled(true);
+    }
+    let server = Server::start(&config).map_err(|e| format!("cannot bind: {e}"))?;
+    eprintln!(
+        "dscw serve: listening on http://{} (cache {} entries, threads {}, batch {})",
+        server.addr(),
+        config.cache_capacity,
+        if config.threads == 0 { "auto".into() } else { config.threads.to_string() },
+        config.batch,
+    );
+    eprintln!("endpoints: POST /v1/weave /v1/validate /v1/simulate /v1/reweave | GET /v1/stats /healthz");
+    if duration == 0 {
+        // Serve until the process is killed; the listener thread owns
+        // the socket, so parking the main thread is all that remains.
+        loop {
+            std::thread::park();
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_secs(duration));
+    server.shutdown();
+    if recording {
+        obs::set_enabled(false);
+        let snapshot = obs::take();
+        if let Some(path) = &trace {
+            std::fs::write(path, snapshot.to_chrome_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("trace written to {path} (load in Perfetto or chrome://tracing)");
+        }
+        if profile {
+            eprint!("{}", snapshot.summary());
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        return run_serve(std::env::args().skip(2));
+    }
     let Some(args) = parse_args() else {
         return Err("bad arguments".into());
     };

@@ -26,6 +26,7 @@
 //! | [`obs`] | `dscweaver-obs` | zero-dependency tracing/metrics: phase spans, worker lanes, Chrome-trace export |
 //! | [`petri`] | `dscweaver-petri` | colored Petri nets, validation (§4.1) |
 //! | [`scheduler`] | `dscweaver-scheduler` | dataflow DES engine, constructs baseline, threaded executor |
+//! | [`serve`] | `dscweaver-serve` | multi-tenant weaver daemon (`dscw serve`), warm prepared-artifact cache |
 //! | [`bpel`] | `dscweaver-bpel` | BPEL generation, parsing, structure recovery |
 //! | [`workloads`] | `dscweaver-workloads` | the Purchasing & Deployment processes, synthetic generators |
 //!
@@ -52,6 +53,7 @@ pub use dscweaver_obs as obs;
 pub use dscweaver_pdg as pdg;
 pub use dscweaver_petri as petri;
 pub use dscweaver_scheduler as scheduler;
+pub use dscweaver_serve as serve;
 pub use dscweaver_workloads as workloads;
 pub use dscweaver_wscl as wscl;
 pub use dscweaver_xml as xml;

@@ -1,0 +1,56 @@
+//! Tier-1 smoke test of the weaver daemon: bind an ephemeral port,
+//! round-trip one weave and one validate over real TCP, and confirm the
+//! second request for the same process is a cache hit.
+
+use dscweaver::serve::{client, ServeConfig, Server};
+
+const PROC: &str = r#"
+process Smoke {
+  var au, oi;
+  sequence {
+    assign check writes au;
+    switch gate reads au {
+      case T { assign fulfil writes oi; }
+      case F { assign refuse writes oi; }
+    }
+    assign done reads oi;
+  }
+}
+"#;
+
+#[test]
+fn daemon_round_trips_weave_and_validate_with_cache_hit() {
+    let server = Server::start(&ServeConfig::default()).expect("bind ephemeral port");
+    let addr = server.addr();
+
+    let health = client::get(addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "{\"ok\":true}");
+
+    let weave = client::post(addr, "/v1/weave", PROC).unwrap();
+    assert_eq!(weave.status, 200, "{}", weave.body);
+    assert_eq!(weave.cache(), "miss");
+    assert!(weave.body.contains("\"process\":\"Smoke\""), "{}", weave.body);
+    assert!(weave.body.contains("\"minimal_dscl\":"), "{}", weave.body);
+
+    // Same process again: served warm, identical body.
+    let again = client::post(addr, "/v1/weave", PROC).unwrap();
+    assert_eq!(again.cache(), "hit");
+    assert_eq!(again.body, weave.body);
+
+    // Validation rides the same cached entry (both branches simulated).
+    let validate = client::post(addr, "/v1/validate", PROC).unwrap();
+    assert_eq!(validate.status, 200, "{}", validate.body);
+    assert_eq!(validate.cache(), "hit");
+    assert!(validate.body.contains("\"ok\":true"), "{}", validate.body);
+    assert!(
+        validate.body.contains("\"assignments_checked\":2"),
+        "{}",
+        validate.body
+    );
+
+    let stats = client::get(addr, "/v1/stats").unwrap();
+    assert!(stats.body.contains("\"hits\":2"), "{}", stats.body);
+    assert!(stats.body.contains("\"misses\":1"), "{}", stats.body);
+    server.shutdown();
+}
