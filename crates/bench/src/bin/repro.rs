@@ -17,6 +17,15 @@
 //! cargo run --release -p dscweaver-bench --bin repro -- bench-json --suite all
 //! cargo run -p dscweaver-bench --bin repro -- bench-json --smoke  # <30 s path check
 //! ```
+//!
+//! The `perf-diff` subcommand compares two bench-json artifacts of the
+//! same suite and exits nonzero when any timing regressed past the
+//! threshold (see [`exp::perf_diff`]):
+//!
+//! ```sh
+//! cargo run -p dscweaver-bench --bin repro -- perf-diff BENCH_minimize.json fresh.json
+//! cargo run -p dscweaver-bench --bin repro -- perf-diff old.json new.json --threshold 1.5
+//! ```
 
 use dscweaver_bench as exp;
 use dscweaver_obs as obs;
@@ -141,10 +150,67 @@ fn bench_json(args: &[String]) {
     }
 }
 
+fn perf_diff(args: &[String]) {
+    let usage = "usage: repro perf-diff OLD.json NEW.json [--threshold RATIO] [--min-ms MS]";
+    let mut opts = exp::perf_diff::DiffOpts::default();
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(r)) if r > 1.0 => opts.threshold = r,
+                _ => {
+                    eprintln!("error: --threshold requires a ratio > 1.0\n{usage}");
+                    std::process::exit(2);
+                }
+            },
+            "--min-ms" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(f)) if f >= 0.0 => opts.min_ms = f,
+                _ => {
+                    eprintln!("error: --min-ms requires a non-negative number\n{usage}");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown argument '{flag}'\n{usage}");
+                std::process::exit(2);
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("error: perf-diff takes exactly two artifact paths\n{usage}");
+        std::process::exit(2);
+    };
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (old_text, new_text) = (read(old_path), read(new_path));
+    match exp::perf_diff::diff(&old_text, &new_text, &opts) {
+        Ok(report) => {
+            print!("{}", exp::perf_diff::render(&report, &opts));
+            if !report.regressions().is_empty() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("bench-json") {
         bench_json(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("perf-diff") {
+        perf_diff(&args[1..]);
         return;
     }
     let all = [

@@ -69,6 +69,20 @@ pub fn sample<T>(samples: usize, mut f: impl FnMut() -> T) -> Vec<Duration> {
     times
 }
 
+/// Histogram-derived latency percentiles of a duration sample set, in
+/// milliseconds: the samples feed a log₂ [`obs::Histogram`] and
+/// `(p50, p99)` come from its deterministic quantile extraction — the
+/// same estimator the daemon's `/metrics` histograms use, so artifact
+/// percentiles and scraped percentiles are directly comparable.
+pub fn percentiles_ms(samples: &[Duration]) -> (f64, f64) {
+    let h = obs::Histogram::new();
+    for d in samples {
+        h.record(d.as_nanos() as u64);
+    }
+    let s = h.snapshot();
+    (s.p50() as f64 / 1e6, s.p99() as f64 / 1e6)
+}
+
 /// Median of a sorted duration slice.
 pub fn median(sorted: &[Duration]) -> Duration {
     if sorted.is_empty() {
@@ -168,6 +182,16 @@ mod tests {
         let times = sample(5, || 1 + 1);
         assert_eq!(times.len(), 5);
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn percentiles_come_from_the_histogram_estimator() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let (p50, p99) = percentiles_ms(&samples);
+        // Log2-bucket upper bounds, clamped to the tracked max.
+        assert!(p50 > 0.0 && p50 <= p99, "{p50} {p99}");
+        assert!(p99 <= 0.1, "{p99}");
+        assert_eq!(percentiles_ms(&[]), (0.0, 0.0));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod perf;
+pub mod perf_diff;
 pub mod perf_evolve;
 pub mod perf_monitor;
 pub mod perf_petri;

@@ -9,7 +9,7 @@
 //! (the sequential structural reference) on identical prepared inputs, and
 //! asserts the minimal sets agree before reporting any timing.
 
-use crate::harness::{black_box, median, phases_json, sample, BenchOpts};
+use crate::harness::{black_box, median, percentiles_ms, phases_json, sample, BenchOpts};
 use dscweaver_core::{
     merge, minimize_generic_baseline, minimize_generic_with, translate_services, EdgeOrder,
     EquivalenceMode, ExecConditions, MinimizeOptions,
@@ -148,6 +148,8 @@ struct CaseReport {
     baseline_ms: f64,
     new_seq_ms: f64,
     new_par_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
     speedup_seq: f64,
     speedup_par: f64,
     closure_seq_ms: f64,
@@ -234,11 +236,13 @@ pub fn bench_minimize_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
                 minimize_generic_with(&asc, &exec, case.mode, &case.order, &seq).unwrap(),
             )
         }));
-        let t_par = median(&sample(samples_new, || {
+        let par_samples = sample(samples_new, || {
             black_box(
                 minimize_generic_with(&asc, &exec, case.mode, &case.order, &par).unwrap(),
             )
-        }));
+        });
+        let t_par = median(&par_samples);
+        let (p50_ms, p99_ms) = percentiles_ms(&par_samples);
 
         // Traced runs of the optimized engine, outside the timed samples:
         // one at threads=1 (the sequential interned-closure path) and one
@@ -271,6 +275,8 @@ pub fn bench_minimize_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
             baseline_ms: ms(t_base),
             new_seq_ms: ms(t_seq),
             new_par_ms: ms(t_par),
+            p50_ms,
+            p99_ms,
             speedup_seq: t_base.as_secs_f64() / t_seq.as_secs_f64().max(1e-12),
             speedup_par: t_base.as_secs_f64() / t_par.as_secs_f64().max(1e-12),
             closure_seq_ms,
@@ -314,6 +320,8 @@ pub fn bench_minimize_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
         ));
         out.push_str(&format!("      \"new_seq_ms\": {},\n", json_f(r.new_seq_ms)));
         out.push_str(&format!("      \"new_par_ms\": {},\n", json_f(r.new_par_ms)));
+        out.push_str(&format!("      \"p50_ms\": {},\n", json_f(r.p50_ms)));
+        out.push_str(&format!("      \"p99_ms\": {},\n", json_f(r.p99_ms)));
         out.push_str(&format!(
             "      \"speedup_seq\": {},\n",
             json_f(r.speedup_seq)

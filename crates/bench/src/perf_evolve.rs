@@ -12,7 +12,7 @@
 //! The headline claim the artifact backs: delta cost is proportional to
 //! the burst size, not the process size.
 
-use crate::harness::{black_box, median, phases_json, sample, BenchOpts};
+use crate::harness::{black_box, median, percentiles_ms, phases_json, sample, BenchOpts};
 use dscweaver_core::{DependencySet, ReweavePath, ReweaveReport, Weaver, WeaverOutput};
 use dscweaver_obs as obs;
 use dscweaver_prng::Rng;
@@ -85,6 +85,8 @@ struct BurstReport {
     edits: Vec<String>,
     fresh_ms: f64,
     delta_ms: f64,
+    delta_p50_ms: f64,
+    delta_p99_ms: f64,
     speedup: f64,
     rep: ReweaveReport,
     phases: String,
@@ -169,8 +171,11 @@ pub fn bench_evolve_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
                     delta_samples.push(t0.elapsed());
                 }
             }
+            fresh_samples.sort();
             let t_fresh = median(&fresh_samples);
+            delta_samples.sort();
             let t_delta = median(&delta_samples);
+            let (delta_p50_ms, delta_p99_ms) = percentiles_ms(&delta_samples);
 
             // One traced delta re-weave for the phase breakdown.
             let (_, case_trace) = obs::record_with(|| {
@@ -187,6 +192,8 @@ pub fn bench_evolve_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
                 edits,
                 fresh_ms: ms(t_fresh),
                 delta_ms: ms(t_delta),
+                delta_p50_ms,
+                delta_p99_ms,
                 speedup: t_fresh.as_secs_f64() / t_delta.as_secs_f64().max(1e-12),
                 rep,
                 phases: phases_json(&case_trace, "      "),
@@ -214,6 +221,14 @@ pub fn bench_evolve_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
         out.push_str(&format!("      \"edits\": {},\n", r.edits.len()));
         out.push_str(&format!("      \"fresh_ms\": {},\n", json_f(r.fresh_ms)));
         out.push_str(&format!("      \"delta_ms\": {},\n", json_f(r.delta_ms)));
+        out.push_str(&format!(
+            "      \"delta_p50_ms\": {},\n",
+            json_f(r.delta_p50_ms)
+        ));
+        out.push_str(&format!(
+            "      \"delta_p99_ms\": {},\n",
+            json_f(r.delta_p99_ms)
+        ));
         out.push_str(&format!("      \"speedup\": {},\n", json_f(r.speedup)));
         out.push_str("      \"path\": \"delta\",\n");
         out.push_str(&format!(

@@ -13,7 +13,7 @@
 //! state built outside the timer) and report events/sec, ns/event and
 //! resident bytes per live instance.
 
-use crate::harness::{black_box, median, phases_json, BenchOpts};
+use crate::harness::{black_box, median, percentiles_ms, phases_json, BenchOpts};
 use dscweaver_obs as obs;
 use dscweaver_scheduler::{oracle_verdicts, MonitorConfig, MonitorState, MonitorStats, Verdict};
 use dscweaver_workloads::eventlog::{
@@ -79,6 +79,8 @@ struct CaseReport {
     threads: usize,
     events: usize,
     ingest_ms: f64,
+    ingest_p50_ms: f64,
+    ingest_p99_ms: f64,
     events_per_sec: f64,
     ns_per_event: f64,
     bytes_per_instance: f64,
@@ -187,6 +189,7 @@ pub fn bench_monitor_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
                     .collect();
                 times.sort();
                 let t = median(&times);
+                let (ingest_p50_ms, ingest_p99_ms) = percentiles_ms(&times);
                 let secs = t.as_secs_f64().max(1e-12);
                 cases.push(CaseReport {
                     fleet: case.fleet,
@@ -194,6 +197,8 @@ pub fn bench_monitor_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
                     threads,
                     events: log.events.len(),
                     ingest_ms: secs * 1e3,
+                    ingest_p50_ms,
+                    ingest_p99_ms,
                     events_per_sec: log.events.len() as f64 / secs,
                     ns_per_event: secs * 1e9 / log.events.len() as f64,
                     bytes_per_instance: stats.bytes as f64 / stats.peak_live.max(1) as f64,
@@ -271,6 +276,14 @@ pub fn bench_monitor_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
         out.push_str(&format!("      \"threads\": {},\n", r.threads));
         out.push_str(&format!("      \"events\": {},\n", r.events));
         out.push_str(&format!("      \"ingest_ms\": {},\n", json_f(r.ingest_ms)));
+        out.push_str(&format!(
+            "      \"ingest_p50_ms\": {},\n",
+            json_f(r.ingest_p50_ms)
+        ));
+        out.push_str(&format!(
+            "      \"ingest_p99_ms\": {},\n",
+            json_f(r.ingest_p99_ms)
+        ));
         out.push_str(&format!(
             "      \"events_per_sec\": {},\n",
             json_f(r.events_per_sec)

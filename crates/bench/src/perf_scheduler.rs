@@ -14,7 +14,7 @@
 //! versus a fresh `simulate` — which rebuilds the prereq/dependency
 //! indexes — per run.
 
-use crate::harness::{black_box, median, phases_json, sample, BenchOpts};
+use crate::harness::{black_box, median, percentiles_ms, phases_json, sample, BenchOpts};
 use dscweaver_core::{merge, translate_services, ExecConditions};
 use dscweaver_dscl::ConstraintSet;
 use dscweaver_obs as obs;
@@ -123,6 +123,8 @@ struct CaseReport {
     baseline_ms: f64,
     new_seq_ms: f64,
     new_par_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
     speedup_seq: f64,
     speedup_par: f64,
     replay_runs: usize,
@@ -190,9 +192,9 @@ pub fn bench_scheduler_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
         let t_seq = median(&sample(samples_new, || {
             black_box(simulate(&asc, &exec, &seq_cfg))
         }));
-        let t_par = median(&sample(samples_new, || {
-            black_box(simulate(&asc, &exec, &par_cfg))
-        }));
+        let par_samples = sample(samples_new, || black_box(simulate(&asc, &exec, &par_cfg)));
+        let t_par = median(&par_samples);
+        let (p50_ms, p99_ms) = percentiles_ms(&par_samples);
 
         // One traced run of the parallel engine, outside the timed
         // samples, for the per-phase breakdown and the suite trace.
@@ -255,6 +257,8 @@ pub fn bench_scheduler_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
             baseline_ms: ms(t_base),
             new_seq_ms: ms(t_seq),
             new_par_ms: ms(t_par),
+            p50_ms,
+            p99_ms,
             speedup_seq: t_base.as_secs_f64() / t_seq.as_secs_f64().max(1e-12),
             speedup_par: t_base.as_secs_f64() / t_par.as_secs_f64().max(1e-12),
             replay_runs: oracles.len(),
@@ -292,6 +296,8 @@ pub fn bench_scheduler_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
         ));
         out.push_str(&format!("      \"new_seq_ms\": {},\n", json_f(r.new_seq_ms)));
         out.push_str(&format!("      \"new_par_ms\": {},\n", json_f(r.new_par_ms)));
+        out.push_str(&format!("      \"p50_ms\": {},\n", json_f(r.p50_ms)));
+        out.push_str(&format!("      \"p99_ms\": {},\n", json_f(r.p99_ms)));
         out.push_str(&format!(
             "      \"speedup_seq\": {},\n",
             json_f(r.speedup_seq)

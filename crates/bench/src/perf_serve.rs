@@ -14,7 +14,7 @@
 //! timing: a sample of cold, warm and one-shot response bodies must be
 //! bit-identical, and the cache counters must account for every request.
 
-use crate::harness::{black_box, phases_json, BenchOpts};
+use crate::harness::{black_box, percentiles_ms, phases_json, BenchOpts};
 use dscweaver_graph::par_map;
 use dscweaver_obs as obs;
 use dscweaver_serve::registry::Registry;
@@ -70,14 +70,6 @@ struct PassReport {
 
 fn json_f(v: f64) -> String {
     format!("{v:.3}")
-}
-
-fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let ix = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[ix].as_secs_f64() * 1e6
 }
 
 /// Serves every request once, in parallel across `threads` workers, and
@@ -153,6 +145,10 @@ pub fn bench_serve_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
 
             let mut push = |phase: &'static str, wall: Duration, lats: &[Duration], hits, misses| {
                 let secs = wall.as_secs_f64().max(1e-12);
+                // Same log2-histogram estimator the daemon's /metrics
+                // endpoint uses, so artifact and scraped percentiles are
+                // directly comparable.
+                let (p50_ms, p99_ms) = percentiles_ms(lats);
                 passes.push(PassReport {
                     processes: case.processes,
                     threads,
@@ -160,8 +156,8 @@ pub fn bench_serve_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
                     requests: requests.len(),
                     wall_ms: secs * 1e3,
                     req_per_sec: requests.len() as f64 / secs,
-                    p50_us: percentile_us(lats, 0.50),
-                    p99_us: percentile_us(lats, 0.99),
+                    p50_us: p50_ms * 1e3,
+                    p99_us: p99_ms * 1e3,
                     cache_hits: hits,
                     cache_misses: misses,
                 });

@@ -1,0 +1,66 @@
+//! Tier-1 smoke of the `repro perf-diff` CLI exit-code contract: a
+//! committed artifact diffed against itself exits 0, a doctored
+//! regression exits 1, and usage errors exit 2.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn committed_artifact_self_diff_exits_zero() {
+    let artifact = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_minimize.json");
+    let out = repro(&["perf-diff", artifact, artifact]);
+    assert!(
+        out.status.success(),
+        "self-diff must be clean: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("perf-diff: OK"), "{stdout}");
+}
+
+#[test]
+fn regression_exits_one_and_usage_errors_exit_two() {
+    let dir = std::env::temp_dir().join(format!("perf_diff_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+    std::fs::write(
+        &old,
+        r#"{"artifact": "BENCH_t", "cases": [{"name": "x", "run_ms": 10.0}]}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        &new,
+        r#"{"artifact": "BENCH_t", "cases": [{"name": "x", "run_ms": 100.0}]}"#,
+    )
+    .unwrap();
+    let (old, new) = (old.to_str().unwrap(), new.to_str().unwrap());
+
+    let out = repro(&["perf-diff", old, new]);
+    assert_eq!(out.status.code(), Some(1), "10x slower must fail the gate");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSION"));
+
+    // A generous threshold lets the same pair pass.
+    let out = repro(&["perf-diff", old, new, "--threshold", "20"]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // Usage errors: missing operand, bad flag value, unreadable file.
+    assert_eq!(repro(&["perf-diff", old]).status.code(), Some(2));
+    assert_eq!(
+        repro(&["perf-diff", old, new, "--threshold", "0.5"]).status.code(),
+        Some(2)
+    );
+    assert_eq!(
+        repro(&["perf-diff", old, "/nonexistent/x.json"]).status.code(),
+        Some(2)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

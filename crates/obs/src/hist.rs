@@ -1,0 +1,345 @@
+//! Lock-free fixed-bucket latency histograms on a log₂ scale.
+//!
+//! A [`Histogram`] is 64 relaxed `AtomicU64` buckets plus exact count,
+//! sum and max cells. Bucket `i` (for `i ≥ 1`) holds values `v` with
+//! `2^(i-1) ≤ v < 2^i`; bucket 0 holds exactly `v = 0`; the last bucket
+//! absorbs everything from `2^62` up. Recording is wait-free (four
+//! relaxed atomic RMWs, no allocation, no lock), so histograms can sit on
+//! the hottest serving paths; merging and percentile extraction happen on
+//! immutable [`HistogramSnapshot`]s.
+//!
+//! Histograms are **cumulative**: unlike spans and counters they are not
+//! drained by [`crate::take`] — `/metrics` scrapes must see monotonic
+//! totals. [`crate::histogram`] registers a leaked `&'static Histogram`
+//! under a stable name; [`snapshot_all`] (via
+//! [`crate::metrics_snapshot`]) reads them all without resetting.
+//!
+//! ```
+//! use dscweaver_obs::hist::Histogram;
+//!
+//! let h = Histogram::new();
+//! for v in [100, 200, 400, 800, 100_000] {
+//!     h.record(v);
+//! }
+//! let s = h.snapshot();
+//! assert_eq!(s.count(), 5);
+//! assert_eq!(s.max(), 100_000);
+//! assert!(s.quantile(0.5) >= 200 && s.quantile(0.5) < 512);
+//! assert_eq!(s.quantile(1.0), 100_000); // exact max
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of log₂ buckets. Covers 0 through `u64::MAX` nanoseconds (the
+/// top bucket is clamped), i.e. any latency this process can measure.
+pub const NUM_BUCKETS: usize = 64;
+
+/// The bucket a value lands in: 0 for 0, otherwise `floor(log2(v)) + 1`,
+/// clamped to the top bucket.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((u64::BITS - v.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// The largest value bucket `i` can hold (`2^i - 1`, saturating at
+/// `u64::MAX` for the top bucket) — the inclusive upper bound percentile
+/// extraction reports.
+#[inline]
+pub fn bucket_bound(i: usize) -> u64 {
+    if i >= NUM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A lock-free log₂-scale histogram. See the module docs for the bucket
+/// layout. All methods take `&self`; concurrent recording from any number
+/// of threads is safe and loss-free (every increment is an atomic RMW),
+/// so bucket totals are exactly the multiset of recorded values
+/// regardless of thread interleaving.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value unconditionally (no recorder gate) — for local
+    /// histograms the caller owns, e.g. bench-sample aggregation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records one value if the metrics plane is enabled — the gated
+    /// probe registered histograms use. Costs one relaxed atomic load
+    /// when metrics are off.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if crate::metrics_enabled() {
+            self.record(v);
+        }
+    }
+
+    /// An immutable copy of the current bucket totals. Taken while other
+    /// threads record, each cell is individually exact; the derived count
+    /// is always the sum of the bucket cells, so snapshots are internally
+    /// consistent for exposition.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: [u64; NUM_BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Resets every cell to zero (tests and benchmarks only; a live
+    /// `/metrics` histogram must stay monotonic).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable view of a [`Histogram`], with merge and percentile
+/// extraction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { buckets: [0; NUM_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Per-bucket counts (`buckets()[i]` values fell in bucket `i`).
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Total recorded values (always equals the sum of the buckets).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of every recorded value (wrapping beyond `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The exact largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The quantile-`q` value: the inclusive upper bound of the bucket
+    /// holding the `ceil(q · count)`-th smallest recorded value, clamped
+    /// to the exact maximum (so `quantile(1.0)` returns the true max,
+    /// and every quantile over-approximates by less than 2x — the log₂
+    /// bucket width). Deterministic given the bucket totals; 0 when
+    /// empty. `q` outside `[0, 1]` is clamped.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Self::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Folds another snapshot into this one: buckets, counts and sums
+    /// add; max takes the larger side. Merging is commutative and
+    /// associative, so per-thread or per-shard histograms aggregate to
+    /// exactly the histogram a single shared recorder would have built.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// The global name → histogram registry behind [`crate::histogram`].
+/// Entries are leaked (`&'static`) so probes can hold a handle with no
+/// lifetime or refcount on the hot path.
+fn hist_registry() -> &'static Mutex<Vec<(&'static str, &'static Histogram)>> {
+    static REGISTRY: OnceLock<Mutex<Vec<(&'static str, &'static Histogram)>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Looks up (or creates) the process-wide histogram registered under
+/// `name`. The returned reference is `'static` — resolve it once and
+/// call [`Histogram::observe`] per probe; repeated lookups take the
+/// registry lock. Names should follow the dotted span taxonomy
+/// (`serve.latency.weave`).
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut reg = hist_registry().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some((_, h)) = reg.iter().find(|(n, _)| *n == name) {
+        return h;
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+    reg.push((name, h));
+    h
+}
+
+/// Snapshots every registered histogram, sorted by name.
+pub fn snapshot_all() -> Vec<(&'static str, HistogramSnapshot)> {
+    let reg = hist_registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut out: Vec<(&'static str, HistogramSnapshot)> =
+        reg.iter().map(|(n, h)| (*n, h.snapshot())).collect();
+    out.sort_by_key(|(n, _)| *n);
+    out
+}
+
+/// Resets every registered histogram to empty (tests only — see
+/// [`Histogram::reset`]).
+pub fn reset_all() {
+    let reg = hist_registry().lock().unwrap_or_else(|e| e.into_inner());
+    for (_, h) in reg.iter() {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        for i in 0..NUM_BUCKETS {
+            // Every bucket's upper bound maps back into that bucket.
+            assert_eq!(bucket_index(bucket_bound(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn records_and_extracts() {
+        let h = Histogram::new();
+        assert!(h.snapshot().is_empty());
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.sum(), 500_500);
+        assert_eq!(s.max(), 1000);
+        assert_eq!(s.quantile(1.0), 1000);
+        // The 500th value is 500 → bucket 9 ([256, 511]), bound 511.
+        assert_eq!(s.p50(), 511);
+        assert_eq!(s.quantile(0.0), bucket_bound(bucket_index(1)));
+    }
+
+    #[test]
+    fn merge_matches_single_recorder() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 0..100u64 {
+            (if v % 2 == 0 { &a } else { &b }).record(v * 37);
+            all.record(v * 37);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn registry_interns_by_name() {
+        let first = histogram("test.hist.registry");
+        let again = histogram("test.hist.registry");
+        assert!(std::ptr::eq(first, again));
+        first.record(7);
+        let snap = snapshot_all();
+        let (_, s) = snap
+            .iter()
+            .find(|(n, _)| *n == "test.hist.registry")
+            .expect("registered");
+        assert!(s.count() >= 1);
+    }
+}

@@ -4,7 +4,7 @@
 //! `tracing-chrome` with the ~5% of their surface the pipeline needs:
 //!
 //! * a **global recorder** toggled at runtime ([`set_enabled`]) — every
-//!   instrumentation point is a single relaxed [`AtomicBool`] load when
+//!   instrumentation point is a single relaxed atomic flag-byte load when
 //!   recording is off, so the engines can stay instrumented permanently;
 //! * **hierarchical spans** ([`span`] / [`span_with`]) and **instant
 //!   events** ([`instant`]) buffered in thread-local vectors (no lock on
@@ -18,6 +18,11 @@
 //! * a **counter/gauge registry** ([`counter_add`] / [`gauge_set`]) that
 //!   absorbs the engines' existing telemetry (pool sizes, cache hit
 //!   rates, assignment counts) into the same snapshot;
+//! * a **metrics plane** that can run without span buffering
+//!   ([`set_metrics_enabled`]): lock-free log₂ latency **histograms**
+//!   ([`hist`], registered via [`histogram`]), read non-destructively by
+//!   [`metrics_snapshot`] and rendered as Prometheus text exposition by
+//!   [`prom::render`] — what a long-lived daemon serves on `/metrics`;
 //! * two sinks on [`TraceSnapshot`]: Chrome trace-event JSON
 //!   ([`TraceSnapshot::to_chrome_json`], loadable in Perfetto or
 //!   `chrome://tracing`) and a per-phase text table
@@ -53,37 +58,72 @@
 
 #![warn(missing_docs)]
 
+pub mod hist;
 pub mod json;
+pub mod prom;
 mod snapshot;
 
+pub use hist::{histogram, Histogram, HistogramSnapshot};
 pub use snapshot::{PhaseTotal, TraceSnapshot};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Recorder flag bit: hierarchical span/event tracing (buffered, drained
+/// by [`take`]).
+const FLAG_TRACE: u8 = 1;
+/// Recorder flag bit: the metrics plane (counters, gauges, histograms —
+/// cumulative, read without draining via [`metrics_snapshot`]).
+const FLAG_METRICS: u8 = 2;
 
-/// Whether the global recorder is currently on. A single relaxed atomic
+static FLAGS: AtomicU8 = AtomicU8::new(0);
+
+/// Whether span/event tracing is currently on. A single relaxed atomic
 /// load — this is the entire cost of an instrumentation point while
 /// recording is disabled.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    FLAGS.load(Ordering::Relaxed) & FLAG_TRACE != 0
 }
 
-/// Turns the global recorder on or off. Spans opened while the recorder
-/// was on still record their end after it is turned off, so phase totals
-/// stay balanced across a toggle.
+/// Whether the metrics plane (counters, gauges, histograms) is currently
+/// on. Like [`enabled`], a single relaxed atomic load per probe when off.
+///
+/// Metrics can be enabled on their own ([`set_metrics_enabled`]) without
+/// turning on span buffering — the mode a long-running daemon serves
+/// `/metrics` in, since cumulative metrics are bounded while buffered
+/// spans grow until drained.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    FLAGS.load(Ordering::Relaxed) & FLAG_METRICS != 0
+}
+
+/// Turns the global recorder on or off — both the tracing and the
+/// metrics plane. Spans opened while the recorder was on still record
+/// their end after it is turned off, so phase totals stay balanced
+/// across a toggle.
 pub fn set_enabled(on: bool) {
     if on {
         // Pin the epoch before the first event so timestamps are
         // monotonic from the moment recording starts.
         let _ = epoch();
     }
-    ENABLED.store(on, Ordering::Relaxed);
+    let flags = if on { FLAG_TRACE | FLAG_METRICS } else { 0 };
+    FLAGS.store(flags, Ordering::Relaxed);
+}
+
+/// Turns the metrics plane (counters, gauges, histograms) on or off
+/// without touching span tracing. Safe to leave on for the lifetime of a
+/// daemon: metrics are fixed-size cumulative cells, not buffers.
+pub fn set_metrics_enabled(on: bool) {
+    if on {
+        FLAGS.fetch_or(FLAG_METRICS, Ordering::Relaxed);
+    } else {
+        FLAGS.fetch_and(!FLAG_METRICS, Ordering::Relaxed);
+    }
 }
 
 fn epoch() -> &'static Instant {
@@ -230,20 +270,47 @@ pub fn instant_with(name: &'static str, detail: impl FnOnce() -> String) {
     }
 }
 
-/// Adds `delta` to a named monotonic counter. No-op while disabled.
+/// Adds `delta` to a named monotonic counter. No-op while the metrics
+/// plane is disabled.
 pub fn counter_add(name: &'static str, delta: u64) {
-    if !enabled() {
+    if !metrics_enabled() {
         return;
     }
     *lock(&registry().counters).entry(name).or_insert(0) += delta;
 }
 
-/// Sets a named gauge to `value` (last write wins). No-op while disabled.
+/// Sets a named gauge to `value` (last write wins). No-op while the
+/// metrics plane is disabled.
 pub fn gauge_set(name: &'static str, value: f64) {
-    if !enabled() {
+    if !metrics_enabled() {
         return;
     }
     lock(&registry().gauges).insert(name, value);
+}
+
+/// A non-draining view of the metrics plane: current counter and gauge
+/// values plus a snapshot of every registered histogram. This is what
+/// `/metrics` exposition renders ([`prom::render`]) — unlike [`take`],
+/// reading it leaves the cumulative metrics in place, so consecutive
+/// scrapes see monotonic counters.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counter values by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<&'static str, f64>,
+    /// One snapshot per registered histogram, sorted by name.
+    pub hists: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+/// Takes a [`MetricsSnapshot`] of the metrics plane without draining it.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    let r = registry();
+    MetricsSnapshot {
+        counters: lock(&r.counters).clone(),
+        gauges: lock(&r.gauges).clone(),
+        hists: hist::snapshot_all(),
+    }
 }
 
 /// Restores the previous lane of the thread that called [`worker_lane`].
@@ -316,12 +383,12 @@ pub fn take() -> TraceSnapshot {
 /// before the call are discarded, and the previous enabled/disabled state
 /// is restored afterwards.
 pub fn record_with<T>(f: impl FnOnce() -> T) -> (T, TraceSnapshot) {
-    let prev = enabled();
+    let prev = FLAGS.load(Ordering::Relaxed);
     set_enabled(true);
     drop(take()); // isolate: clear anything recorded before `f`
     let out = f();
     let snap = take();
-    ENABLED.store(prev, Ordering::Relaxed);
+    FLAGS.store(prev, Ordering::Relaxed);
     (out, snap)
 }
 

@@ -1,0 +1,243 @@
+//! Prometheus text exposition (format version 0.0.4) for the metrics
+//! plane, plus a minimal parser used by the round-trip tests and the
+//! `/metrics` smoke test.
+//!
+//! [`render`] turns a [`crate::MetricsSnapshot`] into the classic
+//! `# TYPE` / sample-line format:
+//!
+//! * counters — `<name>_total` with a `counter` type line;
+//! * gauges — `<name>` with a `gauge` type line;
+//! * histograms — `<name>_seconds` with cumulative `_bucket{le="…"}`
+//!   lines (log₂ nanosecond bucket bounds converted to seconds), a
+//!   `+Inf` bucket, `_sum` and `_count`.
+//!
+//! Dotted registry names are sanitized to the Prometheus alphabet
+//! (`serve.cache_hits` → `serve_cache_hits_total`). Rendering is
+//! deterministic: families sort by name, bucket lines by bound.
+//!
+//! ```
+//! use dscweaver_obs as obs;
+//!
+//! let mut snap = obs::MetricsSnapshot::default();
+//! snap.counters.insert("doc.requests", 3);
+//! let text = obs::prom::render(&snap);
+//! assert!(text.contains("# TYPE doc_requests_total counter"));
+//! assert!(text.contains("doc_requests_total 3"));
+//! let samples = obs::prom::parse(&text).unwrap();
+//! assert_eq!(samples[0].name, "doc_requests_total");
+//! assert_eq!(samples[0].value, 3.0);
+//! ```
+
+use crate::hist::{bucket_bound, HistogramSnapshot, NUM_BUCKETS};
+use crate::MetricsSnapshot;
+
+/// Maps a dotted registry name onto the Prometheus metric alphabet
+/// (`[a-zA-Z0-9_:]`, non-digit first character).
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Formats a nanosecond bucket bound as a seconds `le` label value
+/// (shortest `f64` form, e.g. `0.000001023`).
+fn le_seconds(bound_ns: u64) -> String {
+    format!("{}", bound_ns as f64 / 1e9)
+}
+
+/// Renders a metrics snapshot as Prometheus text exposition. Histogram
+/// values are interpreted as nanoseconds and exposed in seconds (the
+/// Prometheus base unit for time).
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snapshot.counters {
+        let n = format!("{}_total", sanitize(name));
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in &snapshot.gauges {
+        let n = sanitize(name);
+        let v = if v.is_finite() { *v } else { 0.0 };
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in &snapshot.hists {
+        render_histogram(&mut out, name, h);
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let n = format!("{}_seconds", sanitize(name));
+    out.push_str(&format!("# TYPE {n} histogram\n"));
+    // Emit cumulative buckets up to the highest occupied one; everything
+    // above is redundant with +Inf and would be 60+ identical lines.
+    let top = h
+        .buckets()
+        .iter()
+        .rposition(|&c| c > 0)
+        .map(|i| (i + 1).min(NUM_BUCKETS - 1))
+        .unwrap_or(0);
+    let mut cum = 0u64;
+    for i in 0..=top {
+        cum += h.buckets()[i];
+        out.push_str(&format!(
+            "{n}_bucket{{le=\"{}\"}} {cum}\n",
+            le_seconds(bucket_bound(i))
+        ));
+    }
+    out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+    out.push_str(&format!("{n}_sum {}\n", h.sum() as f64 / 1e9));
+    out.push_str(&format!("{n}_count {}\n", h.count()));
+}
+
+/// One parsed exposition sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name (including any `_total` / `_bucket` suffix).
+    pub name: String,
+    /// Label name/value pairs, source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value (`+Inf` labels stay labels; the value itself must
+    /// parse as `f64`).
+    pub value: f64,
+}
+
+/// Parses Prometheus text exposition into its sample lines, validating
+/// the line grammar (used by the round-trip tests and the daemon smoke
+/// test). `# …` comment lines are checked to be `# TYPE`/`# HELP` and
+/// skipped; anything else malformed is an error naming the line.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if !(rest.starts_with("TYPE ") || rest.starts_with("HELP ")) {
+                return Err(format!("line {}: unknown comment {line:?}", ln + 1));
+            }
+            continue;
+        }
+        out.push(parse_sample(line).map_err(|e| format!("line {}: {e}", ln + 1))?);
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (head, value) = match line.find('{') {
+        Some(open) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label braces in {line:?}"))?;
+            (
+                (&line[..open], parse_labels(&line[open + 1..close])?),
+                line[close + 1..].trim(),
+            )
+        }
+        None => {
+            let (name, value) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("missing value in {line:?}"))?;
+            ((name, Vec::new()), value.trim())
+        }
+    };
+    let (name, labels) = head;
+    if name.is_empty()
+        || name.starts_with(|c: char| c.is_ascii_digit())
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let value: f64 = match value {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v.parse().map_err(|_| format!("bad value {v:?}"))?,
+    };
+    Ok(Sample { name: name.to_string(), labels, value })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    for pair in body.split(',').filter(|p| !p.is_empty()) {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("bad label pair {pair:?}"))?;
+        let v = v
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted label value in {pair:?}"))?;
+        labels.push((k.to_string(), v.replace("\\\"", "\"").replace("\\\\", "\\")));
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize("serve.cache_hits"), "serve_cache_hits");
+        assert_eq!(sanitize("9lives"), "_lives");
+        assert_eq!(sanitize(""), "_");
+    }
+
+    #[test]
+    fn renders_and_parses_all_three_kinds() {
+        let h = Histogram::new();
+        for v in [10u64, 1_000, 2_000_000] {
+            h.record(v);
+        }
+        let snap = MetricsSnapshot {
+            counters: [("serve.requests", 41u64)].into_iter().collect(),
+            gauges: [("serve.in_flight", 3.0f64)].into_iter().collect(),
+            hists: vec![("serve.latency.weave", h.snapshot())],
+        };
+        let text = render(&snap);
+        let samples = parse(&text).expect("rendered exposition must parse");
+
+        let get = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing {name} in:\n{text}"))
+        };
+        assert_eq!(get("serve_requests_total").value, 41.0);
+        assert_eq!(get("serve_in_flight").value, 3.0);
+        assert_eq!(get("serve_latency_weave_seconds_count").value, 3.0);
+        let sum = get("serve_latency_weave_seconds_sum").value;
+        assert!((sum - 2_001_010.0 / 1e9).abs() < 1e-12, "{sum}");
+
+        // Cumulative buckets are monotone and the +Inf bucket equals the
+        // count.
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.name == "serve_latency_weave_seconds_bucket")
+            .collect();
+        assert!(buckets.len() >= 2);
+        assert!(buckets.windows(2).all(|w| w[0].value <= w[1].value));
+        let inf = buckets.last().unwrap();
+        assert_eq!(inf.labels, vec![("le".to_string(), "+Inf".to_string())]);
+        assert_eq!(inf.value, 3.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse("name_without_value").is_err());
+        assert!(parse("name{le=\"0.1\" 3").is_err());
+        assert!(parse("1bad 3").is_err());
+        assert!(parse("ok 1\n# random comment").is_err());
+        assert!(parse("name xyz").is_err());
+    }
+}

@@ -45,6 +45,21 @@ impl TraceSnapshot {
         Self { events, lanes, counters, gauges }
     }
 
+    /// Builds a snapshot from externally assembled events and lane names
+    /// (no counters or gauges) — the constructor request-scoped tracers
+    /// use to reuse the Chrome sink for span trees they collected outside
+    /// the global recorder. Events are sorted by timestamp; lane indices
+    /// in the events resolve against `lanes` positionally.
+    pub fn from_events(mut events: Vec<Event>, lanes: Vec<String>) -> Self {
+        events.sort_by_key(|e| e.ts_ns);
+        Self {
+            events,
+            lanes,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+        }
+    }
+
     /// The recorded events, stably ordered by timestamp.
     pub fn events(&self) -> &[Event] {
         &self.events

@@ -18,6 +18,16 @@ fn disabled_recorder_records_nothing_and_is_byte_stable() {
     obs::gauge_set("ignored.gauge", 1.5);
     let lane = obs::worker_lane(3);
     obs::instant_with("ignored.detail", || panic!("detail must not be built when disabled"));
+    // The histogram probe is gated on the same flag: observe() while
+    // disabled must leave the registered histogram untouched (one relaxed
+    // load, no increment).
+    let hist = obs::histogram("ignored.hist");
+    let before = hist.snapshot();
+    hist.observe(1234);
+    let after = hist.snapshot();
+    assert_eq!(after.count(), before.count());
+    assert_eq!(after.sum(), before.sum());
+    assert_eq!(after.buckets(), before.buckets());
     drop(lane);
     drop(span);
 

@@ -746,6 +746,7 @@ impl<'p> MonitorState<'p> {
     /// stream is cut into batches and of the thread/shard configuration.
     pub fn ingest(&mut self, batch: &[MonitorEvent]) -> Vec<Verdict> {
         let _span = obs::span_with("monitor.ingest", || format!("events={}", batch.len()));
+        let t0 = std::time::Instant::now();
         let nshards = self.shards.len();
         let program = self.program;
         let parts: Vec<Vec<(u32, Verdict)>> = if nshards == 1 {
@@ -794,6 +795,30 @@ impl<'p> MonitorState<'p> {
         self.verdicts += tagged.len() as u64;
         obs::counter_add("monitor.events", batch.len() as u64);
         obs::counter_add("monitor.verdicts", tagged.len() as u64);
+        // Metrics plane: per-batch ingest latency, instantaneous
+        // throughput, and fleet occupancy (cheap sums over the shard
+        // headers; all no-ops while metrics recording is off).
+        if obs::metrics_enabled() {
+            let dur_ns = t0.elapsed().as_nanos() as u64;
+            obs::histogram("monitor.ingest_batch").observe(dur_ns);
+            if dur_ns > 0 && !batch.is_empty() {
+                obs::gauge_set(
+                    "monitor.events_per_sec",
+                    batch.len() as f64 * 1e9 / dur_ns as f64,
+                );
+            }
+            let (mut live, mut rows) = (0u64, 0u64);
+            for sh in &self.shards {
+                live += sh.live as u64;
+                rows += sh.rows as u64;
+            }
+            obs::gauge_set("monitor.live_instances", live as f64);
+            obs::gauge_set("monitor.slab_rows", rows as f64);
+            obs::gauge_set(
+                "monitor.slab_occupancy",
+                if rows > 0 { live as f64 / rows as f64 } else { 0.0 },
+            );
+        }
         tagged.into_iter().map(|(_, v)| v).collect()
     }
 

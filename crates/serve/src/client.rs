@@ -29,6 +29,12 @@ impl Reply {
     pub fn cache(&self) -> &str {
         self.header("x-cache").unwrap_or("none")
     }
+
+    /// The daemon's `X-Trace-Id` header, if the request was traced (16
+    /// hex digits; absent on transport-level errors).
+    pub fn trace_id(&self) -> Option<&str> {
+        self.header("x-trace-id")
+    }
 }
 
 /// Sends one request and reads the whole reply. `target` is the path plus

@@ -168,20 +168,22 @@ pub fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         _ => "Internal Server Error",
     }
 }
 
-/// Writes one HTTP/1.1 response with the given extra headers and body,
-/// always `Connection: close` and `Content-Type: application/json`.
+/// Writes one HTTP/1.1 response with the given content type, extra
+/// headers and body, always `Connection: close`.
 pub fn write_response(
     stream: &mut impl Write,
     status: u16,
+    content_type: &str,
     extra_headers: &[(&str, &str)],
     body: &str,
 ) -> std::io::Result<()> {
     let mut out = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n",
         reason(status),
         body.len()
     );
@@ -225,10 +227,12 @@ mod tests {
     #[test]
     fn response_round_trips() {
         let mut buf = Vec::new();
-        write_response(&mut buf, 200, &[("x-cache", "hit")], "{}").unwrap();
+        write_response(&mut buf, 200, "application/json", &[("x-cache", "hit")], "{}").unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-type: application/json\r\n"));
         assert!(text.contains("x-cache: hit\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+        assert_eq!(reason(429), "Too Many Requests");
     }
 }

@@ -60,9 +60,11 @@ pub mod http;
 pub mod registry;
 pub mod server;
 pub mod service;
+pub mod trace;
 
 pub use client::Reply;
 pub use http::{HttpError, HttpRequest};
 pub use registry::{content_hash, ProcessEntry, Registry, RegistryStats};
 pub use server::{ServeConfig, Server};
 pub use service::{handle, oneshot, CacheStatus, Request, Response};
+pub use trace::{RequestTrace, TraceConfig, Tracer};

@@ -11,6 +11,7 @@
 //! straight to the run halves, which are pinned bit-identical to the
 //! fresh-build paths by the component crates' equivalence tests.
 
+use crate::trace::{TraceConfig, Tracer};
 use dscweaver_core::{
     DependencySet, ReweaveReport, WeaveSession, Weaver, WeaverOutput,
 };
@@ -20,6 +21,7 @@ use dscweaver_model::{parse_process, Process};
 use dscweaver_obs as obs;
 use dscweaver_petri::{CompiledValidation, ValidateOptions, ValidationReport};
 use dscweaver_scheduler::{PreparedSchedule, Schedule, ScheduleTables, SimConfig};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -91,6 +93,8 @@ impl ProcessEntry {
     pub fn build(text: &str, threads: usize) -> Result<ProcessEntry, String> {
         let hash = content_hash(text);
         let _span = obs::span_with("serve.compile", || format!("hash={hash:016x}"));
+        let _phase = crate::trace::phase("serve.compile");
+        let t0 = std::time::Instant::now();
         let process = parse_process(text).map_err(|e| format!("parse error: {e}"))?;
         let problems = process.validate();
         if !problems.is_empty() {
@@ -117,6 +121,7 @@ impl ProcessEntry {
         let pool = session.frozen_pool().expect("successful weave has a pool");
         let compiled = CompiledValidation::compile(&output.minimal, &output.exec);
         let tables = ScheduleTables::derive(&output.minimal, &output.exec);
+        obs::histogram("serve.compile").observe(t0.elapsed().as_nanos() as u64);
         Ok(ProcessEntry {
             hash,
             process,
@@ -171,6 +176,13 @@ impl ProcessEntry {
 }
 
 /// Counters the registry exposes via `/v1/stats`.
+///
+/// `hits`/`misses`/`evictions`/`served`/`rejected` are cumulative since
+/// daemon start; `entries`/`capacity`/`in_flight` are instantaneous.
+/// `in_flight` counts only **process-keyed** requests (weave, validate,
+/// simulate, reweave) currently executing — read-only endpoints
+/// (`/v1/stats`, `/healthz`, `/metrics`, `/v1/traces`) are never
+/// admitted into the gauge, so a stats probe no longer counts itself.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RegistryStats {
     /// Entries currently cached.
@@ -183,9 +195,36 @@ pub struct RegistryStats {
     pub misses: u64,
     /// Entries evicted by the LRU policy.
     pub evictions: u64,
-    /// Requests currently being served.
+    /// Process-keyed requests currently being served.
     pub in_flight: u64,
+    /// Process-keyed requests completed (any status except 429).
+    pub served: u64,
+    /// Process-keyed requests rejected with `429` by the back-pressure
+    /// ceiling.
+    pub rejected: u64,
 }
+
+impl RegistryStats {
+    /// The per-counter difference `self − earlier` for the cumulative
+    /// fields; instantaneous fields (`entries`, `capacity`, `in_flight`)
+    /// keep `self`'s values. This is what `/v1/stats?since=SEQ` returns.
+    pub fn delta_since(&self, earlier: &RegistryStats) -> RegistryStats {
+        RegistryStats {
+            entries: self.entries,
+            capacity: self.capacity,
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            in_flight: self.in_flight,
+            served: self.served - earlier.served,
+            rejected: self.rejected - earlier.rejected,
+        }
+    }
+}
+
+/// How many `/v1/stats` snapshots the registry retains for
+/// `?since=SEQ` diffing.
+pub const STATS_RING: usize = 64;
 
 /// The shared, thread-safe artifact cache. Lookups are keyed by
 /// [`content_hash`]; misses compile outside the cache lock, so concurrent
@@ -196,27 +235,66 @@ pub struct RegistryStats {
 pub struct Registry {
     inner: Mutex<LruCache<u64, Arc<ProcessEntry>>>,
     threads: usize,
+    max_in_flight: u64,
     hits: AtomicU64,
     misses: AtomicU64,
     in_flight: AtomicU64,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    tracer: Tracer,
+    stats_seq: AtomicU64,
+    stats_ring: Mutex<VecDeque<(u64, RegistryStats)>>,
 }
 
 impl Registry {
     /// A registry evicting beyond `capacity` entries, compiling and
     /// running with the given worker-thread count (`0` = auto).
+    /// Back-pressure is off (no in-flight ceiling) and request tracing
+    /// is disabled; the daemon opts in via [`Registry::with_max_in_flight`]
+    /// and [`Registry::with_trace_config`].
     pub fn new(capacity: usize, threads: usize) -> Registry {
         Registry {
             inner: Mutex::new(LruCache::new(capacity.max(1))),
             threads,
+            max_in_flight: 0,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            tracer: Tracer::new(TraceConfig::disabled()),
+            stats_seq: AtomicU64::new(0),
+            stats_ring: Mutex::new(VecDeque::new()),
         }
+    }
+
+    /// Sets the back-pressure ceiling: process-keyed requests beyond
+    /// `max` concurrently in flight are rejected with `429` (`0` =
+    /// unlimited).
+    pub fn with_max_in_flight(mut self, max: u64) -> Registry {
+        self.max_in_flight = max;
+        self
+    }
+
+    /// Replaces the request tracer's tail-sampling configuration.
+    pub fn with_trace_config(mut self, config: TraceConfig) -> Registry {
+        self.tracer = Tracer::new(config);
+        self
     }
 
     /// The worker-thread knob requests run with.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The back-pressure ceiling (`0` = unlimited).
+    pub fn max_in_flight(&self) -> u64 {
+        self.max_in_flight
+    }
+
+    /// The request tracer (tail-sampled span trees for `/v1/traces`).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Looks up an already-cached entry by hash without building.
@@ -231,6 +309,7 @@ impl Registry {
         let hash = content_hash(text);
         {
             let _span = obs::span_with("serve.lookup", || format!("hash={hash:016x}"));
+            let _phase = crate::trace::phase("serve.lookup");
             let mut cache = self.inner.lock().expect("registry lock poisoned");
             if let Some(entry) = cache.get(&hash) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -251,17 +330,32 @@ impl Registry {
         Ok((entry, false))
     }
 
-    /// Marks a request entering service; pair with [`Registry::leave`].
+    /// Marks a process-keyed request entering service; pair with
+    /// [`Registry::leave`]. Returns the in-flight count *including* this
+    /// request, which the service layer compares against
+    /// [`Registry::max_in_flight`] for the 429 admission decision.
     pub fn enter(&self) -> u64 {
         let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
         obs::gauge_set("serve.in_flight", now as f64);
         now
     }
 
-    /// Marks a request leaving service.
+    /// Marks a process-keyed request leaving service.
     pub fn leave(&self) {
         let now = self.in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
         obs::gauge_set("serve.in_flight", now as f64);
+    }
+
+    /// Counts one completed process-keyed request.
+    pub fn note_served(&self) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        obs::counter_add("serve.served", 1);
+    }
+
+    /// Counts one request rejected by the back-pressure ceiling.
+    pub fn note_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        obs::counter_add("serve.rejected", 1);
     }
 
     /// A consistent snapshot of the cache counters.
@@ -274,7 +368,40 @@ impl Registry {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: cache.evictions(),
             in_flight: self.in_flight.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
         }
+    }
+
+    /// The `/v1/stats` snapshot-diff protocol: stamps a fresh snapshot
+    /// sequence number, retains the cumulative counters in a bounded ring
+    /// (last [`STATS_RING`] snapshots), and returns `(seq, stats)` —
+    /// cumulative when `since` is `None`, or the counter delta relative
+    /// to the earlier snapshot `since` refers to. An unknown or evicted
+    /// `since` is an error (the client should re-baseline with a plain
+    /// `/v1/stats`).
+    pub fn stats_since(&self, since: Option<u64>) -> Result<(u64, RegistryStats), String> {
+        let now = self.stats();
+        let seq = self.stats_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut ring = self.stats_ring.lock().expect("stats ring poisoned");
+        let out = match since {
+            None => now,
+            Some(s) => {
+                let earlier = ring
+                    .iter()
+                    .find(|(q, _)| *q == s)
+                    .map(|(_, stats)| *stats)
+                    .ok_or_else(|| {
+                        format!("unknown stats snapshot {s} (expired or never issued; re-baseline with GET /v1/stats)")
+                    })?;
+                now.delta_since(&earlier)
+            }
+        };
+        if ring.len() >= STATS_RING {
+            ring.pop_front();
+        }
+        ring.push_back((seq, now));
+        Ok((seq, out))
     }
 }
 
@@ -319,5 +446,23 @@ mod tests {
         let reg = Registry::new(4, 1);
         assert!(reg.lookup_or_build("process {").is_err());
         assert_eq!(reg.stats().entries, 0);
+    }
+
+    #[test]
+    fn stats_since_diffs_against_the_named_snapshot() {
+        let reg = Registry::new(4, 1);
+        reg.lookup_or_build(PROC).unwrap();
+        let (seq1, baseline) = reg.stats_since(None).unwrap();
+        assert_eq!((baseline.hits, baseline.misses), (0, 1));
+        reg.lookup_or_build(PROC).unwrap();
+        reg.lookup_or_build(PROC).unwrap();
+        let (seq2, delta) = reg.stats_since(Some(seq1)).unwrap();
+        assert!(seq2 > seq1);
+        // Only the activity since the baseline snapshot.
+        assert_eq!((delta.hits, delta.misses, delta.evictions), (2, 0, 0));
+        // Instantaneous fields stay absolute.
+        assert_eq!(delta.entries, 1);
+        // Unknown tokens are an explicit error, not silently cumulative.
+        assert!(reg.stats_since(Some(9999)).is_err());
     }
 }

@@ -13,6 +13,7 @@
 use crate::http::{read_request, write_response, HttpError};
 use crate::registry::Registry;
 use crate::service::{handle, parse, Response};
+use crate::trace::TraceConfig;
 use dscweaver_graph::par_map;
 use dscweaver_obs as obs;
 use std::io::BufReader;
@@ -33,15 +34,31 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Most connections admitted into one parallel batch.
     pub batch: usize,
+    /// Back-pressure ceiling: process-keyed requests beyond this many
+    /// concurrently in flight are rejected with `429` (`0` = unlimited).
+    pub max_in_flight: u64,
+    /// Tail sampling: keep the full trace of any request slower than
+    /// this many milliseconds (`0` disables the slow criterion).
+    pub trace_slow_ms: u64,
+    /// Tail sampling: additionally keep every N-th request (`0`
+    /// disables the sample grid).
+    pub trace_sample: u64,
+    /// How many kept request traces `/v1/traces` retains.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
+        let trace = TraceConfig::daemon_default();
         ServeConfig {
             port: 0,
             threads: 0,
             cache_capacity: 1024,
             batch: 64,
+            max_in_flight: 0,
+            trace_slow_ms: trace.slow_ns / 1_000_000,
+            trace_sample: trace.sample_every,
+            trace_capacity: trace.capacity,
         }
     }
 }
@@ -63,7 +80,20 @@ impl Server {
         let listener = TcpListener::bind(("127.0.0.1", config.port))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let registry = Arc::new(Registry::new(config.cache_capacity, config.threads));
+        // The daemon is a long-running process: turn on the cumulative
+        // metrics plane (counters/gauges/histograms, read non-drainingly
+        // by `/metrics`) without enabling span recording, whose
+        // thread-local buffers would grow unboundedly until drained.
+        obs::set_metrics_enabled(true);
+        let registry = Arc::new(
+            Registry::new(config.cache_capacity, config.threads)
+                .with_max_in_flight(config.max_in_flight)
+                .with_trace_config(TraceConfig {
+                    slow_ns: config.trace_slow_ms.saturating_mul(1_000_000),
+                    sample_every: config.trace_sample,
+                    capacity: config.trace_capacity,
+                }),
+        );
         let stop = Arc::new(AtomicBool::new(false));
         let thread = {
             let registry = registry.clone();
@@ -153,10 +183,16 @@ fn serve_connection(stream: &TcpStream, registry: &Registry) {
         Err(HttpError { status, message }) => Response::error(status, &message),
     };
     let _span = obs::span("serve.respond");
+    let trace_id = format!("{:016x}", response.trace_id);
+    let mut headers: Vec<(&str, &str)> = vec![("x-cache", response.cache.as_str())];
+    if response.trace_id != 0 {
+        headers.push(("x-trace-id", &trace_id));
+    }
     let _ = write_response(
         &mut stream,
         response.status,
-        &[("x-cache", response.cache.as_str())],
+        response.content_type,
+        &headers,
         &response.body,
     );
     let _ = stream.shutdown(std::net::Shutdown::Both);

@@ -12,7 +12,9 @@
 
 use crate::http::{HttpError, HttpRequest};
 use crate::registry::{content_hash, ProcessEntry, Registry};
+use crate::trace::{self, RequestTrace};
 use dscweaver_obs as obs;
+use std::time::Instant;
 
 /// A typed daemon request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -44,10 +46,65 @@ pub enum Request {
         /// Content hash of the previously woven base process.
         base: u64,
     },
-    /// `GET /v1/stats` — cache counters.
-    Stats,
+    /// `GET /v1/stats[?since=SEQ]` — cache counters, cumulative or
+    /// diffed against an earlier snapshot sequence number.
+    Stats {
+        /// Snapshot sequence number from a previous stats response; when
+        /// set, the response carries counter deltas since that snapshot.
+        since: Option<u64>,
+    },
+    /// `GET /metrics` — Prometheus text exposition of the metrics plane.
+    Metrics,
+    /// `GET /v1/traces` — the tail-sampled request traces as Chrome
+    /// trace-event JSON.
+    Traces,
     /// `GET /healthz` — liveness probe.
     Health,
+}
+
+impl Request {
+    /// Stable endpoint name, used for per-endpoint latency histograms
+    /// and trace lane labels.
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            Request::Weave { .. } => "weave",
+            Request::Validate { .. } => "validate",
+            Request::Simulate { .. } => "simulate",
+            Request::Reweave { .. } => "reweave",
+            Request::Stats { .. } => "stats",
+            Request::Metrics => "metrics",
+            Request::Traces => "traces",
+            Request::Health => "health",
+        }
+    }
+
+    /// Whether this request runs the compile/run pipeline on a submitted
+    /// process. Only process-keyed requests count toward `in_flight` and
+    /// the 429 back-pressure ceiling; the read-only observability
+    /// endpoints stay admissible even under overload.
+    pub fn is_process_keyed(&self) -> bool {
+        matches!(
+            self,
+            Request::Weave { .. }
+                | Request::Validate { .. }
+                | Request::Simulate { .. }
+                | Request::Reweave { .. }
+        )
+    }
+
+    /// The registered e2e latency histogram name for this endpoint.
+    fn latency_metric(&self) -> &'static str {
+        match self {
+            Request::Weave { .. } => "serve.latency.weave",
+            Request::Validate { .. } => "serve.latency.validate",
+            Request::Simulate { .. } => "serve.latency.simulate",
+            Request::Reweave { .. } => "serve.latency.reweave",
+            Request::Stats { .. } => "serve.latency.stats",
+            Request::Metrics => "serve.latency.metrics",
+            Request::Traces => "serve.latency.traces",
+            Request::Health => "serve.latency.health",
+        }
+    }
 }
 
 /// Cache disposition of a response, carried out-of-band as the `X-Cache`
@@ -73,16 +130,30 @@ impl CacheStatus {
     }
 }
 
-/// A daemon response: HTTP status, cache disposition, JSON body.
+/// A daemon response: HTTP status, cache disposition, body, plus the
+/// out-of-band observability fields (trace id, content type). Bodies of
+/// process-keyed endpoints stay bit-identical across cold/warm/one-shot;
+/// everything observability-related rides in headers.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
     /// Cache disposition (header-only; never part of the body).
     pub cache: CacheStatus,
-    /// JSON body.
+    /// Response body.
     pub body: String,
+    /// Request trace id, echoed as the `X-Trace-Id` header (`0` = the
+    /// response never passed through [`handle`], e.g. transport errors).
+    pub trace_id: u64,
+    /// `Content-Type` header value (`application/json` for everything
+    /// except `/metrics`).
+    pub content_type: &'static str,
 }
+
+/// The `Content-Type` of every JSON endpoint.
+pub const CONTENT_TYPE_JSON: &str = "application/json";
+/// The `Content-Type` of `/metrics` (Prometheus text exposition 0.0.4).
+pub const CONTENT_TYPE_PROM: &str = "text/plain; version=0.0.4";
 
 impl Response {
     pub(crate) fn error(status: u16, message: &str) -> Response {
@@ -90,6 +161,18 @@ impl Response {
             status,
             cache: CacheStatus::None,
             body: format!("{{\"error\":{}}}", json_str(message)),
+            trace_id: 0,
+            content_type: CONTENT_TYPE_JSON,
+        }
+    }
+
+    fn ok(body: String) -> Response {
+        Response {
+            status: 200,
+            cache: CacheStatus::None,
+            body,
+            trace_id: 0,
+            content_type: CONTENT_TYPE_JSON,
         }
     }
 }
@@ -169,7 +252,18 @@ pub fn parse(req: &HttpRequest) -> Result<Request, HttpError> {
             })?;
             Ok(Request::Reweave { text: body()?, base })
         }
-        "/v1/stats" => Ok(Request::Stats),
+        "/v1/stats" => {
+            let since = match req.query_first("since") {
+                None => None,
+                Some(s) => Some(s.parse::<u64>().map_err(|_| HttpError {
+                    status: 400,
+                    message: format!("bad since '{s}' (want a stats snapshot sequence number)"),
+                })?),
+            };
+            Ok(Request::Stats { since })
+        }
+        "/metrics" => Ok(Request::Metrics),
+        "/v1/traces" => Ok(Request::Traces),
         "/healthz" => Ok(Request::Health),
         other => Err(HttpError {
             status: 404,
@@ -199,15 +293,81 @@ fn served(hit: bool, body: String) -> Response {
         status: 200,
         cache: if hit { CacheStatus::Hit } else { CacheStatus::Miss },
         body,
+        trace_id: 0,
+        content_type: CONTENT_TYPE_JSON,
     }
+}
+
+/// Times a cached run half under a `serve.run` trace phase and the
+/// `serve.run` latency histogram.
+fn timed_run<T>(f: impl FnOnce() -> T) -> T {
+    let _phase = trace::phase("serve.run");
+    let t0 = Instant::now();
+    let out = f();
+    obs::histogram("serve.run").observe(t0.elapsed().as_nanos() as u64);
+    out
 }
 
 /// Serves one typed request against the shared registry. This is the
 /// whole daemon semantics; the TCP server only adds transport framing.
+///
+/// Observability envelope around the endpoint dispatch: every request gets a
+/// trace id (stamped into [`Response::trace_id`]); process-keyed
+/// requests pass the back-pressure gate (429 once `in_flight` would
+/// exceed [`Registry::max_in_flight`]); end-to-end latency feeds the
+/// per-endpoint `serve.latency.*` histogram; and when the registry's
+/// tracer is active, the request's span tree is tail-sampled into the
+/// `/v1/traces` ring (kept if slow or on the 1-in-N grid).
 pub fn handle(reg: &Registry, req: &Request) -> Response {
-    reg.enter();
-    let response = handle_inner(reg, req);
-    reg.leave();
+    let tracer = reg.tracer();
+    let (seq, trace_id) = tracer.next_id();
+    let keyed = req.is_process_keyed();
+    if keyed {
+        let now = reg.enter();
+        let max = reg.max_in_flight();
+        if max > 0 && now > max {
+            reg.leave();
+            reg.note_rejected();
+            let mut resp = Response::error(
+                429,
+                &format!("{now} requests in flight exceeds the --max-in-flight ceiling of {max}"),
+            );
+            resp.trace_id = trace_id;
+            return resp;
+        }
+    }
+    let collecting = keyed && tracer.active();
+    if collecting {
+        trace::begin_collect();
+    }
+    let start_ns = tracer.now_ns();
+    let t0 = Instant::now();
+    let mut response = handle_inner(reg, req);
+    let dur_ns = t0.elapsed().as_nanos() as u64;
+    let phases = if collecting {
+        trace::end_collect().unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    obs::histogram(req.latency_metric()).observe(dur_ns);
+    if keyed {
+        reg.leave();
+        reg.note_served();
+    }
+    if collecting {
+        if let Some(kept) = tracer.keep(seq, dur_ns) {
+            tracer.push(RequestTrace {
+                trace_id,
+                endpoint: req.endpoint(),
+                start_ns,
+                dur_ns,
+                status: response.status,
+                kept,
+                phases,
+            });
+        }
+    }
+    response.trace_id = trace_id;
     response
 }
 
@@ -220,7 +380,7 @@ fn handle_inner(reg: &Registry, req: &Request) -> Response {
         },
         Request::Validate { text } => match reg.lookup_or_build(text) {
             Ok((entry, hit)) => {
-                let report = entry.validate(reg.threads());
+                let report = timed_run(|| entry.validate(reg.threads()));
                 let body = format!(
                     "{{\"hash\":\"{:016x}\",\"ok\":{},\"assignments_checked\":{},\"assignments_truncated\":{},\"guard_groups\":{},\"failures\":{}}}",
                     entry.hash,
@@ -236,7 +396,7 @@ fn handle_inner(reg: &Registry, req: &Request) -> Response {
         },
         Request::Simulate { text, branches } => match reg.lookup_or_build(text) {
             Ok((entry, hit)) => {
-                let schedule = entry.simulate(branches, reg.threads());
+                let schedule = timed_run(|| entry.simulate(branches, reg.threads()));
                 let events: Vec<String> = schedule
                     .trace
                     .events
@@ -276,7 +436,7 @@ fn handle_inner(reg: &Registry, req: &Request) -> Response {
                 Ok(ds) => ds,
                 Err(e) => return Response::error(400, &e),
             };
-            match entry.reweave(&revised) {
+            match timed_run(|| entry.reweave(&revised)) {
                 Ok(report) => {
                     let (path, reason) = match &report.path {
                         dscweaver_core::ReweavePath::Initial => ("initial", String::new()),
@@ -300,27 +460,42 @@ fn handle_inner(reg: &Registry, req: &Request) -> Response {
                         status: 200,
                         cache: CacheStatus::Hit,
                         body,
+                        trace_id: 0,
+                        content_type: CONTENT_TYPE_JSON,
                     }
                 }
                 Err(e) => Response::error(400, &e),
             }
         }
-        Request::Stats => {
-            let s = reg.stats();
-            Response {
-                status: 200,
-                cache: CacheStatus::None,
-                body: format!(
-                    "{{\"entries\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\"in_flight\":{}}}",
-                    s.entries, s.capacity, s.hits, s.misses, s.evictions, s.in_flight
-                ),
+        Request::Stats { since } => match reg.stats_since(*since) {
+            Ok((seq, s)) => {
+                let window = match since {
+                    None => "\"cumulative\"".to_string(),
+                    Some(baseline) => format!("{{\"since\":{baseline}}}"),
+                };
+                Response::ok(format!(
+                    "{{\"entries\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\"in_flight\":{},\"served\":{},\"rejected\":{},\"seq\":{},\"window\":{}}}",
+                    s.entries,
+                    s.capacity,
+                    s.hits,
+                    s.misses,
+                    s.evictions,
+                    s.in_flight,
+                    s.served,
+                    s.rejected,
+                    seq,
+                    window,
+                ))
             }
-        }
-        Request::Health => Response {
-            status: 200,
-            cache: CacheStatus::None,
-            body: "{\"ok\":true}".into(),
+            Err(e) => Response::error(400, &e),
         },
+        Request::Metrics => {
+            let mut resp = Response::ok(obs::prom::render(&obs::metrics_snapshot()));
+            resp.content_type = CONTENT_TYPE_PROM;
+            resp
+        }
+        Request::Traces => Response::ok(reg.tracer().to_chrome_json()),
+        Request::Health => Response::ok("{\"ok\":true}".into()),
     }
 }
 
@@ -412,5 +587,82 @@ mod tests {
     #[test]
     fn json_str_escapes() {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn back_pressure_rejects_past_the_ceiling_but_read_only_stays_open() {
+        let reg = Registry::new(4, 1).with_max_in_flight(1);
+        // Occupy the only slot, as a concurrent request would.
+        reg.enter();
+        let busy = handle(&reg, &Request::Weave { text: PROC.into() });
+        assert_eq!(busy.status, 429);
+        assert!(busy.body.contains("max-in-flight"), "{}", busy.body);
+        // Observability endpoints are exempt: a saturated daemon must
+        // still answer its health and stats probes.
+        for req in [
+            Request::Stats { since: None },
+            Request::Metrics,
+            Request::Traces,
+            Request::Health,
+        ] {
+            assert_eq!(handle(&reg, &req).status, 200, "{req:?} gated by 429");
+        }
+        reg.leave();
+        let ok = handle(&reg, &Request::Weave { text: PROC.into() });
+        assert_eq!(ok.status, 200);
+        let stats = reg.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.served, 1);
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn every_response_carries_a_distinct_trace_id() {
+        let reg = Registry::new(4, 1);
+        let a = handle(&reg, &Request::Weave { text: PROC.into() });
+        let b = handle(&reg, &Request::Health);
+        let c = handle(&reg, &Request::Weave { text: PROC.into() });
+        assert!(a.trace_id != 0 && b.trace_id != 0 && c.trace_id != 0);
+        assert!(a.trace_id != b.trace_id && b.trace_id != c.trace_id);
+        // A rejected request is traced too.
+        let reg = Registry::new(4, 1).with_max_in_flight(1);
+        reg.enter();
+        assert_ne!(handle(&reg, &Request::Weave { text: PROC.into() }).trace_id, 0);
+    }
+
+    #[test]
+    fn metrics_endpoint_is_valid_prometheus_exposition() {
+        let _serial = obs::test_lock();
+        obs::set_metrics_enabled(true);
+        let reg = Registry::new(4, 1);
+        handle(&reg, &Request::Weave { text: PROC.into() });
+        let resp = handle(&reg, &Request::Metrics);
+        obs::set_enabled(false);
+        drop(obs::take());
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, CONTENT_TYPE_PROM);
+        let samples = obs::prom::parse(&resp.body).expect("exposition parses");
+        assert!(
+            samples.iter().any(|s| s.name.starts_with("serve_latency_weave")),
+            "per-endpoint histogram missing:\n{}",
+            resp.body
+        );
+    }
+
+    #[test]
+    fn traces_endpoint_returns_chrome_trace_json() {
+        use crate::trace::TraceConfig;
+        // sample_every=1 keeps every request.
+        let reg = Registry::new(4, 1).with_trace_config(TraceConfig {
+            slow_ns: u64::MAX,
+            sample_every: 1,
+            capacity: 8,
+        });
+        handle(&reg, &Request::Weave { text: PROC.into() });
+        let resp = handle(&reg, &Request::Traces);
+        assert_eq!(resp.status, 200);
+        let doc = obs::json::parse(&resp.body).expect("chrome trace parses");
+        let events = doc.get("traceEvents").and_then(obs::json::Json::as_arr).unwrap();
+        assert!(!events.is_empty(), "kept request must appear in /v1/traces");
     }
 }

@@ -8,7 +8,9 @@
 //! dscw dot       <process.proc> [--stage sc|asc|minimal] [...]
 //! dscw figures   <process.proc> [...]
 //! dscw monitor   <process.proc> [--instances N] [--batch N] [--seed N] [--violate RATE] [...]
-//! dscw serve     [--port N] [--threads N] [--cache N] [--batch N] [--trace out.json] [--profile]
+//! dscw serve     [--port N] [--threads N] [--cache N] [--batch N] [--max-in-flight N]
+//!                [--stats-interval SECS] [--trace-slow-ms MS] [--trace-sample N]
+//!                [--trace out.json] [--profile]
 //! ```
 //!
 //! The process is a `.proc` DSL file (see `dscweaver-model`). Cooperation
@@ -34,6 +36,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: dscw serve [--port <n>] [--threads <n>] [--cache <entries>] [--batch <n>]
+       [--max-in-flight <n>] [--stats-interval <secs>]
+       [--trace-slow-ms <ms>] [--trace-sample <n>] [--trace-capacity <n>]
        [--duration <secs>] [--trace <out.json>] [--profile]
        dscw <optimize|validate|run|bpel|dot|figures|monitor> <process.proc>
        [--coop <constraints.dscl>]
@@ -127,6 +131,7 @@ fn run_serve(mut argv: impl Iterator<Item = String>) -> Result<(), String> {
     let mut trace: Option<String> = None;
     let mut profile = false;
     let mut duration: u64 = 0;
+    let mut stats_interval: u64 = 0;
     while let Some(flag) = argv.next() {
         let mut next = |what: &str| {
             argv.next()
@@ -148,6 +153,31 @@ fn run_serve(mut argv: impl Iterator<Item = String>) -> Result<(), String> {
                 config.batch = next("batch")?
                     .parse()
                     .map_err(|e| format!("bad batch size: {e}"))?
+            }
+            "--max-in-flight" => {
+                config.max_in_flight = next("max-in-flight")?
+                    .parse()
+                    .map_err(|e| format!("bad in-flight ceiling: {e}"))?
+            }
+            "--stats-interval" => {
+                stats_interval = next("stats-interval")?
+                    .parse()
+                    .map_err(|e| format!("bad stats interval: {e}"))?
+            }
+            "--trace-slow-ms" => {
+                config.trace_slow_ms = next("trace-slow-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad slow threshold: {e}"))?
+            }
+            "--trace-sample" => {
+                config.trace_sample = next("trace-sample")?
+                    .parse()
+                    .map_err(|e| format!("bad sample rate: {e}"))?
+            }
+            "--trace-capacity" => {
+                config.trace_capacity = next("trace-capacity")?
+                    .parse()
+                    .map_err(|e| format!("bad trace capacity: {e}"))?
             }
             "--duration" => {
                 duration = next("duration")?
@@ -171,7 +201,50 @@ fn run_serve(mut argv: impl Iterator<Item = String>) -> Result<(), String> {
         if config.threads == 0 { "auto".into() } else { config.threads.to_string() },
         config.batch,
     );
-    eprintln!("endpoints: POST /v1/weave /v1/validate /v1/simulate /v1/reweave | GET /v1/stats /healthz");
+    eprintln!(
+        "endpoints: POST /v1/weave /v1/validate /v1/simulate /v1/reweave | \
+         GET /v1/stats /metrics /v1/traces /healthz"
+    );
+    if config.max_in_flight > 0 {
+        eprintln!(
+            "back-pressure: process-keyed requests beyond {} in flight get 429",
+            config.max_in_flight
+        );
+    }
+    // Periodic one-line summary on stderr: per-interval deltas of the
+    // cumulative counters plus the instantaneous gauges. The thread is
+    // detached — it dies with the process, and the stop flag silences it
+    // across a graceful `--duration` shutdown.
+    let stats_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    if stats_interval > 0 {
+        let registry = server.registry().clone();
+        let stop = stats_stop.clone();
+        std::thread::spawn(move || {
+            let mut prev = registry.stats();
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_secs(stats_interval));
+                if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    break;
+                }
+                let now = registry.stats();
+                let d = now.delta_since(&prev);
+                eprintln!(
+                    "dscw serve [{stats_interval}s]: served {} ({:.1}/s), rejected {}, \
+                     hits {}, misses {}, evictions {}, in-flight {}, cache {}/{}",
+                    d.served,
+                    d.served as f64 / stats_interval as f64,
+                    d.rejected,
+                    d.hits,
+                    d.misses,
+                    d.evictions,
+                    now.in_flight,
+                    now.entries,
+                    now.capacity,
+                );
+                prev = now;
+            }
+        });
+    }
     if duration == 0 {
         // Serve until the process is killed; the listener thread owns
         // the socket, so parking the main thread is all that remains.
@@ -180,6 +253,7 @@ fn run_serve(mut argv: impl Iterator<Item = String>) -> Result<(), String> {
         }
     }
     std::thread::sleep(std::time::Duration::from_secs(duration));
+    stats_stop.store(true, std::sync::atomic::Ordering::Relaxed);
     server.shutdown();
     if recording {
         obs::set_enabled(false);

@@ -159,48 +159,68 @@ pub fn assemble_dependencies(
     Ok(ds)
 }
 
+/// Runs `f` under the named phase latency histogram (metrics plane; a
+/// no-op while metrics recording is off).
+fn timed<T>(hist: &'static str, f: impl FnOnce() -> T) -> T {
+    let t0 = std::time::Instant::now();
+    let out = f();
+    obs::histogram(hist).observe(t0.elapsed().as_nanos() as u64);
+    out
+}
+
 /// Runs the full vertical.
 pub fn weave(input: &VerticalInput<'_>) -> Result<VerticalOutput, VerticalError> {
     let _span = obs::span_with("weave", || input.process.name.clone());
     let ds = {
         let _span = obs::span("weave.dependencies");
-        assemble_dependencies(input.process, input.conversations, input.cooperation)
-            .map_err(VerticalError::Wscl)?
+        timed("weave.dependencies", || {
+            assemble_dependencies(input.process, input.conversations, input.cooperation)
+        })
+        .map_err(VerticalError::Wscl)?
     };
-    let weaver_out = input.weaver.run(&ds).map_err(VerticalError::Weaver)?;
+    let weaver_out =
+        timed("weave.optimize", || input.weaver.run(&ds)).map_err(VerticalError::Weaver)?;
     // The Weaver's thread knob drives the minimizer (including the
     // level-parallel interned closure build), validation and (unless the
     // sim config sets its own) the scheduler's guard-evaluation batches.
-    let validation = validate(
-        &weaver_out.minimal,
-        &weaver_out.exec,
-        &ValidateOptions {
-            threads: input.weaver.threads,
-            ..Default::default()
-        },
-    );
+    let validation = timed("weave.validate", || {
+        validate(
+            &weaver_out.minimal,
+            &weaver_out.exec,
+            &ValidateOptions {
+                threads: input.weaver.threads,
+                ..Default::default()
+            },
+        )
+    });
     let mut sim = input.sim.clone();
     if sim.threads == 0 {
         sim.threads = input.weaver.threads;
     }
     // Execution goes through the prepared session (same trace as a fresh
     // `simulate`, indexes derived once and reusable for replays).
-    let schedule = PreparedSchedule::new(&weaver_out.minimal, &weaver_out.exec).run(&sim);
+    let schedule = timed("weave.schedule", || {
+        PreparedSchedule::new(&weaver_out.minimal, &weaver_out.exec).run(&sim)
+    });
     // Correctness contract: the trace produced under the MINIMAL set must
     // satisfy the FULL merged SC, projected to internal activities (the
     // ASC before minimization, which carries every data/control/coop
     // constraint plus the translated service constraints).
     let violations = {
         let _span = obs::span("weave.verify");
-        schedule.trace.verify(&weaver_out.asc)
+        timed("weave.verify", || schedule.trace.verify(&weaver_out.asc))
     };
     let conformance = {
         let _span = obs::span("weave.conformance");
-        dscweaver_scheduler::check_all_conformance(&schedule.trace, input.conversations)
+        timed("weave.conformance", || {
+            dscweaver_scheduler::check_all_conformance(&schedule.trace, input.conversations)
+        })
     };
     let bpel = {
         let _span = obs::span("bpel.emit");
-        dscweaver_bpel::emit_string(input.process, &weaver_out.minimal)
+        timed("bpel.emit", || {
+            dscweaver_bpel::emit_string(input.process, &weaver_out.minimal)
+        })
     };
     Ok(VerticalOutput {
         weaver: weaver_out,
@@ -277,7 +297,7 @@ impl ReweaveSession {
         &mut self,
         ds: &dscweaver_core::DependencySet,
     ) -> Result<ReweaveReport, VerticalError> {
-        self.inner.weave(ds).map_err(VerticalError::Weaver)
+        timed("weave.reweave", || self.inner.weave(ds)).map_err(VerticalError::Weaver)
     }
 
     /// The optimization artifacts of the last successful weave. Failed

@@ -1,7 +1,9 @@
 //! Tier-1 smoke test of the weaver daemon: bind an ephemeral port,
-//! round-trip one weave and one validate over real TCP, and confirm the
-//! second request for the same process is a cache hit.
+//! round-trip one weave and one validate over real TCP, confirm the
+//! second request for the same process is a cache hit, and scrape the
+//! telemetry plane (`/metrics`, `X-Trace-Id`, `/v1/stats?since=`).
 
+use dscweaver::obs;
 use dscweaver::serve::{client, ServeConfig, Server};
 
 const PROC: &str = r#"
@@ -52,5 +54,70 @@ fn daemon_round_trips_weave_and_validate_with_cache_hit() {
     let stats = client::get(addr, "/v1/stats").unwrap();
     assert!(stats.body.contains("\"hits\":2"), "{}", stats.body);
     assert!(stats.body.contains("\"misses\":1"), "{}", stats.body);
+    assert!(
+        stats.body.contains("\"window\":\"cumulative\""),
+        "{}",
+        stats.body
+    );
+    server.shutdown();
+}
+
+#[test]
+fn metrics_scrape_and_trace_ids_over_real_tcp() {
+    let server = Server::start(&ServeConfig::default()).expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // Every response carries a 16-hex-digit X-Trace-Id, and ids differ
+    // request to request.
+    let first = client::post(addr, "/v1/weave", PROC).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    let id1 = first.trace_id().expect("weave reply has X-Trace-Id").to_string();
+    let second = client::post(addr, "/v1/weave", PROC).unwrap();
+    let id2 = second.trace_id().expect("second reply has X-Trace-Id");
+    assert_eq!(id1.len(), 16, "{id1}");
+    assert!(id1.chars().all(|c| c.is_ascii_hexdigit()), "{id1}");
+    assert_ne!(id1, id2);
+    // Telemetry lives in headers only: bodies stay bit-identical.
+    assert_eq!(first.body, second.body);
+
+    // /metrics is valid Prometheus text exposition carrying the
+    // per-endpoint latency histograms (the obs registry is global, so
+    // counts are >= what this daemon served).
+    let metrics = client::get(addr, "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let samples = obs::prom::parse(&metrics.body).expect("exposition parses");
+    let count = samples
+        .iter()
+        .find(|s| s.name == "serve_latency_weave_seconds_count")
+        .expect("weave latency histogram scraped");
+    assert!(count.value >= 2.0, "{}", count.value);
+    assert!(
+        samples.iter().any(|s| s.name == "serve_latency_weave_seconds_bucket"),
+        "bucket series missing"
+    );
+
+    // Snapshot-diff stats: a ?since= window over an idle interval is
+    // all-zero on the cumulative counters.
+    let baseline = client::get(addr, "/v1/stats").unwrap();
+    let seq = baseline
+        .body
+        .split("\"seq\":")
+        .nth(1)
+        .and_then(|t| t.split(&[',', '}'][..]).next())
+        .expect("stats body carries seq")
+        .to_string();
+    let window = client::get(addr, &format!("/v1/stats?since={seq}")).unwrap();
+    assert_eq!(window.status, 200, "{}", window.body);
+    assert!(window.body.contains("\"hits\":0"), "{}", window.body);
+    assert!(window.body.contains("\"misses\":0"), "{}", window.body);
+    assert!(
+        window.body.contains(&format!("\"window\":{{\"since\":{seq}}}")),
+        "{}",
+        window.body
+    );
+    // An unknown token is an explicit re-baseline error, not silence.
+    let stale = client::get(addr, "/v1/stats?since=999999").unwrap();
+    assert_eq!(stale.status, 400, "{}", stale.body);
+
     server.shutdown();
 }
