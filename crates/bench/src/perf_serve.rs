@@ -2,23 +2,35 @@
 //! `BENCH_serve.json` artifact written by `repro bench-json --suite
 //! serve`.
 //!
-//! The workload is a population of distinct processes (10k+ in the full
-//! suite), each a small guarded diamond with unique activity names, served
-//! through the daemon's request path (`service::handle` over a shared
-//! `Registry` — the transport framing is exercised by the serve crate's
-//! TCP tests and excluded here so the numbers measure serving, not socket
-//! juggling). Every (population, threads) configuration runs one **cold**
-//! pass (every request compiles and caches) and one **warm** pass (every
-//! request hits the prepared-artifact cache), reporting sustained req/s
-//! and per-request p50/p99 latency for each. Correctness is gated before
-//! timing: a sample of cold, warm and one-shot response bodies must be
-//! bit-identical, and the cache counters must account for every request.
+//! Three workloads per (population, threads) configuration:
+//!
+//! 1. **Cold / warm passes** over a population of *structurally* distinct
+//!    processes (10k+ in the full suite) through the daemon's request
+//!    path (`service::handle` over a shared `Registry`), reporting
+//!    sustained req/s and per-request p50/p99 latency for each.
+//! 2. **Connection modes** over real TCP against a started `Server`:
+//!    one-request-per-connection (`per_conn`), serial keep-alive on one
+//!    reused connection (`keepalive`) and pipelined batches at a sweep of
+//!    depths (`pipelined`). The registry is pre-warmed so these numbers
+//!    isolate the transport; `keepalive_speedup` reports reuse over
+//!    reconnect and is gated at >= 2x in the full suite.
+//! 3. **Variant workload**: textual alpha-variants of a base population
+//!    (renamed identifiers, extra comments) that must collapse onto the
+//!    canonical artifact cache, reporting `canonical_hit_rate` (gated at
+//!    >= 0.9).
+//!
+//! Correctness is gated before timing in every mode: response bodies must
+//! be bit-identical to the one-shot reference (sampled) and to the warm
+//! in-process pass (exhaustive for the TCP modes), and the cache counters
+//! must account for every request.
 
 use crate::harness::{black_box, percentiles_ms, phases_json, BenchOpts};
 use dscweaver_graph::par_map;
 use dscweaver_obs as obs;
 use dscweaver_serve::registry::Registry;
+use dscweaver_serve::server::{ServeConfig, Server};
 use dscweaver_serve::service::{handle, oneshot, Request};
+use dscweaver_serve::{client, Client, PipelinedRequest};
 use std::time::{Duration, Instant};
 
 /// One serving sweep: a process-population size plus the server thread
@@ -46,13 +58,49 @@ pub fn serve_cases(smoke: bool) -> Vec<ServeCase> {
     }]
 }
 
-/// The i-th distinct process: a guarded diamond (switch on a written
-/// variable, two cases, a join) with names unique to the index, so every
-/// request carries a different content hash.
-pub fn proc_text(i: usize) -> String {
+/// Pipelining depths swept by the `pipelined` connection mode.
+pub const PIPELINE_DEPTHS: [usize; 3] = [4, 16, 64];
+
+/// Bits of the index encoded structurally into each process (as
+/// read-vs-write direction of the tail activities), so the population
+/// stays distinct **after canonicalization** for up to 2^14 processes.
+const STRUCT_BITS: usize = 14;
+
+fn render_proc(i: usize, tag: &str) -> String {
+    assert!(i < 1 << STRUCT_BITS, "population exceeds structural encoding");
+    // The tail encodes `i` in binary: tail activity `b` reads the joined
+    // variable when bit `b` of `i` is 0 and writes it when the bit is 1.
+    // Renaming cannot erase that distinction, so no two indexes share a
+    // canonical form.
+    let tail: String = (0..STRUCT_BITS)
+        .map(|b| {
+            let verb = if i >> b & 1 == 1 { "writes" } else { "reads" };
+            format!("  assign b{b}{tag} {verb} v{i}{tag};\n")
+        })
+        .collect();
     format!(
-        "process p{i} {{\n var s{i}; var v{i};\n sequence {{\n  assign init{i} writes s{i};\n  switch g{i} reads s{i} {{\n   case T {{ assign x{i} writes v{i}; }}\n   case F {{ assign y{i} writes v{i}; }}\n  }}\n  assign j{i} reads v{i};\n }}\n}}"
+        "process p{i}{tag} {{\n var s{i}{tag}; var v{i}{tag};\n sequence {{\n  assign init{i}{tag} writes s{i}{tag};\n  switch g{i}{tag} reads s{i}{tag} {{\n   case T {{ assign x{i}{tag} writes v{i}{tag}; }}\n   case F {{ assign y{i}{tag} writes v{i}{tag}; }}\n  }}\n  assign j{i}{tag} reads v{i}{tag};\n{tail} }}\n}}"
     )
+}
+
+/// The i-th distinct process: a guarded diamond (switch on a written
+/// variable, two cases, a join) plus a tail of activities whose
+/// read/write directions encode the index in binary — names are unique to
+/// the index *and* the structure survives canonicalization, so every
+/// request compiles its own artifact.
+pub fn proc_text(i: usize) -> String {
+    render_proc(i, "")
+}
+
+/// The v-th textual variant of base process `i`: identifiers renamed with
+/// a tenant tag and a comment injected, leaving the structure — and hence
+/// the canonical form — identical to `proc_text(i)`. Variant 0 is the
+/// base text itself.
+pub fn variant_text(i: usize, v: usize) -> String {
+    if v == 0 {
+        return proc_text(i);
+    }
+    render_proc(i, &format!("_t{v}")).replace("sequence {", &format!("sequence {{ # tenant {v}"))
 }
 
 struct PassReport {
@@ -66,6 +114,36 @@ struct PassReport {
     p99_us: f64,
     cache_hits: u64,
     cache_misses: u64,
+}
+
+struct ConnReport {
+    processes: usize,
+    threads: usize,
+    mode: &'static str,
+    depth: usize,
+    requests: usize,
+    wall_ms: f64,
+    req_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+struct SpeedupReport {
+    processes: usize,
+    threads: usize,
+    keepalive_speedup: f64,
+    best_speedup: f64,
+}
+
+struct VariantReport {
+    bases: usize,
+    variants_per_base: usize,
+    requests: usize,
+    compiles: u64,
+    canonical_hits: u64,
+    canonical_hit_rate: f64,
+    wall_ms: f64,
+    req_per_sec: f64,
 }
 
 fn json_f(v: f64) -> String {
@@ -92,6 +170,219 @@ fn run_pass(
     (wall, lats, bodies)
 }
 
+fn conn_report(
+    processes: usize,
+    threads: usize,
+    mode: &'static str,
+    depth: usize,
+    requests: usize,
+    wall: Duration,
+    lats: &mut Vec<Duration>,
+) -> ConnReport {
+    lats.sort();
+    let secs = wall.as_secs_f64().max(1e-12);
+    let (p50_ms, p99_ms) = percentiles_ms(lats);
+    ConnReport {
+        processes,
+        threads,
+        mode,
+        depth,
+        requests,
+        wall_ms: secs * 1e3,
+        req_per_sec: requests as f64 / secs,
+        p50_us: p50_ms * 1e3,
+        p99_us: p99_ms * 1e3,
+    }
+}
+
+/// TCP connection-mode sweep against a live `Server` whose registry is
+/// pre-warmed in-process, so the three modes differ only in transport:
+/// reconnect-per-request vs one reused keep-alive connection vs pipelined
+/// batches on that connection. Every response body is checked against the
+/// warm in-process body for the same process.
+fn run_conn_modes(
+    texts: &[String],
+    warm_bodies: &[String],
+    threads: usize,
+) -> (Vec<ConnReport>, SpeedupReport) {
+    let processes = texts.len();
+    let server = Server::start(&ServeConfig {
+        threads,
+        cache_capacity: processes.max(16),
+        idle_timeout_ms: 60_000,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+    // Pre-warm through the server's own registry: the timed passes below
+    // measure warm transport, not compilation.
+    for t in texts {
+        let r = handle(server.registry(), &Request::Weave { text: t.clone() });
+        assert_eq!(r.status, 200, "pre-warm failed: {}", r.body);
+    }
+
+    let mut reports = Vec::new();
+
+    // Mode 1: one connection per request (the pre-overhaul baseline).
+    let mut lats = Vec::with_capacity(processes);
+    let t0 = Instant::now();
+    for (i, t) in texts.iter().enumerate() {
+        let tr = Instant::now();
+        let reply = client::post(addr, "/v1/weave", t).expect("per-conn request");
+        lats.push(tr.elapsed());
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert_eq!(reply.body, warm_bodies[i], "per-conn body {i} diverged");
+    }
+    reports.push(conn_report(
+        processes,
+        threads,
+        "per_conn",
+        1,
+        processes,
+        t0.elapsed(),
+        &mut lats,
+    ));
+
+    // Mode 2: serial requests over one reused keep-alive connection.
+    let mut c = Client::connect(addr);
+    let mut lats = Vec::with_capacity(processes);
+    let t0 = Instant::now();
+    for (i, t) in texts.iter().enumerate() {
+        let tr = Instant::now();
+        let reply = c.post("/v1/weave", t).expect("keep-alive request");
+        lats.push(tr.elapsed());
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert_eq!(reply.body, warm_bodies[i], "keep-alive body {i} diverged");
+    }
+    reports.push(conn_report(
+        processes,
+        threads,
+        "keepalive",
+        1,
+        processes,
+        t0.elapsed(),
+        &mut lats,
+    ));
+
+    // Mode 3: pipelined batches at each swept depth (batch latency is
+    // attributed evenly across its requests for the percentiles).
+    for &depth in &PIPELINE_DEPTHS {
+        let mut c = Client::connect(addr);
+        let mut lats = Vec::with_capacity(processes);
+        let t0 = Instant::now();
+        for (ci, chunk) in texts.chunks(depth).enumerate() {
+            let batch: Vec<PipelinedRequest> = chunk
+                .iter()
+                .map(|t| PipelinedRequest::post("/v1/weave", t.clone()))
+                .collect();
+            let tb = Instant::now();
+            let replies = c.pipeline(&batch).expect("pipelined batch");
+            let per = tb.elapsed() / chunk.len() as u32;
+            assert_eq!(replies.len(), chunk.len());
+            for (j, reply) in replies.iter().enumerate() {
+                let i = ci * depth + j;
+                assert_eq!(reply.status, 200, "{}", reply.body);
+                assert_eq!(reply.body, warm_bodies[i], "pipelined body {i} diverged");
+            }
+            lats.extend(std::iter::repeat(per).take(chunk.len()));
+        }
+        reports.push(conn_report(
+            processes,
+            threads,
+            "pipelined",
+            depth,
+            processes,
+            t0.elapsed(),
+            &mut lats,
+        ));
+    }
+    server.shutdown();
+
+    let rps = |mode: &str, depth: usize| {
+        reports
+            .iter()
+            .find(|r| r.mode == mode && r.depth == depth)
+            .map(|r| r.req_per_sec)
+            .unwrap_or(0.0)
+    };
+    let base = rps("per_conn", 1).max(1e-12);
+    let keepalive_speedup = rps("keepalive", 1) / base;
+    let best_pipelined = PIPELINE_DEPTHS
+        .iter()
+        .map(|&d| rps("pipelined", d))
+        .fold(0.0f64, f64::max);
+    let speedup = SpeedupReport {
+        processes,
+        threads,
+        keepalive_speedup,
+        best_speedup: keepalive_speedup.max(best_pipelined / base),
+    };
+    (reports, speedup)
+}
+
+/// Variant workload: `bases` structurally distinct processes, each
+/// submitted as `variants_per_base` textual variants. The first variant
+/// of each base compiles; every later variant must land a canonical hit.
+/// Requests run serially so the counter accounting is deterministic.
+fn run_variant_workload(smoke: bool) -> VariantReport {
+    let (bases, variants) = if smoke { (10, 10) } else { (100, 20) };
+    let reg = Registry::new(bases, 2);
+    let requests = bases * variants;
+    let mut bodies: Vec<Vec<String>> = vec![Vec::new(); bases];
+    let t0 = Instant::now();
+    for v in 0..variants {
+        for b in 0..bases {
+            let text = variant_text(b, v);
+            let r = handle(&reg, &Request::Weave { text });
+            assert_eq!(r.status, 200, "variant ({b},{v}) failed: {}", r.body);
+            bodies[b].push(r.body);
+        }
+    }
+    let wall = t0.elapsed();
+    // Correctness gate: each gated variant's body is bit-identical to its
+    // own one-shot (rendered in its own identifier names).
+    for b in 0..bases {
+        for v in [0, 1, variants - 1] {
+            let reference = oneshot(
+                &Request::Weave {
+                    text: variant_text(b, v),
+                },
+                1,
+            );
+            assert_eq!(
+                bodies[b][v], reference.body,
+                "variant ({b},{v}) diverged from its one-shot"
+            );
+        }
+    }
+    let stats = reg.stats();
+    assert_eq!(
+        stats.misses as usize, bases,
+        "exactly one compile per base process"
+    );
+    assert_eq!(
+        stats.canonical_hits as usize,
+        bases * (variants - 1),
+        "every later variant must share the canonical artifact"
+    );
+    let rate = stats.canonical_hits as f64 / requests as f64;
+    assert!(
+        rate + 1e-9 >= 0.9,
+        "canonical hit rate {rate:.3} below the 0.9 gate"
+    );
+    let secs = wall.as_secs_f64().max(1e-12);
+    VariantReport {
+        bases,
+        variants_per_base: variants,
+        requests,
+        compiles: stats.misses,
+        canonical_hits: stats.canonical_hits,
+        canonical_hit_rate: rate,
+        wall_ms: secs * 1e3,
+        req_per_sec: requests as f64 / secs,
+    }
+}
+
 /// Runs the serve suite and renders `BENCH_serve.json` plus the merged
 /// trace of one small instrumented pass (the timed passes stay untraced
 /// so the recorder cannot skew them).
@@ -99,6 +390,8 @@ pub fn bench_serve_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
     let smoke = opts.smoke;
     let mut passes: Vec<PassReport> = Vec::new();
     let mut speedups: Vec<(usize, usize, f64)> = Vec::new();
+    let mut conn_modes: Vec<ConnReport> = Vec::new();
+    let mut conn_speedups: Vec<SpeedupReport> = Vec::new();
 
     for case in serve_cases(smoke) {
         let texts: Vec<String> = (0..case.processes).map(proc_text).collect();
@@ -173,8 +466,23 @@ pub fn bench_serve_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
                 case.processes
             );
             speedups.push((case.processes, threads, speedup));
+
+            // TCP connection modes over the same (warm) population. The
+            // warm in-process bodies double as the exhaustive reference.
+            let (reports, conn_speedup) = run_conn_modes(&texts, &warm_bodies, threads);
+            assert!(
+                smoke || conn_speedup.best_speedup >= 2.0,
+                "connection reuse must be at least 2x over per-request \
+                 connections ({} processes, {threads} threads: {:.1}x)",
+                case.processes,
+                conn_speedup.best_speedup
+            );
+            conn_modes.extend(reports);
+            conn_speedups.push(conn_speedup);
         }
     }
+
+    let variant = run_variant_workload(smoke);
 
     // One small traced pass for the serve.* phase breakdown.
     let (_, trace) = obs::record_with(|| {
@@ -193,7 +501,7 @@ pub fn bench_serve_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"artifact\": \"BENCH_serve\",\n");
-    out.push_str("  \"description\": \"weaver-daemon serving throughput over a population of distinct processes; per (processes, threads) configuration one cold pass (every request compiles and caches) and one warm pass (every request hits the prepared-artifact cache), with cold/warm/one-shot response bodies gated bit-identical before timing\",\n");
+    out.push_str("  \"description\": \"weaver-daemon serving throughput: in-process cold/warm passes over a structurally distinct population, TCP connection modes (per-connection vs keep-alive vs pipelined) against a pre-warmed server, and a textual-variant workload exercising the canonical artifact cache; all response bodies gated bit-identical to one-shot/warm references before timing\",\n");
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
     out.push_str("  \"passes\": [\n");
     for (i, r) in passes.iter().enumerate() {
@@ -223,6 +531,64 @@ pub fn bench_serve_json(opts: &BenchOpts) -> (String, obs::TraceSnapshot) {
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"connection_modes\": [\n");
+    for (i, r) in conn_modes.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"processes\": {},\n", r.processes));
+        out.push_str(&format!("      \"threads\": {},\n", r.threads));
+        out.push_str(&format!("      \"mode\": \"{}\",\n", r.mode));
+        out.push_str(&format!("      \"depth\": {},\n", r.depth));
+        out.push_str(&format!("      \"requests\": {},\n", r.requests));
+        out.push_str(&format!("      \"wall_ms\": {},\n", json_f(r.wall_ms)));
+        out.push_str(&format!(
+            "      \"req_per_sec\": {},\n",
+            json_f(r.req_per_sec)
+        ));
+        out.push_str(&format!("      \"p50_us\": {},\n", json_f(r.p50_us)));
+        out.push_str(&format!("      \"p99_us\": {}\n", json_f(r.p99_us)));
+        out.push_str(if i + 1 == conn_modes.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"keepalive_speedup\": [\n");
+    for (i, s) in conn_speedups.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"processes\": {}, \"threads\": {}, \"keepalive_speedup\": {}, \"best_speedup\": {} }}{}\n",
+            s.processes,
+            s.threads,
+            json_f(s.keepalive_speedup),
+            json_f(s.best_speedup),
+            if i + 1 == conn_speedups.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"variant_workload\": [\n");
+    out.push_str("    {\n");
+    out.push_str(&format!("      \"bases\": {},\n", variant.bases));
+    out.push_str(&format!(
+        "      \"variants_per_base\": {},\n",
+        variant.variants_per_base
+    ));
+    out.push_str(&format!("      \"requests\": {},\n", variant.requests));
+    out.push_str(&format!("      \"compiles\": {},\n", variant.compiles));
+    out.push_str(&format!(
+        "      \"canonical_hits\": {},\n",
+        variant.canonical_hits
+    ));
+    out.push_str(&format!(
+        "      \"canonical_hit_rate\": {},\n",
+        json_f(variant.canonical_hit_rate)
+    ));
+    out.push_str(&format!("      \"wall_ms\": {},\n", json_f(variant.wall_ms)));
+    out.push_str(&format!(
+        "      \"req_per_sec\": {}\n",
+        json_f(variant.req_per_sec)
+    ));
+    out.push_str("    }\n");
+    out.push_str("  ],\n");
     out.push_str(&format!("  \"phases\": {}\n", phases_json(&trace, "  ")));
     out.push_str("}\n");
     (out, trace)
@@ -246,5 +612,30 @@ mod tests {
         let hashes: std::collections::HashSet<u64> =
             (0..100).map(|i| content_hash(&proc_text(i))).collect();
         assert_eq!(hashes.len(), 100);
+    }
+
+    #[test]
+    fn process_population_is_distinct_after_canonicalization() {
+        use dscweaver_serve::canonicalize;
+        let hashes: std::collections::HashSet<u64> = (0..100)
+            .map(|i| canonicalize(&proc_text(i)).unwrap().hash)
+            .collect();
+        assert_eq!(hashes.len(), 100);
+    }
+
+    #[test]
+    fn variants_differ_textually_but_share_a_canonical_form() {
+        use dscweaver_serve::{canonicalize, content_hash};
+        let base_hash = canonicalize(&proc_text(3)).unwrap().hash;
+        let raw: std::collections::HashSet<u64> =
+            (0..5).map(|v| content_hash(&variant_text(3, v))).collect();
+        assert_eq!(raw.len(), 5, "variants must have distinct raw hashes");
+        for v in 0..5 {
+            assert_eq!(
+                canonicalize(&variant_text(3, v)).unwrap().hash,
+                base_hash,
+                "variant {v} must canonicalize onto the base"
+            );
+        }
     }
 }

@@ -1,14 +1,15 @@
 //! Tier-1 smoke run of the `repro bench-json --suite serve` measurement
 //! path: serves the small process population cold and warm through the
-//! daemon's request handler, gates cold/warm/one-shot response bodies
+//! daemon's request handler, sweeps the TCP connection modes against a
+//! live server, runs the textual-variant workload, gates response bodies
 //! bit-identical (asserted inside `bench_serve_json`), and checks the
 //! rendered artifact is well-formed. Timings in this mode are meaningless
 //! (debug build) and are not asserted on — except the warm-over-cold
 //! speedup, which must clear 5x even here because warm requests skip the
-//! whole compile pipeline.
+//! whole compile pipeline (the 2x keep-alive gate is full-suite only).
 
 use dscweaver_bench::harness::BenchOpts;
-use dscweaver_bench::perf_serve::{bench_serve_json, serve_cases};
+use dscweaver_bench::perf_serve::{bench_serve_json, serve_cases, PIPELINE_DEPTHS};
 
 #[test]
 fn bench_json_serve_smoke_runs_and_renders() {
@@ -21,30 +22,49 @@ fn bench_json_serve_smoke_runs_and_renders() {
     assert!(json.ends_with("}\n"));
     assert!(json.contains("\"artifact\": \"BENCH_serve\""));
     assert!(json.contains("\"smoke\": true"));
-    // One population × 2 thread counts × {cold, warm} = 4 pass rows, each
-    // carrying the full field set exactly once.
+    // One population × 2 thread counts × {cold, warm} = 4 pass rows, plus
+    // per thread count one per_conn + one keepalive + one pipelined row
+    // per swept depth, plus the single variant-workload row.
+    let pass_rows = 4;
+    let conn_rows = 2 * (2 + PIPELINE_DEPTHS.len());
     let rows = json.matches("\"req_per_sec\":").count();
-    assert_eq!(rows, 4, "smoke sweeps 2 thread counts x cold/warm: {json}");
+    assert_eq!(
+        rows,
+        pass_rows + conn_rows + 1,
+        "unexpected row count: {json}"
+    );
     for field in [
         "\"processes\":",
         "\"threads\":",
-        "\"phase\":",
         "\"requests\":",
         "\"wall_ms\":",
         "\"p50_us\":",
         "\"p99_us\":",
-        "\"cache_hits\":",
-        "\"cache_misses\":",
     ] {
         assert!(
-            json.matches(field).count() >= rows,
+            json.matches(field).count() >= pass_rows,
             "field {field}: {json}"
         );
     }
     assert_eq!(json.matches("\"phase\": \"cold\"").count(), 2);
     assert_eq!(json.matches("\"phase\": \"warm\"").count(), 2);
-    // One speedup row per thread count.
+    // One warm-over-cold speedup row per thread count.
     assert_eq!(json.matches("\"speedup\":").count(), 2);
+    // Connection modes: every mode ran at every thread count.
+    assert_eq!(json.matches("\"mode\": \"per_conn\"").count(), 2);
+    assert_eq!(json.matches("\"mode\": \"keepalive\"").count(), 2);
+    assert_eq!(
+        json.matches("\"mode\": \"pipelined\"").count(),
+        2 * PIPELINE_DEPTHS.len()
+    );
+    // Section header plus one row per thread count.
+    assert_eq!(json.matches("\"keepalive_speedup\":").count(), 3);
+    assert_eq!(json.matches("\"best_speedup\":").count(), 2);
+    // Variant workload: rate present and already gated >= 0.9 inside the
+    // run; the smoke shape (10 bases x 10 variants) pins it at exactly
+    // 0.9.
+    assert_eq!(json.matches("\"canonical_hit_rate\": 0.900").count(), 1);
+    assert!(json.contains("\"variants_per_base\": 10"));
     // The traced pass recorded the serve.* request phases.
     assert!(!trace.is_empty());
     let phases = trace.phase_totals_ms();

@@ -26,6 +26,23 @@ fn committed_artifact_self_diff_exits_zero() {
 }
 
 #[test]
+fn serve_artifact_self_diff_exits_zero() {
+    // The serve artifact carries the connection-mode and variant-workload
+    // sections; every row must self-match (distinct identity keys), or
+    // perf-diff would flag a committed artifact against itself.
+    let artifact = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let out = repro(&["perf-diff", artifact, artifact]);
+    assert!(
+        out.status.success(),
+        "serve self-diff must be clean: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("perf-diff: OK"), "{stdout}");
+}
+
+#[test]
 fn regression_exits_one_and_usage_errors_exit_two() {
     let dir = std::env::temp_dir().join(format!("perf_diff_cli_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -1,0 +1,573 @@
+//! Canonicalization: identity by causal structure, not by text.
+//!
+//! Tenants submitting textual variants of one process — reordered
+//! declarations, renamed services or activities, different whitespace or
+//! comments — describe the same synchronization structure (exactly the
+//! equivalence the paper's Definition-3 closure abstracts over), yet a
+//! raw content hash files each variant under its own key and recompiles
+//! identical artifacts. This module computes a **canonical form** that is
+//! invariant under those mutations:
+//!
+//! 1. parse the `.proc` text (the lexer already discards whitespace and
+//!    comments) and validate it, so errors surface with the tenant's own
+//!    names;
+//! 2. **normalize** the construct tree: nested sequences are flattened,
+//!    singleton `sequence`/`flow` wrappers unwrapped, and each activity's
+//!    `reads`/`writes` lists deduplicated;
+//! 3. **alpha-rename** every identifier namespace into first-occurrence
+//!    order over a deterministic depth-first traversal: activities become
+//!    `a0, a1, …`, variables `v0, v1, …` (reads before writes, per
+//!    activity), services and partners `s0, s1, …` (the implicit `Client`
+//!    partner is part of the language and stays verbatim, as do case and
+//!    link-condition labels), links `l0, l1, …` and the process name
+//!    `p0`. Declarations are re-emitted in canonical order, so the
+//!    declaration order of the source text is irrelevant; declared but
+//!    unused variables and unreferenced service declarations carry no
+//!    synchronization content and are dropped;
+//! 4. render the canonical text in one fixed layout and FNV-1a hash it.
+//!
+//! Two submissions share a canonical hash **iff** their canonical texts
+//! are equal, i.e. they are alpha-equivalent modulo the normalizations
+//! above — semantically distinct processes render distinct canonical
+//! texts and never share an entry. The registry uses the canonical hash
+//! as the second-level cache key (the raw-text hash stays in front as a
+//! first-level memo), and the [`Renaming`] travels with each request so
+//! response bodies are rendered back into the tenant's own names.
+
+use dscweaver_model::{parse_process, Case, Construct, Link, Process, ServiceDecl};
+use std::collections::BTreeMap;
+
+/// The bijective per-namespace identifier maps of one canonicalization,
+/// kept alongside the cached entry so responses can be rendered in the
+/// submitting tenant's original names.
+///
+/// Canonical names are globally unambiguous across namespaces (`a…`
+/// activities, `v…` variables, `s…` services, `l…` links, `p0` the
+/// process), so the inverse direction is a single map.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Renaming {
+    activities: BTreeMap<String, String>,
+    variables: BTreeMap<String, String>,
+    services: BTreeMap<String, String>,
+    links: BTreeMap<String, String>,
+    inverse: BTreeMap<String, String>,
+}
+
+impl Renaming {
+    fn bind(map: &mut BTreeMap<String, String>, inverse: &mut BTreeMap<String, String>, original: &str, prefix: &str) {
+        if map.contains_key(original) {
+            return;
+        }
+        let canonical = format!("{prefix}{}", map.len());
+        map.insert(original.to_string(), canonical.clone());
+        inverse.insert(canonical, original.to_string());
+    }
+
+    /// The canonical name of an original activity name (branch guards in
+    /// `/v1/simulate` oracles go through this), if the activity exists.
+    pub fn activity(&self, original: &str) -> Option<&str> {
+        self.activities.get(original).map(String::as_str)
+    }
+
+    /// The original name behind a canonical identifier, any namespace.
+    pub fn original(&self, canonical: &str) -> Option<&str> {
+        self.inverse.get(canonical).map(String::as_str)
+    }
+
+    /// Number of identifiers renamed across all namespaces.
+    pub fn len(&self) -> usize {
+        self.inverse.len()
+    }
+
+    /// True when no identifiers were renamed (never the case for a valid
+    /// process, which has at least a name).
+    pub fn is_empty(&self) -> bool {
+        self.inverse.is_empty()
+    }
+
+    /// Renders `text` back into original names: every maximal identifier
+    /// token (`[A-Za-z_][A-Za-z0-9_]*`) that is a canonical name of this
+    /// renaming is replaced by its original. Canonical names are shaped
+    /// `[avslp]<digits>`, which no DSCL/DSL keyword matches, so the
+    /// substitution is exact on any text rendered from canonical-named
+    /// artifacts (minimal-set DSCL, schedule events, …).
+    pub fn render_original(&self, text: &str) -> String {
+        let mut out = String::with_capacity(text.len());
+        let bytes = text.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let token = &text[start..i];
+                match self.inverse.get(token) {
+                    Some(original) => out.push_str(original),
+                    None => out.push_str(token),
+                }
+            } else {
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+        out
+    }
+}
+
+/// The canonical form of one submitted process text.
+#[derive(Clone, Debug)]
+pub struct CanonicalForm {
+    /// FNV-1a hash of [`CanonicalForm::text`] — the second-level cache key.
+    pub hash: u64,
+    /// The canonical rendering (fixed layout, canonical names).
+    pub text: String,
+    /// The normalized, canonically renamed process, ready to compile.
+    pub process: Process,
+    /// The per-namespace identifier maps back to the tenant's names.
+    pub renaming: Renaming,
+}
+
+/// Flattens nested sequences, unwraps singleton `sequence`/`flow`
+/// wrappers (a `flow` with links keeps its wrapper even when it has one
+/// branch) and deduplicates `reads`/`writes` lists — pure structural
+/// normalization, no renaming.
+fn normalize(c: &Construct) -> Construct {
+    match c {
+        Construct::Act(a) => {
+            let mut a = a.clone();
+            dedupe(&mut a.reads);
+            dedupe(&mut a.writes);
+            Construct::Act(a)
+        }
+        Construct::Sequence(items) => {
+            let mut flat = Vec::new();
+            flatten_into(items, &mut flat);
+            match flat.len() {
+                1 => flat.pop().expect("len checked"),
+                _ => Construct::Sequence(flat),
+            }
+        }
+        Construct::Flow { branches, links } => {
+            let branches: Vec<Construct> = branches.iter().map(normalize).collect();
+            if branches.len() == 1 && links.is_empty() {
+                return branches.into_iter().next().expect("len checked");
+            }
+            Construct::Flow {
+                branches,
+                links: links.clone(),
+            }
+        }
+        Construct::Switch { branch, cases } => {
+            let mut branch = branch.clone();
+            dedupe(&mut branch.reads);
+            dedupe(&mut branch.writes);
+            Construct::Switch {
+                branch,
+                cases: cases
+                    .iter()
+                    .map(|c| Case {
+                        label: c.label.clone(),
+                        body: normalize(&c.body),
+                    })
+                    .collect(),
+            }
+        }
+        Construct::While { cond, body } => {
+            let mut cond = cond.clone();
+            dedupe(&mut cond.reads);
+            dedupe(&mut cond.writes);
+            Construct::While {
+                cond,
+                body: Box::new(normalize(body)),
+            }
+        }
+    }
+}
+
+fn flatten_into(items: &[Construct], out: &mut Vec<Construct>) {
+    for item in items {
+        match normalize(item) {
+            Construct::Sequence(inner) => out.extend(inner),
+            other => out.push(other),
+        }
+    }
+}
+
+fn dedupe(vars: &mut Vec<String>) {
+    let mut seen = std::collections::HashSet::new();
+    vars.retain(|v| seen.insert(v.clone()));
+}
+
+/// First pass over the normalized tree: bind activities, variables and
+/// services at first occurrence, in depth-first traversal order.
+fn bind_names(c: &Construct, r: &mut Renaming) {
+    let bind_activity = |r: &mut Renaming, a: &dscweaver_model::Activity| {
+        Renaming::bind(&mut r.activities, &mut r.inverse, &a.name, "a");
+        for v in a.reads.iter().chain(&a.writes) {
+            Renaming::bind(&mut r.variables, &mut r.inverse, v, "v");
+        }
+        if let Some(partner) = a.kind.partner() {
+            if partner != "Client" {
+                Renaming::bind(&mut r.services, &mut r.inverse, partner, "s");
+            }
+        }
+    };
+    match c {
+        Construct::Act(a) => bind_activity(r, a),
+        Construct::Sequence(items) => items.iter().for_each(|i| bind_names(i, r)),
+        Construct::Flow { branches, links } => {
+            branches.iter().for_each(|b| bind_names(b, r));
+            for l in links {
+                Renaming::bind(&mut r.links, &mut r.inverse, &l.name, "l");
+            }
+        }
+        Construct::Switch { branch, cases } => {
+            bind_activity(r, branch);
+            cases.iter().for_each(|c| bind_names(&c.body, r));
+        }
+        Construct::While { cond, body } => {
+            bind_activity(r, cond);
+            bind_names(body, r);
+        }
+    }
+}
+
+/// Second pass: rewrite the tree with canonical names (link endpoints can
+/// reference activities anywhere, so this runs after all binds).
+fn rename(c: &Construct, r: &Renaming) -> Construct {
+    let map_activity = |a: &dscweaver_model::Activity| {
+        let mut a = a.clone();
+        a.name = r.activities[&a.name].clone();
+        for v in a.reads.iter_mut().chain(a.writes.iter_mut()) {
+            *v = r.variables[v.as_str()].clone();
+        }
+        match &mut a.kind {
+            dscweaver_model::ActivityKind::Receive { from } if from != "Client" => {
+                *from = r.services[from.as_str()].clone();
+            }
+            dscweaver_model::ActivityKind::Invoke { service, .. } => {
+                *service = r.services[service.as_str()].clone();
+            }
+            dscweaver_model::ActivityKind::Reply { to } if to != "Client" => {
+                *to = r.services[to.as_str()].clone();
+            }
+            _ => {}
+        }
+        a
+    };
+    match c {
+        Construct::Act(a) => Construct::Act(map_activity(a)),
+        Construct::Sequence(items) => {
+            Construct::Sequence(items.iter().map(|i| rename(i, r)).collect())
+        }
+        Construct::Flow { branches, links } => Construct::Flow {
+            branches: branches.iter().map(|b| rename(b, r)).collect(),
+            links: links
+                .iter()
+                .map(|l| Link {
+                    name: r.links[&l.name].clone(),
+                    from: r.activities.get(&l.from).cloned().unwrap_or_else(|| l.from.clone()),
+                    to: r.activities.get(&l.to).cloned().unwrap_or_else(|| l.to.clone()),
+                    condition: l.condition.clone(),
+                })
+                .collect(),
+        },
+        Construct::Switch { branch, cases } => Construct::Switch {
+            branch: map_activity(branch),
+            cases: cases
+                .iter()
+                .map(|c| Case {
+                    label: c.label.clone(),
+                    body: rename(&c.body, r),
+                })
+                .collect(),
+        },
+        Construct::While { cond, body } => Construct::While {
+            cond: map_activity(cond),
+            body: Box::new(rename(body, r)),
+        },
+    }
+}
+
+fn render_activity(a: &dscweaver_model::Activity, out: &mut String) {
+    use dscweaver_model::ActivityKind::*;
+    match &a.kind {
+        Receive { from } => {
+            out.push_str("receive ");
+            out.push_str(&a.name);
+            out.push_str(" from ");
+            out.push_str(from);
+        }
+        Invoke { service, port } => {
+            out.push_str("invoke ");
+            out.push_str(&a.name);
+            out.push_str(" on ");
+            out.push_str(service);
+            out.push_str(&format!(" port {port}"));
+        }
+        Reply { to } => {
+            out.push_str("reply ");
+            out.push_str(&a.name);
+            out.push_str(" to ");
+            out.push_str(to);
+        }
+        Assign => {
+            out.push_str("assign ");
+            out.push_str(&a.name);
+        }
+        Branch => {
+            // Rendered by the switch/while wrapper, never as a leaf.
+            out.push_str("switch ");
+            out.push_str(&a.name);
+        }
+        Empty => {
+            out.push_str("empty ");
+            out.push_str(&a.name);
+        }
+    }
+    render_clauses(a, out);
+}
+
+fn render_clauses(a: &dscweaver_model::Activity, out: &mut String) {
+    if !a.reads.is_empty() {
+        out.push_str(" reads ");
+        out.push_str(&a.reads.join(","));
+    }
+    if !a.writes.is_empty() {
+        out.push_str(" writes ");
+        out.push_str(&a.writes.join(","));
+    }
+}
+
+fn render_construct(c: &Construct, out: &mut String) {
+    match c {
+        Construct::Act(a) => {
+            render_activity(a, out);
+            out.push(';');
+        }
+        Construct::Sequence(items) => {
+            out.push_str("sequence{");
+            for i in items {
+                render_construct(i, out);
+            }
+            out.push('}');
+        }
+        Construct::Flow { branches, links } => {
+            out.push_str("flow{");
+            for b in branches {
+                render_construct(b, out);
+            }
+            for l in links {
+                out.push_str("link ");
+                out.push_str(&l.name);
+                out.push_str(" from ");
+                out.push_str(&l.from);
+                out.push_str(" to ");
+                out.push_str(&l.to);
+                if let Some(cond) = &l.condition {
+                    out.push_str(" when ");
+                    out.push_str(cond);
+                }
+                out.push(';');
+            }
+            out.push('}');
+        }
+        Construct::Switch { branch, cases } => {
+            out.push_str("switch ");
+            out.push_str(&branch.name);
+            render_clauses(branch, out);
+            out.push('{');
+            for case in cases {
+                out.push_str("case ");
+                out.push_str(&case.label);
+                out.push('{');
+                render_construct(&case.body, out);
+                out.push('}');
+            }
+            out.push('}');
+        }
+        Construct::While { cond, body } => {
+            out.push_str("while ");
+            out.push_str(&cond.name);
+            render_clauses(cond, out);
+            out.push('{');
+            render_construct(body, out);
+            out.push('}');
+        }
+    }
+}
+
+/// Computes the canonical form of submitted `.proc` text. Parse and
+/// validation failures are reported with the tenant's original names.
+pub fn canonicalize(text: &str) -> Result<CanonicalForm, String> {
+    let process = parse_process(text).map_err(|e| format!("parse error: {e}"))?;
+    let problems = process.validate();
+    if !problems.is_empty() {
+        let msgs: Vec<String> = problems.iter().map(|p| p.to_string()).collect();
+        return Err(format!("process does not validate: {}", msgs.join("; ")));
+    }
+    Ok(canonicalize_process(&process))
+}
+
+/// Canonicalizes an already parsed and validated process.
+pub fn canonicalize_process(process: &Process) -> CanonicalForm {
+    let root = normalize(&process.root);
+    let mut renaming = Renaming::default();
+    renaming
+        .inverse
+        .insert("p0".to_string(), process.name.clone());
+    bind_names(&root, &mut renaming);
+    let root = rename(&root, &renaming);
+
+    // Declarations in canonical (first-occurrence) order: the used
+    // variables are exactly v0..vN, referenced service declarations keep
+    // their ports/async shape under their canonical names. Unused
+    // variables and unreferenced service declarations are dropped.
+    let vars: Vec<String> = (0..renaming.variables.len()).map(|i| format!("v{i}")).collect();
+    let mut services: Vec<ServiceDecl> = Vec::new();
+    for (original, canonical) in &renaming.services {
+        if let Some(decl) = process.service(original) {
+            services.push(ServiceDecl {
+                name: canonical.clone(),
+                ports: decl.ports,
+                asynchronous: decl.asynchronous,
+            });
+        }
+    }
+    services.sort_by(|a, b| {
+        let ix = |name: &str| name[1..].parse::<usize>().unwrap_or(usize::MAX);
+        ix(&a.name).cmp(&ix(&b.name))
+    });
+
+    let mut text = String::new();
+    text.push_str("process p0{");
+    if !vars.is_empty() {
+        text.push_str("var ");
+        text.push_str(&vars.join(","));
+        text.push(';');
+    }
+    for s in &services {
+        text.push_str("service ");
+        text.push_str(&s.name);
+        text.push_str(&format!("{{ports {}", s.ports));
+        if s.asynchronous {
+            text.push_str(" async");
+        }
+        text.push('}');
+    }
+    render_construct(&root, &mut text);
+    text.push('}');
+
+    let canonical = Process {
+        name: "p0".to_string(),
+        vars,
+        services,
+        root,
+    };
+    CanonicalForm {
+        hash: crate::registry::content_hash(&text),
+        text,
+        process: canonical,
+        renaming,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = "process Purchasing {\n var po, au; // decls\n service Credit { ports 2 async }\n sequence {\n  receive rec_po from Client writes po;\n  invoke inv_po on Credit port 1 reads po;\n  receive rec_au from Credit writes au;\n  switch if_au reads au {\n   case T { assign ok writes po; }\n   case F { assign no writes po; }\n  }\n }\n}";
+
+    #[test]
+    fn whitespace_comments_and_decl_order_do_not_change_the_hash() {
+        let spaced = BASE.replace('\n', "\n\n  ").replace("var po, au;", "var au , po ; # reordered");
+        let a = canonicalize(BASE).unwrap();
+        let b = canonicalize(&spaced).unwrap();
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.hash, b.hash);
+    }
+
+    #[test]
+    fn alpha_renaming_does_not_change_the_hash() {
+        // Shield the `port`/`ports` keywords from the `po` identifier
+        // rename.
+        let renamed = BASE
+            .replace("Purchasing", "Proc2")
+            .replace("port", "\u{1}")
+            .replace("po", "order")
+            .replace("au", "approval")
+            .replace('\u{1}', "port")
+            .replace("Credit", "Bank")
+            .replace("if_", "gate_");
+        let a = canonicalize(BASE).unwrap();
+        let b = canonicalize(&renamed).unwrap();
+        assert_eq!(a.text, b.text, "alpha-variants must share a canonical text");
+        assert_eq!(a.hash, b.hash);
+        // ... but render back to their own names.
+        assert_eq!(a.renaming.original("p0"), Some("Purchasing"));
+        assert_eq!(b.renaming.original("p0"), Some("Proc2"));
+    }
+
+    #[test]
+    fn structurally_distinct_processes_do_not_collide() {
+        let reordered = BASE.replace(
+            "case T { assign ok writes po; }",
+            "case T { assign ok writes po; assign ok2 reads au; }",
+        );
+        let a = canonicalize(BASE).unwrap();
+        let b = canonicalize(&reordered).unwrap();
+        assert_ne!(a.text, b.text);
+        assert_ne!(a.hash, b.hash);
+    }
+
+    #[test]
+    fn canonical_text_reparses_and_is_a_fixed_point() {
+        let a = canonicalize(BASE).unwrap();
+        let again = canonicalize(&a.text).unwrap();
+        assert_eq!(a.text, again.text, "canonicalization must be idempotent");
+        assert_eq!(a.hash, again.hash);
+        assert!(a.process.validate().is_empty(), "{:?}", a.process.validate());
+    }
+
+    #[test]
+    fn unused_declarations_are_dropped() {
+        let noisy = BASE.replace("var po, au;", "var po, au, unused_v;")
+            .replace(
+                "service Credit { ports 2 async }",
+                "service Credit { ports 2 async }\n service Ghost { ports 9 }",
+            );
+        let a = canonicalize(BASE).unwrap();
+        let b = canonicalize(&noisy).unwrap();
+        assert_eq!(a.hash, b.hash);
+    }
+
+    #[test]
+    fn singleton_wrappers_flatten() {
+        let wrapped = "process P { var x; sequence { sequence { assign a writes x; } } }";
+        let bare = "process P { var x; assign a writes x; }";
+        assert_eq!(
+            canonicalize(wrapped).unwrap().hash,
+            canonicalize(bare).unwrap().hash
+        );
+    }
+
+    #[test]
+    fn render_original_restores_names_tokenwise() {
+        let a = canonicalize(BASE).unwrap();
+        let rendered = a.renaming.render_original("a0.end < a1.start; v0, s0");
+        assert_eq!(rendered, "rec_po.end < inv_po.start; po, Credit");
+    }
+
+    #[test]
+    fn errors_carry_original_names() {
+        let err = canonicalize("process P { var x; assign a writes y; }").unwrap_err();
+        assert!(err.contains("'y'"), "{err}");
+    }
+}

@@ -1,6 +1,12 @@
 //! A tiny blocking HTTP client for the daemon — used by the equivalence
-//! tests, the bench suite and the `SERVING.md` examples. One request per
-//! connection, matching the daemon's `Connection: close` framing.
+//! tests, the bench suite and the `SERVING.md` examples.
+//!
+//! [`Client`] holds one keep-alive connection and reuses it across
+//! requests by default ([`Client::no_keepalive`] is the
+//! one-request-per-connection escape hatch); [`Client::pipeline`] writes
+//! a whole batch of requests before reading the replies back in order.
+//! The free functions [`request`]/[`post`]/[`get`] stay one-shot
+//! (`Connection: close`), matching their historical semantics.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -25,7 +31,8 @@ impl Reply {
             .map(|(_, v)| v.as_str())
     }
 
-    /// The daemon's `X-Cache` disposition (`hit` / `miss` / `none`).
+    /// The daemon's `X-Cache` disposition (`hit` / `canonical` / `miss`
+    /// / `none`).
     pub fn cache(&self) -> &str {
         self.header("x-cache").unwrap_or("none")
     }
@@ -35,18 +42,213 @@ impl Reply {
     pub fn trace_id(&self) -> Option<&str> {
         self.header("x-trace-id")
     }
+
+    /// Whether the daemon kept the connection open after this reply.
+    pub fn keep_alive(&self) -> bool {
+        self.header("connection") == Some("keep-alive")
+    }
 }
 
-/// Sends one request and reads the whole reply. `target` is the path plus
-/// any query string (e.g. `/v1/simulate?branch=g:T`).
+/// One daemon request for [`Client::pipeline`]: method, target (path +
+/// query) and body.
+#[derive(Clone, Debug)]
+pub struct PipelinedRequest {
+    /// Request method (`GET`, `POST`).
+    pub method: String,
+    /// Path plus any query string.
+    pub target: String,
+    /// Request body.
+    pub body: String,
+}
+
+impl PipelinedRequest {
+    /// A `POST` request.
+    pub fn post(target: impl Into<String>, body: impl Into<String>) -> PipelinedRequest {
+        PipelinedRequest {
+            method: "POST".into(),
+            target: target.into(),
+            body: body.into(),
+        }
+    }
+
+    /// A `GET` request.
+    pub fn get(target: impl Into<String>) -> PipelinedRequest {
+        PipelinedRequest {
+            method: "GET".into(),
+            target: target.into(),
+            body: String::new(),
+        }
+    }
+}
+
+/// A daemon client holding (at most) one persistent connection.
+///
+/// Requests reuse the connection while the daemon keeps it open; a stale
+/// connection (closed by the daemon's idle timeout between requests) is
+/// transparently re-dialed once. With [`Client::no_keepalive`], every
+/// request sends `Connection: close` on a fresh connection — the
+/// pre-keep-alive behavior, kept for baseline measurements.
+pub struct Client {
+    addr: SocketAddr,
+    keepalive: bool,
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// A keep-alive client for the daemon at `addr`. No connection is
+    /// dialed until the first request.
+    pub fn connect(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            keepalive: true,
+            stream: None,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Switches to one-request-per-connection (`Connection: close`)
+    /// mode.
+    pub fn no_keepalive(mut self) -> Client {
+        self.keepalive = false;
+        self.stream = None;
+        self
+    }
+
+    /// Sends one request and reads its reply. On a keep-alive client the
+    /// connection is reused; if the daemon closed it in the meantime the
+    /// request is retried once on a fresh connection.
+    pub fn request(&mut self, method: &str, target: &str, body: &str) -> std::io::Result<Reply> {
+        if !self.keepalive {
+            return request(self.addr, method, target, body);
+        }
+        let fresh = self.stream.is_none();
+        match self.try_request(method, target, body) {
+            Ok(reply) => Ok(reply),
+            Err(e) if !fresh => {
+                // The daemon may have closed the idle connection between
+                // requests; one retry on a fresh dial.
+                let _ = e;
+                self.stream = None;
+                self.try_request(method, target, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// `POST` convenience.
+    pub fn post(&mut self, target: &str, body: &str) -> std::io::Result<Reply> {
+        self.request("POST", target, body)
+    }
+
+    /// `GET` convenience.
+    pub fn get(&mut self, target: &str) -> std::io::Result<Reply> {
+        self.request("GET", target, "")
+    }
+
+    /// Pipelines a batch: writes every request back-to-back on the one
+    /// connection, then reads the replies, which the daemon returns in
+    /// request order. Requires keep-alive mode.
+    pub fn pipeline(&mut self, requests: &[PipelinedRequest]) -> std::io::Result<Vec<Reply>> {
+        if !self.keepalive {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "pipelining needs a keep-alive client",
+            ));
+        }
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.ensure_stream()?;
+        let stream = self.stream.as_mut().expect("ensured above");
+        let mut wire = Vec::new();
+        for r in requests {
+            render_request(&mut wire, &r.method, &r.target, self.addr, &r.body, true);
+        }
+        stream.write_all(&wire)?;
+        stream.flush()?;
+        let mut replies = Vec::with_capacity(requests.len());
+        for _ in requests {
+            replies.push(self.read_reply()?);
+        }
+        Ok(replies)
+    }
+
+    fn ensure_stream(&mut self) -> std::io::Result<()> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            // A pipelined batch spans several TCP segments; without
+            // nodelay the tail segment waits on the server's delayed ACK.
+            let _ = stream.set_nodelay(true);
+            self.stream = Some(stream);
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    fn try_request(&mut self, method: &str, target: &str, body: &str) -> std::io::Result<Reply> {
+        self.ensure_stream()?;
+        let stream = self.stream.as_mut().expect("ensured above");
+        let mut wire = Vec::new();
+        render_request(&mut wire, method, target, self.addr, body, true);
+        stream.write_all(&wire)?;
+        stream.flush()?;
+        self.read_reply()
+    }
+
+    /// Reads one content-length-framed reply off the persistent
+    /// connection (leftover buffered bytes belong to the next reply).
+    fn read_reply(&mut self) -> std::io::Result<Reply> {
+        let malformed = || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed reply");
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some((reply, consumed)) = parse_reply_framed(&self.buf) {
+                self.buf.drain(..consumed);
+                if !reply.keep_alive() {
+                    self.stream = None;
+                }
+                return Ok(reply);
+            }
+            let stream = self.stream.as_mut().ok_or_else(malformed)?;
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                self.stream = None;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-reply",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+fn render_request(
+    out: &mut Vec<u8>,
+    method: &str,
+    target: &str,
+    addr: SocketAddr,
+    body: &str,
+    keep_alive: bool,
+) {
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body.as_bytes());
+}
+
+/// Sends one `Connection: close` request on a fresh connection and reads
+/// the whole reply. `target` is the path plus any query string (e.g.
+/// `/v1/simulate?branch=g:T`).
 pub fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> std::io::Result<Reply> {
     let mut stream = TcpStream::connect(addr)?;
-    let head = format!(
-        "{method} {target} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    let _ = stream.set_nodelay(true);
+    let mut wire = Vec::new();
+    render_request(&mut wire, method, target, addr, body, false);
+    stream.write_all(&wire)?;
     stream.flush()?;
     let mut raw = String::new();
     stream.read_to_string(&mut raw)?;
@@ -54,12 +256,12 @@ pub fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> std:
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed reply"))
 }
 
-/// `POST` convenience.
+/// One-shot `POST` convenience (`Connection: close`).
 pub fn post(addr: SocketAddr, target: &str, body: &str) -> std::io::Result<Reply> {
     request(addr, "POST", target, body)
 }
 
-/// `GET` convenience.
+/// One-shot `GET` convenience (`Connection: close`).
 pub fn get(addr: SocketAddr, target: &str) -> std::io::Result<Reply> {
     request(addr, "GET", target, "")
 }
@@ -79,6 +281,37 @@ fn parse_reply(raw: &str) -> Option<Reply> {
     })
 }
 
+/// Parses one complete `Content-Length`-framed reply from the front of
+/// `buf`, returning it and the bytes consumed — the keep-alive framing,
+/// where the connection stays open and the next reply follows.
+fn parse_reply_framed(buf: &[u8]) -> Option<(Reply, usize)> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+    let mut lines = head.lines();
+    let status: u16 = lines.next()?.split_whitespace().nth(1)?.parse().ok()?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let length: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse().ok())?;
+    let body_start = head_end + 4;
+    if buf.len() < body_start + length {
+        return None;
+    }
+    let body = String::from_utf8(buf[body_start..body_start + length].to_vec()).ok()?;
+    Some((
+        Reply {
+            status,
+            headers,
+            body,
+        },
+        body_start + length,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +323,19 @@ mod tests {
         assert_eq!(reply.status, 200);
         assert_eq!(reply.cache(), "hit");
         assert_eq!(reply.body, "{}");
+    }
+
+    #[test]
+    fn framed_parse_splits_back_to_back_replies() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\nconnection: keep-alive\r\n\r\n{}HTTP/1.1 429 Too Many Requests\r\ncontent-length: 0\r\n\r\n";
+        let (first, used) = parse_reply_framed(raw).unwrap();
+        assert_eq!(first.status, 200);
+        assert!(first.keep_alive());
+        let (second, used2) = parse_reply_framed(&raw[used..]).unwrap();
+        assert_eq!(second.status, 429);
+        assert!(!second.keep_alive());
+        assert_eq!(used + used2, raw.len());
+        // A prefix is "not yet".
+        assert!(parse_reply_framed(&raw[..used - 1]).is_none());
     }
 }

@@ -5,17 +5,28 @@
 //! over a minimal std-only HTTP/1.1 transport and serves them from a
 //! **warm prepared-artifact cache**.
 //!
-//! Each distinct submitted process (keyed by the FNV-1a content hash of
-//! its `.proc` text) is compiled once into a [`registry::ProcessEntry`]:
-//! the woven [`dscweaver_core::WeaverOutput`], a frozen hash-consing pool
-//! snapshot ([`dscweaver_graph::FrozenDnfPool`]), the Petri-net
-//! validation compile half ([`dscweaver_petri::CompiledValidation`]), the
-//! scheduler's derived indexes ([`dscweaver_scheduler::ScheduleTables`])
-//! and a live re-weave session. Entries are shared across request threads
-//! (`Arc`) and evicted LRU. Warm requests skip every compile stage; the
-//! cached run halves are pinned bit-identical to the fresh one-shot paths
-//! by the component crates' equivalence tests, and response bodies never
-//! depend on cache state (the `X-Cache` header carries hit/miss).
+//! Each distinct submitted process is compiled once into a
+//! [`registry::ProcessEntry`]: the woven [`dscweaver_core::WeaverOutput`],
+//! a frozen hash-consing pool snapshot
+//! ([`dscweaver_graph::FrozenDnfPool`]), the Petri-net validation compile
+//! half ([`dscweaver_petri::CompiledValidation`]), the scheduler's derived
+//! indexes ([`dscweaver_scheduler::ScheduleTables`]) and a live re-weave
+//! session. "Distinct" means distinct **canonical form** ([`canon`]):
+//! submissions are alpha-renamed into first-occurrence order, their
+//! declarations sorted and whitespace/comments stripped before hashing,
+//! so textual variants of one process share a single entry (the raw-text
+//! FNV-1a hash stays in front as a first-level memo, and each request's
+//! [`canon::Renaming`] renders responses back in its own names). Entries
+//! are shared across request threads (`Arc`) and evicted LRU. Warm
+//! requests skip every compile stage; the cached run halves are pinned
+//! bit-identical to the fresh one-shot paths by the component crates'
+//! equivalence tests, and response bodies never depend on cache state
+//! (the `X-Cache` header carries hit/canonical/miss).
+//!
+//! The transport is connection-oriented: HTTP/1.1 keep-alive with bounded
+//! pipelining, a reusable per-connection read buffer, and admission
+//! batched per connection-readiness rather than per request
+//! ([`server`]); [`client::Client`] reuses its connection by default.
 //!
 //! Serving a request without any networking:
 //!
@@ -55,6 +66,7 @@
 
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod client;
 pub mod http;
 pub mod registry;
@@ -62,9 +74,10 @@ pub mod server;
 pub mod service;
 pub mod trace;
 
-pub use client::Reply;
+pub use canon::{canonicalize, CanonicalForm, Renaming};
+pub use client::{Client, PipelinedRequest, Reply};
 pub use http::{HttpError, HttpRequest};
-pub use registry::{content_hash, ProcessEntry, Registry, RegistryStats};
+pub use registry::{content_hash, Lookup, LookupStatus, ProcessEntry, Registry, RegistryStats};
 pub use server::{ServeConfig, Server};
 pub use service::{handle, oneshot, CacheStatus, Request, Response};
 pub use trace::{RequestTrace, TraceConfig, Tracer};

@@ -1,23 +1,36 @@
 //! The shared prepared-artifact registry: one [`ProcessEntry`] per
-//! distinct submitted process, keyed by FNV-1a content hash and evicted
-//! LRU (`dscweaver_graph::lru`).
+//! distinct **canonical** process, behind a two-level cache keyed by
+//! content hash and evicted LRU (`dscweaver_graph::lru`).
+//!
+//! Lookups run in two levels. The **raw memo** maps the FNV-1a hash of
+//! the submitted text to its canonicalization result (canonical hash +
+//! [`Renaming`]), so a repeated byte-identical request skips parsing
+//! entirely. The **canonical cache** maps the canonical hash (see
+//! [`crate::canon`]) to the compiled [`ProcessEntry`], so textual
+//! variants of one process — reordered declarations, renamed services or
+//! activities, whitespace, comments — share a single compiled entry. A
+//! raw-miss/canonical-hit is counted in `canonical_hits` and surfaces as
+//! `X-Cache: canonical` at the transport.
 //!
 //! An entry is everything the compile half of the pipeline produces,
 //! cached in run-many form: the woven [`WeaverOutput`], the frozen
 //! hash-consing pool snapshot ([`FrozenDnfPool`]), the Petri-net
 //! validation compile half ([`CompiledValidation`]), the scheduler's
 //! derived indexes ([`ScheduleTables`]) and a live [`WeaveSession`] for
-//! incremental re-weaves. Warm requests skip every compile stage and go
-//! straight to the run halves, which are pinned bit-identical to the
-//! fresh-build paths by the component crates' equivalence tests.
+//! incremental re-weaves — all in canonical names; responses are rendered
+//! back into each tenant's names through the request's [`Renaming`].
+//! Warm requests skip every compile stage and go straight to the run
+//! halves, which are pinned bit-identical to the fresh-build paths by the
+//! component crates' equivalence tests.
 
+use crate::canon::{canonicalize, CanonicalForm, Renaming};
 use crate::trace::{TraceConfig, Tracer};
 use dscweaver_core::{
     DependencySet, ReweaveReport, WeaveSession, Weaver, WeaverOutput,
 };
 use dscweaver_dscl::Condition;
 use dscweaver_graph::{lru::LruCache, FrozenDnfPool};
-use dscweaver_model::{parse_process, Process};
+use dscweaver_model::Process;
 use dscweaver_obs as obs;
 use dscweaver_petri::{CompiledValidation, ValidateOptions, ValidationReport};
 use dscweaver_scheduler::{PreparedSchedule, Schedule, ScheduleTables, SimConfig};
@@ -28,8 +41,10 @@ use std::sync::{Arc, Mutex};
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-/// FNV-1a over the raw bytes of the submitted process text — the cache
-/// key. The same 64-bit FNV family the re-weave session fingerprints use.
+/// FNV-1a over the raw bytes of the submitted process text — the
+/// first-level (raw memo) cache key, and, applied to canonical text, the
+/// second-level key. The same 64-bit FNV family the re-weave session
+/// fingerprints use.
 ///
 /// ```
 /// use dscweaver_serve::registry::content_hash;
@@ -45,17 +60,18 @@ pub fn content_hash(text: &str) -> u64 {
     h
 }
 
-/// The prepared artifacts for one distinct process, built once on a cache
-/// miss and shared read-only (`Arc`) across request threads.
+/// The prepared artifacts for one distinct canonical process, built once
+/// on a cache miss and shared read-only (`Arc`) across request threads
+/// and across tenants whose submissions canonicalize identically.
 pub struct ProcessEntry {
-    /// Content hash of the submitted text (the cache key).
+    /// Canonical content hash (the second-level cache key).
     pub hash: u64,
-    /// The parsed process.
+    /// The canonical process (canonical names; see [`crate::canon`]).
     pub process: Process,
-    /// The extracted dependency set the weave ran on.
+    /// The extracted dependency set the weave ran on (canonical names).
     pub dependencies: DependencySet,
     /// The full optimization output (SC, ASC, minimal set, exec
-    /// conditions).
+    /// conditions), in canonical names.
     pub output: WeaverOutput,
     /// The session fingerprint of the weave (bit-stable across thread
     /// counts; identical for the daemon and one-shot paths).
@@ -66,49 +82,43 @@ pub struct ProcessEntry {
     session: Mutex<WeaveSession>,
 }
 
+/// Extracts the data/control dependency set of a process the way every
+/// serve request does.
+pub(crate) fn extract(process: &Process) -> DependencySet {
+    dscweaver_pdg::extract(
+        process,
+        dscweaver_pdg::ExtractOptions {
+            data: true,
+            control: true,
+            services_from_decls: false,
+        },
+    )
+}
+
 impl ProcessEntry {
-    /// The specification front half alone: parse and validate the process
-    /// text, then extract its data/control dependency set — what a
-    /// re-weave revision needs before it reaches a session.
+    /// The specification front half alone: canonicalize the process text
+    /// (parse + validate, with errors in the tenant's names), then
+    /// extract the canonical revision's data/control dependency set —
+    /// what a re-weave revision needs before it reaches a session.
     pub fn build_dependencies(text: &str) -> Result<DependencySet, String> {
-        let process = parse_process(text).map_err(|e| format!("parse error: {e}"))?;
-        let problems = process.validate();
-        if !problems.is_empty() {
-            let msgs: Vec<String> = problems.iter().map(|p| p.to_string()).collect();
-            return Err(format!("process does not validate: {}", msgs.join("; ")));
-        }
-        Ok(dscweaver_pdg::extract(
-            &process,
-            dscweaver_pdg::ExtractOptions {
-                data: true,
-                control: true,
-                services_from_decls: false,
-            },
-        ))
+        Ok(extract(&canonicalize(text)?.process))
     }
 
-    /// Compiles the full entry from submitted process text: parse →
-    /// dependency extraction → weave → validation/scheduler compile
-    /// halves. Runs under a `serve.compile` span.
+    /// Compiles the full entry from submitted process text: canonicalize
+    /// → dependency extraction → weave → validation/scheduler compile
+    /// halves.
     pub fn build(text: &str, threads: usize) -> Result<ProcessEntry, String> {
-        let hash = content_hash(text);
+        Self::build_canonical(&canonicalize(text)?, threads)
+    }
+
+    /// Compiles the full entry from an already-computed canonical form.
+    /// Runs under a `serve.compile` span.
+    pub fn build_canonical(form: &CanonicalForm, threads: usize) -> Result<ProcessEntry, String> {
+        let hash = form.hash;
         let _span = obs::span_with("serve.compile", || format!("hash={hash:016x}"));
         let _phase = crate::trace::phase("serve.compile");
         let t0 = std::time::Instant::now();
-        let process = parse_process(text).map_err(|e| format!("parse error: {e}"))?;
-        let problems = process.validate();
-        if !problems.is_empty() {
-            let msgs: Vec<String> = problems.iter().map(|p| p.to_string()).collect();
-            return Err(format!("process does not validate: {}", msgs.join("; ")));
-        }
-        let dependencies = dscweaver_pdg::extract(
-            &process,
-            dscweaver_pdg::ExtractOptions {
-                data: true,
-                control: true,
-                services_from_decls: false,
-            },
-        );
+        let dependencies = extract(&form.process);
         let mut session = Weaver {
             threads,
             ..Weaver::new()
@@ -124,7 +134,7 @@ impl ProcessEntry {
         obs::histogram("serve.compile").observe(t0.elapsed().as_nanos() as u64);
         Ok(ProcessEntry {
             hash,
-            process,
+            process: form.process.clone(),
             dependencies,
             output,
             fingerprint: report.fingerprint,
@@ -144,8 +154,9 @@ impl ProcessEntry {
         })
     }
 
-    /// Simulates the minimal set on the cached scheduler indexes.
-    /// Bit-identical to a fresh `PreparedSchedule::new(..).run(..)`.
+    /// Simulates the minimal set on the cached scheduler indexes, under a
+    /// branch oracle in **canonical** guard names. Bit-identical to a
+    /// fresh `PreparedSchedule::new(..).run(..)`.
     pub fn simulate(&self, branches: &[(String, String)], threads: usize) -> Schedule {
         let mut sim = SimConfig {
             threads,
@@ -175,25 +186,54 @@ impl ProcessEntry {
     }
 }
 
+/// How a [`Registry::lookup_or_build`] was answered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LookupStatus {
+    /// The raw-text memo knew this exact submission (no parse needed).
+    Hit,
+    /// New text, but it canonicalized onto an already-compiled entry
+    /// (cross-tenant artifact sharing).
+    Canonical,
+    /// Compiled on this request.
+    Miss,
+}
+
+/// A resolved lookup: the shared entry, the submission's identifier maps
+/// (for rendering responses in the tenant's names), and how it was found.
+pub struct Lookup {
+    /// The shared prepared-artifact entry (canonical names).
+    pub entry: Arc<ProcessEntry>,
+    /// This submission's renaming onto the canonical form.
+    pub renaming: Arc<Renaming>,
+    /// Cache disposition.
+    pub status: LookupStatus,
+}
+
 /// Counters the registry exposes via `/v1/stats`.
 ///
-/// `hits`/`misses`/`evictions`/`served`/`rejected` are cumulative since
-/// daemon start; `entries`/`capacity`/`in_flight` are instantaneous.
-/// `in_flight` counts only **process-keyed** requests (weave, validate,
-/// simulate, reweave) currently executing — read-only endpoints
-/// (`/v1/stats`, `/healthz`, `/metrics`, `/v1/traces`) are never
-/// admitted into the gauge, so a stats probe no longer counts itself.
+/// `hits`/`canonical_hits`/`misses`/`evictions`/`served`/`rejected` are
+/// cumulative since daemon start; `entries`/`capacity`/`in_flight` are
+/// instantaneous. `hits` counts raw-memo hits (byte-identical re-
+/// submissions); `canonical_hits` counts raw-miss lookups answered by an
+/// existing canonical entry (a textual variant sharing another tenant's
+/// artifacts); `misses` counts compiles. `in_flight` counts only
+/// **process-keyed** requests (weave, validate, simulate, reweave)
+/// currently executing — read-only endpoints (`/v1/stats`, `/healthz`,
+/// `/metrics`, `/v1/traces`) are never admitted into the gauge, so a
+/// stats probe no longer counts itself.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RegistryStats {
-    /// Entries currently cached.
+    /// Canonical entries currently cached.
     pub entries: usize,
-    /// LRU capacity.
+    /// Canonical LRU capacity.
     pub capacity: usize,
-    /// Lookups answered from the cache.
+    /// Lookups answered from the raw-text memo.
     pub hits: u64,
+    /// New-text lookups answered from an existing canonical entry.
+    pub canonical_hits: u64,
     /// Lookups that had to compile.
     pub misses: u64,
-    /// Entries evicted by the LRU policy.
+    /// Canonical entries evicted by the LRU policy.
     pub evictions: u64,
     /// Process-keyed requests currently being served.
     pub in_flight: u64,
@@ -213,6 +253,7 @@ impl RegistryStats {
             entries: self.entries,
             capacity: self.capacity,
             hits: self.hits - earlier.hits,
+            canonical_hits: self.canonical_hits - earlier.canonical_hits,
             misses: self.misses - earlier.misses,
             evictions: self.evictions - earlier.evictions,
             in_flight: self.in_flight,
@@ -226,17 +267,30 @@ impl RegistryStats {
 /// `?since=SEQ` diffing.
 pub const STATS_RING: usize = 64;
 
-/// The shared, thread-safe artifact cache. Lookups are keyed by
-/// [`content_hash`]; misses compile outside the cache lock, so concurrent
-/// misses on *different* processes compile in parallel. Two racing misses
-/// on the *same* process both compile and the later insert wins —
-/// harmless, because entries for the same text are deterministic.
-/// Failed compiles (parse errors, conflicts) are not cached.
+/// How many raw-text memos the registry keeps per canonical cache slot —
+/// several textual variants of one process can stay memoized at once.
+pub const RAW_MEMO_PER_ENTRY: usize = 4;
+
+/// One raw-text memo: where this exact byte sequence canonicalized to.
+struct RawMemo {
+    canonical_hash: u64,
+    renaming: Arc<Renaming>,
+}
+
+/// The shared, thread-safe artifact cache. Lookups go raw memo →
+/// canonical cache → compile; misses compile outside the cache locks, so
+/// concurrent misses on *different* processes compile in parallel. Two
+/// racing misses on the *same* canonical process both compile and the
+/// later insert wins — harmless, because entries for the same canonical
+/// text are deterministic. Failed compiles (parse errors, conflicts) are
+/// not cached.
 pub struct Registry {
+    raw: Mutex<LruCache<u64, Arc<RawMemo>>>,
     inner: Mutex<LruCache<u64, Arc<ProcessEntry>>>,
     threads: usize,
     max_in_flight: u64,
     hits: AtomicU64,
+    canonical_hits: AtomicU64,
     misses: AtomicU64,
     in_flight: AtomicU64,
     served: AtomicU64,
@@ -247,17 +301,21 @@ pub struct Registry {
 }
 
 impl Registry {
-    /// A registry evicting beyond `capacity` entries, compiling and
-    /// running with the given worker-thread count (`0` = auto).
-    /// Back-pressure is off (no in-flight ceiling) and request tracing
-    /// is disabled; the daemon opts in via [`Registry::with_max_in_flight`]
-    /// and [`Registry::with_trace_config`].
+    /// A registry evicting beyond `capacity` canonical entries (the raw
+    /// memo holds [`RAW_MEMO_PER_ENTRY`]× as many text variants),
+    /// compiling and running with the given worker-thread count (`0` =
+    /// auto). Back-pressure is off (no in-flight ceiling) and request
+    /// tracing is disabled; the daemon opts in via
+    /// [`Registry::with_max_in_flight`] and [`Registry::with_trace_config`].
     pub fn new(capacity: usize, threads: usize) -> Registry {
+        let capacity = capacity.max(1);
         Registry {
-            inner: Mutex::new(LruCache::new(capacity.max(1))),
+            raw: Mutex::new(LruCache::new(capacity * RAW_MEMO_PER_ENTRY)),
+            inner: Mutex::new(LruCache::new(capacity)),
             threads,
             max_in_flight: 0,
             hits: AtomicU64::new(0),
+            canonical_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             served: AtomicU64::new(0),
@@ -297,37 +355,83 @@ impl Registry {
         &self.tracer
     }
 
-    /// Looks up an already-cached entry by hash without building.
+    /// Looks up an already-cached entry by **canonical** hash without
+    /// building (this is what `/v1/reweave?base=` resolves).
     pub fn get(&self, hash: u64) -> Option<Arc<ProcessEntry>> {
         let mut cache = self.inner.lock().expect("registry lock poisoned");
         cache.get(&hash).cloned()
     }
 
-    /// The hit-or-compile path every process-keyed request goes through.
-    /// Returns the entry plus whether it was served from the cache.
-    pub fn lookup_or_build(&self, text: &str) -> Result<(Arc<ProcessEntry>, bool), String> {
-        let hash = content_hash(text);
+    /// The hit-or-compile path every process-keyed request goes through:
+    /// raw memo → canonical cache → compile.
+    pub fn lookup_or_build(&self, text: &str) -> Result<Lookup, String> {
+        let raw_hash = content_hash(text);
         {
-            let _span = obs::span_with("serve.lookup", || format!("hash={hash:016x}"));
+            let _span = obs::span_with("serve.lookup", || format!("raw={raw_hash:016x}"));
             let _phase = crate::trace::phase("serve.lookup");
+            let mut raw = self.raw.lock().expect("raw memo lock poisoned");
+            if let Some(memo) = raw.get(&raw_hash).cloned() {
+                // Lock order is always raw → inner.
+                let mut cache = self.inner.lock().expect("registry lock poisoned");
+                if let Some(entry) = cache.get(&memo.canonical_hash) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    obs::counter_add("serve.cache_hits", 1);
+                    return Ok(Lookup {
+                        entry: entry.clone(),
+                        renaming: memo.renaming.clone(),
+                        status: LookupStatus::Hit,
+                    });
+                }
+                // The canonical entry was evicted under this memo: fall
+                // through to the slow path, which re-compiles and
+                // refreshes the memo.
+            }
+        }
+        let form = canonicalize(text)?;
+        let renaming = Arc::new(form.renaming.clone());
+        {
             let mut cache = self.inner.lock().expect("registry lock poisoned");
-            if let Some(entry) = cache.get(&hash) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                obs::counter_add("serve.cache_hits", 1);
-                return Ok((entry.clone(), true));
+            if let Some(entry) = cache.get(&form.hash) {
+                let entry = entry.clone();
+                drop(cache);
+                self.canonical_hits.fetch_add(1, Ordering::Relaxed);
+                obs::counter_add("serve.canonical_hits", 1);
+                self.memoize_raw(raw_hash, form.hash, &renaming);
+                return Ok(Lookup {
+                    entry,
+                    renaming,
+                    status: LookupStatus::Canonical,
+                });
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         obs::counter_add("serve.cache_misses", 1);
-        let entry = Arc::new(ProcessEntry::build(text, self.threads)?);
+        let entry = Arc::new(ProcessEntry::build_canonical(&form, self.threads)?);
         let mut cache = self.inner.lock().expect("registry lock poisoned");
         let before = cache.evictions();
-        cache.insert(hash, entry.clone());
+        cache.insert(form.hash, entry.clone());
         let evicted = cache.evictions() - before;
+        drop(cache);
         if evicted > 0 {
             obs::counter_add("serve.evictions", evicted);
         }
-        Ok((entry, false))
+        self.memoize_raw(raw_hash, form.hash, &renaming);
+        Ok(Lookup {
+            entry,
+            renaming,
+            status: LookupStatus::Miss,
+        })
+    }
+
+    fn memoize_raw(&self, raw_hash: u64, canonical_hash: u64, renaming: &Arc<Renaming>) {
+        let mut raw = self.raw.lock().expect("raw memo lock poisoned");
+        raw.insert(
+            raw_hash,
+            Arc::new(RawMemo {
+                canonical_hash,
+                renaming: renaming.clone(),
+            }),
+        );
     }
 
     /// Marks a process-keyed request entering service; pair with
@@ -365,6 +469,7 @@ impl Registry {
             entries: cache.len(),
             capacity: cache.capacity(),
             hits: self.hits.load(Ordering::Relaxed),
+            canonical_hits: self.canonical_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: cache.evictions(),
             in_flight: self.in_flight.load(Ordering::Relaxed),
@@ -414,31 +519,60 @@ mod tests {
     #[test]
     fn lookup_compiles_then_hits() {
         let reg = Registry::new(4, 1);
-        let (first, hit1) = reg.lookup_or_build(PROC).unwrap();
-        assert!(!hit1);
-        let (second, hit2) = reg.lookup_or_build(PROC).unwrap();
-        assert!(hit2);
-        assert!(Arc::ptr_eq(&first, &second));
+        let first = reg.lookup_or_build(PROC).unwrap();
+        assert_eq!(first.status, LookupStatus::Miss);
+        let second = reg.lookup_or_build(PROC).unwrap();
+        assert_eq!(second.status, LookupStatus::Hit);
+        assert!(Arc::ptr_eq(&first.entry, &second.entry));
         let stats = reg.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.canonical_hits, 0);
+    }
+
+    #[test]
+    fn textual_variants_share_one_canonical_entry() {
+        let reg = Registry::new(4, 1);
+        let first = reg.lookup_or_build(PROC).unwrap();
+        // Renamed identifiers + comment + whitespace: new raw text, same
+        // canonical process.
+        let variant =
+            "process Q { # variant\n var y;\n sequence { assign a1 writes y;\n   assign b1 reads y; }\n}";
+        assert_ne!(content_hash(PROC), content_hash(variant));
+        let shared = reg.lookup_or_build(variant).unwrap();
+        assert_eq!(shared.status, LookupStatus::Canonical);
+        assert!(Arc::ptr_eq(&first.entry, &shared.entry));
+        // Each submission keeps its own names for rendering.
+        assert_eq!(first.renaming.original("p0"), Some("P"));
+        assert_eq!(shared.renaming.original("p0"), Some("Q"));
+        // Re-submitting the variant byte-identically is now a raw hit.
+        assert_eq!(reg.lookup_or_build(variant).unwrap().status, LookupStatus::Hit);
+        let stats = reg.stats();
+        assert_eq!(
+            (stats.hits, stats.canonical_hits, stats.misses, stats.entries),
+            (1, 1, 1, 1)
+        );
     }
 
     #[test]
     fn eviction_recompiles_and_matches() {
         let reg = Registry::new(1, 1);
-        let (first, _) = reg.lookup_or_build(PROC).unwrap();
+        let first = reg.lookup_or_build(PROC).unwrap();
         // A second distinct process evicts the first (capacity 1).
-        let other = PROC.replace("process P", "process Q");
+        let other = PROC.replace("assign b reads x;", "assign b reads x; assign c reads x;");
         reg.lookup_or_build(&other).unwrap();
         assert_eq!(reg.stats().evictions, 1);
-        assert!(reg.get(first.hash).is_none());
-        // Re-requesting recompiles to identical artifacts.
-        let (again, hit) = reg.lookup_or_build(PROC).unwrap();
-        assert!(!hit);
-        assert_eq!(again.hash, first.hash);
-        assert_eq!(again.fingerprint, first.fingerprint);
-        assert_eq!(again.output.minimal.to_dscl(), first.output.minimal.to_dscl());
-        assert_eq!(again.pool().dnf_count(), first.pool().dnf_count());
+        assert!(reg.get(first.entry.hash).is_none());
+        // Re-requesting recompiles to identical artifacts (the stale raw
+        // memo does not resurrect the evicted entry).
+        let again = reg.lookup_or_build(PROC).unwrap();
+        assert_eq!(again.status, LookupStatus::Miss);
+        assert_eq!(again.entry.hash, first.entry.hash);
+        assert_eq!(again.entry.fingerprint, first.entry.fingerprint);
+        assert_eq!(
+            again.entry.output.minimal.to_dscl(),
+            first.entry.output.minimal.to_dscl()
+        );
+        assert_eq!(again.entry.pool().dnf_count(), first.entry.pool().dnf_count());
     }
 
     #[test]

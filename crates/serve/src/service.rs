@@ -10,8 +10,9 @@
 //! crates' equivalence tests. Cache status is reported out-of-band (the
 //! `X-Cache` header), never in the body.
 
+use crate::canon::Renaming;
 use crate::http::{HttpError, HttpRequest};
-use crate::registry::{content_hash, ProcessEntry, Registry};
+use crate::registry::{LookupStatus, ProcessEntry, Registry};
 use crate::trace::{self, RequestTrace};
 use dscweaver_obs as obs;
 use std::time::Instant;
@@ -111,8 +112,12 @@ impl Request {
 /// header so response bodies stay identical across cold and warm serves.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CacheStatus {
-    /// Served from a cached entry.
+    /// Served from a cached entry via the raw-text memo (byte-identical
+    /// re-submission).
     Hit,
+    /// New text served from an existing entry it canonicalized onto —
+    /// cross-tenant artifact sharing (see [`crate::canon`]).
+    Canonical,
     /// Compiled on this request.
     Miss,
     /// Not a process-keyed request (stats, health, errors).
@@ -124,8 +129,19 @@ impl CacheStatus {
     pub fn as_str(self) -> &'static str {
         match self {
             CacheStatus::Hit => "hit",
+            CacheStatus::Canonical => "canonical",
             CacheStatus::Miss => "miss",
             CacheStatus::None => "none",
+        }
+    }
+}
+
+impl From<LookupStatus> for CacheStatus {
+    fn from(status: LookupStatus) -> CacheStatus {
+        match status {
+            LookupStatus::Hit => CacheStatus::Hit,
+            LookupStatus::Canonical => CacheStatus::Canonical,
+            LookupStatus::Miss => CacheStatus::Miss,
         }
     }
 }
@@ -272,26 +288,32 @@ pub fn parse(req: &HttpRequest) -> Result<Request, HttpError> {
     }
 }
 
-fn weave_body(entry: &ProcessEntry) -> String {
+/// The weave response body, rendered in the submitting tenant's own
+/// names: the cached entry holds canonical artifacts (shared across
+/// textual variants), and the request's [`Renaming`] maps them back. The
+/// `hash` field is the **canonical** hash — textual variants of one
+/// process report the same hash, which is also the `?base=` key
+/// `/v1/reweave` resolves.
+fn weave_body(entry: &ProcessEntry, renaming: &Renaming) -> String {
     let out = &entry.output;
     format!(
         "{{\"hash\":\"{:016x}\",\"process\":{},\"dependencies\":{},\"sc\":{},\"asc\":{},\"minimal\":{},\"removed\":{},\"fingerprint\":\"{:016x}\",\"minimal_dscl\":{}}}",
         entry.hash,
-        json_str(&entry.process.name),
+        json_str(renaming.original(&entry.process.name).unwrap_or(&entry.process.name)),
         out.dependencies.deps.len(),
         out.sc.constraint_count(),
         out.asc.constraint_count(),
         out.minimal.constraint_count(),
         out.removed.len(),
         entry.fingerprint,
-        json_str(&out.minimal.to_dscl()),
+        json_str(&renaming.render_original(&out.minimal.to_dscl())),
     )
 }
 
-fn served(hit: bool, body: String) -> Response {
+fn served(status: LookupStatus, body: String) -> Response {
     Response {
         status: 200,
-        cache: if hit { CacheStatus::Hit } else { CacheStatus::Miss },
+        cache: status.into(),
         body,
         trace_id: 0,
         content_type: CONTENT_TYPE_JSON,
@@ -375,11 +397,12 @@ fn handle_inner(reg: &Registry, req: &Request) -> Response {
     let _span = obs::span_with("serve.run", || format!("{req:?}"));
     match req {
         Request::Weave { text } => match reg.lookup_or_build(text) {
-            Ok((entry, hit)) => served(hit, weave_body(&entry)),
+            Ok(found) => served(found.status, weave_body(&found.entry, &found.renaming)),
             Err(e) => Response::error(400, &e),
         },
         Request::Validate { text } => match reg.lookup_or_build(text) {
-            Ok((entry, hit)) => {
+            Ok(found) => {
+                let entry = &found.entry;
                 let report = timed_run(|| entry.validate(reg.threads()));
                 let body = format!(
                     "{{\"hash\":\"{:016x}\",\"ok\":{},\"assignments_checked\":{},\"assignments_truncated\":{},\"guard_groups\":{},\"failures\":{}}}",
@@ -390,13 +413,25 @@ fn handle_inner(reg: &Registry, req: &Request) -> Response {
                     report.guard_groups,
                     report.failures.len(),
                 );
-                served(hit, body)
+                served(found.status, body)
             }
             Err(e) => Response::error(400, &e),
         },
         Request::Simulate { text, branches } => match reg.lookup_or_build(text) {
-            Ok((entry, hit)) => {
-                let schedule = timed_run(|| entry.simulate(branches, reg.threads()));
+            Ok(found) => {
+                let entry = &found.entry;
+                let renaming = &found.renaming;
+                // Oracle picks arrive in the tenant's guard names; the
+                // cached artifacts run in canonical names.
+                let picks: Vec<(String, String)> = branches
+                    .iter()
+                    .map(|(g, v)| {
+                        let canonical = renaming.activity(g).unwrap_or(g.as_str());
+                        (canonical.to_string(), v.clone())
+                    })
+                    .collect();
+                let schedule = timed_run(|| entry.simulate(&picks, reg.threads()));
+                let original = |name: &str| renaming.original(name).unwrap_or(name).to_string();
                 let events: Vec<String> = schedule
                     .trace
                     .events
@@ -407,11 +442,12 @@ fn handle_inner(reg: &Registry, req: &Request) -> Response {
                             e.time,
                             e.seq,
                             e.kind,
-                            json_str(&e.activity)
+                            json_str(&original(&e.activity))
                         )
                     })
                     .collect();
-                let stuck: Vec<String> = schedule.stuck.iter().map(|s| json_str(s)).collect();
+                let stuck: Vec<String> =
+                    schedule.stuck.iter().map(|s| json_str(&original(s))).collect();
                 let body = format!(
                     "{{\"hash\":\"{:016x}\",\"makespan\":{},\"constraint_checks\":{},\"completed\":{},\"stuck\":[{}],\"events\":[{}]}}",
                     entry.hash,
@@ -421,7 +457,7 @@ fn handle_inner(reg: &Registry, req: &Request) -> Response {
                     stuck.join(","),
                     events.join(","),
                 );
-                served(hit, body)
+                served(found.status, body)
             }
             Err(e) => Response::error(400, &e),
         },
@@ -432,10 +468,15 @@ fn handle_inner(reg: &Registry, req: &Request) -> Response {
                     &format!("unknown base {base:016x} (weave it first, or it was evicted)"),
                 );
             };
-            let revised = match crate::registry::ProcessEntry::build_dependencies(text) {
-                Ok(ds) => ds,
+            // The base entry holds canonical artifacts, so the revision
+            // must be canonicalized too — the delta path then compares
+            // like with like, and renamed-but-equivalent revisions
+            // diff empty.
+            let revised_form = match crate::canon::canonicalize(text) {
+                Ok(form) => form,
                 Err(e) => return Response::error(400, &e),
             };
+            let revised = crate::registry::extract(&revised_form.process);
             match timed_run(|| entry.reweave(&revised)) {
                 Ok(report) => {
                     let (path, reason) = match &report.path {
@@ -445,7 +486,7 @@ fn handle_inner(reg: &Registry, req: &Request) -> Response {
                     };
                     let body = format!(
                         "{{\"hash\":\"{:016x}\",\"base\":\"{:016x}\",\"path\":\"{}\",\"reason\":{},\"rows_recomputed\":{},\"rows_changed\":{},\"candidates_total\":{},\"candidates_rescreened\":{},\"candidates_reused\":{},\"fingerprint\":\"{:016x}\"}}",
-                        content_hash(text),
+                        revised_form.hash,
                         base,
                         path,
                         json_str(&reason),
@@ -474,10 +515,11 @@ fn handle_inner(reg: &Registry, req: &Request) -> Response {
                     Some(baseline) => format!("{{\"since\":{baseline}}}"),
                 };
                 Response::ok(format!(
-                    "{{\"entries\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\"in_flight\":{},\"served\":{},\"rejected\":{},\"seq\":{},\"window\":{}}}",
+                    "{{\"entries\":{},\"capacity\":{},\"hits\":{},\"canonical_hits\":{},\"misses\":{},\"evictions\":{},\"in_flight\":{},\"served\":{},\"rejected\":{},\"seq\":{},\"window\":{}}}",
                     s.entries,
                     s.capacity,
                     s.hits,
+                    s.canonical_hits,
                     s.misses,
                     s.evictions,
                     s.in_flight,
@@ -535,6 +577,7 @@ mod tests {
             query: vec![("branch".into(), "g:T".into())],
             headers: vec![],
             body: b"x".to_vec(),
+            keep_alive: true,
         };
         assert_eq!(
             parse(&http).unwrap(),
@@ -549,6 +592,7 @@ mod tests {
             query: vec![],
             headers: vec![],
             body: vec![],
+            keep_alive: true,
         };
         assert_eq!(parse(&bad).unwrap_err().status, 405);
         let missing = HttpRequest {
@@ -557,6 +601,7 @@ mod tests {
             query: vec![],
             headers: vec![],
             body: vec![],
+            keep_alive: true,
         };
         assert_eq!(parse(&missing).unwrap_err().status, 404);
     }
@@ -572,7 +617,7 @@ mod tests {
             },
         );
         assert_eq!(missing.status, 400);
-        let (entry, _) = reg.lookup_or_build(PROC).unwrap();
+        let entry = reg.lookup_or_build(PROC).unwrap().entry;
         let ok = handle(
             &reg,
             &Request::Reweave {
@@ -582,6 +627,42 @@ mod tests {
         );
         assert_eq!(ok.status, 200, "{}", ok.body);
         assert!(ok.body.contains("\"path\":\"delta\""), "{}", ok.body);
+    }
+
+    #[test]
+    fn canonical_variant_shares_the_entry_but_keeps_its_own_names() {
+        let reg = Registry::new(4, 1);
+        let base = handle(&reg, &Request::Weave { text: PROC.into() });
+        assert_eq!(base.cache, CacheStatus::Miss);
+        // Renamed identifiers, extra whitespace: same canonical process.
+        let variant =
+            "process Q {\n var data;\n sequence {  assign first writes data;\n assign second reads data; }\n}";
+        let req = Request::Weave {
+            text: variant.into(),
+        };
+        let shared = handle(&reg, &req);
+        assert_eq!(shared.status, 200);
+        assert_eq!(shared.cache, CacheStatus::Canonical);
+        // Same canonical hash, each tenant's own names in the body...
+        let hash = |body: &str| body.split("\"hash\":\"").nth(1).unwrap()[..16].to_string();
+        assert_eq!(hash(&base.body), hash(&shared.body));
+        assert!(base.body.contains("\"process\":\"P\""), "{}", base.body);
+        assert!(shared.body.contains("\"process\":\"Q\""), "{}", shared.body);
+        assert!(shared.body.contains("first") && shared.body.contains("second"), "{}", shared.body);
+        // ...and the shared body is still bit-identical to its own
+        // one-shot reference.
+        assert_eq!(shared.body, oneshot(&req, 1).body);
+        // Simulate accepts guards and reports events in tenant names too.
+        let sim = handle(
+            &reg,
+            &Request::Simulate {
+                text: variant.into(),
+                branches: vec![],
+            },
+        );
+        assert_eq!(sim.status, 200);
+        assert!(sim.body.contains("\"activity\":\"first\""), "{}", sim.body);
+        assert!(!sim.body.contains("\"activity\":\"a0\""), "{}", sim.body);
     }
 
     #[test]

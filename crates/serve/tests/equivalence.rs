@@ -3,16 +3,22 @@
 //! across cold and warm cache states, concurrent clients, server thread
 //! counts and LRU eviction.
 
-use dscweaver_serve::client;
+use dscweaver_serve::client::{self, Client, PipelinedRequest};
 use dscweaver_serve::registry::Registry;
 use dscweaver_serve::server::{ServeConfig, Server};
 use dscweaver_serve::service::{handle, oneshot, Request};
 
-/// A small family of distinct processes: a guarded diamond per index, so
-/// weave, validation (two assignments) and simulation all have work.
+/// A small family of **structurally** distinct processes: a guarded
+/// diamond plus an `i`-long tail of extra readers, so weave, validation
+/// and simulation all have work — and so the family stays distinct under
+/// canonicalization (alpha-variants of one process would share a single
+/// canonical entry by design).
 fn proc_text(i: usize) -> String {
+    let tail: String = (0..i)
+        .map(|k| format!("  assign tail{k} reads v{i};\n"))
+        .collect();
     format!(
-        "process p{i} {{\n var s{i}; var v{i};\n sequence {{\n  assign init{i} writes s{i};\n  switch g{i} reads s{i} {{\n   case T {{ assign x{i} writes v{i}; }}\n   case F {{ assign y{i} writes v{i}; }}\n  }}\n  assign j{i} reads v{i};\n }}\n}}"
+        "process p{i} {{\n var s{i}; var v{i};\n sequence {{\n  assign init{i} writes s{i};\n  switch g{i} reads s{i} {{\n   case T {{ assign x{i} writes v{i}; }}\n   case F {{ assign y{i} writes v{i}; }}\n  }}\n  assign j{i} reads v{i};\n{tail} }}\n}}"
     )
 }
 
@@ -121,6 +127,117 @@ fn eviction_recompiles_to_identical_responses() {
 }
 
 #[test]
+fn keepalive_and_pipelined_bodies_match_oneshot_across_threads() {
+    // The connection mode must never change a body: serial keep-alive
+    // requests and a pipelined batch on one connection are pinned
+    // bit-identical to the one-shot reference, at every thread count.
+    let texts: Vec<String> = (0..4).map(proc_text).collect();
+    let references: Vec<String> = texts
+        .iter()
+        .map(|t| {
+            oneshot(
+                &Request::Weave {
+                    text: t.to_string(),
+                },
+                1,
+            )
+            .body
+        })
+        .collect();
+    for threads in [1usize, 2, 4, 8] {
+        let server = Server::start(&ServeConfig {
+            threads,
+            cache_capacity: 64,
+            ..ServeConfig::default()
+        })
+        .expect("bind ephemeral port");
+        let mut client = Client::connect(server.addr());
+        // Serial requests over one reused connection (cold pass, then a
+        // warm pass on the same connection).
+        for pass in 0..2 {
+            for (i, t) in texts.iter().enumerate() {
+                let reply = client.post("/v1/weave", t).unwrap();
+                assert_eq!(reply.status, 200, "pass {pass}: {}", reply.body);
+                assert_eq!(
+                    reply.body, references[i],
+                    "keep-alive body diverged (threads {threads}, pass {pass}, proc {i})"
+                );
+                assert!(reply.keep_alive(), "connection must stay open");
+            }
+        }
+        // One pipelined batch: all requests written before any reply is
+        // read; replies come back in request order.
+        let batch: Vec<PipelinedRequest> = texts
+            .iter()
+            .map(|t| PipelinedRequest::post("/v1/weave", t.clone()))
+            .collect();
+        let replies = client.pipeline(&batch).unwrap();
+        assert_eq!(replies.len(), texts.len());
+        for (i, reply) in replies.iter().enumerate() {
+            assert_eq!(reply.status, 200);
+            assert_eq!(reply.cache(), "hit", "pipelined warm request {i}");
+            assert_eq!(
+                reply.body, references[i],
+                "pipelined body diverged (threads {threads}, slot {i})"
+            );
+        }
+        // The whole exchange used exactly one connection.
+        let stats = client.get("/v1/stats").unwrap();
+        assert_eq!(stats.status, 200);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn textual_variants_share_artifacts_and_match_their_own_oneshot() {
+    let server = Server::start(&ServeConfig {
+        threads: 2,
+        cache_capacity: 64,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(server.addr());
+    let base = proc_text(0);
+    // An alpha-variant: renamed identifiers, extra whitespace, a comment.
+    let variant = base
+        .replace("p0", "Renamed")
+        .replace("s0", "state")
+        .replace("v0", "value")
+        .replace("init0", "boot")
+        .replace("g0", "gate")
+        .replace("x0", "left")
+        .replace("y0", "right")
+        .replace("j0", "join")
+        .replace("sequence {", "sequence { # variant\n");
+    assert_ne!(base, variant);
+    let first = client.post("/v1/weave", &base).unwrap();
+    assert_eq!(first.cache(), "miss");
+    let shared = client.post("/v1/weave", &variant).unwrap();
+    assert_eq!(
+        shared.cache(),
+        "canonical",
+        "variant must hit the canonical entry: {}",
+        shared.body
+    );
+    // The shared body is rendered in the variant's own names and is
+    // bit-identical to the variant's one-shot reference.
+    let reference = oneshot(
+        &Request::Weave {
+            text: variant.clone(),
+        },
+        1,
+    );
+    assert_eq!(shared.body, reference.body);
+    assert!(shared.body.contains("\"process\":\"Renamed\""), "{}", shared.body);
+    // Both submissions report the same canonical hash.
+    let hash = |body: &str| body.split("\"hash\":\"").nth(1).unwrap()[..16].to_string();
+    assert_eq!(hash(&first.body), hash(&shared.body));
+    let stats = client.get("/v1/stats").unwrap();
+    assert!(stats.body.contains("\"canonical_hits\":1"), "{}", stats.body);
+    server.shutdown();
+}
+
+#[test]
 fn daemon_reweave_fingerprint_matches_single_owner_weave() {
     // The frozen-pool satellite at the serve level: a re-weave served by
     // the daemon's cached session must land on the same session
@@ -135,7 +252,7 @@ fn daemon_reweave_fingerprint_matches_single_owner_weave() {
 
     // Daemon path.
     let reg = Registry::new(8, 2);
-    let (entry, _) = reg.lookup_or_build(&base).unwrap();
+    let entry = reg.lookup_or_build(&base).unwrap().entry;
     let ds = dscweaver_serve::ProcessEntry::build_dependencies(&revised).unwrap();
     let daemon_report = entry.reweave(&ds).unwrap();
 

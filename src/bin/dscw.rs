@@ -8,9 +8,10 @@
 //! dscw dot       <process.proc> [--stage sc|asc|minimal] [...]
 //! dscw figures   <process.proc> [...]
 //! dscw monitor   <process.proc> [--instances N] [--batch N] [--seed N] [--violate RATE] [...]
-//! dscw serve     [--port N] [--threads N] [--cache N] [--batch N] [--max-in-flight N]
-//!                [--stats-interval SECS] [--trace-slow-ms MS] [--trace-sample N]
-//!                [--trace out.json] [--profile]
+//! dscw serve     [--port N] [--threads N] [--cache N] [--batch N] [--max-conns N]
+//!                [--idle-timeout MS] [--max-body BYTES] [--pipeline-depth N]
+//!                [--max-in-flight N] [--stats-interval SECS] [--trace-slow-ms MS]
+//!                [--trace-sample N] [--trace out.json] [--profile]
 //! ```
 //!
 //! The process is a `.proc` DSL file (see `dscweaver-model`). Cooperation
@@ -36,7 +37,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: dscw serve [--port <n>] [--threads <n>] [--cache <entries>] [--batch <n>]
-       [--max-in-flight <n>] [--stats-interval <secs>]
+       [--max-conns <n>] [--idle-timeout <ms>] [--max-body <bytes>]
+       [--pipeline-depth <n>] [--max-in-flight <n>] [--stats-interval <secs>]
        [--trace-slow-ms <ms>] [--trace-sample <n>] [--trace-capacity <n>]
        [--duration <secs>] [--trace <out.json>] [--profile]
        dscw <optimize|validate|run|bpel|dot|figures|monitor> <process.proc>
@@ -154,6 +156,26 @@ fn run_serve(mut argv: impl Iterator<Item = String>) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad batch size: {e}"))?
             }
+            "--max-conns" => {
+                config.max_conns = next("max-conns")?
+                    .parse()
+                    .map_err(|e| format!("bad connection ceiling: {e}"))?
+            }
+            "--idle-timeout" => {
+                config.idle_timeout_ms = next("idle-timeout")?
+                    .parse()
+                    .map_err(|e| format!("bad idle timeout: {e}"))?
+            }
+            "--max-body" => {
+                config.max_body = next("max-body")?
+                    .parse()
+                    .map_err(|e| format!("bad body cap: {e}"))?
+            }
+            "--pipeline-depth" => {
+                config.pipeline_depth = next("pipeline-depth")?
+                    .parse()
+                    .map_err(|e| format!("bad pipeline depth: {e}"))?
+            }
             "--max-in-flight" => {
                 config.max_in_flight = next("max-in-flight")?
                     .parse()
@@ -195,11 +217,14 @@ fn run_serve(mut argv: impl Iterator<Item = String>) -> Result<(), String> {
     }
     let server = Server::start(&config).map_err(|e| format!("cannot bind: {e}"))?;
     eprintln!(
-        "dscw serve: listening on http://{} (cache {} entries, threads {}, batch {})",
+        "dscw serve: listening on http://{} (cache {} entries, threads {}, \
+         max-conns {}, idle-timeout {}ms, pipeline-depth {})",
         server.addr(),
         config.cache_capacity,
         if config.threads == 0 { "auto".into() } else { config.threads.to_string() },
-        config.batch,
+        config.max_conns,
+        config.idle_timeout_ms,
+        config.pipeline_depth,
     );
     eprintln!(
         "endpoints: POST /v1/weave /v1/validate /v1/simulate /v1/reweave | \
@@ -230,11 +255,12 @@ fn run_serve(mut argv: impl Iterator<Item = String>) -> Result<(), String> {
                 let d = now.delta_since(&prev);
                 eprintln!(
                     "dscw serve [{stats_interval}s]: served {} ({:.1}/s), rejected {}, \
-                     hits {}, misses {}, evictions {}, in-flight {}, cache {}/{}",
+                     hits {}, canonical {}, misses {}, evictions {}, in-flight {}, cache {}/{}",
                     d.served,
                     d.served as f64 / stats_interval as f64,
                     d.rejected,
                     d.hits,
+                    d.canonical_hits,
                     d.misses,
                     d.evictions,
                     now.in_flight,

@@ -4,7 +4,7 @@
 //! telemetry plane (`/metrics`, `X-Trace-Id`, `/v1/stats?since=`).
 
 use dscweaver::obs;
-use dscweaver::serve::{client, ServeConfig, Server};
+use dscweaver::serve::{client, Client, PipelinedRequest, ServeConfig, Server};
 
 const PROC: &str = r#"
 process Smoke {
@@ -59,6 +59,57 @@ fn daemon_round_trips_weave_and_validate_with_cache_hit() {
         "{}",
         stats.body
     );
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_connection_reuse_and_canonical_sharing() {
+    let server = Server::start(&ServeConfig::default()).expect("bind ephemeral port");
+    let mut client = Client::connect(server.addr());
+
+    // A textual variant of PROC: renamed identifiers, same structure, so
+    // it must share the canonical cached artifact.
+    let variant = PROC
+        .replace("Smoke", "Mirror")
+        .replace("au", "approval")
+        .replace("oi", "invoice")
+        .replace("check", "vet")
+        .replace("gate", "door")
+        .replace("fulfil", "ship")
+        .replace("refuse", "bounce")
+        .replace("done", "close");
+    assert_ne!(variant, PROC);
+
+    // Four requests pipelined on one connection: all written before any
+    // reply is read, replies back in request order with per-request cache
+    // status.
+    let batch = vec![
+        PipelinedRequest::post("/v1/weave", PROC.to_string()),
+        PipelinedRequest::post("/v1/weave", variant.clone()),
+        PipelinedRequest::post("/v1/weave", PROC.to_string()),
+        PipelinedRequest::post("/v1/validate", PROC.to_string()),
+    ];
+    let replies = client.pipeline(&batch).expect("pipelined batch");
+    assert_eq!(replies.len(), 4);
+    for (i, r) in replies.iter().enumerate() {
+        assert_eq!(r.status, 200, "reply {i}: {}", r.body);
+    }
+    assert_eq!(replies[0].cache(), "miss");
+    assert_eq!(replies[1].cache(), "canonical", "{}", replies[1].body);
+    assert_eq!(replies[2].cache(), "hit");
+    assert_eq!(replies[3].cache(), "hit");
+    // The shared artifact is rendered back in each submission's own
+    // names.
+    assert!(replies[0].body.contains("\"process\":\"Smoke\""));
+    assert!(replies[1].body.contains("\"process\":\"Mirror\""));
+    assert_eq!(replies[0].body, replies[2].body);
+
+    // Counters on the same connection: one compile served four requests
+    // over one reused connection.
+    let stats = client.get("/v1/stats").unwrap();
+    assert!(stats.body.contains("\"misses\":1"), "{}", stats.body);
+    assert!(stats.body.contains("\"canonical_hits\":1"), "{}", stats.body);
+    assert!(stats.body.contains("\"hits\":2"), "{}", stats.body);
     server.shutdown();
 }
 
